@@ -1,0 +1,155 @@
+"""Experiment A2 — ablation of the composite ranking function (§2.3).
+
+The paper asks how to "construct ranking functions that combine similarity
+measures together and with other desired properties (e.g. high popularity,
+efficient runtime, small result cardinality)".  This ablation re-runs the C5
+recommendation task under different weight settings:
+
+  * similarity only,
+  * similarity + popularity,
+  * the full default weighting (similarity + popularity + recency + runtime +
+    cardinality + quality),
+  * popularity only (degenerates to the C5 baseline).
+
+Reported rows: hit-rate@1/@5 and MRR per setting.  The expected shape is that
+the kNN similarity pre-filter does the heavy lifting for hit@5, while adding
+popularity (and the other components) improves hit@1 over similarity alone —
+near-duplicates of the probe stop crowding out the popular, fully developed
+analyses — i.e. the composite ranking function the paper asks for is justified.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import (
+    build_env,
+    hit_rate_at_k,
+    mean_reciprocal_rank,
+    print_table,
+    rank_of_match,
+)
+from repro.core.ranking import RankingFunction, RankingWeights
+from repro.core.recommender import QueryRecommender
+from repro.sql.canonicalize import canonical_text
+
+WEIGHT_SETTINGS: dict[str, RankingWeights] = {
+    "similarity only": RankingWeights.similarity_only(),
+    "similarity + popularity": RankingWeights(
+        similarity=1.0, popularity=0.4, recency=0.0, runtime=0.0, cardinality=0.0, quality=0.0
+    ),
+    "full composite (default)": RankingWeights(),
+    "popularity only": RankingWeights(
+        similarity=0.0, popularity=1.0, recency=0.0, runtime=0.0, cardinality=0.0, quality=0.0
+    ),
+}
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _cases(env, limit=50):
+    sessions: dict[tuple, list] = {}
+    for event in env.workload:
+        sessions.setdefault((event.user, event.session_ordinal), []).append(event)
+    cases = []
+    for events in sessions.values():
+        ordered = sorted(events, key=lambda e: e.step)
+        if len(ordered) < 3:
+            continue
+        probe, final = ordered[len(ordered) // 2], ordered[-1]
+        cases.append((probe.user, probe.sql, canonical_text(final.sql, strip_constants=True)))
+        if len(cases) >= limit:
+            break
+    return cases
+
+
+def _build_recommender(env, weights: RankingWeights) -> QueryRecommender:
+    ranking = RankingFunction(weights)
+    return QueryRecommender(
+        env.store,
+        env.cqms.meta_query,
+        env.cqms.access_control,
+        env.cqms.config,
+        ranking=ranking,
+        clock=env.clock,
+    )
+
+
+class TestRankingAblation:
+    @pytest.mark.parametrize("setting", list(WEIGHT_SETTINGS))
+    def test_weight_setting_quality(self, benchmark, setting):
+        env = build_env(num_sessions=200, seed=21)
+        cases = _cases(env)
+        recommender = _build_recommender(env, WEIGHT_SETTINGS[setting])
+
+        def evaluate():
+            hits = []
+            for user, probe_sql, final_template in cases:
+                recommendations = recommender.recommend(user, probe_sql, k=5)
+                templates = [
+                    item.record.template_text
+                    or canonical_text(item.record.text, strip_constants=True)
+                    for item in recommendations
+                ]
+                hits.append(rank_of_match(templates, final_template))
+            return hits
+
+        hits = benchmark(evaluate)
+        _RESULTS[setting] = {
+            "hit@1": hit_rate_at_k(hits, 1),
+            "hit@5": hit_rate_at_k(hits, 5),
+            "mrr": mean_reciprocal_rank(hits),
+        }
+        if len(_RESULTS) == len(WEIGHT_SETTINGS):
+            print_table(
+                f"A2: ranking-function ablation over {len(cases)} sessions",
+                ["weight setting", "hit@1", "hit@5", "MRR"],
+                [
+                    (
+                        name,
+                        f"{stats['hit@1']:.3f}",
+                        f"{stats['hit@5']:.3f}",
+                        f"{stats['mrr']:.3f}",
+                    )
+                    for name, stats in _RESULTS.items()
+                ],
+            )
+            # Shape checks: combining similarity with popularity (the full
+            # composite) is at least as good as either extreme, and it clearly
+            # improves top-1 precision over similarity alone.
+            full = _RESULTS["full composite (default)"]
+            assert full["hit@1"] >= _RESULTS["similarity only"]["hit@1"]
+            assert full["hit@5"] >= _RESULTS["popularity only"]["hit@5"] - 1e-9
+            assert full["hit@5"] >= _RESULTS["similarity only"]["hit@5"] - 1e-9
+            assert full["hit@5"] >= 0.4 and full["hit@1"] >= 0.25
+
+    def test_feature_weight_exclusion(self, benchmark):
+        """§2.4: the administrator can exclude a feature class from similarity.
+
+        Zeroing the 'predicates' class must not destroy recommendation quality
+        (tables/joins carry most of the signal) — this is the knob's sanity check.
+        """
+        env = build_env(num_sessions=200, seed=21)
+        cases = _cases(env, limit=30)
+        original = dict(env.cqms.config.feature_weights)
+        env.cqms.config.feature_weights["predicates"] = 0.0
+        recommender = _build_recommender(env, RankingWeights())
+
+        def evaluate():
+            hits = []
+            for user, probe_sql, final_template in cases:
+                recommendations = recommender.recommend(user, probe_sql, k=5)
+                templates = [item.record.template_text for item in recommendations]
+                hits.append(rank_of_match(templates, final_template))
+            return hits
+
+        try:
+            hits = benchmark(evaluate)
+        finally:
+            env.cqms.config.feature_weights.update(original)
+        print_table(
+            "A2: similarity with the 'predicates' feature class excluded",
+            ["hit@5"],
+            [(f"{hit_rate_at_k(hits, 5):.3f}",)],
+        )
+        assert hit_rate_at_k(hits, 5) >= 0.3

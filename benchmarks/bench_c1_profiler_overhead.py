@@ -1,0 +1,79 @@
+"""Experiment C1 — §2.1 claim: "the CQMS does not impose significant runtime overhead".
+
+The profiler intercepts every query on its way to the DBMS.  This experiment
+replays the same workload through three configurations and compares wall-clock
+cost per query:
+
+  * ``off``      — plain DBMS execution (the no-CQMS baseline),
+  * ``text``     — log raw text + runtime statistics,
+  * ``features`` — full feature shredding + output summarization.
+
+The paper's claim holds if the text mode is close to the baseline and even the
+full feature mode stays within a small constant factor (the heavy work —
+mining, clustering — is in the background components, not on this path).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from bench_common import build_env, print_table
+from repro import CQMS, CQMSConfig, SimulatedClock, build_database
+from repro.workloads import QueryLogGenerator, WorkloadConfig
+
+_WORKLOAD = None
+_RESULTS: dict[str, float] = {}
+
+
+def _workload():
+    global _WORKLOAD
+    if _WORKLOAD is None:
+        _WORKLOAD = QueryLogGenerator(
+            WorkloadConfig(domain="limnology", num_sessions=50, seed=77)
+        ).generate()
+    return _WORKLOAD
+
+
+def _run_mode(mode: str) -> int:
+    clock = SimulatedClock()
+    db = build_database("limnology", scale=1, clock=clock)
+    cqms = CQMS(db, CQMSConfig(profiling_mode=mode), clock=clock)
+    count = cqms.replay_workload(_workload())
+    return count
+
+
+class TestProfilerOverhead:
+    @pytest.mark.parametrize("mode", ["off", "text", "features"])
+    def test_profiling_mode_cost(self, benchmark, mode):
+        count = benchmark(_run_mode, mode)
+        assert count == len(_workload())
+        _RESULTS[mode] = benchmark.stats.stats.mean
+        if len(_RESULTS) == 3:
+            baseline = _RESULTS["off"]
+            rows = [
+                (
+                    mode_name,
+                    f"{_RESULTS[mode_name] * 1000:.1f} ms",
+                    f"{_RESULTS[mode_name] * 1000 / count:.3f} ms",
+                    f"{_RESULTS[mode_name] / baseline:.2f}x",
+                )
+                for mode_name in ("off", "text", "features")
+            ]
+            print_table(
+                f"C1: profiling overhead over {count} queries (whole-workload mean)",
+                ["profiling mode", "total", "per query", "vs no profiling"],
+                rows,
+            )
+            # Shape check: text-mode overhead is small; full feature shredding
+            # stays within a small constant factor of raw execution.
+            assert _RESULTS["text"] <= baseline * 2.0
+            assert _RESULTS["features"] <= baseline * 5.0
+
+    def test_single_query_profile_latency(self, benchmark):
+        """Per-query online cost of the full feature profiler."""
+        env = build_env(num_sessions=60)
+        sql = "SELECT * FROM WaterSalinity S, WaterTemp T WHERE S.loc_x = T.loc_x AND T.temp < 18"
+        execution = benchmark(env.cqms.submit, "admin", sql)
+        assert execution.succeeded

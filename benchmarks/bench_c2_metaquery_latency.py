@@ -1,0 +1,91 @@
+"""Experiment C2 — §4.2 claim: "meta-querying must be interactive".
+
+Latency of each meta-query class (keyword, substring, query-by-feature SQL,
+query-by-parse-tree, query-by-data, kNN) as the query log grows.  The claim
+holds if every class stays in interactive territory (well under a second) at
+laptop-scale logs, with kNN and parse-tree search being the expensive ones —
+exactly the trade-off the paper anticipates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import build_env, print_table
+from repro.core.meta_query import DataCondition, FeatureCondition
+from repro.sql.parse_tree import TreePattern
+
+LOG_SIZES = [60, 120, 240]
+
+FEATURE_SQL = (
+    "SELECT Q.qid FROM Queries Q, DataSources D1, DataSources D2 "
+    "WHERE Q.qid = D1.qid AND Q.qid = D2.qid "
+    "AND D1.relName = 'watersalinity' AND D2.relName = 'watertemp'"
+)
+
+PARSE_TREE_PATTERN = TreePattern(
+    label="select",
+    children=(
+        TreePattern(label="table", value="watertemp"),
+        TreePattern(label="op", value="<"),
+    ),
+)
+
+
+class TestMetaQueryLatency:
+    @pytest.mark.parametrize("num_sessions", LOG_SIZES)
+    def test_keyword_search(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        results = benchmark(env.cqms.search_keyword, "admin", ["watertemp"])
+        print_table(
+            "C2: keyword search",
+            ["log size", "matches"],
+            [(len(env.store), len(results))],
+        )
+        assert results
+
+    @pytest.mark.parametrize("num_sessions", LOG_SIZES)
+    def test_substring_search(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        results = benchmark(env.cqms.search_substring, "admin", "temp <")
+        assert results is not None
+
+    @pytest.mark.parametrize("num_sessions", LOG_SIZES)
+    def test_query_by_feature_programmatic(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        condition = FeatureCondition(
+            tables_all=["watertemp"], predicates_on=[("temp", "watertemp", "<")]
+        )
+        results = benchmark(env.cqms.search_features, "admin", condition)
+        assert results
+
+    @pytest.mark.parametrize("num_sessions", LOG_SIZES)
+    def test_query_by_feature_sql(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        result = benchmark(env.store.execute_meta_sql, FEATURE_SQL)
+        assert result.rows is not None
+
+    @pytest.mark.parametrize("num_sessions", LOG_SIZES)
+    def test_query_by_parse_tree(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        results = benchmark(env.cqms.search_parse_tree, "admin", PARSE_TREE_PATTERN)
+        assert results
+
+    @pytest.mark.parametrize("num_sessions", LOG_SIZES)
+    def test_query_by_data(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        condition = DataCondition(include_values=["Lake Washington"])
+        results = benchmark(env.cqms.search_by_data, "admin", condition)
+        assert results is not None
+
+    @pytest.mark.parametrize("num_sessions", LOG_SIZES)
+    def test_knn_similar_queries(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        probe = "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 20"
+        results = benchmark(env.cqms.similar_queries, "admin", probe, 10)
+        print_table(
+            "C2: kNN similar-query search",
+            ["log size", "neighbours returned"],
+            [(len(env.store), len(results))],
+        )
+        assert results

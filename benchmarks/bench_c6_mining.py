@@ -1,0 +1,133 @@
+"""Experiment C6 — §4.3: query clustering and association-rule mining.
+
+The workload generator seeds the log with a known number of information goals
+(the goal library) and with table co-occurrence structure.  This experiment
+checks that the Query Miner recovers both:
+
+  * clustering — queries of the same goal end up in the same cluster
+    (cluster purity w.r.t. goal labels, plus silhouette score),
+  * association rules — the seeded table pairs (e.g. WaterSalinity ⇒ WaterTemp)
+    are mined with high confidence,
+  * mining latency — the cost of one full background pass as the log grows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from bench_common import build_env, print_table
+from repro.mining.clustering import silhouette_score
+from repro.sql.canonicalize import canonical_text
+
+
+def _template_to_goal(env) -> dict[str, str]:
+    """Map constant-stripped query templates to the goal that produced them."""
+    mapping: dict[str, str] = {}
+    for event in env.workload:
+        template = canonical_text(event.sql, strip_constants=True)
+        mapping.setdefault(template, event.goal)
+    return mapping
+
+
+class TestQueryClustering:
+    def test_cluster_purity_wrt_goals(self, benchmark):
+        env = build_env(num_sessions=160)
+        miner = env.cqms.miner
+
+        report = benchmark(miner.run)
+        clusters = report.query_clusters
+        assert clusters is not None
+        goal_of = _template_to_goal(env)
+
+        total = 0
+        majority = 0
+        cluster_rows = []
+        for label, members in clusters.clusters().items():
+            goals = Counter(
+                goal_of.get(
+                    clusters.items[index].template_text
+                    or canonical_text(clusters.items[index].text, strip_constants=True),
+                    "unknown",
+                )
+                for index in members
+            )
+            top_goal, top_count = goals.most_common(1)[0]
+            total += len(members)
+            majority += top_count
+            cluster_rows.append((label, len(members), top_goal, f"{top_count / len(members):.2f}"))
+        purity = majority / total if total else 0.0
+        print_table(
+            "C6: query clusters vs seeded information goals",
+            ["cluster", "queries (templates)", "majority goal", "purity"],
+            cluster_rows + [("overall", total, "", f"{purity:.2f}")],
+        )
+        assert purity >= 0.6
+
+    def test_silhouette_of_feature_clustering(self, benchmark):
+        env = build_env(num_sessions=160)
+        report = env.cqms.miner.last_report or env.cqms.run_miner()
+        clusters = report.query_clusters
+
+        score = benchmark(silhouette_score, clusters, env.cqms.miner._query_distance)
+        print_table(
+            "C6: clustering silhouette (feature distance)",
+            ["clusters", "items", "silhouette"],
+            [(clusters.num_clusters, len(clusters.items), f"{score:.3f}")],
+        )
+        assert score > 0.1
+
+
+class TestAssociationRules:
+    def test_seeded_table_rules_recovered(self, benchmark):
+        env = build_env(num_sessions=160)
+        miner = env.cqms.miner
+
+        report = benchmark(miner.run, cluster=False)
+        rule_index = report.rule_index
+        suggestions = dict(rule_index.suggestions(["table:watersalinity"], limit=10))
+        print_table(
+            "C6: rules conditioned on WaterSalinity",
+            ["consequent", "confidence-weighted score"],
+            sorted(suggestions.items(), key=lambda kv: -kv[1])[:5],
+        )
+        assert "table:watertemp" in suggestions
+        # WaterTemp must be the strongest table consequent for WaterSalinity.
+        table_suggestions = {k: v for k, v in suggestions.items() if k.startswith("table:")}
+        assert max(table_suggestions, key=table_suggestions.get) == "table:watertemp"
+
+    def test_rule_count_and_confidence_distribution(self, benchmark):
+        env = build_env(num_sessions=160)
+        report = env.cqms.miner.last_report or env.cqms.run_miner()
+
+        def summarize():
+            rules = report.rule_index.rules
+            high = sum(1 for rule in rules if rule.confidence >= 0.8)
+            return len(rules), high
+
+        total, high_confidence = benchmark(summarize)
+        print_table(
+            "C6: mined association rules",
+            ["rules", "confidence >= 0.8"],
+            [(total, high_confidence)],
+        )
+        assert total > 0
+
+
+class TestMiningLatency:
+    @pytest.mark.parametrize("num_sessions", [60, 120, 240])
+    def test_full_mining_pass_latency(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        report = benchmark(env.cqms.miner.run)
+        print_table(
+            "C6: full background mining pass",
+            ["log size", "sessions", "rules", "clusters"],
+            [(
+                len(env.store),
+                report.num_sessions,
+                report.num_rules,
+                report.query_clusters.num_clusters if report.query_clusters else 0,
+            )],
+        )
+        assert report.num_sessions > 0

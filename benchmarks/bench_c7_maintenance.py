@@ -1,0 +1,144 @@
+"""Experiment C7 — §4.4: query maintenance under schema evolution and data drift.
+
+A workload is logged, then the built-in schema-evolution scenario is applied
+(column renames, column drops, a table rename, a harmless column addition).
+The experiment checks that Query Maintenance:
+
+  * flags exactly the queries whose relations/columns were dropped
+    (precision/recall against ground truth derived from query features),
+  * automatically repairs queries only affected by renames (and the repaired
+    text re-executes on the evolved schema),
+  * leaves queries over untouched relations alone,
+  * detects data-distribution drift and refreshes statistics of affected
+    queries only.
+"""
+
+from __future__ import annotations
+
+from bench_common import build_env, print_table
+from repro.workloads.evolution import apply_scenario, evolution_scenario
+
+
+def _ground_truth(env, steps):
+    """Which stored queries are broken vs merely rename-affected by the scenario."""
+    broken = set()
+    rename_affected = set()
+    renamed_tables = {s.table.lower() for s in steps if s.kind == "rename_table"}
+    renamed_columns = {
+        (s.table.lower(), s.column.lower()) for s in steps if s.kind == "rename_column"
+    }
+    dropped_columns = {
+        (s.table.lower(), s.column.lower()) for s in steps if s.kind == "drop_column"
+    }
+    dropped_tables = {s.table.lower() for s in steps if s.kind == "drop_table"}
+    for record in env.store.select_queries():
+        if record.features is None:
+            continue
+        tables = set(record.features.tables)
+        attributes = set(record.features.attributes)
+        if tables & dropped_tables or any(
+            (rel, attr) in dropped_columns for attr, rel in attributes
+        ):
+            broken.add(record.qid)
+        elif tables & renamed_tables or any(
+            (rel, attr) in renamed_columns for attr, rel in attributes
+        ):
+            rename_affected.add(record.qid)
+    return broken, rename_affected
+
+
+class TestSchemaEvolutionMaintenance:
+    def test_flagging_and_repair_match_ground_truth(self, benchmark):
+        env = build_env(num_sessions=160, seed=33, mine=False)
+        steps = evolution_scenario("limnology")
+        broken_truth, rename_truth = _ground_truth(env, steps)
+        apply_scenario(env.database, steps)
+
+        report = benchmark.pedantic(
+            env.cqms.maintenance.check_schema_validity, rounds=1, iterations=1
+        )
+        flagged = set(report.flagged)
+        repaired = set(report.repaired)
+
+        precision = len(flagged & broken_truth) / len(flagged) if flagged else 1.0
+        recall = len(flagged & broken_truth) / len(broken_truth) if broken_truth else 1.0
+        print_table(
+            "C7: schema-evolution maintenance",
+            ["metric", "value"],
+            [
+                ("queries checked", report.checked),
+                ("ground-truth broken", len(broken_truth)),
+                ("flagged", len(flagged)),
+                ("flagging precision", f"{precision:.2f}"),
+                ("flagging recall", f"{recall:.2f}"),
+                ("ground-truth rename-affected", len(rename_truth)),
+                ("auto-repaired", len(repaired)),
+            ],
+        )
+        # Drops must be flagged, renames must be repaired — with no cross-talk.
+        assert recall == 1.0
+        assert precision == 1.0
+        assert repaired, "rename-affected queries must be repaired"
+        assert repaired <= rename_truth
+        # Every repaired query still parses and runs on the evolved schema.
+        for qid in list(repaired)[:25]:
+            env.database.execute(env.store.get(qid).text)
+
+    def test_unaffected_queries_untouched(self, benchmark):
+        env = build_env(num_sessions=160, seed=33, mine=False)
+        steps = evolution_scenario("limnology")
+        broken_truth, rename_truth = _ground_truth(env, steps)
+        affected = broken_truth | rename_truth
+
+        def untouched_fraction():
+            untouched = [
+                record.qid
+                for record in env.store.select_queries()
+                if record.qid not in affected and not record.flagged_invalid
+            ]
+            return len(untouched)
+
+        untouched = benchmark(untouched_fraction)
+        total_unaffected = len(
+            [r for r in env.store.select_queries() if r.qid not in affected]
+        )
+        print_table(
+            "C7: unaffected queries preserved",
+            ["unaffected queries", "still valid"],
+            [(total_unaffected, untouched)],
+        )
+        assert untouched == total_unaffected
+
+    def test_drift_detection_and_targeted_refresh(self, benchmark):
+        env = build_env(num_sessions=120, seed=35, mine=False)
+        maintenance = env.cqms.maintenance
+        maintenance.snapshot_statistics()
+        # A backfill changes the WaterTemp distribution drastically.
+        env.database.execute("UPDATE WaterTemp SET temp = temp + 30")
+
+        report = benchmark.pedantic(maintenance.refresh_statistics, rounds=1, iterations=1)
+        refreshed_tables = {
+            table
+            for qid in report.refreshed_queries
+            for table in env.store.get(qid).tables
+        }
+        print_table(
+            "C7: data-distribution drift",
+            ["drifted tables", "queries re-profiled", "touch drifted table"],
+            [(
+                ", ".join(report.drifted_tables),
+                len(report.refreshed_queries),
+                all("watertemp" in env.store.get(qid).tables for qid in report.refreshed_queries),
+            )],
+        )
+        assert "watertemp" in report.drifted_tables
+        assert report.refreshed_queries
+        assert all(
+            "watertemp" in env.store.get(qid).tables for qid in report.refreshed_queries
+        )
+
+    def test_maintenance_pass_latency(self, benchmark):
+        """Cost of one no-op maintenance pass on an unchanged schema."""
+        env = build_env(num_sessions=160, seed=37, mine=False)
+        report = benchmark(env.cqms.maintenance.check_schema_validity)
+        assert report.flagged == []

@@ -1,0 +1,103 @@
+"""Experiment C8 — §4.1: adaptive output summarization.
+
+"If a query takes two hours to complete and outputs ten rows, then the system
+should store the whole output.  However, if a query takes only two seconds and
+outputs two million rows, there is no need to store the output."
+
+The experiment sweeps a grid of (execution time, output cardinality) and
+reports the stored-summary size and whether the summary is complete, checking
+the two corners the paper calls out plus the monotonicity of the budget in
+execution time.  It also measures the summarization cost itself (it sits on
+the online profiling path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import print_table
+from repro.storage.statistics import summarize_output
+
+#: (execution seconds, output rows) grid — from interactive to hours-long.
+GRID = [
+    (0.5, 10),
+    (0.5, 10_000),
+    (5.0, 10_000),
+    (60.0, 10_000),
+    (7200.0, 10),
+    (7200.0, 100_000),
+]
+
+BASE_BUDGET = 32
+SECONDS_PER_ROW = 0.05
+MAX_BUDGET = 2000
+
+
+def _summarize(elapsed: float, rows: int):
+    data = [(i, float(i)) for i in range(rows)]
+    return summarize_output(
+        data,
+        ["id", "value"],
+        execution_time=elapsed,
+        base_budget=BASE_BUDGET,
+        seconds_per_extra_row=SECONDS_PER_ROW,
+        max_budget=MAX_BUDGET,
+    )
+
+
+class TestAdaptiveOutputSummaries:
+    def test_summary_grid(self, benchmark):
+        def run_grid():
+            return {
+                (elapsed, rows): _summarize(elapsed, rows) for elapsed, rows in GRID
+            }
+
+        summaries = benchmark(run_grid)
+        table_rows = []
+        for (elapsed, rows), summary in summaries.items():
+            table_rows.append(
+                (
+                    f"{elapsed:g}s",
+                    rows,
+                    len(summary),
+                    "complete" if len(summary) == rows else "sample",
+                )
+            )
+        print_table(
+            "C8: adaptive output summarization grid",
+            ["execution time", "output rows", "stored rows", "kind"],
+            table_rows,
+        )
+        # Paper corner 1: a two-hour query with ten rows is stored completely.
+        assert len(summaries[(7200.0, 10)]) == 10
+        # Paper corner 2: a sub-second query with a huge output is down-sampled
+        # to (roughly) the base budget.
+        assert len(summaries[(0.5, 10_000)]) <= BASE_BUDGET + int(0.5 / SECONDS_PER_ROW)
+        # The budget grows with execution time but is capped.
+        assert len(summaries[(0.5, 10_000)]) <= len(summaries[(60.0, 10_000)])
+        assert len(summaries[(60.0, 10_000)]) <= len(summaries[(7200.0, 100_000)])
+        assert len(summaries[(7200.0, 100_000)]) <= MAX_BUDGET
+
+    @pytest.mark.parametrize("rows", [1_000, 10_000, 100_000])
+    def test_summarization_cost(self, benchmark, rows):
+        """Cost of summarizing an output of the given size (online path)."""
+        summary = benchmark(_summarize, 1.0, rows)
+        assert len(summary) <= MAX_BUDGET
+
+    def test_storage_savings_table(self, benchmark):
+        """Bytes-ish savings: stored cells vs produced cells across the grid."""
+        def compute():
+            produced = 0
+            stored = 0
+            for elapsed, rows in GRID:
+                produced += rows * 2
+                stored += len(_summarize(elapsed, rows)) * 2
+            return produced, stored
+
+        produced, stored = benchmark(compute)
+        print_table(
+            "C8: storage saved by summarization",
+            ["cells produced", "cells stored", "stored fraction"],
+            [(produced, stored, f"{stored / produced:.4f}")],
+        )
+        assert stored < produced * 0.05

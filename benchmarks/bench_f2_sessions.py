@@ -1,0 +1,131 @@
+"""Experiment F2 — Figure 2: query-session identification and visualization.
+
+Figure 2 shows one session as a chain of queries whose edges are labelled with
+the difference between consecutive queries ("added WaterSalinity", tried
+``temp < 22 / < 10 / < 18``, added two join predicates).
+
+Reported series:
+  * the scripted Figure 2 session reproduced edge by edge (labels checked),
+  * session-detection quality (pairwise precision/recall/F1 against the
+    workload generator's ground-truth sessions) as the session gap varies,
+  * session-detection + graph-construction latency per log size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import build_env, print_table
+from repro.client import render_session_graph
+from repro.core.sessions import SessionDetector, pairwise_session_metrics
+
+#: The exact query sequence of the paper's Figure 2.
+FIGURE2_SESSION = [
+    "SELECT * FROM WaterTemp T WHERE T.temp < 22",
+    "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 22",
+    "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 10",
+    "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 18",
+    "SELECT * FROM WaterSalinity S, WaterTemp T, CityLocations L "
+    "WHERE T.temp < 18 AND S.loc_x = T.loc_x AND S.loc_y = T.loc_y",
+]
+
+
+def _ground_truth_pairs(env):
+    """Ground-truth same-session pairs from the generator's session ordinals."""
+    truth = set()
+    by_key: dict[tuple, list[int]] = {}
+    for record, event in zip(env.store.all_queries(), env.workload):
+        by_key.setdefault((event.user, event.session_ordinal), []).append(record.qid)
+    for qids in by_key.values():
+        for i, first in enumerate(qids):
+            for second in qids[i + 1:]:
+                truth.add((min(first, second), max(first, second)))
+    return truth
+
+
+class TestFigure2:
+    def test_figure2_session_reconstructed(self, benchmark):
+        """Replaying the paper's exact session yields the figure's edge labels."""
+        env = build_env(num_sessions=10, seed=5)
+        cqms = env.cqms
+        cqms.register_user("figure2-user", group="ops")
+        start = env.clock.now + 10_000
+        for offset, sql in enumerate(FIGURE2_SESSION):
+            cqms.submit("figure2-user", sql, timestamp=start + offset * 60)
+
+        def mine():
+            return cqms.run_miner()
+
+        report = benchmark(mine)
+        session = next(s for s in report.sessions if s.user == "figure2-user")
+        assert len(session.qids) == len(FIGURE2_SESSION)
+        labels = [edge.diff_summary for edge in session.edges]
+        assert "+1 table" in labels[0]                 # added WaterSalinity
+        assert "~1 const" in labels[1]                 # tried temp < 10
+        assert "~1 const" in labels[2]                 # settled on temp < 18
+        assert "+2 join" in labels[3] and "+1 table" in labels[3]  # added CityLocations + join preds
+        graph = render_session_graph(session, cqms.store)
+        assert graph.count("[q") == len(FIGURE2_SESSION)
+        print_table(
+            "F2: the paper's Figure 2 session, edge by edge",
+            ["edge", "type", "diff label"],
+            [
+                (i + 1, edge.edge_type, edge.diff_summary)
+                for i, edge in enumerate(session.edges)
+            ],
+        )
+
+    @pytest.mark.parametrize("gap_seconds", [300.0, 900.0, 3600.0])
+    def test_session_detection_quality(self, benchmark, gap_seconds):
+        """Pairwise P/R/F1 of detected sessions vs the generator's ground truth."""
+        env = build_env(num_sessions=120)
+        records = [r for r in env.store.select_queries() if r.features is not None]
+        detector = SessionDetector(gap_seconds=gap_seconds, min_similarity=0.05)
+
+        sessions = benchmark(detector.detect, records)
+        metrics = pairwise_session_metrics(sessions, _ground_truth_pairs(env))
+        print_table(
+            f"F2: session detection quality (gap={gap_seconds:.0f}s)",
+            ["gap (s)", "detected sessions", "precision", "recall", "f1"],
+            [(
+                f"{gap_seconds:.0f}",
+                len(sessions),
+                f"{metrics['precision']:.3f}",
+                f"{metrics['recall']:.3f}",
+                f"{metrics['f1']:.3f}",
+            )],
+        )
+        # The workload uses inter-session gaps >= 1800s and intra-session gaps
+        # <= 120s, so any gap threshold in this range must detect sessions well.
+        assert metrics["f1"] > 0.9
+
+    @pytest.mark.parametrize("num_sessions", [60, 120, 240])
+    def test_session_detection_latency(self, benchmark, num_sessions):
+        env = build_env(num_sessions=num_sessions)
+        records = [r for r in env.store.select_queries() if r.features is not None]
+        detector = SessionDetector(gap_seconds=900.0)
+        sessions = benchmark(detector.detect, records)
+        print_table(
+            "F2: detection + graph construction latency",
+            ["log size", "sessions", "edges"],
+            [(len(records), len(sessions), sum(len(s.edges) for s in sessions))],
+        )
+        assert sessions
+
+    def test_session_summaries_render(self, benchmark):
+        """Browsing: summarizing every session of the log (the Figure 2 window)."""
+        env = build_env(num_sessions=120)
+        report = env.cqms.miner.last_report
+        browser = env.cqms.browser()
+
+        def summarize_all():
+            return [browser.summarize_session(session) for session in report.sessions]
+
+        summaries = benchmark(summarize_all)
+        assert len(summaries) == len(report.sessions)
+        longest = max(summaries, key=lambda s: s.num_queries)
+        print_table(
+            "F2: session summaries (longest session shown)",
+            ["sessions", "longest (queries)", "steps in longest"],
+            [(len(summaries), longest.num_queries, len(longest.steps))],
+        )

@@ -1,0 +1,136 @@
+"""Experiment F3 — Figure 3: assisted interaction (completion + similar queries).
+
+Figure 3 shows the assisted-composition panel: completions for the query being
+typed, corrections, and a ranked similar-query table.  This experiment
+evaluates the two learned services behind the panel:
+
+  * series 1 — next-table prediction: for every multi-table session in a
+    held-out suffix of the workload, reveal the first FROM table and check
+    whether the engine suggests the session's actual next table
+    (context-aware rules vs the popularity-only baseline — the paper's
+    CityLocations/WaterTemp example, experiment C4),
+  * series 2 — the Section 2.3 example itself: given WaterSalinity, the
+    context-aware engine must put WaterTemp first even though the baseline
+    prefers the globally popular table,
+  * series 3 — latency of a full assist() round trip (what the client calls on
+    every keystroke burst), which must stay interactive.
+"""
+
+from __future__ import annotations
+
+from bench_common import build_env, hit_rate_at_k, print_table
+from repro.client import render_assist_panel
+
+
+def _next_table_cases(env, limit=80):
+    """(context tables, next table) cases from multi-table workload sessions."""
+    cases = []
+    seen_sessions = set()
+    for event in env.workload:
+        key = (event.user, event.session_ordinal)
+        if key in seen_sessions or not event.is_final:
+            continue
+        seen_sessions.add(key)
+        from repro.sql.features import extract_features
+
+        tables = extract_features(event.sql).tables
+        if len(tables) >= 2:
+            cases.append((tables[0], tables[1]))
+        if len(cases) >= limit:
+            break
+    return cases
+
+
+class TestAssistedInteraction:
+    def test_next_table_prediction_beats_popularity_baseline(self, benchmark):
+        env = build_env(num_sessions=160)
+        engine = env.cqms.completion
+        cases = _next_table_cases(env)
+        assert len(cases) >= 20
+
+        def evaluate(context_aware: bool):
+            hits = []
+            for first_table, next_table in cases:
+                partial = f"SELECT * FROM {first_table} X, "
+                suggestions = engine.suggest_tables(
+                    partial, limit=3, context_aware=context_aware
+                )
+                ranked = [suggestion.text for suggestion in suggestions]
+                hits.append(ranked.index(next_table) if next_table in ranked else None)
+            return hits
+
+        aware_hits = benchmark(evaluate, True)
+        baseline_hits = evaluate(False)
+        rows = [
+            (
+                "context-aware rules (CQMS)",
+                f"{hit_rate_at_k(aware_hits, 1):.3f}",
+                f"{hit_rate_at_k(aware_hits, 3):.3f}",
+            ),
+            (
+                "global popularity (baseline)",
+                f"{hit_rate_at_k(baseline_hits, 1):.3f}",
+                f"{hit_rate_at_k(baseline_hits, 3):.3f}",
+            ),
+        ]
+        print_table(
+            f"F3/C4: next-table prediction over {len(cases)} sessions",
+            ["method", "hit@1", "hit@3"],
+            rows,
+        )
+        # The shape the paper argues for: context beats popularity.
+        assert hit_rate_at_k(aware_hits, 1) >= hit_rate_at_k(baseline_hits, 1)
+        assert hit_rate_at_k(aware_hits, 3) >= hit_rate_at_k(baseline_hits, 3)
+        assert hit_rate_at_k(aware_hits, 1) > 0.5
+
+    def test_paper_example_watersalinity_implies_watertemp(self, benchmark):
+        """Section 2.3: given WaterSalinity, suggest WaterTemp over CityLocations."""
+        env = build_env(num_sessions=160)
+        engine = env.cqms.completion
+
+        suggestions = benchmark(
+            engine.suggest_tables, "SELECT * FROM WaterSalinity S, ", 3
+        )
+        context_top = suggestions[0].text
+        baseline_top = engine.suggest_tables(
+            "SELECT * FROM WaterSalinity S, ", limit=3, context_aware=False
+        )[0].text
+        print_table(
+            "F3/C4: the paper's completion example",
+            ["method", "top suggestion after WaterSalinity"],
+            [
+                ("context-aware (CQMS)", context_top),
+                ("popularity-only (baseline)", baseline_top),
+            ],
+        )
+        assert context_top == "watertemp"
+
+    def test_similar_query_panel_relevance(self, benchmark):
+        """The Figure 3 similar-queries table surfaces same-goal queries on top."""
+        env = build_env(num_sessions=160)
+        cqms = env.cqms
+        # Probe with a rough draft of the salinity/temperature correlation goal.
+        draft = "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 21"
+
+        recommendations = benchmark(cqms.recommend, "admin", draft, 5)
+        assert recommendations
+        top_tables = set(recommendations[0].record.features.tables)
+        assert {"watersalinity", "watertemp"} <= top_tables
+        print_table(
+            "F3: similar-query panel for a rough draft",
+            ["rank", "score", "query", "diff"],
+            [
+                (i + 1, f"{item.score:.2f}", item.record.describe(60), item.diff_summary)
+                for i, item in enumerate(recommendations)
+            ],
+        )
+
+    def test_assist_round_trip_latency(self, benchmark):
+        """One full assist() call (completions + corrections + recommendations)."""
+        env = build_env(num_sessions=160)
+        partial = "SELECT * FROM WaterSalinity S, "
+
+        response = benchmark(env.cqms.assist, "admin", partial)
+        assert response.completions["tables"]
+        panel = render_assist_panel(partial, response)
+        assert "Completions" in panel

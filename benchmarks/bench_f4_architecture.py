@@ -1,0 +1,112 @@
+"""Experiment F4 — Figure 4: the end-to-end CQMS architecture.
+
+Figure 4 sketches the client–server architecture: SQL flows from the client
+through the Query Profiler to the DBMS; meta-queries go to the Meta-Query
+Executor; the Query Miner and Query Maintenance run in the background over the
+Query Storage.
+
+Reported series:
+  * end-to-end throughput of replaying a multi-user workload through the full
+    pipeline (profile → execute → log → shred),
+  * the latency of each architectural path for a single interaction: a
+    traditional submit, a meta-query, an assisted request, a miner pass, and a
+    maintenance pass — showing the online components are interactive while the
+    heavy analyses sit in the background components, as the paper requires.
+"""
+
+from __future__ import annotations
+
+from bench_common import build_env, print_table
+from repro import CQMS, SimulatedClock, build_database
+from repro.workloads import QueryLogGenerator, WorkloadConfig
+
+
+class TestArchitecture:
+    def test_full_pipeline_replay_throughput(self, benchmark):
+        """Queries/second through client → profiler → DBMS → Query Storage."""
+        workload = QueryLogGenerator(
+            WorkloadConfig(domain="limnology", num_sessions=60, seed=31)
+        ).generate()
+
+        def replay():
+            clock = SimulatedClock()
+            db = build_database("limnology", scale=1, clock=clock)
+            cqms = CQMS(db, clock=clock)
+            cqms.replay_workload(workload)
+            return cqms
+
+        cqms = benchmark(replay)
+        assert len(cqms.store) == len(workload)
+        print_table(
+            "F4: end-to-end pipeline replay",
+            ["queries", "logged", "feature rows (Attributes)"],
+            [(
+                len(workload),
+                len(cqms.store),
+                cqms.store.execute_meta_sql("SELECT COUNT(*) FROM Attributes").scalar(),
+            )],
+        )
+
+    def test_online_path_traditional_submit(self, benchmark):
+        """One client query through the online path (profiler + DBMS)."""
+        env = build_env(num_sessions=120)
+        sql = "SELECT L.name, AVG(T.temp) FROM Lakes L, WaterTemp T " \
+              "WHERE L.lake_id = T.lake_id GROUP BY L.name"
+
+        execution = benchmark(env.cqms.submit, "admin", sql)
+        assert execution.succeeded
+
+    def test_online_path_meta_query(self, benchmark):
+        env = build_env(num_sessions=120)
+        execution = benchmark(
+            env.cqms.search_keyword, "admin", ["watertemp", "temp"]
+        )
+        assert execution is not None
+
+    def test_online_path_assisted_request(self, benchmark):
+        env = build_env(num_sessions=120)
+        response = benchmark(env.cqms.assist, "admin", "SELECT * FROM WaterTemp T WHERE ")
+        assert response is not None
+
+    def test_background_path_miner(self, benchmark):
+        env = build_env(num_sessions=120)
+        report = benchmark(env.cqms.run_miner)
+        assert report.num_sessions > 0
+
+    def test_background_path_maintenance(self, benchmark):
+        env = build_env(num_sessions=120)
+        report = benchmark(env.cqms.run_maintenance)
+        assert report is not None
+
+    def test_architecture_summary_table(self, benchmark):
+        """One row per component with the work it has done on the shared log."""
+        env = build_env(num_sessions=120)
+        cqms = env.cqms
+
+        def snapshot():
+            report = cqms.miner.last_report
+            return {
+                "queries": len(cqms.store),
+                "sessions": report.num_sessions if report else 0,
+                "rules": report.num_rules if report else 0,
+                "datasource_rows": cqms.store.execute_meta_sql(
+                    "SELECT COUNT(*) FROM DataSources"
+                ).scalar(),
+                "predicate_rows": cqms.store.execute_meta_sql(
+                    "SELECT COUNT(*) FROM Predicates"
+                ).scalar(),
+            }
+
+        stats = benchmark(snapshot)
+        print_table(
+            "F4: Query Storage and background-component state",
+            ["component", "state"],
+            [
+                ("Query Profiler (logged queries)", stats["queries"]),
+                ("Query Storage (DataSources rows)", stats["datasource_rows"]),
+                ("Query Storage (Predicates rows)", stats["predicate_rows"]),
+                ("Query Miner (sessions)", stats["sessions"]),
+                ("Query Miner (association rules)", stats["rules"]),
+            ],
+        )
+        assert stats["queries"] > 0

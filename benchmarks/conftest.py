@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Allow ``import bench_common`` from benchmark modules regardless of how pytest
+# was invoked (rootdir vs. benchmarks/ as cwd).
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""An industrial log-analytics team: maintenance, access control, administration.
+
+The paper's second motivating setting is industrial analysis of massive
+service logs (clickstreams, search logs).  This example uses the web-analytics
+workload and focuses on the administrative side of a CQMS:
+
+* per-query visibility and sharing between analysts of different teams,
+* what happens when the events schema evolves (columns renamed/dropped):
+  Query Maintenance repairs what it can and flags the rest,
+* data-distribution drift triggering a statistics refresh,
+* the administrator dashboard and parameter tuning.
+
+Run with:  python examples/log_analytics_team.py
+"""
+
+from repro import CQMS, SimulatedClock, build_database
+from repro.workloads import QueryLogGenerator, WorkloadConfig
+from repro.workloads.evolution import apply_scenario, evolution_scenario
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    db = build_database("web_analytics", scale=2, clock=clock)
+    cqms = CQMS(db, clock=clock)
+    admin = cqms.admin()
+
+    # Analysts in two teams plus an administrator.
+    cqms.register_user("ana", group="growth")
+    cqms.register_user("ben", group="growth")
+    cqms.register_user("chen", group="revenue")
+    cqms.register_user("dba", group="platform", is_admin=True)
+
+    # Replay a generated backlog of exploratory analytics queries.
+    workload = QueryLogGenerator(
+        WorkloadConfig(domain="web_analytics", num_users=6, num_groups=2,
+                       num_sessions=80, seed=7)
+    ).generate()
+    cqms.replay_workload(workload)
+
+    # A few hand-written queries with explicit visibility.
+    cqms.submit("ana", "SELECT U.country, COUNT(*) FROM PageViews V, Users U "
+                       "WHERE V.user_id = U.user_id GROUP BY U.country")
+    cqms.annotate("ana", len(cqms.store), "weekly engagement-by-country report")
+    cqms.submit("chen", "SELECT U.plan, SUM(O.amount) FROM Orders O, Users U "
+                        "WHERE O.user_id = U.user_id GROUP BY U.plan",
+                visibility="private")
+    report_qid = len(cqms.store)
+    cqms.run_miner()
+
+    # Access control: ben (same team as ana) can find her report, chen's is private.
+    print("ben searches for 'country':",
+          [record.qid for record in cqms.search_keyword("ben", "country")])
+    print("ben searches for 'plan'   :",
+          [record.qid for record in cqms.search_keyword("ben", "plan")])
+    admin.share_query("chen", report_qid, "ben")
+    print("after chen shares the revenue report with ben:",
+          [record.qid for record in cqms.search_keyword("ben", "plan")])
+
+    # Schema evolution: the events pipeline renames and drops columns.
+    print("\napplying schema-evolution scenario:")
+    for step in evolution_scenario("web_analytics"):
+        print("  ", step.ddl)
+    apply_scenario(db, evolution_scenario("web_analytics"))
+    maintenance = cqms.run_maintenance()
+    print(f"maintenance: {maintenance.checked} checked, "
+          f"{maintenance.num_repaired} repaired automatically, "
+          f"{maintenance.num_flagged} flagged as broken")
+
+    # Distribution drift: a backfill doubles order amounts.
+    cqms.maintenance.snapshot_statistics()
+    db.execute("UPDATE Orders SET amount = amount * 20")
+    refresh = cqms.maintenance.refresh_statistics()
+    print(f"statistics refresh after backfill: drifted tables = {refresh.drifted_tables}, "
+          f"{len(refresh.refreshed_queries)} queries re-profiled")
+
+    # Administrator dashboard and tuning.
+    overview = admin.overview("dba")
+    print(f"\nadmin overview: {overview.num_queries} queries from {overview.num_users} users, "
+          f"{overview.num_invalid} invalid, {overview.num_annotated} annotated")
+    admin.set_ranking_weight("dba", "popularity", 0.8)
+    admin.set_parameter("dba", "knn_default_k", 15)
+    print("tuned ranking.popularity=0.8 and knn_default_k=15")
+
+    # Purge queries that stayed broken.
+    cqms.config.drop_invalid_after_flags = 1
+    purged = admin.purge_invalid("dba")
+    print(f"purged {len(purged.dropped)} permanently broken queries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: a five-minute tour of the Collaborative Query Management System.
+
+Builds the paper's limnology database, wraps it in a CQMS, submits a few
+queries as two collaborating scientists, and demonstrates each interaction
+mode: traditional (submit + annotate), search & browse (keyword, feature, and
+kNN meta-queries), assisted (completion / correction / recommendation), and
+administrative (mining and maintenance).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CQMS, SimulatedClock, build_database
+from repro.client import render_assist_panel, render_query_table, render_session_graph
+
+
+def main() -> None:
+    # 1. The shared scientific database (the "DBMS" of the paper's Figure 4).
+    clock = SimulatedClock()
+    db = build_database("limnology", scale=1, clock=clock)
+    cqms = CQMS(db, clock=clock)
+
+    # 2. Register collaborating users (access control is group based).
+    cqms.register_user("nodira", group="uw-db")
+    cqms.register_user("magda", group="uw-db")
+
+    # 3. Traditional interaction: submit queries; the profiler logs everything.
+    print("== Traditional interaction ==")
+    queries = [
+        "SELECT * FROM WaterTemp T WHERE T.temp < 22",
+        "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 22",
+        "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 18",
+        "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T "
+        "WHERE S.loc_x = T.loc_x AND S.loc_y = T.loc_y AND T.temp < 18",
+    ]
+    for sql in queries:
+        execution = cqms.submit("nodira", sql)
+        print(f"  nodira ran ({execution.result.rowcount:>4} rows): {sql[:70]}")
+        clock.advance(45)
+    cqms.annotate("nodira", 4, "find temp and salinity of seattle lakes")
+
+    # 4. Background components (normally periodic): the Query Miner.
+    report = cqms.run_miner()
+    print(f"\nMined {report.num_sessions} session(s), {report.num_rules} association rules")
+
+    # 5. Search & browse: keyword search and the Figure 2 session graph.
+    print("\n== Search & browse interaction ==")
+    hits = cqms.search_keyword("magda", "salinity")
+    print(f"keyword 'salinity' -> {len(hits)} queries from the group's log")
+    print(render_query_table(hits[:3]))
+    session = max(report.sessions, key=len)
+    print("\nSession graph (Figure 2):")
+    print(render_session_graph(session, cqms.store))
+
+    # 6. Assisted interaction: the Figure 3 panel for a partially typed query.
+    print("\n== Assisted interaction ==")
+    partial = "SELECT * FROM WaterSalinity S, "
+    response = cqms.assist("magda", partial)
+    print(render_assist_panel(partial, response))
+
+    # 7. Administrative interaction: schema evolution and maintenance.
+    print("\n== Administrative interaction ==")
+    db.execute("ALTER TABLE WaterTemp RENAME COLUMN temp TO temp_c")
+    maintenance = cqms.run_maintenance()
+    print(
+        f"after renaming WaterTemp.temp: {maintenance.num_repaired} repaired, "
+        f"{maintenance.num_flagged} flagged"
+    )
+    print("repaired example:", cqms.store.get(maintenance.repaired[0]).describe(90))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Exploring a sky-survey catalogue with an assisted workbench.
+
+An astronomer new to an SDSS-like catalogue drives the programmatic client
+(:class:`repro.client.Workbench`) the way the paper's Figure 3 envisions: she
+types a rough query, accepts completions and corrections, inspects similar
+queries asked by colleagues, adopts one of them, and finally submits.  The
+example also demonstrates query-by-parse-tree search and session browsing.
+
+Run with:  python examples/sky_survey_exploration.py
+"""
+
+from repro import CQMS, SimulatedClock, TreePattern, build_database
+from repro.client import Workbench, render_session_graph
+from repro.workloads import QueryLogGenerator, WorkloadConfig
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    db = build_database("sky_survey", scale=2, clock=clock)
+    cqms = CQMS(db, clock=clock)
+
+    # Colleagues have been querying the catalogue for a while.
+    workload = QueryLogGenerator(
+        WorkloadConfig(domain="sky_survey", num_users=8, num_groups=2,
+                       num_sessions=100, seed=99, annotation_probability=0.5)
+    ).generate()
+    cqms.replay_workload(workload)
+    report = cqms.run_miner()
+    print(f"{len(cqms.store)} logged queries, {report.num_sessions} sessions\n")
+
+    astronomer = "user01"
+
+    # The newcomer starts typing with a typo in the table name.
+    workbench = Workbench(cqms=cqms, user=astronomer)
+    workbench.type("SELECT * FROM PhotObj")
+    response = workbench.assist()
+    print("corrections offered:", [str(c) for c in response.corrections])
+    workbench.apply_correction(0)
+    print("buffer after applying the correction:", workbench.buffer)
+
+    # Continue composing: ask for table completions after the first relation.
+    workbench.type(" P, ")
+    response = workbench.assist()
+    print("\ntable completions:", [s.text for s in response.completions["tables"]])
+    workbench.apply_table_suggestion(0)
+    print("buffer:", workbench.buffer)
+
+    # Look at similar queries colleagues asked, adopt the best one, run it.
+    workbench.clear().type("SELECT * FROM PhotoObj P, SpecObj S WHERE S.redshift > 1")
+    recommendations = workbench.recommendations(k=3)
+    print("\nsimilar queries from the log:")
+    for recommendation in recommendations:
+        score, query, diff, annotations = recommendation.as_row()
+        print(f"  [{score}] {query}  | diff: {diff}  | {annotations}")
+    workbench.adopt_recommendation(recommendations[0])
+    execution = workbench.submit()
+    print(f"\nadopted and ran colleague's query: {execution.result.rowcount} rows")
+
+    # Query-by-parse-tree: every logged query that joins PhotoObj with SpecObj
+    # and selects on redshift, regardless of constants.
+    pattern = TreePattern(
+        label="select",
+        children=(
+            TreePattern(label="table", value="photoobj"),
+            TreePattern(label="table", value="specobj"),
+            TreePattern(label="column", value="s.redshift"),
+        ),
+    )
+    structural_hits = cqms.search_parse_tree(astronomer, pattern)
+    print(f"\nquery-by-parse-tree: {len(structural_hits)} structurally matching queries")
+
+    # Browse the longest session of a colleague (Figure 2 view).
+    visible_sessions = cqms.browser().sessions_of(astronomer, report.sessions)
+    longest = max(visible_sessions, key=len)
+    print("\nlongest visible session:")
+    print(render_session_graph(longest, cqms.store))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments whose setuptools cannot build PEP 517 editable wheels
+(legacy ``setup.py develop`` installs need this file).
+"""
+
+from setuptools import setup
+
+setup()

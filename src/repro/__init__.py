@@ -1,0 +1,99 @@
+"""repro — a Collaborative Query Management System (CQMS).
+
+A full reproduction of the system proposed in *"A Case for A Collaborative
+Query Management System"* (Khoussainova et al., CIDR 2009): a query-log
+management engine with profiling, meta-querying (search over queries),
+mining, recommendation, completion, correction, maintenance, and access
+control — together with the relational storage engine, SQL substrate,
+mining algorithms, and synthetic workload generators it needs.
+
+Quickstart::
+
+    from repro import CQMS, build_database
+
+    db = build_database("limnology", scale=1)
+    cqms = CQMS(db)
+    cqms.register_user("nodira", group="uw-db")
+    cqms.submit("nodira", "SELECT * FROM WaterTemp T WHERE T.temp < 18")
+    cqms.run_miner()
+    print(cqms.assist("nodira", "SELECT * FROM WaterSalinity S, "))
+"""
+
+from repro.clock import SimulatedClock
+from repro.core import (
+    CQMS,
+    CQMSConfig,
+    AccessControl,
+    Administrator,
+    CompletionEngine,
+    CorrectionEngine,
+    FeatureCondition,
+    LoggedQuery,
+    MetaQueryExecutor,
+    QueryBrowser,
+    QueryMaintenance,
+    QueryMiner,
+    QueryProfiler,
+    QueryRecommender,
+    QueryStore,
+    RankingFunction,
+    RankingWeights,
+    SessionDetector,
+    TutorialGenerator,
+)
+from repro.core.meta_query import DataCondition
+from repro.sql import (
+    canonical_text,
+    diff_queries,
+    extract_features,
+    format_statement,
+    parse,
+    to_parse_tree,
+)
+from repro.sql.parse_tree import TreePattern
+from repro.storage import Database
+from repro.workloads import (
+    QueryLogGenerator,
+    WorkloadConfig,
+    build_database,
+    evolution_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CQMS",
+    "CQMSConfig",
+    "SimulatedClock",
+    "AccessControl",
+    "Administrator",
+    "CompletionEngine",
+    "CorrectionEngine",
+    "FeatureCondition",
+    "DataCondition",
+    "TreePattern",
+    "LoggedQuery",
+    "MetaQueryExecutor",
+    "QueryBrowser",
+    "QueryMaintenance",
+    "QueryMiner",
+    "QueryProfiler",
+    "QueryRecommender",
+    "QueryStore",
+    "RankingFunction",
+    "RankingWeights",
+    "SessionDetector",
+    "TutorialGenerator",
+    "Database",
+    "parse",
+    "format_statement",
+    "extract_features",
+    "canonical_text",
+    "diff_queries",
+    "to_parse_tree",
+    "QueryLogGenerator",
+    "WorkloadConfig",
+    "build_database",
+    "evolution_scenario",
+]

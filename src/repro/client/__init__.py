@@ -1,0 +1,27 @@
+"""The CQMS client: programmatic workbench plus text renderers.
+
+The paper envisions an IDE-like graphical client (Section 4.5); this package
+is its programmatic and text-mode equivalent:
+
+* :mod:`repro.client.workbench` — an interactive editing session object that
+  tracks what the user is typing, queries the CQMS for completions,
+  corrections, and similar queries, and submits finished queries,
+* :mod:`repro.client.render` — ASCII renderers for the Figure 2 session graph
+  and the Figure 3 assisted-interaction panel, plus tabular log views.
+"""
+
+from repro.client.workbench import Workbench
+from repro.client.render import (
+    render_assist_panel,
+    render_session_graph,
+    render_query_table,
+    render_recommendations,
+)
+
+__all__ = [
+    "Workbench",
+    "render_assist_panel",
+    "render_session_graph",
+    "render_query_table",
+    "render_recommendations",
+]

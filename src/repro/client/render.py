@@ -1,0 +1,107 @@
+"""Text renderers for the CQMS client.
+
+These functions turn CQMS data structures into the ASCII equivalents of the
+paper's figures: the query-session window (Figure 2) and the assisted
+query-composition panel (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.browse import SessionSummary
+from repro.core.cqms import AssistResponse
+from repro.core.records import LoggedQuery
+from repro.core.recommender import Recommendation
+from repro.core.sessions import QuerySession
+
+
+def render_session_graph(
+    session: QuerySession, store, max_width: int = 100
+) -> str:
+    """Render a session as a left-to-right chain of nodes with diff edges.
+
+    This is the textual version of Figure 2: each node is a query of the
+    session; each arrow is labelled with the difference from the previous
+    query.
+    """
+    lines: list[str] = [
+        f"Session {session.session_id} — {session.user} — "
+        f"{len(session.qids)} queries over {session.duration:.0f}s"
+    ]
+    if not session.qids:
+        return "\n".join(lines)
+    first = store.get(session.qids[0])
+    lines.append(f"  [q{first.qid}] {first.describe(max_width)}")
+    edge_by_target = {edge.to_qid: edge for edge in session.edges}
+    for qid in session.qids[1:]:
+        record = store.get(qid)
+        edge = edge_by_target.get(qid)
+        label = edge.diff_summary if edge is not None else ""
+        edge_type = edge.edge_type if edge is not None else "temporal"
+        lines.append(f"    |--({edge_type}: {label})")
+        lines.append(f"  [q{record.qid}] {record.describe(max_width)}")
+    return "\n".join(lines)
+
+
+def render_session_summary(summary: SessionSummary) -> str:
+    """Render a :class:`~repro.core.browse.SessionSummary` as text."""
+    lines = [
+        f"Session {summary.session_id} by {summary.user}: "
+        f"{summary.num_queries} queries, {summary.duration:.0f}s",
+        f"  final: {summary.final_query}",
+    ]
+    for step in summary.steps:
+        lines.append(f"  - {step}")
+    for annotation in summary.annotations:
+        lines.append(f"  note: {annotation}")
+    return "\n".join(lines)
+
+
+def render_recommendations(recommendations: list[Recommendation]) -> str:
+    """Render the similar-queries table of the Figure 3 panel.
+
+    Columns: Score | Query | Diff | Annotations.
+    """
+    header = f"{'Score':<7}| {'Query':<60}| {'Diff':<22}| Annotations"
+    lines = [header, "-" * len(header)]
+    for recommendation in recommendations:
+        score, query, diff, annotations = recommendation.as_row()
+        lines.append(f"{score:<7}| {query:<60}| {diff:<22}| {annotations}")
+    return "\n".join(lines)
+
+
+def render_assist_panel(partial_sql: str, response: AssistResponse) -> str:
+    """Render the full Figure 3 panel: editor content, suggestions, similar queries."""
+    lines = ["=== Query editor ===", partial_sql.rstrip() or "(empty)", ""]
+    lines.append("--- Completions ---")
+    for kind, suggestions in response.completions.items():
+        if not suggestions:
+            continue
+        lines.append(f"{kind}:")
+        for suggestion in suggestions:
+            lines.append(f"  + {suggestion.text}   ({suggestion.score:.2f}, {suggestion.source})")
+    lines.append("")
+    lines.append("--- Corrections ---")
+    if response.corrections:
+        for correction in response.corrections:
+            lines.append(f"  ! {correction}")
+    else:
+        lines.append("  (none)")
+    lines.append("")
+    lines.append("--- Similar queries ---")
+    if response.similar_queries:
+        lines.append(render_recommendations(response.similar_queries))
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def render_query_table(records: list[LoggedQuery], max_width: int = 70) -> str:
+    """Render a list of logged queries as a table (the browse log view)."""
+    header = f"{'qid':<6}| {'user':<10}| {'when':<10}| {'card.':<7}| query"
+    lines = [header, "-" * len(header)]
+    for record in records:
+        lines.append(
+            f"{record.qid:<6}| {record.user:<10}| {record.timestamp:<10.0f}| "
+            f"{record.runtime.result_cardinality:<7}| {record.describe(max_width)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""The programmatic CQMS client: an interactive query-editing session.
+
+The :class:`Workbench` models the assisted-interaction client of Figure 3 as
+an object a script (or a test, or a benchmark) can drive: the user "types"
+into it, asks for assistance, applies suggestions, and finally submits the
+query.  All server communication goes through the public :class:`~repro.core.cqms.CQMS`
+API, so the workbench exercises exactly the interface a GUI client would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.render import render_assist_panel
+from repro.core.cqms import CQMS, AssistResponse
+from repro.core.profiler import ProfiledExecution
+from repro.core.recommender import Recommendation
+
+
+@dataclass
+class WorkbenchEvent:
+    """One step of the editing history (used by tests and demos)."""
+
+    kind: str          # "type" | "assist" | "apply" | "submit"
+    detail: str
+
+
+@dataclass
+class Workbench:
+    """An editing session of one user against a CQMS instance."""
+
+    cqms: CQMS
+    user: str
+    buffer: str = ""
+    history: list[WorkbenchEvent] = field(default_factory=list)
+    last_response: AssistResponse | None = None
+
+    # -- editing -------------------------------------------------------------
+
+    def type(self, text: str) -> "Workbench":
+        """Append text to the editor buffer (chainable)."""
+        self.buffer += text
+        self.history.append(WorkbenchEvent(kind="type", detail=text))
+        return self
+
+    def clear(self) -> "Workbench":
+        self.buffer = ""
+        self.history.append(WorkbenchEvent(kind="type", detail="<clear>"))
+        return self
+
+    # -- assistance -------------------------------------------------------------
+
+    def assist(self, k: int = 3) -> AssistResponse:
+        """Ask the CQMS for completions / corrections / similar queries."""
+        self.last_response = self.cqms.assist(self.user, self.buffer, k=k)
+        self.history.append(WorkbenchEvent(kind="assist", detail=self.buffer))
+        return self.last_response
+
+    def panel(self, k: int = 3) -> str:
+        """The rendered Figure 3 panel for the current buffer."""
+        response = self.assist(k=k)
+        return render_assist_panel(self.buffer, response)
+
+    def apply_table_suggestion(self, index: int = 0) -> "Workbench":
+        """Append the index-th suggested table to the FROM clause."""
+        response = self.last_response or self.assist()
+        tables = response.completions.get("tables", [])
+        if not tables or index >= len(tables):
+            return self
+        suggestion = tables[index]
+        separator = ", " if self.buffer.rstrip().lower().split()[-1:] != ["from"] else " "
+        if self.buffer.rstrip().endswith(","):
+            separator = " "
+        self.buffer = self.buffer.rstrip() + separator + suggestion.text
+        self.history.append(WorkbenchEvent(kind="apply", detail=suggestion.text))
+        return self
+
+    def apply_correction(self, index: int = 0) -> "Workbench":
+        """Apply the index-th name correction to the buffer."""
+        response = self.last_response or self.assist()
+        if not response.corrections or index >= len(response.corrections):
+            return self
+        correction = response.corrections[index]
+        original = correction.original.split(".")[-1]
+        replacement = correction.suggestion.split(".")[-1]
+        self.buffer = _replace_word(self.buffer, original, replacement)
+        self.history.append(WorkbenchEvent(kind="apply", detail=str(correction)))
+        return self
+
+    def recommendations(self, k: int = 5) -> list[Recommendation]:
+        """Similar-query recommendations for the current buffer."""
+        return self.cqms.recommend(self.user, self.buffer, k=k)
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(self) -> ProfiledExecution:
+        """Submit the buffer as a query (Traditional Interaction Mode)."""
+        execution = self.cqms.submit(self.user, self.buffer)
+        self.history.append(WorkbenchEvent(kind="submit", detail=self.buffer))
+        return execution
+
+    def adopt_recommendation(self, recommendation: Recommendation) -> "Workbench":
+        """Replace the buffer with a recommended query (re-use an old analysis)."""
+        self.buffer = recommendation.record.text
+        self.history.append(
+            WorkbenchEvent(kind="apply", detail=f"adopt q{recommendation.record.qid}")
+        )
+        return self
+
+
+def _replace_word(text: str, old: str, new: str) -> str:
+    import re
+
+    return re.sub(rf"\b{re.escape(old)}\b", new, text, flags=re.IGNORECASE)

@@ -1,0 +1,36 @@
+"""A simulated clock.
+
+All CQMS components take a ``clock`` callable so that experiments are
+deterministic and so that the workload generator can replay multi-day query
+logs in milliseconds.  The :class:`SimulatedClock` is that callable: it
+returns the current simulated time in seconds and can be advanced manually.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A manually advanced clock, usable wherever ``time.monotonic`` is expected."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError("cannot move the clock backwards")
+        self._now = float(timestamp)

@@ -1,0 +1,65 @@
+"""The Collaborative Query Management System (CQMS) engine.
+
+This package implements the paper's contribution: the CQMS server of Figure 4
+with its four components (Query Profiler, Meta-Query Executor, Query Miner,
+Query Maintenance) over a Query Storage, plus the assisted-interaction
+services (completion, correction, recommendation, ranking), session
+management, annotations, access control, tutorial generation, and the
+administrative API.
+
+The main entry point is :class:`repro.core.cqms.CQMS`.
+"""
+
+from repro.core.config import CQMSConfig
+from repro.core.records import LoggedQuery, OutputSummary, RuntimeStats
+from repro.core.query_store import QueryStore
+from repro.core.access_control import AccessControl, Principal, Visibility
+from repro.core.profiler import QueryProfiler, ProfilingMode
+from repro.core.sessions import QuerySession, SessionDetector, SessionEdge
+from repro.core.meta_query import FeatureCondition, MetaQueryExecutor
+from repro.core.ranking import RankingFunction, RankingWeights
+from repro.core.completion import CompletionEngine, CompletionSuggestion
+from repro.core.correction import CorrectionEngine, Correction
+from repro.core.recommender import QueryRecommender, Recommendation
+from repro.core.miner import QueryMiner, MiningReport
+from repro.core.maintenance import MaintenanceReport, QueryMaintenance
+from repro.core.tutorial import TutorialGenerator, TutorialSection
+from repro.core.browse import QueryBrowser, SessionSummary
+from repro.core.admin import Administrator
+from repro.core.cqms import CQMS
+
+__all__ = [
+    "CQMS",
+    "CQMSConfig",
+    "LoggedQuery",
+    "OutputSummary",
+    "RuntimeStats",
+    "QueryStore",
+    "AccessControl",
+    "Principal",
+    "Visibility",
+    "QueryProfiler",
+    "ProfilingMode",
+    "QuerySession",
+    "SessionDetector",
+    "SessionEdge",
+    "FeatureCondition",
+    "MetaQueryExecutor",
+    "RankingFunction",
+    "RankingWeights",
+    "CompletionEngine",
+    "CompletionSuggestion",
+    "CorrectionEngine",
+    "Correction",
+    "QueryRecommender",
+    "Recommendation",
+    "QueryMiner",
+    "MiningReport",
+    "QueryMaintenance",
+    "MaintenanceReport",
+    "TutorialGenerator",
+    "TutorialSection",
+    "QueryBrowser",
+    "SessionSummary",
+    "Administrator",
+]

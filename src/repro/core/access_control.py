@@ -1,0 +1,124 @@
+"""Users, groups, and query visibility rules.
+
+The paper requires that "clear access control rules must be set to restrict
+knowledge transfer to only group members collaborating with each other"
+(Section 1) and lists per-query sharing rules among the User Administrative
+Interaction features (Section 2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.records import LoggedQuery
+from repro.errors import AccessControlError
+
+
+class Visibility(enum.Enum):
+    """Who may see a logged query besides its author."""
+
+    PRIVATE = "private"
+    GROUP = "group"
+    PUBLIC = "public"
+
+    @classmethod
+    def parse(cls, value: "Visibility | str") -> "Visibility":
+        if isinstance(value, Visibility):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise AccessControlError(f"unknown visibility {value!r}") from None
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated CQMS user."""
+
+    name: str
+    group: str
+    is_admin: bool = False
+
+
+@dataclass
+class AccessControl:
+    """Registry of principals plus the visibility check used everywhere.
+
+    The CQMS components never return another user's query to a principal
+    unless :meth:`can_see` allows it; administrators can see everything (they
+    need to, for maintenance).
+    """
+
+    default_visibility: Visibility = Visibility.GROUP
+    _principals: dict[str, Principal] = field(default_factory=dict)
+    _grants: dict[int, set[str]] = field(default_factory=dict)
+
+    # -- principals -------------------------------------------------------------
+
+    def register(self, name: str, group: str, is_admin: bool = False) -> Principal:
+        """Register (or re-register) a principal."""
+        principal = Principal(name=name, group=group, is_admin=is_admin)
+        self._principals[name] = principal
+        return principal
+
+    def principal(self, name: str) -> Principal:
+        try:
+            return self._principals[name]
+        except KeyError:
+            raise AccessControlError(f"unknown principal {name!r}") from None
+
+    def has_principal(self, name: str) -> bool:
+        return name in self._principals
+
+    def principals(self) -> list[Principal]:
+        return sorted(self._principals.values(), key=lambda principal: principal.name)
+
+    # -- per-query grants -----------------------------------------------------------
+
+    def grant(self, qid: int, user: str) -> None:
+        """Explicitly grant ``user`` access to query ``qid`` (beyond visibility)."""
+        self._grants.setdefault(qid, set()).add(user)
+
+    def revoke(self, qid: int, user: str) -> None:
+        self._grants.get(qid, set()).discard(user)
+
+    def grants_for(self, qid: int) -> set[str]:
+        return set(self._grants.get(qid, set()))
+
+    # -- checks --------------------------------------------------------------------------
+
+    def can_see(self, principal: Principal | str, record: LoggedQuery) -> bool:
+        """Whether ``principal`` may see ``record`` under the visibility rules."""
+        if isinstance(principal, str):
+            principal = self.principal(principal)
+        if principal.is_admin:
+            return True
+        if record.user == principal.name:
+            return True
+        if principal.name in self._grants.get(record.qid, set()):
+            return True
+        visibility = Visibility.parse(record.visibility)
+        if visibility is Visibility.PUBLIC:
+            return True
+        if visibility is Visibility.GROUP:
+            return record.group == principal.group
+        return False
+
+    def visible_queries(
+        self, principal: Principal | str, records: list[LoggedQuery]
+    ) -> list[LoggedQuery]:
+        """Filter a list of records down to those the principal may see."""
+        if isinstance(principal, str):
+            principal = self.principal(principal)
+        return [record for record in records if self.can_see(principal, record)]
+
+    def require_owner_or_admin(self, principal: Principal | str, record: LoggedQuery) -> None:
+        """Raise unless the principal owns the record or is an administrator."""
+        if isinstance(principal, str):
+            principal = self.principal(principal)
+        if principal.is_admin or record.user == principal.name:
+            return
+        raise AccessControlError(
+            f"{principal.name!r} may not administer query {record.qid} owned by {record.user!r}"
+        )

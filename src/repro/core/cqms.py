@@ -1,0 +1,251 @@
+"""The CQMS facade: the whole Figure 4 architecture behind one object.
+
+``CQMS`` wires together the DBMS, the Query Storage, and the four server
+components (Query Profiler, Meta-Query Executor, Query Miner, Query
+Maintenance), and exposes one method per client interaction mode:
+
+* **Traditional** — :meth:`CQMS.submit` forwards SQL through the profiler,
+  :meth:`CQMS.annotate` attaches documentation,
+* **Search & Browse** — :meth:`CQMS.search_keyword`, :meth:`CQMS.search_features`,
+  :meth:`CQMS.search_sql`, :meth:`CQMS.search_parse_tree`, :meth:`CQMS.search_by_data`,
+  :meth:`CQMS.similar_queries`, :meth:`CQMS.browser`,
+* **Assisted** — :meth:`CQMS.assist` returns completions, corrections, and
+  recommendations for a partially written query (the Figure 3 panel),
+* **Administrative** — :meth:`CQMS.admin`, :meth:`CQMS.run_miner`,
+  :meth:`CQMS.run_maintenance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock import SimulatedClock
+from repro.core.access_control import AccessControl, Principal, Visibility
+from repro.core.admin import Administrator
+from repro.core.browse import QueryBrowser
+from repro.core.completion import CompletionEngine, CompletionSuggestion
+from repro.core.config import CQMSConfig
+from repro.core.correction import Correction, CorrectionEngine
+from repro.core.maintenance import MaintenanceReport, QueryMaintenance
+from repro.core.meta_query import DataCondition, FeatureCondition, MetaQueryExecutor
+from repro.core.miner import MiningReport, QueryMiner
+from repro.core.profiler import ProfiledExecution, ProfilingMode, QueryProfiler
+from repro.core.query_store import QueryStore
+from repro.core.ranking import RankingFunction, RankingWeights
+from repro.core.recommender import QueryRecommender, Recommendation
+from repro.core.records import LoggedQuery
+from repro.core.tutorial import TutorialGenerator, TutorialSection
+from repro.errors import ReproError
+from repro.sql.parse_tree import TreePattern
+from repro.storage.database import Database
+
+
+@dataclass
+class AssistResponse:
+    """Everything the assisted-interaction client displays (Figure 3)."""
+
+    completions: dict[str, list[CompletionSuggestion]] = field(default_factory=dict)
+    corrections: list[Correction] = field(default_factory=list)
+    similar_queries: list[Recommendation] = field(default_factory=list)
+
+    @property
+    def has_content(self) -> bool:
+        return bool(
+            any(self.completions.values()) or self.corrections or self.similar_queries
+        )
+
+
+class CQMS:
+    """A Collaborative Query Management System over a DBMS."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: CQMSConfig | None = None,
+        clock: SimulatedClock | None = None,
+    ):
+        self.config = config or CQMSConfig()
+        self.config.validate()
+        self.clock = clock or SimulatedClock()
+        self.database = database
+        self.store = QueryStore(clock=self.clock)
+        self.access_control = AccessControl(
+            default_visibility=Visibility.parse(self.config.default_visibility)
+        )
+        ranking = RankingFunction(RankingWeights.from_config(self.config.ranking))
+        self.ranking = ranking
+        self.profiler = QueryProfiler(database, self.store, self.config, clock=self.clock)
+        self.meta_query = MetaQueryExecutor(
+            self.store, self.access_control, self.config, ranking=ranking, clock=self.clock
+        )
+        self.completion = CompletionEngine(
+            self.store, database.schema_columns(), self.config
+        )
+        self.correction = CorrectionEngine(self.store, database.schema_columns())
+        self.recommender = QueryRecommender(
+            self.store,
+            self.meta_query,
+            self.access_control,
+            self.config,
+            ranking=ranking,
+            clock=self.clock,
+        )
+        self.miner = QueryMiner(self.store, self.config, database.schema_columns())
+        self.maintenance = QueryMaintenance(database, self.store, self.config)
+        self._browser = QueryBrowser(
+            self.store, self.access_control, ranking=ranking, clock=self.clock
+        )
+        self._admin = Administrator(
+            self.store, self.access_control, self.config, self.miner, self.maintenance
+        )
+        self._tutorial = TutorialGenerator(self.store, database.schema_columns())
+
+    # -- user management ------------------------------------------------------------
+
+    def register_user(self, name: str, group: str, is_admin: bool = False) -> Principal:
+        """Register a CQMS user belonging to a collaboration group."""
+        return self.access_control.register(name, group, is_admin=is_admin)
+
+    # -- Traditional Interaction Mode --------------------------------------------------
+
+    def submit(
+        self,
+        user: str,
+        sql: str,
+        visibility: str | None = None,
+        timestamp: float | None = None,
+    ) -> ProfiledExecution:
+        """Submit a standard SQL query; it is executed and logged."""
+        principal = self.access_control.principal(user)
+        return self.profiler.profile(
+            user=principal.name,
+            group=principal.group,
+            sql=sql,
+            visibility=visibility,
+            timestamp=timestamp,
+        )
+
+    def annotate(self, user: str, qid: int, body: str) -> None:
+        """Attach an annotation to a query the user can see."""
+        principal = self.access_control.principal(user)
+        record = self.store.get(qid)
+        if not self.access_control.can_see(principal, record):
+            # Users may only annotate queries they are allowed to see.
+            self.access_control.require_owner_or_admin(principal, record)
+        self.store.add_annotation(qid, author=principal.name, body=body, timestamp=self.clock.now)
+
+    # -- Search & Browse Interaction Mode ------------------------------------------------
+
+    def search_keyword(self, user: str, keywords, limit: int | None = None) -> list[LoggedQuery]:
+        return self.meta_query.keyword_search(user, keywords, limit=limit)
+
+    def search_substring(self, user: str, needle: str, limit: int | None = None) -> list[LoggedQuery]:
+        return self.meta_query.substring_search(user, needle, limit=limit)
+
+    def search_features(
+        self, user: str, condition: FeatureCondition, limit: int | None = None
+    ) -> list[LoggedQuery]:
+        return self.meta_query.by_feature(user, condition, limit=limit)
+
+    def search_sql(self, user: str, meta_sql: str) -> list[LoggedQuery]:
+        return self.meta_query.by_feature_sql(user, meta_sql)
+
+    def search_like_partial(self, user: str, partial_sql: str) -> list[LoggedQuery]:
+        """The Figure 1 flow: auto-generate and run the feature meta-query."""
+        return self.meta_query.find_queries_like_partial(user, partial_sql)
+
+    def search_parse_tree(
+        self, user: str, pattern: TreePattern, limit: int | None = None
+    ) -> list[LoggedQuery]:
+        return self.meta_query.by_parse_tree(user, pattern, limit=limit)
+
+    def search_by_data(
+        self, user: str, condition: DataCondition, limit: int | None = None
+    ) -> list[LoggedQuery]:
+        return self.meta_query.by_data(user, condition, limit=limit)
+
+    def similar_queries(self, user: str, sql: str, k: int | None = None) -> list[LoggedQuery]:
+        return self.meta_query.knn(user, sql, k=k)
+
+    def browser(self) -> QueryBrowser:
+        """The Search & Browse view layer."""
+        return self._browser
+
+    # -- Assisted Interaction Mode -----------------------------------------------------------
+
+    def assist(self, user: str, partial_sql: str, k: int = 3) -> AssistResponse:
+        """Everything the assisted client shows while the user types (Figure 3)."""
+        response = AssistResponse()
+        response.completions = self.completion.suggest(partial_sql, limit=k)
+        response.corrections = self.correction.correct_names(partial_sql)
+        try:
+            response.similar_queries = self.recommender.recommend(user, partial_sql, k=k)
+        except ReproError:
+            response.similar_queries = []
+        return response
+
+    def recommend(self, user: str, sql: str, k: int = 5) -> list[Recommendation]:
+        """Full query recommendations for the user's current query."""
+        return self.recommender.recommend(user, sql, k=k)
+
+    def correct(self, user: str, sql: str) -> list[Correction]:
+        """Name corrections plus, if the query ran empty, predicate corrections."""
+        corrections = self.correction.correct_names(sql)
+        try:
+            result = self.database.execute(sql)
+            if result.stats.statement_kind == "select" and not result.rows:
+                corrections.extend(self.correction.correct_empty_result(sql))
+        except ReproError:
+            pass
+        return corrections
+
+    def tutorial(self, max_relations: int | None = None) -> list[TutorialSection]:
+        """Generate the dataset tutorial from the current query log."""
+        report = self.miner.last_report
+        return self._tutorial.generate(
+            max_relations=max_relations,
+            corrections=self.correction.correction_log,
+            edit_patterns=report.edit_patterns if report is not None else None,
+        )
+
+    # -- Administrative Interaction Mode ----------------------------------------------------------
+
+    def admin(self) -> Administrator:
+        return self._admin
+
+    def run_miner(self) -> MiningReport:
+        """Run the background Query Miner once (normally periodic)."""
+        report = self.miner.run()
+        # Refresh the completion engine with the freshly mined rules.
+        self.completion.refresh(rule_index=report.rule_index)
+        return report
+
+    def run_maintenance(self) -> MaintenanceReport:
+        """Run the background Query Maintenance once (normally periodic)."""
+        report = self.maintenance.check_schema_validity()
+        # Schema may have changed: propagate it to the schema-aware helpers.
+        self.correction.update_schema(self.database.schema_columns())
+        return report
+
+    # -- convenience -------------------------------------------------------------------------------
+
+    def replay_workload(self, events, run_miner_every: int | None = None) -> int:
+        """Replay a generated workload (``WorkloadQuery`` events) into the CQMS.
+
+        Users are auto-registered, the simulated clock follows the event
+        timestamps, annotations attached to events are stored, and the miner
+        can be run periodically.  Returns the number of queries submitted.
+        """
+        submitted = 0
+        for event in events:
+            if not self.access_control.has_principal(event.user):
+                self.register_user(event.user, event.group)
+            if event.timestamp > self.clock.now:
+                self.clock.set(event.timestamp)
+            execution = self.submit(event.user, event.sql, timestamp=event.timestamp)
+            submitted += 1
+            if event.annotation and execution.record is not None:
+                self.annotate(event.user, execution.record.qid, event.annotation)
+            if run_miner_every and submitted % run_miner_every == 0:
+                self.run_miner()
+        return submitted

@@ -1,0 +1,448 @@
+"""The Meta-Query Executor (paper Sections 2.2, 3, and 4.2).
+
+A meta-query is "a query that searches for queries".  The executor supports
+the paper's four classes of meta-queries:
+
+* **keyword / substring** search over query text and annotations — the
+  baseline capability of existing systems,
+* **query-by-feature** — conditions over the shredded feature relations, both
+  programmatically (:class:`FeatureCondition`) and as raw SQL over the Query
+  Storage (Figure 1), including automatic generation of the SQL meta-query
+  from a partially written user query,
+* **query-by-parse-tree** — structural conditions via
+  :class:`~repro.sql.parse_tree.TreePattern`,
+* **query-by-data** — conditions on query *output* given positive and
+  negative example values/tuples,
+* **kNN** — the k most similar logged queries to a probe query.
+
+Every search is filtered through :class:`~repro.core.access_control.AccessControl`
+so users only ever see queries they are allowed to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access_control import AccessControl, Principal
+from repro.core.config import CQMSConfig
+from repro.core.query_store import QueryStore
+from repro.core.ranking import RankingContext, RankingFunction, RankedQuery
+from repro.core.records import LoggedQuery
+from repro.errors import MetaQueryError, ReproError
+from repro.mining.knn import KNNIndex
+from repro.mining.similarity import weighted_feature_similarity
+from repro.sql.features import extract_features
+from repro.sql.parse_tree import TreePattern, match_pattern, to_parse_tree
+from repro.storage.database import QueryResult
+
+
+@dataclass
+class FeatureCondition:
+    """A programmatic query-by-feature specification.
+
+    All provided conditions must hold (conjunctive semantics).  ``tables_all``
+    requires every listed relation to be a data source of the query;
+    ``attributes`` requires each ``(attribute, relation)`` pair to be used;
+    ``predicates_on`` requires a selection predicate on each listed
+    ``(attribute, relation)`` (with an optional operator).
+    """
+
+    tables_all: list[str] = field(default_factory=list)
+    tables_any: list[str] = field(default_factory=list)
+    attributes: list[tuple[str, str]] = field(default_factory=list)
+    predicates_on: list[tuple[str, str, str | None]] = field(default_factory=list)
+    author: str | None = None
+    group: str | None = None
+    statement_kind: str | None = None
+    max_runtime_seconds: float | None = None
+    min_cardinality: int | None = None
+    max_cardinality: int | None = None
+    text_contains: str | None = None
+    only_valid: bool = False
+
+    def matches(self, record: LoggedQuery) -> bool:
+        """Whether a logged query satisfies this condition."""
+        if self.only_valid and record.flagged_invalid:
+            return False
+        if self.author is not None and record.user != self.author:
+            return False
+        if self.group is not None and record.group != self.group:
+            return False
+        if self.statement_kind is not None and record.statement_kind != self.statement_kind:
+            return False
+        if self.text_contains is not None and self.text_contains.lower() not in record.text.lower():
+            return False
+        if self.max_runtime_seconds is not None:
+            if record.runtime.elapsed_seconds > self.max_runtime_seconds:
+                return False
+        if self.min_cardinality is not None:
+            if record.runtime.result_cardinality < self.min_cardinality:
+                return False
+        if self.max_cardinality is not None:
+            if record.runtime.result_cardinality > self.max_cardinality:
+                return False
+        features = record.features
+        if self.tables_all or self.tables_any or self.attributes or self.predicates_on:
+            if features is None:
+                return False
+            tables = features.table_set()
+            if any(table.lower() not in tables for table in self.tables_all):
+                return False
+            if self.tables_any and not any(
+                table.lower() in tables for table in self.tables_any
+            ):
+                return False
+            attributes = features.attribute_set()
+            for attribute, relation in self.attributes:
+                if (attribute.lower(), relation.lower()) not in attributes:
+                    return False
+            predicate_signatures = features.predicate_signatures()
+            for attribute, relation, op in self.predicates_on:
+                found = any(
+                    signature[0] == attribute.lower()
+                    and signature[1] == relation.lower()
+                    and (op is None or signature[2] == op)
+                    for signature in predicate_signatures
+                )
+                if not found:
+                    return False
+        return True
+
+
+@dataclass
+class DataCondition:
+    """A query-by-data specification (paper Section 2.2).
+
+    ``include_values`` must all appear somewhere in the query's stored output
+    summary; ``exclude_values`` must not appear.  ``include_rows`` /
+    ``exclude_rows`` are full-tuple variants of the same conditions.
+    """
+
+    include_values: list[object] = field(default_factory=list)
+    exclude_values: list[object] = field(default_factory=list)
+    include_rows: list[tuple] = field(default_factory=list)
+    exclude_rows: list[tuple] = field(default_factory=list)
+
+    def matches(self, record: LoggedQuery) -> bool:
+        output = record.output
+        if output is None or not output.rows:
+            return False
+        for value in self.include_values:
+            if not output.contains_value(value):
+                return False
+        for value in self.exclude_values:
+            if output.contains_value(value):
+                return False
+        for row in self.include_rows:
+            if not output.contains(tuple(row)):
+                return False
+        for row in self.exclude_rows:
+            if output.contains(tuple(row)):
+                return False
+        return True
+
+
+class MetaQueryExecutor:
+    """Answers meta-queries over the Query Storage with access control."""
+
+    def __init__(
+        self,
+        store: QueryStore,
+        access_control: AccessControl,
+        config: CQMSConfig | None = None,
+        ranking: RankingFunction | None = None,
+        clock=None,
+    ):
+        self._store = store
+        self._access = access_control
+        self._config = config or CQMSConfig()
+        self._ranking = ranking or RankingFunction()
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._knn_index: KNNIndex[int] = KNNIndex()
+        self._knn_indexed: set[int] = set()
+
+    # -- keyword / substring search ---------------------------------------------
+
+    def keyword_search(
+        self, principal: Principal | str, keywords: list[str] | str, limit: int | None = None
+    ) -> list[LoggedQuery]:
+        """Queries whose text or annotations contain every keyword."""
+        if isinstance(keywords, str):
+            keywords = keywords.split()
+        lowered = [keyword.lower() for keyword in keywords if keyword]
+        if not lowered:
+            raise MetaQueryError("keyword search requires at least one keyword")
+        matches = []
+        for record in self._visible(principal):
+            haystack = record.text.lower() + " " + " ".join(record.annotations).lower()
+            if all(keyword in haystack for keyword in lowered):
+                matches.append(record)
+        return matches[:limit] if limit is not None else matches
+
+    def substring_search(
+        self, principal: Principal | str, needle: str, limit: int | None = None
+    ) -> list[LoggedQuery]:
+        """Queries whose raw text contains ``needle`` (case-insensitive)."""
+        if not needle:
+            raise MetaQueryError("substring search requires a non-empty needle")
+        lowered = needle.lower()
+        matches = [
+            record for record in self._visible(principal) if lowered in record.text.lower()
+        ]
+        return matches[:limit] if limit is not None else matches
+
+    # -- query-by-feature ----------------------------------------------------------
+
+    def by_feature(
+        self,
+        principal: Principal | str,
+        condition: FeatureCondition,
+        limit: int | None = None,
+    ) -> list[LoggedQuery]:
+        """Programmatic query-by-feature over the Query Storage."""
+        matches = [
+            record for record in self._visible(principal) if condition.matches(record)
+        ]
+        return matches[:limit] if limit is not None else matches
+
+    def by_feature_sql(self, principal: Principal | str, sql: str) -> list[LoggedQuery]:
+        """Run a raw SQL meta-query (Figure 1 style) and resolve its qids.
+
+        The SQL runs over the feature relations; its result must include a
+        ``qid`` column.  Access control is applied to the resolved records.
+        """
+        result = self._store.execute_meta_sql(sql)
+        if "qid" not in [column.lower() for column in result.columns]:
+            raise MetaQueryError("a SQL meta-query must return a qid column")
+        qids = []
+        seen = set()
+        for value in result.column("qid"):
+            if value is None or value in seen:
+                continue
+            seen.add(value)
+            qids.append(int(value))
+        records = [self._store.get(qid) for qid in qids if qid in self._store]
+        return self._access.visible_queries(self._principal(principal), records)
+
+    def execute_meta_sql(self, sql: str) -> QueryResult:
+        """Run a raw SQL meta-query and return its relational result unfiltered.
+
+        Intended for administrators and for the benchmark harness; ordinary
+        user flows go through :meth:`by_feature_sql`.
+        """
+        return self._store.execute_meta_sql(sql)
+
+    def generate_feature_sql(self, partial_sql: str) -> str:
+        """Generate the Figure 1 SQL meta-query from a partially written query.
+
+        The paper proposes that "the CQMS could automatically generate these
+        statements from partially written queries": the tables mentioned in
+        the partial query's FROM clause become ``DataSources`` conditions and
+        the referenced attributes become ``Attributes`` conditions.
+        """
+        features = _features_of_partial(partial_sql)
+        if features is None or not features.tables:
+            raise MetaQueryError(
+                "cannot generate a meta-query: the partial query references no tables"
+            )
+        from_parts = ["Queries Q"]
+        where_parts: list[str] = []
+        for index, table in enumerate(sorted(features.tables), start=1):
+            alias = f"D{index}"
+            from_parts.append(f"DataSources {alias}")
+            where_parts.append(f"Q.qid = {alias}.qid")
+            where_parts.append(f"{alias}.relName = '{table}'")
+        known_attributes = [
+            (attribute, relation)
+            for attribute, relation in features.attributes
+            if relation != "?"
+        ]
+        for index, (attribute, relation) in enumerate(sorted(known_attributes), start=1):
+            alias = f"A{index}"
+            from_parts.append(f"Attributes {alias}")
+            where_parts.append(f"Q.qid = {alias}.qid")
+            where_parts.append(f"{alias}.attrName = '{attribute}'")
+            where_parts.append(f"{alias}.relName = '{relation}'")
+        sql = "SELECT DISTINCT Q.qid, Q.qText FROM " + ", ".join(from_parts)
+        if where_parts:
+            sql += " WHERE " + " AND ".join(where_parts)
+        return sql
+
+    def find_queries_like_partial(
+        self, principal: Principal | str, partial_sql: str
+    ) -> list[LoggedQuery]:
+        """End-to-end Figure 1 flow: partial query → meta-query → results."""
+        sql = self.generate_feature_sql(partial_sql)
+        return self.by_feature_sql(principal, sql)
+
+    # -- query-by-parse-tree -----------------------------------------------------------
+
+    def by_parse_tree(
+        self,
+        principal: Principal | str,
+        pattern: TreePattern,
+        limit: int | None = None,
+    ) -> list[LoggedQuery]:
+        """Queries whose parse tree contains the structural pattern."""
+        matches = []
+        for record in self._visible(principal):
+            if not record.is_select:
+                continue
+            try:
+                tree = to_parse_tree(record.text)
+            except ReproError:
+                continue
+            if match_pattern(tree, pattern):
+                matches.append(record)
+                if limit is not None and len(matches) >= limit:
+                    break
+        return matches
+
+    # -- query-by-data -------------------------------------------------------------------
+
+    def by_data(
+        self,
+        principal: Principal | str,
+        condition: DataCondition,
+        limit: int | None = None,
+    ) -> list[LoggedQuery]:
+        """Queries whose stored output summary satisfies the data condition."""
+        matches = [
+            record
+            for record in self._visible(principal)
+            if record.is_select and condition.matches(record)
+        ]
+        return matches[:limit] if limit is not None else matches
+
+    # -- kNN --------------------------------------------------------------------------------
+
+    def knn_candidates(
+        self,
+        principal: Principal | str,
+        probe,
+        k: int | None = None,
+        exclude_qids: set[int] | None = None,
+    ) -> list[tuple[LoggedQuery, float]]:
+        """The k most similar visible queries with their similarity scores.
+
+        This is the raw kNN primitive; :meth:`knn` and the recommender apply
+        their own ranking functions on top of it.
+        """
+        k = k or self._config.knn_default_k
+        probe_features = _probe_features(probe, self._store)
+        if probe_features is None:
+            return []
+        self._refresh_knn_index()
+        principal_obj = self._principal(principal)
+        exclude = set(exclude_qids or set())
+        neighbors = self._knn_index.nearest(
+            probe_features.token_bag(), k=max(k * 5, 20), exclude=exclude
+        )
+        probe_sets = _feature_sets(probe_features)
+        candidates: list[tuple[LoggedQuery, float]] = []
+        for neighbor in neighbors:
+            record = self._store.get(neighbor.key)
+            if not self._access.can_see(principal_obj, record):
+                continue
+            similarity = weighted_feature_similarity(
+                probe_sets, record.feature_sets(), self._config.feature_weights
+            )
+            candidates.append((record, similarity))
+        candidates.sort(key=lambda pair: (-pair[1], pair[0].qid))
+        return candidates[:k]
+
+    def knn(
+        self,
+        principal: Principal | str,
+        probe,
+        k: int | None = None,
+        exclude_qids: set[int] | None = None,
+        ranked: bool = False,
+    ) -> list[LoggedQuery] | list[RankedQuery]:
+        """The k logged queries most similar to ``probe``.
+
+        ``probe`` may be SQL text, a :class:`LoggedQuery`, or a feature
+        object.  With ``ranked=True`` the results are re-ranked by the
+        composite ranking function and returned as :class:`RankedQuery`.
+        """
+        k = k or self._config.knn_default_k
+        candidates = self.knn_candidates(principal, probe, k=k, exclude_qids=exclude_qids)
+        if not ranked:
+            return [record for record, _ in candidates]
+        context = RankingContext.from_store(self._store, now=float(self._clock()))
+        return self._ranking.rank(candidates, context, limit=k)
+
+    # -- internals -----------------------------------------------------------------------------
+
+    def _visible(self, principal: Principal | str) -> list[LoggedQuery]:
+        return self._access.visible_queries(
+            self._principal(principal), self._store.all_queries()
+        )
+
+    def _principal(self, principal: Principal | str) -> Principal:
+        if isinstance(principal, Principal):
+            return principal
+        return self._access.principal(principal)
+
+    def _refresh_knn_index(self) -> None:
+        """Index any queries added since the last meta-query."""
+        for record in self._store.all_queries():
+            if record.qid in self._knn_indexed:
+                continue
+            if record.is_select and record.features is not None:
+                self._knn_index.add(record.qid, record.feature_tokens())
+            self._knn_indexed.add(record.qid)
+
+
+def _features_of_partial(partial_sql: str):
+    """Extract features from a possibly incomplete query.
+
+    A partially written query like ``SELECT FROM WaterSalinity, WaterTemp``
+    does not parse; we progressively relax it (insert ``*`` into an empty
+    select list, strip a trailing dangling clause) until it parses.
+    """
+    candidates = [partial_sql]
+    lowered = partial_sql.lower()
+    from_index = lowered.find("from")
+    if "select" in lowered and from_index >= 0:
+        head = partial_sql[:from_index]
+        tail = partial_sql[from_index + len("from"):]
+        if head.strip().lower() == "select":
+            # An empty select list ("SELECT FROM ...") — assume "SELECT *".
+            candidates.append(f"SELECT * FROM {tail}")
+    # Strip trailing dangling fragments ("... WHERE", "... AND", a trailing comma).
+    stripped = partial_sql.rstrip()
+    for suffix in ("and", "or", "where", ",", "on", "="):
+        if stripped.lower().endswith(suffix):
+            candidates.append(stripped[: -len(suffix)])
+    for candidate in candidates:
+        try:
+            return extract_features(candidate)
+        except ReproError:
+            continue
+    return None
+
+
+def _probe_features(probe, store: QueryStore):
+    from repro.sql.features import QueryFeatures
+
+    if isinstance(probe, LoggedQuery):
+        return probe.features
+    if isinstance(probe, QueryFeatures):
+        return probe
+    if isinstance(probe, int):
+        return store.get(probe).features
+    if isinstance(probe, str):
+        return _features_of_partial(probe)
+    raise MetaQueryError(f"unsupported kNN probe type {type(probe).__name__}")
+
+
+def _feature_sets(features) -> dict[str, frozenset]:
+    return {
+        "tables": features.table_set(),
+        "joins": features.join_signatures(),
+        "predicates": features.predicate_signatures(),
+        "projections": frozenset(features.projections),
+        "group_by": frozenset(features.group_by),
+        "aggregates": frozenset(features.aggregates),
+    }

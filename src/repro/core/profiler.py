@@ -1,0 +1,218 @@
+"""The Query Profiler (paper Sections 3 and 4.1).
+
+The profiler sits between the client and the DBMS: it receives standard SQL,
+forwards it to the DBMS, and logs the query — together with its features,
+runtime statistics, and an output summary — into the Query Storage.  The
+paper's key requirement is that it "should not hinder ordinary data
+processing"; the profiler therefore supports three modes whose overhead the
+C1 experiment measures:
+
+* ``off`` — forward only, nothing is logged (the no-CQMS baseline),
+* ``text`` — log the raw query text and runtime statistics only,
+* ``features`` — additionally shred syntactic features and summarize output
+  (the full query-by-feature data model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.config import CQMSConfig
+from repro.core.query_store import QueryStore
+from repro.core.records import LoggedQuery, OutputSummary, RuntimeStats
+from repro.errors import ReproError
+from repro.sql.canonicalize import canonical_text
+from repro.sql.features import extract_features
+from repro.sql.parser import parse
+from repro.sql.ast_nodes import statement_type
+from repro.sql.tokenizer import strip_comments
+from repro.storage.database import Database, QueryResult
+from repro.storage.statistics import summarize_output
+
+
+class ProfilingMode(enum.Enum):
+    """How much the profiler records about each query."""
+
+    OFF = "off"
+    TEXT = "text"
+    FEATURES = "features"
+
+    @classmethod
+    def parse(cls, value: "ProfilingMode | str") -> "ProfilingMode":
+        if isinstance(value, ProfilingMode):
+            return value
+        return cls(value.lower())
+
+
+@dataclass
+class ProfiledExecution:
+    """What the profiler returns to the client for one submitted query."""
+
+    result: QueryResult | None
+    record: LoggedQuery | None
+    error: str | None = None
+    annotation_requested: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+class QueryProfiler:
+    """Logs and pre-processes queries while forwarding them to the DBMS."""
+
+    def __init__(
+        self,
+        database: Database,
+        store: QueryStore,
+        config: CQMSConfig | None = None,
+        clock=None,
+    ):
+        self._db = database
+        self._store = store
+        self._config = config or CQMSConfig()
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._mode = ProfilingMode.parse(self._config.profiling_mode)
+
+    # -- mode management -------------------------------------------------------
+
+    @property
+    def mode(self) -> ProfilingMode:
+        return self._mode
+
+    def set_mode(self, mode: ProfilingMode | str) -> None:
+        self._mode = ProfilingMode.parse(mode)
+
+    # -- main entry point --------------------------------------------------------
+
+    def profile(
+        self,
+        user: str,
+        group: str,
+        sql: str,
+        visibility: str | None = None,
+        timestamp: float | None = None,
+    ) -> ProfiledExecution:
+        """Execute ``sql`` on the DBMS and (depending on mode) log it.
+
+        Execution errors do not raise: the failed attempt is still logged
+        (failed queries are exactly what the correction features learn from)
+        and the error is reported in the returned :class:`ProfiledExecution`.
+        """
+        timestamp = self._now() if timestamp is None else timestamp
+        result: QueryResult | None = None
+        error: str | None = None
+        try:
+            result = self._db.execute(sql)
+        except ReproError as exc:
+            error = str(exc)
+
+        if self._mode is ProfilingMode.OFF:
+            return ProfiledExecution(result=result, record=None, error=error)
+
+        record = self._build_record(
+            user=user,
+            group=group,
+            sql=sql,
+            visibility=visibility or self._config.default_visibility,
+            timestamp=timestamp,
+            result=result,
+            error=error,
+        )
+        self._store.add(record)
+        annotation_requested = self._should_request_annotation(record)
+        return ProfiledExecution(
+            result=result,
+            record=record,
+            error=error,
+            annotation_requested=annotation_requested,
+        )
+
+    # -- record construction --------------------------------------------------------
+
+    def _build_record(
+        self,
+        user: str,
+        group: str,
+        sql: str,
+        visibility: str,
+        timestamp: float,
+        result: QueryResult | None,
+        error: str | None,
+    ) -> LoggedQuery:
+        qid = self._store.next_qid()
+        clean_text = strip_comments(sql).strip()
+        runtime = RuntimeStats(
+            elapsed_seconds=result.stats.elapsed_seconds if result is not None else 0.0,
+            result_cardinality=result.stats.result_cardinality if result is not None else 0,
+            rows_scanned=result.stats.rows_scanned if result is not None else 0,
+            succeeded=error is None,
+            error=error,
+        )
+        record = LoggedQuery(
+            qid=qid,
+            user=user,
+            group=group,
+            text=clean_text,
+            timestamp=timestamp,
+            statement_kind="unknown",
+            runtime=runtime,
+            visibility=visibility,
+            catalog_version=self._db.catalog.version,
+        )
+        parsed = None
+        try:
+            parsed = parse(clean_text)
+            record.statement_kind = statement_type(parsed)
+        except ReproError:
+            record.statement_kind = "invalid"
+
+        if self._mode is ProfilingMode.FEATURES and parsed is not None:
+            record.features = extract_features(parsed, self._db.schema_columns())
+            try:
+                record.canonical_text = canonical_text(parsed)
+                record.template_text = canonical_text(parsed, strip_constants=True)
+            except ReproError:
+                record.canonical_text = clean_text
+                record.template_text = clean_text
+            if result is not None and record.statement_kind == "select":
+                record.output = self._summarize_output(result)
+        elif self._mode is ProfilingMode.TEXT:
+            record.canonical_text = " ".join(clean_text.lower().split())
+            record.template_text = record.canonical_text
+        return record
+
+    def _summarize_output(self, result: QueryResult) -> OutputSummary:
+        """Adaptive output summarization (Section 4.1)."""
+        rows = summarize_output(
+            result.rows,
+            result.columns,
+            execution_time=result.stats.elapsed_seconds,
+            base_budget=self._config.output_sample_base_budget,
+            seconds_per_extra_row=self._config.output_sample_seconds_per_row,
+            max_budget=self._config.output_sample_max_budget,
+        )
+        return OutputSummary(
+            columns=list(result.columns),
+            rows=[tuple(row) for row in rows],
+            total_rows=len(result.rows),
+            complete=len(rows) >= len(result.rows),
+        )
+
+    def _should_request_annotation(self, record: LoggedQuery) -> bool:
+        """Whether the client should prompt the author for an annotation.
+
+        The paper (Section 2.1) proposes requesting annotations "especially
+        for queries that are difficult to re-use without proper documentation
+        (e.g. queries with more than a specified number of tables, or queries
+        that include nesting)".
+        """
+        if record.features is None:
+            return False
+        if record.features.num_tables >= self._config.annotation_request_min_tables:
+            return True
+        return record.features.num_subqueries >= self._config.annotation_request_min_nesting
+
+    def _now(self) -> float:
+        return float(self._clock())

@@ -1,0 +1,410 @@
+"""The Query Storage: feature relations plus the query-record index.
+
+The paper's Figure 1 shows the feature relations of the query-by-feature data
+model::
+
+    Queries(qid, qText)
+    DataSources(qid, relName)
+    Attributes(qid, attrName, relName)
+    Predicates(qid, attrName, relName, op, const)
+
+The Query Storage here materializes those relations (plus ``Projections``,
+``Joins``, ``RuntimeStats``, ``OutputSamples``, ``Annotations``, ``Sessions``
+and ``SessionEdges``) inside an instance of the same relational engine that
+backs the user database, so that meta-queries are ordinary SQL exactly as the
+paper envisions.  Alongside the relations it keeps the full
+:class:`~repro.core.records.LoggedQuery` objects for the components that need
+cheap object access (miner, recommender, maintenance).
+"""
+
+from __future__ import annotations
+
+from repro.core.records import LoggedQuery
+from repro.errors import MetaQueryError
+from repro.storage.database import Database, QueryResult
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.types import DataType
+
+
+def _schema(name: str, *columns: tuple[str, DataType]) -> TableSchema:
+    return TableSchema(
+        name=name,
+        columns=[ColumnSchema(name=column, data_type=data_type) for column, data_type in columns],
+    )
+
+
+#: Schemas of the Query Storage feature relations.
+FEATURE_RELATIONS: list[TableSchema] = [
+    _schema(
+        "Queries",
+        ("qid", DataType.INTEGER),
+        ("qText", DataType.TEXT),
+        ("userName", DataType.TEXT),
+        ("groupName", DataType.TEXT),
+        ("ts", DataType.FLOAT),
+        ("statementKind", DataType.TEXT),
+        ("visibility", DataType.TEXT),
+        ("valid", DataType.BOOLEAN),
+    ),
+    _schema("DataSources", ("qid", DataType.INTEGER), ("relName", DataType.TEXT)),
+    _schema(
+        "Attributes",
+        ("qid", DataType.INTEGER),
+        ("attrName", DataType.TEXT),
+        ("relName", DataType.TEXT),
+    ),
+    _schema(
+        "Predicates",
+        ("qid", DataType.INTEGER),
+        ("attrName", DataType.TEXT),
+        ("relName", DataType.TEXT),
+        ("op", DataType.TEXT),
+        ("const", DataType.TEXT),
+    ),
+    _schema(
+        "Projections",
+        ("qid", DataType.INTEGER),
+        ("attrName", DataType.TEXT),
+        ("relName", DataType.TEXT),
+    ),
+    _schema(
+        "Joins",
+        ("qid", DataType.INTEGER),
+        ("leftRel", DataType.TEXT),
+        ("leftAttr", DataType.TEXT),
+        ("rightRel", DataType.TEXT),
+        ("rightAttr", DataType.TEXT),
+    ),
+    _schema(
+        "RuntimeStats",
+        ("qid", DataType.INTEGER),
+        ("elapsedSeconds", DataType.FLOAT),
+        ("cardinality", DataType.INTEGER),
+        ("rowsScanned", DataType.INTEGER),
+        ("succeeded", DataType.BOOLEAN),
+    ),
+    _schema(
+        "OutputSamples",
+        ("qid", DataType.INTEGER),
+        ("rowIndex", DataType.INTEGER),
+        ("columnName", DataType.TEXT),
+        ("cellValue", DataType.TEXT),
+    ),
+    _schema(
+        "Annotations",
+        ("qid", DataType.INTEGER),
+        ("author", DataType.TEXT),
+        ("ts", DataType.FLOAT),
+        ("body", DataType.TEXT),
+    ),
+    _schema(
+        "Sessions",
+        ("sessionId", DataType.INTEGER),
+        ("userName", DataType.TEXT),
+        ("startTs", DataType.FLOAT),
+        ("endTs", DataType.FLOAT),
+        ("numQueries", DataType.INTEGER),
+    ),
+    _schema(
+        "SessionEdges",
+        ("sessionId", DataType.INTEGER),
+        ("fromQid", DataType.INTEGER),
+        ("toQid", DataType.INTEGER),
+        ("edgeType", DataType.TEXT),
+        ("diffSummary", DataType.TEXT),
+    ),
+]
+
+
+class QueryStore:
+    """Query Storage: feature relations + the in-memory record index."""
+
+    def __init__(self, clock=None):
+        self._meta_db = Database(name="query_storage", clock=clock)
+        for table_schema in FEATURE_RELATIONS:
+            self._meta_db.create_table(table_schema)
+        for table, column in (
+            ("DataSources", "qid"),
+            ("Attributes", "qid"),
+            ("Predicates", "qid"),
+            ("Projections", "qid"),
+            ("Joins", "qid"),
+            ("Queries", "qid"),
+            ("RuntimeStats", "qid"),
+            ("OutputSamples", "qid"),
+            ("Annotations", "qid"),
+            ("SessionEdges", "sessionId"),
+        ):
+            self._meta_db.table(table).create_index(f"{table.lower()}_{column}", column)
+        self._records: dict[int, LoggedQuery] = {}
+        self._next_qid = 1
+
+    # -- basic access ---------------------------------------------------------
+
+    @property
+    def meta_database(self) -> Database:
+        """The relational database holding the feature relations."""
+        return self._meta_db
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._records
+
+    def next_qid(self) -> int:
+        qid = self._next_qid
+        self._next_qid += 1
+        return qid
+
+    def get(self, qid: int) -> LoggedQuery:
+        try:
+            return self._records[qid]
+        except KeyError:
+            raise MetaQueryError(f"unknown query id {qid}") from None
+
+    def all_queries(self) -> list[LoggedQuery]:
+        """All logged queries in qid order."""
+        return [self._records[qid] for qid in sorted(self._records)]
+
+    def queries_of_user(self, user: str) -> list[LoggedQuery]:
+        return [record for record in self.all_queries() if record.user == user]
+
+    def queries_of_group(self, group: str) -> list[LoggedQuery]:
+        return [record for record in self.all_queries() if record.group == group]
+
+    def select_queries(self) -> list[LoggedQuery]:
+        """Only SELECT statements (the ones mining and recommendation use)."""
+        return [record for record in self.all_queries() if record.is_select]
+
+    # -- ingest -----------------------------------------------------------------
+
+    def add(self, record: LoggedQuery) -> None:
+        """Insert a logged query and shred its features into the relations."""
+        if record.qid in self._records:
+            raise MetaQueryError(f"duplicate query id {record.qid}")
+        self._records[record.qid] = record
+        self._meta_db.insert_rows(
+            "Queries",
+            [
+                {
+                    "qid": record.qid,
+                    "qText": record.text,
+                    "userName": record.user,
+                    "groupName": record.group,
+                    "ts": record.timestamp,
+                    "statementKind": record.statement_kind,
+                    "visibility": record.visibility,
+                    "valid": not record.flagged_invalid,
+                }
+            ],
+        )
+        if record.features is None:
+            return
+        features = record.features
+        self._meta_db.insert_rows(
+            "DataSources",
+            [{"qid": record.qid, "relName": table} for table in features.tables],
+        )
+        self._meta_db.insert_rows(
+            "Attributes",
+            [
+                {"qid": record.qid, "attrName": attribute, "relName": relation}
+                for attribute, relation in features.attributes
+            ],
+        )
+        self._meta_db.insert_rows(
+            "Predicates",
+            [
+                {
+                    "qid": record.qid,
+                    "attrName": predicate.attribute,
+                    "relName": predicate.relation,
+                    "op": predicate.op,
+                    "const": _constant_text(predicate.constant),
+                }
+                for predicate in features.predicates
+            ],
+        )
+        self._meta_db.insert_rows(
+            "Projections",
+            [
+                {"qid": record.qid, "attrName": attribute, "relName": relation}
+                for attribute, relation in features.projections
+            ],
+        )
+        self._meta_db.insert_rows(
+            "Joins",
+            [
+                {
+                    "qid": record.qid,
+                    "leftRel": join.normalized().left_relation,
+                    "leftAttr": join.normalized().left_attribute,
+                    "rightRel": join.normalized().right_relation,
+                    "rightAttr": join.normalized().right_attribute,
+                }
+                for join in features.joins
+            ],
+        )
+        self._meta_db.insert_rows(
+            "RuntimeStats",
+            [
+                {
+                    "qid": record.qid,
+                    "elapsedSeconds": record.runtime.elapsed_seconds,
+                    "cardinality": record.runtime.result_cardinality,
+                    "rowsScanned": record.runtime.rows_scanned,
+                    "succeeded": record.runtime.succeeded,
+                }
+            ],
+        )
+        if record.output is not None and record.output.rows:
+            sample_rows = []
+            for row_index, row in enumerate(record.output.rows):
+                for column_name, cell in zip(record.output.columns, row):
+                    sample_rows.append(
+                        {
+                            "qid": record.qid,
+                            "rowIndex": row_index,
+                            "columnName": column_name,
+                            "cellValue": _constant_text(cell),
+                        }
+                    )
+            self._meta_db.insert_rows("OutputSamples", sample_rows)
+
+    # -- annotations ----------------------------------------------------------------
+
+    def add_annotation(self, qid: int, author: str, body: str, timestamp: float = 0.0) -> None:
+        record = self.get(qid)
+        record.annotations.append(body)
+        self._meta_db.insert_rows(
+            "Annotations",
+            [{"qid": qid, "author": author, "ts": timestamp, "body": body}],
+        )
+
+    def annotations_for(self, qid: int) -> list[str]:
+        return list(self.get(qid).annotations)
+
+    # -- sessions ----------------------------------------------------------------------
+
+    def record_sessions(self, sessions) -> None:
+        """Persist mined sessions and their edges (replacing previous ones)."""
+        self._meta_db.execute("DELETE FROM Sessions")
+        self._meta_db.execute("DELETE FROM SessionEdges")
+        session_rows = []
+        edge_rows = []
+        for session in sessions:
+            session_rows.append(
+                {
+                    "sessionId": session.session_id,
+                    "userName": session.user,
+                    "startTs": session.start_time,
+                    "endTs": session.end_time,
+                    "numQueries": len(session.qids),
+                }
+            )
+            for edge in session.edges:
+                edge_rows.append(
+                    {
+                        "sessionId": session.session_id,
+                        "fromQid": edge.from_qid,
+                        "toQid": edge.to_qid,
+                        "edgeType": edge.edge_type,
+                        "diffSummary": edge.diff_summary,
+                    }
+                )
+            for qid in session.qids:
+                if qid in self._records:
+                    self._records[qid].session_id = session.session_id
+        if session_rows:
+            self._meta_db.insert_rows("Sessions", session_rows)
+        if edge_rows:
+            self._meta_db.insert_rows("SessionEdges", edge_rows)
+
+    # -- maintenance hooks -----------------------------------------------------------------
+
+    def mark_invalid(self, qid: int, reason: str) -> None:
+        record = self.get(qid)
+        record.flagged_invalid = True
+        record.invalid_reason = reason
+        record.flag_count += 1
+        self._meta_db.execute(f"UPDATE Queries SET valid = FALSE WHERE qid = {qid}")
+
+    def mark_valid(self, qid: int) -> None:
+        record = self.get(qid)
+        record.flagged_invalid = False
+        record.invalid_reason = None
+        self._meta_db.execute(f"UPDATE Queries SET valid = TRUE WHERE qid = {qid}")
+
+    def remove(self, qid: int) -> None:
+        """Remove a query and all its shredded features."""
+        self.get(qid)
+        del self._records[qid]
+        for table in (
+            "Queries",
+            "DataSources",
+            "Attributes",
+            "Predicates",
+            "Projections",
+            "Joins",
+            "RuntimeStats",
+            "OutputSamples",
+            "Annotations",
+        ):
+            self._meta_db.execute(f"DELETE FROM {table} WHERE qid = {qid}")
+
+    def replace_text(self, qid: int, new_text: str, features, canonical: str, template: str) -> None:
+        """Replace a repaired query's text and re-shred its features."""
+        record = self.get(qid)
+        annotations = list(record.annotations)
+        session_id = record.session_id
+        self.remove(qid)
+        record.text = new_text
+        record.features = features
+        record.canonical_text = canonical
+        record.template_text = template
+        record.flagged_invalid = False
+        record.invalid_reason = None
+        record.annotations = []
+        self.add(record)
+        record.annotations = annotations
+        record.session_id = session_id
+
+    # -- statistics --------------------------------------------------------------------------
+
+    def popularity(self) -> dict[str, int]:
+        """Number of logged queries per canonical text (duplicate = popular)."""
+        counts: dict[str, int] = {}
+        for record in self._records.values():
+            if not record.canonical_text:
+                continue
+            counts[record.canonical_text] = counts.get(record.canonical_text, 0) + 1
+        return counts
+
+    def table_popularity(self) -> dict[str, int]:
+        """Number of logged queries referencing each relation."""
+        counts: dict[str, int] = {}
+        for record in self._records.values():
+            for table in set(record.tables):
+                counts[table] = counts.get(table, 0) + 1
+        return counts
+
+    # -- meta SQL ------------------------------------------------------------------------------
+
+    def execute_meta_sql(self, sql: str) -> QueryResult:
+        """Run an arbitrary SQL meta-query over the feature relations.
+
+        This is the paper's Figure 1 interface: meta-queries are plain SQL
+        over ``Queries``, ``DataSources``, ``Attributes``, ``Predicates`` and
+        the other feature relations.
+        """
+        return self._meta_db.execute(sql)
+
+
+def _constant_text(value: object) -> str | None:
+    """Render a predicate constant or output cell for storage in a TEXT column."""
+    if value is None:
+        return None
+    if isinstance(value, (tuple, list)):
+        return "(" + ", ".join(_constant_text(item) or "NULL" for item in value) + ")"
+    return str(value)

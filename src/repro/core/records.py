@@ -1,0 +1,113 @@
+"""Core record types: the logged query and its runtime features.
+
+A query is "the primary data type in a CQMS" (Section 4.1).  The
+:class:`LoggedQuery` record carries all three representations the paper
+discusses — raw text, extracted features, and (through
+:func:`repro.sql.parse_tree.to_parse_tree`) the parse tree — plus the runtime
+and semantic features (statistics and output samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.features import QueryFeatures
+
+
+@dataclass
+class RuntimeStats:
+    """Runtime features of one execution of a query (Section 4.1)."""
+
+    elapsed_seconds: float = 0.0
+    result_cardinality: int = 0
+    rows_scanned: int = 0
+    succeeded: bool = True
+    error: str | None = None
+
+
+@dataclass
+class OutputSummary:
+    """A succinct summary of a query's output (Section 4.1).
+
+    ``rows`` holds at most the adaptive budget decided by the profiler;
+    ``complete`` records whether the stored rows are the full output (true for
+    long-running small-output queries) or a sample.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    total_rows: int = 0
+    complete: bool = True
+
+    def contains(self, values: tuple) -> bool:
+        """Whether the summary contains a row equal to ``values``."""
+        return tuple(values) in {tuple(row) for row in self.rows}
+
+    def contains_value(self, value: object) -> bool:
+        """Whether any cell of any summarized row equals ``value``."""
+        return any(value in row for row in self.rows)
+
+
+@dataclass
+class LoggedQuery:
+    """One query in the Query Storage.
+
+    ``qid`` is assigned by the profiler.  ``canonical_text`` is the
+    alias/case/order-normalized rendering used for duplicate detection and
+    popularity counting; ``template_text`` additionally strips constants so
+    that queries differing only in constants share a template.
+    """
+
+    qid: int
+    user: str
+    group: str
+    text: str
+    timestamp: float
+    canonical_text: str = ""
+    template_text: str = ""
+    statement_kind: str = "select"
+    features: QueryFeatures | None = None
+    runtime: RuntimeStats = field(default_factory=RuntimeStats)
+    output: OutputSummary | None = None
+    session_id: int | None = None
+    visibility: str = "group"
+    annotations: list[str] = field(default_factory=list)
+    flagged_invalid: bool = False
+    invalid_reason: str | None = None
+    flag_count: int = 0
+    quality: float = 0.5
+    catalog_version: int = 0
+
+    @property
+    def is_select(self) -> bool:
+        return self.statement_kind == "select"
+
+    @property
+    def tables(self) -> list[str]:
+        return list(self.features.tables) if self.features is not None else []
+
+    def feature_tokens(self) -> list[str]:
+        """The query's feature token bag (used by kNN / TF-IDF / rules)."""
+        if self.features is None:
+            return []
+        return self.features.token_bag()
+
+    def feature_sets(self) -> dict[str, frozenset]:
+        """Per-class feature sets used by the weighted feature similarity."""
+        if self.features is None:
+            return {}
+        return {
+            "tables": self.features.table_set(),
+            "joins": self.features.join_signatures(),
+            "predicates": self.features.predicate_signatures(),
+            "projections": frozenset(self.features.projections),
+            "group_by": frozenset(self.features.group_by),
+            "aggregates": frozenset(self.features.aggregates),
+        }
+
+    def describe(self, max_length: int = 80) -> str:
+        """A single-line description used by the client renderers."""
+        text = " ".join(self.text.split())
+        if len(text) > max_length:
+            text = text[: max_length - 3] + "..."
+        return text

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the CQMS reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming errors
+such as ``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL substrate (tokenizing / parsing)."""
+
+
+class TokenizeError(SQLError):
+    """Raised when the SQL tokenizer encounters an invalid character sequence.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input string where tokenization failed.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the SQL parser cannot build an AST from a token stream.
+
+    Attributes
+    ----------
+    token:
+        The offending token (if known), useful for error reporting in the
+        assisted-interaction client.
+    """
+
+    def __init__(self, message: str, token: object | None = None):
+        super().__init__(message)
+        self.token = token
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the relational storage engine."""
+
+
+class CatalogError(StorageError):
+    """Raised for catalog problems: unknown/duplicate tables or columns."""
+
+
+class SchemaError(StorageError):
+    """Raised when a row or value does not conform to a table schema."""
+
+
+class ExecutionError(StorageError):
+    """Raised when query execution fails (e.g. ambiguous column, bad types)."""
+
+
+class IntegrityError(StorageError):
+    """Raised when a uniqueness or not-null constraint is violated."""
+
+
+class CQMSError(ReproError):
+    """Base class for errors raised by the CQMS engine itself."""
+
+
+class AccessControlError(CQMSError):
+    """Raised when a principal attempts an operation it is not allowed."""
+
+
+class MetaQueryError(CQMSError):
+    """Raised when a meta-query is malformed or cannot be executed."""
+
+
+class ProfilerError(CQMSError):
+    """Raised when the query profiler cannot log or shred a query."""
+
+
+class MaintenanceError(CQMSError):
+    """Raised for failures in the query-maintenance component."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator is configured inconsistently."""

@@ -1,0 +1,224 @@
+"""Clustering over an arbitrary pairwise distance function.
+
+The Query Miner clusters queries and query sessions (paper Section 4.3) to
+deduplicate meta-query results, compress the log, and restrict
+recommendations to "users who have similar query session patterns".  Because
+query distances are not Euclidean (they come from feature Jaccard or tree
+edit distances), we implement medoid-based and agglomerative algorithms that
+only require a distance callable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+Distance = Callable[[object, object], float]
+
+
+@dataclass
+class ClusteringResult:
+    """Cluster assignment for a list of items.
+
+    ``labels[i]`` is the cluster id of ``items[i]``; ``medoids`` maps cluster
+    id to the index of its representative item (for k-medoids) or to the index
+    of the member closest to all others (for agglomerative).
+    """
+
+    items: list = field(default_factory=list)
+    labels: list[int] = field(default_factory=list)
+    medoids: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(set(self.labels)) if self.labels else 0
+
+    def clusters(self) -> dict[int, list[int]]:
+        """Mapping of cluster id to member indexes."""
+        members: dict[int, list[int]] = {}
+        for index, label in enumerate(self.labels):
+            members.setdefault(label, []).append(index)
+        return members
+
+    def members(self, label: int) -> list:
+        """The items belonging to a cluster."""
+        return [self.items[index] for index, l in enumerate(self.labels) if l == label]
+
+    def representative(self, label: int):
+        """The representative (medoid) item of a cluster."""
+        return self.items[self.medoids[label]]
+
+    def label_of(self, index: int) -> int:
+        return self.labels[index]
+
+
+def _distance_matrix(items: Sequence, distance: Distance) -> list[list[float]]:
+    n = len(items)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = float(distance(items[i], items[j]))
+            matrix[i][j] = d
+            matrix[j][i] = d
+    return matrix
+
+
+def k_medoids(
+    items: Sequence,
+    k: int,
+    distance: Distance,
+    max_iterations: int = 20,
+    seed: int = 0,
+) -> ClusteringResult:
+    """Partition ``items`` into ``k`` clusters around medoids (PAM-style).
+
+    Deterministic for a given ``seed``.  If ``k`` is not smaller than the
+    number of items, every item becomes its own cluster.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return ClusteringResult(items=[], labels=[], medoids={})
+    if k >= n:
+        return ClusteringResult(
+            items=items,
+            labels=list(range(n)),
+            medoids={index: index for index in range(n)},
+        )
+    matrix = _distance_matrix(items, distance)
+    rng = random.Random(seed)
+    medoids = sorted(rng.sample(range(n), k))
+
+    def assign(current_medoids: list[int]) -> list[int]:
+        labels = []
+        for index in range(n):
+            best = min(
+                range(len(current_medoids)),
+                key=lambda m: (matrix[index][current_medoids[m]], m),
+            )
+            labels.append(best)
+        return labels
+
+    labels = assign(medoids)
+    for _ in range(max_iterations):
+        new_medoids: list[int] = []
+        for cluster in range(k):
+            members = [index for index, label in enumerate(labels) if label == cluster]
+            if not members:
+                # Re-seed an empty cluster with the point farthest from its medoid.
+                farthest = max(range(n), key=lambda index: matrix[index][medoids[labels[index]]])
+                new_medoids.append(farthest)
+                continue
+            best_member = min(
+                members, key=lambda candidate: sum(matrix[candidate][m] for m in members)
+            )
+            new_medoids.append(best_member)
+        new_medoids = sorted(new_medoids)
+        new_labels = assign(new_medoids)
+        if new_medoids == medoids and new_labels == labels:
+            break
+        medoids, labels = new_medoids, new_labels
+    return ClusteringResult(
+        items=items,
+        labels=labels,
+        medoids={cluster: medoid for cluster, medoid in enumerate(medoids)},
+    )
+
+
+def agglomerative(
+    items: Sequence,
+    distance: Distance,
+    num_clusters: int | None = None,
+    distance_threshold: float | None = None,
+    linkage: str = "average",
+) -> ClusteringResult:
+    """Bottom-up hierarchical clustering with average/single/complete linkage.
+
+    Stop either when ``num_clusters`` remain or when the closest pair of
+    clusters is farther apart than ``distance_threshold`` (at least one of the
+    two must be given).
+    """
+    if num_clusters is None and distance_threshold is None:
+        raise ValueError("provide num_clusters or distance_threshold")
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return ClusteringResult(items=[], labels=[], medoids={})
+    matrix = _distance_matrix(items, distance)
+    clusters: dict[int, list[int]] = {index: [index] for index in range(n)}
+    next_id = n
+
+    def cluster_distance(first: list[int], second: list[int]) -> float:
+        distances = [matrix[i][j] for i in first for j in second]
+        if linkage == "single":
+            return min(distances)
+        if linkage == "complete":
+            return max(distances)
+        return sum(distances) / len(distances)
+
+    target = num_clusters if num_clusters is not None else 1
+    while len(clusters) > target:
+        ids = sorted(clusters)
+        best_pair = None
+        best_distance = None
+        for position, first_id in enumerate(ids):
+            for second_id in ids[position + 1 :]:
+                d = cluster_distance(clusters[first_id], clusters[second_id])
+                if best_distance is None or d < best_distance:
+                    best_distance = d
+                    best_pair = (first_id, second_id)
+        if best_pair is None:
+            break
+        if (
+            distance_threshold is not None
+            and best_distance is not None
+            and best_distance > distance_threshold
+        ):
+            break
+        first_id, second_id = best_pair
+        merged = clusters.pop(first_id) + clusters.pop(second_id)
+        clusters[next_id] = merged
+        next_id += 1
+
+    labels = [0] * n
+    medoids: dict[int, int] = {}
+    for label, (cluster_id, members) in enumerate(sorted(clusters.items())):
+        for index in members:
+            labels[index] = label
+        medoids[label] = min(
+            members, key=lambda candidate: sum(matrix[candidate][m] for m in members)
+        )
+    return ClusteringResult(items=items, labels=labels, medoids=medoids)
+
+
+def silhouette_score(result: ClusteringResult, distance: Distance) -> float:
+    """Mean silhouette coefficient of a clustering, in [-1, 1].
+
+    Used by the mining experiments (C6) to show that feature-based clustering
+    recovers the workload's seeded information goals.
+    """
+    items = result.items
+    labels = result.labels
+    n = len(items)
+    if n == 0 or result.num_clusters <= 1 or result.num_clusters >= n:
+        return 0.0
+    matrix = _distance_matrix(items, distance)
+    clusters = result.clusters()
+    total = 0.0
+    counted = 0
+    for index in range(n):
+        own = clusters[labels[index]]
+        if len(own) <= 1:
+            continue
+        a = sum(matrix[index][other] for other in own if other != index) / (len(own) - 1)
+        b = min(
+            sum(matrix[index][other] for other in members) / len(members)
+            for label, members in clusters.items()
+            if label != labels[index]
+        )
+        denominator = max(a, b)
+        if denominator > 0:
+            total += (b - a) / denominator
+            counted += 1
+    return total / counted if counted else 0.0

@@ -1,0 +1,96 @@
+"""A small TF-IDF vectorizer with cosine similarity.
+
+Used by the Query Miner to vectorize query token bags (feature tokens or raw
+SQL tokens) so that kNN search and clustering can work in a vector space in
+addition to the set-based similarities.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+
+def cosine_similarity(first: dict[str, float], second: dict[str, float]) -> float:
+    """Cosine similarity between two sparse vectors (dict term → weight)."""
+    if not first or not second:
+        return 0.0
+    # Iterate over the smaller vector for the dot product.
+    if len(first) > len(second):
+        first, second = second, first
+    dot = sum(weight * second.get(term, 0.0) for term, weight in first.items())
+    norm_first = math.sqrt(sum(weight * weight for weight in first.values()))
+    norm_second = math.sqrt(sum(weight * weight for weight in second.values()))
+    if norm_first == 0.0 or norm_second == 0.0:
+        return 0.0
+    return dot / (norm_first * norm_second)
+
+
+class TfIdfVectorizer:
+    """Fit on a corpus of token bags; transform bags to sparse TF-IDF vectors.
+
+    Terms never seen during :meth:`fit` receive the maximum IDF (they are
+    maximally surprising), which keeps incremental use simple: the CQMS refits
+    periodically in the background (the Query Miner runs "periodically",
+    Section 3) and tolerates new terms in between.
+    """
+
+    def __init__(self, smooth: bool = True):
+        self._smooth = smooth
+        self._document_frequency: Counter[str] = Counter()
+        self._num_documents = 0
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_documents
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._document_frequency)
+
+    def fit(self, documents: Iterable[Iterable[str]]) -> "TfIdfVectorizer":
+        """Learn document frequencies from an iterable of token bags."""
+        self._document_frequency.clear()
+        self._num_documents = 0
+        for document in documents:
+            self._num_documents += 1
+            for term in set(document):
+                self._document_frequency[term] += 1
+        return self
+
+    def partial_fit(self, document: Iterable[str]) -> None:
+        """Incrementally add one document to the frequency statistics."""
+        self._num_documents += 1
+        for term in set(document):
+            self._document_frequency[term] += 1
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency of a term."""
+        frequency = self._document_frequency.get(term, 0)
+        if self._smooth:
+            return math.log((1 + self._num_documents) / (1 + frequency)) + 1.0
+        if frequency == 0:
+            return math.log(max(self._num_documents, 1)) + 1.0
+        return math.log(self._num_documents / frequency) + 1.0
+
+    def transform(self, document: Iterable[str]) -> dict[str, float]:
+        """Map a token bag to a sparse TF-IDF vector (L2-normalized)."""
+        counts = Counter(document)
+        if not counts:
+            return {}
+        vector = {term: count * self.idf(term) for term, count in counts.items()}
+        norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+        if norm == 0.0:
+            return vector
+        return {term: weight / norm for term, weight in vector.items()}
+
+    def fit_transform(self, documents: list[Iterable[str]]) -> list[dict[str, float]]:
+        """Fit on ``documents`` and return their vectors."""
+        materialized = [list(document) for document in documents]
+        self.fit(materialized)
+        return [self.transform(document) for document in materialized]
+
+    def similarity(self, first: Iterable[str], second: Iterable[str]) -> float:
+        """Cosine similarity between two token bags under the fitted model."""
+        return cosine_similarity(self.transform(first), self.transform(second))

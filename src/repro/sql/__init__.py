@@ -1,0 +1,43 @@
+"""SQL language substrate: tokenizer, parser, AST, features, diffs.
+
+This package provides everything the CQMS needs to understand SQL text:
+
+* :mod:`repro.sql.tokenizer` — lexical analysis.
+* :mod:`repro.sql.ast_nodes` — typed AST dataclasses.
+* :mod:`repro.sql.parser` — recursive-descent parser producing the AST.
+* :mod:`repro.sql.formatter` — render an AST back to SQL text.
+* :mod:`repro.sql.canonicalize` — normalization used for equality/similarity.
+* :mod:`repro.sql.features` — query-feature extraction (the Figure 1 relations).
+* :mod:`repro.sql.parse_tree` — generic parse-tree view and structural matching.
+* :mod:`repro.sql.diff` — structural diff between two queries (Figure 2 edges).
+"""
+
+from repro.sql.tokenizer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_expression
+from repro.sql.formatter import format_statement, format_expression
+from repro.sql.canonicalize import canonicalize, canonical_text, queries_equivalent
+from repro.sql.features import QueryFeatures, extract_features
+from repro.sql.diff import QueryDiff, DiffEntry, diff_queries
+from repro.sql.parse_tree import ParseTreeNode, to_parse_tree, tree_size, tree_edit_distance
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+    "parse_expression",
+    "format_statement",
+    "format_expression",
+    "canonicalize",
+    "canonical_text",
+    "queries_equivalent",
+    "QueryFeatures",
+    "extract_features",
+    "QueryDiff",
+    "DiffEntry",
+    "diff_queries",
+    "ParseTreeNode",
+    "to_parse_tree",
+    "tree_size",
+    "tree_edit_distance",
+]

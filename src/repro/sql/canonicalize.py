@@ -1,0 +1,351 @@
+"""Query canonicalization.
+
+The miner and the similarity functions need to decide when two queries are
+"the same analysis" even if they differ in irrelevant surface details such as
+identifier case, alias names, the order of FROM tables, or the order of the
+conjuncts in the WHERE clause.  The paper (Section 4.3) additionally suggests
+comparing parse trees *after removing constants*; :func:`canonicalize`
+supports that through ``strip_constants=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    FromItem,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Join,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.formatter import format_statement
+from repro.sql.parser import parse
+
+#: Placeholder used in place of literals when ``strip_constants`` is requested.
+_CONSTANT_PLACEHOLDER = "?"
+
+#: Comparison operators and their mirror when operands are swapped.
+_MIRROR_OPS = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def canonicalize(
+    statement: SelectStatement, strip_constants: bool = False
+) -> SelectStatement:
+    """Return a canonical form of a SELECT statement.
+
+    The canonical form:
+
+    * lower-cases table, alias, and column identifiers,
+    * replaces alias bindings with the lower-cased base-table name whenever the
+      alias is unambiguous (each base table appears once),
+    * sorts comma-separated FROM tables by name,
+    * flattens and sorts AND conjuncts (and OR disjuncts) deterministically,
+    * orients comparisons so the column reference is on the left when the
+      other side is a literal,
+    * optionally replaces every literal with the placeholder ``'?'``.
+
+    The result is *not* guaranteed to be semantically minimal — it is a
+    normal form good enough for equality and similarity comparisons, which is
+    exactly how the paper proposes to use it.
+    """
+    alias_map = _build_alias_map(statement.from_items)
+    return _canonicalize_select(statement, alias_map, strip_constants)
+
+
+def canonical_text(sql_or_statement, strip_constants: bool = False) -> str:
+    """Return the canonical SQL text for a query given as text or AST.
+
+    Non-SELECT statements are formatted directly (lower-casing identifiers is
+    not needed for them because the CQMS only mines SELECT workloads).
+    """
+    statement = sql_or_statement
+    if isinstance(statement, str):
+        statement = parse(statement)
+    if isinstance(statement, SelectStatement):
+        statement = canonicalize(statement, strip_constants=strip_constants)
+    return format_statement(statement)
+
+
+def queries_equivalent(first, second, strip_constants: bool = False) -> bool:
+    """Return True when two queries have the same canonical form.
+
+    Accepts SQL text or parsed statements.  This is a syntactic (not semantic)
+    equivalence: it is the notion of "duplicate query" used by the Query Miner
+    for deduplication and popularity counting.
+    """
+    return canonical_text(first, strip_constants) == canonical_text(second, strip_constants)
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers
+# ---------------------------------------------------------------------------
+
+
+def _build_alias_map(from_items: tuple[FromItem, ...]) -> dict[str, str]:
+    """Map each binding (alias or table name), lower-cased, to its target name.
+
+    If the same base table is aliased more than once (self-join), each alias
+    keeps its own identity (we cannot merge them without changing semantics),
+    so aliases map to themselves in that case.
+    """
+    bindings: list[tuple[str, str]] = []  # (binding, base table)
+    _collect_bindings(from_items, bindings)
+    table_counts: dict[str, int] = {}
+    for _, table in bindings:
+        table_counts[table] = table_counts.get(table, 0) + 1
+    alias_map: dict[str, str] = {}
+    for binding, table in bindings:
+        if table_counts[table] == 1:
+            alias_map[binding.lower()] = table.lower()
+        else:
+            alias_map[binding.lower()] = binding.lower()
+    return alias_map
+
+
+def _collect_bindings(from_items, bindings: list[tuple[str, str]]) -> None:
+    for item in from_items:
+        if isinstance(item, TableRef):
+            bindings.append((item.binding, item.name))
+        elif isinstance(item, SubqueryRef):
+            bindings.append((item.alias, item.alias))
+        elif isinstance(item, Join):
+            _collect_bindings((item.left, item.right), bindings)
+
+
+def _canonicalize_select(
+    statement: SelectStatement, alias_map: dict[str, str], strip_constants: bool
+) -> SelectStatement:
+    select_items = tuple(
+        SelectItem(
+            expression=_canon_expr(item.expression, alias_map, strip_constants),
+            alias=item.alias.lower() if item.alias else None,
+        )
+        for item in statement.select_items
+    )
+    from_items = _canon_from_items(statement.from_items, alias_map, strip_constants)
+    where = (
+        _canon_expr(statement.where, alias_map, strip_constants)
+        if statement.where is not None
+        else None
+    )
+    group_by = tuple(
+        sorted(
+            (_canon_expr(expr, alias_map, strip_constants) for expr in statement.group_by),
+            key=_expr_sort_key,
+        )
+    )
+    having = (
+        _canon_expr(statement.having, alias_map, strip_constants)
+        if statement.having is not None
+        else None
+    )
+    order_by = tuple(
+        OrderItem(
+            expression=_canon_expr(item.expression, alias_map, strip_constants),
+            ascending=item.ascending,
+        )
+        for item in statement.order_by
+    )
+    return SelectStatement(
+        select_items=select_items,
+        from_items=from_items,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=statement.limit,
+        offset=statement.offset,
+        distinct=statement.distinct,
+    )
+
+
+def _canon_from_items(
+    from_items: tuple[FromItem, ...], alias_map: dict[str, str], strip_constants: bool
+) -> tuple[FromItem, ...]:
+    canonical: list[FromItem] = []
+    for item in from_items:
+        canonical.append(_canon_from_item(item, alias_map, strip_constants))
+    # Sort only the comma-separated top-level items; join trees keep structure.
+    return tuple(sorted(canonical, key=_from_sort_key))
+
+
+def _canon_from_item(
+    item: FromItem, alias_map: dict[str, str], strip_constants: bool
+) -> FromItem:
+    if isinstance(item, TableRef):
+        name = item.name.lower()
+        binding = alias_map.get(item.binding.lower(), item.binding.lower())
+        alias = None if binding == name else binding
+        return TableRef(name=name, alias=alias)
+    if isinstance(item, SubqueryRef):
+        inner_alias_map = _build_alias_map(item.subquery.from_items)
+        return SubqueryRef(
+            subquery=_canonicalize_select(item.subquery, inner_alias_map, strip_constants),
+            alias=item.alias.lower(),
+        )
+    if isinstance(item, Join):
+        return Join(
+            join_type=item.join_type,
+            left=_canon_from_item(item.left, alias_map, strip_constants),
+            right=_canon_from_item(item.right, alias_map, strip_constants),
+            condition=(
+                _canon_expr(item.condition, alias_map, strip_constants)
+                if item.condition is not None
+                else None
+            ),
+        )
+    raise TypeError(f"unsupported FROM item: {type(item).__name__}")
+
+
+def _from_sort_key(item: FromItem) -> str:
+    if isinstance(item, TableRef):
+        return item.name
+    if isinstance(item, SubqueryRef):
+        return f"~subquery:{item.alias}"
+    if isinstance(item, Join):
+        return f"~join:{_from_sort_key(item.left)}"
+    return "~"
+
+
+def _canon_expr(expr: Expression, alias_map: dict[str, str], strip: bool) -> Expression:
+    if isinstance(expr, Literal):
+        if strip and expr.value is not None:
+            return Literal(_CONSTANT_PLACEHOLDER)
+        return expr
+    if isinstance(expr, ColumnRef):
+        table = alias_map.get(expr.table.lower(), expr.table.lower()) if expr.table else None
+        return ColumnRef(name=expr.name.lower(), table=table)
+    if isinstance(expr, Star):
+        table = alias_map.get(expr.table.lower(), expr.table.lower()) if expr.table else None
+        return Star(table=table)
+    if isinstance(expr, BinaryOp):
+        left = _canon_expr(expr.left, alias_map, strip)
+        right = _canon_expr(expr.right, alias_map, strip)
+        if expr.op in ("AND", "OR"):
+            conjuncts = _flatten_boolean(expr.op, left, right)
+            conjuncts.sort(key=_expr_sort_key)
+            return _rebuild_boolean(expr.op, conjuncts)
+        if expr.op in _MIRROR_OPS:
+            left, right, op = _orient_comparison(left, right, expr.op)
+            return BinaryOp(op=op, left=left, right=right)
+        return BinaryOp(op=expr.op, left=left, right=right)
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(op=expr.op, operand=_canon_expr(expr.operand, alias_map, strip))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            name=expr.name.upper(),
+            args=tuple(_canon_expr(arg, alias_map, strip) for arg in expr.args),
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, InList):
+        values = tuple(
+            sorted(
+                (_canon_expr(value, alias_map, strip) for value in expr.values),
+                key=_expr_sort_key,
+            )
+        )
+        return InList(
+            expr=_canon_expr(expr.expr, alias_map, strip), values=values, negated=expr.negated
+        )
+    if isinstance(expr, InSubquery):
+        inner_alias_map = _build_alias_map(expr.subquery.from_items)
+        return InSubquery(
+            expr=_canon_expr(expr.expr, alias_map, strip),
+            subquery=_canonicalize_select(expr.subquery, inner_alias_map, strip),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ExistsSubquery):
+        inner_alias_map = _build_alias_map(expr.subquery.from_items)
+        return ExistsSubquery(
+            subquery=_canonicalize_select(expr.subquery, inner_alias_map, strip),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ScalarSubquery):
+        inner_alias_map = _build_alias_map(expr.subquery.from_items)
+        return ScalarSubquery(
+            subquery=_canonicalize_select(expr.subquery, inner_alias_map, strip)
+        )
+    if isinstance(expr, Between):
+        return Between(
+            expr=_canon_expr(expr.expr, alias_map, strip),
+            low=_canon_expr(expr.low, alias_map, strip),
+            high=_canon_expr(expr.high, alias_map, strip),
+            negated=expr.negated,
+        )
+    if isinstance(expr, CaseExpression):
+        whens = tuple(
+            (
+                _canon_expr(condition, alias_map, strip),
+                _canon_expr(value, alias_map, strip),
+            )
+            for condition, value in expr.whens
+        )
+        default = (
+            _canon_expr(expr.default, alias_map, strip) if expr.default is not None else None
+        )
+        return CaseExpression(whens=whens, default=default)
+    raise TypeError(f"unsupported expression type: {type(expr).__name__}")
+
+
+def _flatten_boolean(op: str, *operands: Expression) -> list[Expression]:
+    flat: list[Expression] = []
+    for operand in operands:
+        if isinstance(operand, BinaryOp) and operand.op == op:
+            flat.extend(_flatten_boolean(op, operand.left, operand.right))
+        else:
+            flat.append(operand)
+    return flat
+
+
+def _rebuild_boolean(op: str, operands: list[Expression]) -> Expression:
+    result = operands[0]
+    for operand in operands[1:]:
+        result = BinaryOp(op=op, left=result, right=operand)
+    return result
+
+
+def _orient_comparison(
+    left: Expression, right: Expression, op: str
+) -> tuple[Expression, Expression, str]:
+    """Put the column reference on the left when compared against a literal."""
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        return right, left, _MIRROR_OPS[op]
+    if op == "=" and isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+        # Orient equality joins deterministically.
+        if _expr_sort_key(right) < _expr_sort_key(left):
+            return right, left, op
+    return left, right, op
+
+
+def _expr_sort_key(expr: Expression) -> str:
+    """A deterministic textual sort key for canonical ordering."""
+    from repro.sql.formatter import format_expression
+
+    return format_expression(expr)
+
+
+def strip_constants_statement(statement: SelectStatement) -> SelectStatement:
+    """Convenience wrapper: canonicalize with constants replaced by ``'?'``."""
+    return canonicalize(statement, strip_constants=True)
+
+
+def replace_limit(statement: SelectStatement, limit: int | None) -> SelectStatement:
+    """Return a copy of ``statement`` with a different LIMIT (used by browsing)."""
+    return replace(statement, limit=limit)

@@ -1,0 +1,256 @@
+"""Structural diff between two queries.
+
+Figure 2 of the paper visualizes a query session as a chain of queries whose
+edges are labelled with the *difference* between consecutive queries (e.g.
+"added relation WaterSalinity", "changed predicate to temp < 18", "added two
+predicates").  Figure 3 shows a "Diff" column (e.g. "-1 col, -1 pred") next to
+each recommended query.  This module computes exactly those differences from
+the feature representation of the two queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.features import QueryFeatures, extract_features
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One atomic difference between two queries.
+
+    ``kind`` is one of ``table``, ``projection``, ``predicate``, ``join``,
+    ``group_by``, ``order_by``, ``aggregate``, ``constant``; ``change`` is
+    ``added``, ``removed``, or ``changed``; ``detail`` is a human-readable
+    description of the element involved.
+    """
+
+    kind: str
+    change: str
+    detail: str
+
+    def __str__(self) -> str:
+        sign = {"added": "+", "removed": "-", "changed": "~"}[self.change]
+        return f"{sign}{self.kind}:{self.detail}"
+
+
+@dataclass
+class QueryDiff:
+    """The full diff between a source query and a target query."""
+
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def count(self, kind: str | None = None, change: str | None = None) -> int:
+        """Number of entries, optionally filtered by kind and/or change."""
+        return sum(
+            1
+            for entry in self.entries
+            if (kind is None or entry.kind == kind)
+            and (change is None or entry.change == change)
+        )
+
+    def summary(self) -> str:
+        """Compact summary in the style of the paper's Figure 3 "Diff" column.
+
+        Examples: ``"none"``, ``"-1 col, +2 pred"``, ``"+1 table, ~1 const"``.
+        """
+        if self.is_empty:
+            return "none"
+        labels = {
+            "table": "table",
+            "projection": "col",
+            "predicate": "pred",
+            "join": "join",
+            "group_by": "group",
+            "order_by": "order",
+            "aggregate": "agg",
+            "constant": "const",
+        }
+        counts: dict[tuple[str, str], int] = {}
+        for entry in self.entries:
+            key = (entry.change, labels.get(entry.kind, entry.kind))
+            counts[key] = counts.get(key, 0) + 1
+        sign = {"added": "+", "removed": "-", "changed": "~"}
+        parts = [
+            f"{sign[change]}{count} {label}"
+            for (change, label), count in sorted(counts.items(), key=lambda kv: kv[0])
+        ]
+        return ", ".join(parts)
+
+    def distance(self) -> int:
+        """Edit-style distance: number of atomic differences."""
+        return len(self.entries)
+
+    def described(self) -> list[str]:
+        """Human-readable description lines, one per entry."""
+        verbs = {"added": "added", "removed": "removed", "changed": "changed"}
+        nouns = {
+            "table": "relation",
+            "projection": "projected column",
+            "predicate": "predicate",
+            "join": "join condition",
+            "group_by": "grouping column",
+            "order_by": "ordering column",
+            "aggregate": "aggregate",
+            "constant": "constant",
+        }
+        return [
+            f"{verbs[entry.change]} {nouns.get(entry.kind, entry.kind)} {entry.detail}"
+            for entry in self.entries
+        ]
+
+
+def diff_queries(
+    source,
+    target,
+    schema_columns: dict[str, set[str]] | None = None,
+) -> QueryDiff:
+    """Compute the :class:`QueryDiff` from ``source`` to ``target``.
+
+    Both arguments may be SQL text, parsed statements, or already-extracted
+    :class:`~repro.sql.features.QueryFeatures` (the Query Miner passes feature
+    objects straight from the Query Storage to avoid re-parsing).
+    """
+    source_features = _as_features(source, schema_columns)
+    target_features = _as_features(target, schema_columns)
+    diff = QueryDiff()
+
+    _diff_sets(
+        diff,
+        "table",
+        set(source_features.tables),
+        set(target_features.tables),
+        lambda table: table,
+    )
+    _diff_sets(
+        diff,
+        "projection",
+        set(source_features.projections),
+        set(target_features.projections),
+        _format_attribute,
+    )
+    _diff_predicates(diff, source_features, target_features)
+    _diff_sets(
+        diff,
+        "join",
+        source_features.join_signatures(),
+        target_features.join_signatures(),
+        lambda join: f"{join[0]}.{join[1]} = {join[2]}.{join[3]}",
+    )
+    _diff_sets(
+        diff,
+        "group_by",
+        set(source_features.group_by),
+        set(target_features.group_by),
+        _format_attribute,
+    )
+    _diff_sets(
+        diff,
+        "order_by",
+        set(source_features.order_by),
+        set(target_features.order_by),
+        _format_attribute,
+    )
+    _diff_sets(
+        diff,
+        "aggregate",
+        set(source_features.aggregates),
+        set(target_features.aggregates),
+        lambda name: name,
+    )
+    return diff
+
+
+def feature_distance(
+    source,
+    target,
+    schema_columns: dict[str, set[str]] | None = None,
+) -> int:
+    """Shortcut: the number of atomic differences between two queries."""
+    return diff_queries(source, target, schema_columns).distance()
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+
+def _as_features(query, schema_columns) -> QueryFeatures:
+    if isinstance(query, QueryFeatures):
+        return query
+    return extract_features(query, schema_columns)
+
+
+def _format_attribute(pair: tuple[str, str]) -> str:
+    attribute, relation = pair
+    return f"{relation}.{attribute}"
+
+
+def _diff_sets(diff: QueryDiff, kind: str, source: set, target: set, describe) -> None:
+    for item in sorted(target - source, key=str):
+        diff.entries.append(DiffEntry(kind=kind, change="added", detail=describe(item)))
+    for item in sorted(source - target, key=str):
+        diff.entries.append(DiffEntry(kind=kind, change="removed", detail=describe(item)))
+
+
+def _diff_predicates(
+    diff: QueryDiff, source: QueryFeatures, target: QueryFeatures
+) -> None:
+    """Diff predicates, reporting constant-only changes as ``constant`` entries.
+
+    A predicate is identified by ``(attribute, relation, op)``; if the same
+    identity appears on both sides but with a different constant, that is a
+    "changed constant" (the Figure 2 session tries ``temp < 22``, ``< 10``,
+    ``< 18`` — those edges are constant changes, not predicate add/removes).
+    """
+    source_map: dict[tuple[str, str, str], set] = {}
+    for predicate in source.predicates:
+        key = (predicate.attribute, predicate.relation, predicate.op)
+        source_map.setdefault(key, set()).add(_hashable(predicate.constant))
+    target_map: dict[tuple[str, str, str], set] = {}
+    for predicate in target.predicates:
+        key = (predicate.attribute, predicate.relation, predicate.op)
+        target_map.setdefault(key, set()).add(_hashable(predicate.constant))
+
+    for key in sorted(set(target_map) - set(source_map)):
+        attribute, relation, op = key
+        for constant in sorted(target_map[key], key=str):
+            diff.entries.append(
+                DiffEntry(
+                    kind="predicate",
+                    change="added",
+                    detail=f"{relation}.{attribute} {op} {constant}",
+                )
+            )
+    for key in sorted(set(source_map) - set(target_map)):
+        attribute, relation, op = key
+        for constant in sorted(source_map[key], key=str):
+            diff.entries.append(
+                DiffEntry(
+                    kind="predicate",
+                    change="removed",
+                    detail=f"{relation}.{attribute} {op} {constant}",
+                )
+            )
+    for key in sorted(set(source_map) & set(target_map)):
+        if source_map[key] != target_map[key]:
+            attribute, relation, op = key
+            old = ", ".join(str(value) for value in sorted(source_map[key], key=str))
+            new = ", ".join(str(value) for value in sorted(target_map[key], key=str))
+            diff.entries.append(
+                DiffEntry(
+                    kind="constant",
+                    change="changed",
+                    detail=f"{relation}.{attribute} {op}: {old} -> {new}",
+                )
+            )
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(value)
+    return value

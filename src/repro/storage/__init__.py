@@ -1,0 +1,37 @@
+"""In-memory relational storage engine.
+
+This package is the "standard DBMS" of the paper's Figure 4: the CQMS server
+sits on top of it, forwards users' SQL to it, and also uses it to store the
+Query Storage feature relations.  It provides:
+
+* :mod:`repro.storage.types` — SQL value types and coercion,
+* :mod:`repro.storage.schema` — column and table schemas,
+* :mod:`repro.storage.catalog` — the system catalog with a schema-change log,
+* :mod:`repro.storage.table` — heap tables with secondary indexes,
+* :mod:`repro.storage.expression` — expression evaluation,
+* :mod:`repro.storage.statistics` — histograms, samples, selectivity estimates,
+* :mod:`repro.storage.executor` — the SQL executor,
+* :mod:`repro.storage.database` — the user-facing :class:`Database` facade.
+"""
+
+from repro.storage.types import DataType
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.catalog import Catalog, SchemaChange
+from repro.storage.table import Table
+from repro.storage.database import Database, QueryResult, ExecutionStats
+from repro.storage.statistics import Histogram, ReservoirSample, TableStatistics
+
+__all__ = [
+    "DataType",
+    "ColumnSchema",
+    "TableSchema",
+    "Catalog",
+    "SchemaChange",
+    "Table",
+    "Database",
+    "QueryResult",
+    "ExecutionStats",
+    "Histogram",
+    "ReservoirSample",
+    "TableStatistics",
+]

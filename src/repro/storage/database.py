@@ -1,0 +1,330 @@
+"""The :class:`Database` facade — the "standard DBMS" under the CQMS.
+
+It owns the catalog and the tables, parses and executes SQL, and reports
+per-statement execution statistics (elapsed time, cardinality, rows scanned)
+which the Query Profiler stores as runtime query features.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, ExecutionError
+from repro.storage.catalog import Catalog
+from repro.storage.executor import Executor
+from repro.storage.expression import Scope, evaluate, is_true
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.statistics import TableStatistics
+from repro.storage.table import Table
+from repro.storage.types import DataType
+from repro.sql.ast_nodes import (
+    AlterTableStatement,
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from repro.sql.parser import parse
+
+
+@dataclass
+class ExecutionStats:
+    """Runtime statistics of one executed statement."""
+
+    elapsed_seconds: float = 0.0
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    result_cardinality: int = 0
+    statement_kind: str = "select"
+
+
+@dataclass
+class QueryResult:
+    """The result of :meth:`Database.execute`."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    rowcount: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self) -> object:
+        """The first column of the first row, or None for an empty result."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[object]:
+        """All values of the named output column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+
+class Database:
+    """An in-memory relational database with a SQL interface.
+
+    The ``clock`` argument makes time injectable: the CQMS and the workload
+    generators use a simulated clock so that experiments are deterministic.
+    """
+
+    def __init__(self, name: str = "db", clock=None):
+        self.name = name
+        self._catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        self._clock = clock if clock is not None else time.monotonic
+
+    # -- catalog access ----------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    def schema_columns(self) -> dict[str, set[str]]:
+        """Schema map consumed by the SQL feature extractor."""
+        return self._catalog.schema_columns()
+
+    # -- schema management (programmatic API) --------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from a programmatic :class:`TableSchema`."""
+        self._catalog.register(schema, timestamp=self._now())
+        table = Table(schema)
+        self._tables[schema.name.lower()] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self._catalog.unregister(name, timestamp=self._now())
+        del self._tables[name.lower()]
+
+    def insert_rows(self, table_name: str, rows) -> int:
+        """Bulk-insert dictionaries into a table; returns the number inserted."""
+        table = self.table(table_name)
+        count = 0
+        for row in rows:
+            table.insert(row)
+            count += 1
+        return count
+
+    def statistics(self, table_name: str, refresh: bool = False) -> TableStatistics:
+        return self.table(table_name).statistics(refresh=refresh)
+
+    # -- execution ------------------------------------------------------------------
+
+    def execute(self, sql_or_statement, parameters: None = None) -> QueryResult:
+        """Parse (if needed) and execute one statement."""
+        statement: Statement = (
+            parse(sql_or_statement) if isinstance(sql_or_statement, str) else sql_or_statement
+        )
+        start = self._clock()
+        result = self._dispatch(statement)
+        result.stats.elapsed_seconds = max(0.0, self._clock() - start)
+        return result
+
+    def _dispatch(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement)
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, DropTableStatement):
+            return self._execute_drop_table(statement)
+        if isinstance(statement, AlterTableStatement):
+            return self._execute_alter_table(statement)
+        if isinstance(statement, CreateIndexStatement):
+            return self._execute_create_index(statement)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+        executor = Executor(self)
+        columns, rows = executor.execute_select(statement)
+        stats = ExecutionStats(
+            rows_scanned=executor.metrics.rows_scanned,
+            rows_joined=executor.metrics.rows_joined,
+            result_cardinality=len(rows),
+            statement_kind="select",
+        )
+        return QueryResult(columns=columns, rows=rows, stats=stats, rowcount=len(rows))
+
+    def _execute_insert(self, statement: InsertStatement) -> QueryResult:
+        table = self.table(statement.table)
+        count = 0
+        if statement.select is not None:
+            select_result = self._execute_select(statement.select)
+            target_columns = list(statement.columns) or table.schema.column_names
+            for row in select_result.rows:
+                table.insert(dict(zip(target_columns, row)))
+                count += 1
+        else:
+            scope = Scope({})
+            for row_exprs in statement.rows:
+                values = [evaluate(expr, scope, None) for expr in row_exprs]
+                target_columns = list(statement.columns) or table.schema.column_names
+                if len(values) != len(target_columns):
+                    raise ExecutionError(
+                        f"INSERT into {statement.table!r} supplies {len(values)} values "
+                        f"for {len(target_columns)} columns"
+                    )
+                table.insert(dict(zip(target_columns, values)))
+                count += 1
+        stats = ExecutionStats(statement_kind="insert", result_cardinality=count)
+        return QueryResult(stats=stats, rowcount=count)
+
+    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
+        table = self.table(statement.table)
+        executor = Executor(self)
+        count = 0
+        for row_id, row in list(table.scan()):
+            scope = Scope({statement.table: row})
+            if statement.where is None or is_true(
+                evaluate(statement.where, scope, executor._run_subquery)
+            ):
+                changes = {
+                    column: evaluate(value, scope, executor._run_subquery)
+                    for column, value in statement.assignments
+                }
+                table.update(row_id, changes)
+                count += 1
+        stats = ExecutionStats(statement_kind="update", result_cardinality=count)
+        return QueryResult(stats=stats, rowcount=count)
+
+    def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
+        table = self.table(statement.table)
+        executor = Executor(self)
+        doomed = []
+        for row_id, row in table.scan():
+            scope = Scope({statement.table: row})
+            if statement.where is None or is_true(
+                evaluate(statement.where, scope, executor._run_subquery)
+            ):
+                doomed.append(row_id)
+        for row_id in doomed:
+            table.delete(row_id)
+        stats = ExecutionStats(statement_kind="delete", result_cardinality=len(doomed))
+        return QueryResult(stats=stats, rowcount=len(doomed))
+
+    def _execute_create_table(self, statement: CreateTableStatement) -> QueryResult:
+        if self.has_table(statement.table):
+            if statement.if_not_exists:
+                return QueryResult(stats=ExecutionStats(statement_kind="create_table"))
+            raise CatalogError(f"table {statement.table!r} already exists")
+        columns = [
+            ColumnSchema(
+                name=column.name,
+                data_type=DataType.from_sql(column.type_name),
+                not_null=column.not_null,
+                primary_key=column.primary_key,
+                unique=column.unique,
+            )
+            for column in statement.columns
+        ]
+        self.create_table(TableSchema(name=statement.table, columns=columns))
+        return QueryResult(stats=ExecutionStats(statement_kind="create_table"))
+
+    def _execute_drop_table(self, statement: DropTableStatement) -> QueryResult:
+        if not self.has_table(statement.table):
+            if statement.if_exists:
+                return QueryResult(stats=ExecutionStats(statement_kind="drop_table"))
+            raise CatalogError(f"unknown table {statement.table!r}")
+        self.drop_table(statement.table)
+        return QueryResult(stats=ExecutionStats(statement_kind="drop_table"))
+
+    def _execute_alter_table(self, statement: AlterTableStatement) -> QueryResult:
+        table = self.table(statement.table)
+        timestamp = self._now()
+        if statement.action == "add_column":
+            assert statement.column is not None
+            column = ColumnSchema(
+                name=statement.column.name,
+                data_type=DataType.from_sql(statement.column.type_name),
+                not_null=statement.column.not_null,
+                unique=statement.column.unique,
+            )
+            table.add_column(column)
+            self._catalog.replace_schema(
+                statement.table,
+                table.schema,
+                kind="add_column",
+                detail=column.name,
+                timestamp=timestamp,
+            )
+        elif statement.action == "drop_column":
+            table.drop_column(statement.column_name)
+            self._catalog.replace_schema(
+                statement.table,
+                table.schema,
+                kind="drop_column",
+                detail=statement.column_name or "",
+                timestamp=timestamp,
+            )
+        elif statement.action == "rename_column":
+            table.rename_column(statement.column_name, statement.new_name)
+            self._catalog.replace_schema(
+                statement.table,
+                table.schema,
+                kind="rename_column",
+                detail=f"{statement.column_name}->{statement.new_name}",
+                timestamp=timestamp,
+            )
+        elif statement.action == "rename_table":
+            old_name = statement.table
+            table.rename(statement.new_name)
+            self._tables[statement.new_name.lower()] = table
+            del self._tables[old_name.lower()]
+            self._catalog.replace_schema(
+                old_name,
+                table.schema,
+                kind="rename_table",
+                detail=f"{old_name}->{statement.new_name}",
+                timestamp=timestamp,
+            )
+        else:
+            raise ExecutionError(f"unsupported ALTER action {statement.action!r}")
+        return QueryResult(stats=ExecutionStats(statement_kind="alter_table"))
+
+    def _execute_create_index(self, statement: CreateIndexStatement) -> QueryResult:
+        table = self.table(statement.table)
+        table.create_index(statement.name, statement.column, unique=statement.unique)
+        return QueryResult(stats=ExecutionStats(statement_kind="create_index"))
+
+    # -- misc ---------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return float(self._clock())
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables (used in tests and examples)."""
+        return sum(len(table) for table in self._tables.values())

@@ -1,0 +1,811 @@
+"""SQL executor.
+
+Executes parsed statements against the tables owned by a
+:class:`~repro.storage.database.Database`.  The SELECT pipeline implements a
+small but real query processor:
+
+* predicate pushdown of single-table conjuncts,
+* hash joins for equi-join conjuncts (essential for the CQMS meta-queries,
+  which join the ``Attributes`` feature relation with itself as in Figure 1),
+* nested-loop fallback and LEFT/RIGHT outer joins,
+* grouping and aggregation (COUNT/SUM/AVG/MIN/MAX, DISTINCT),
+* HAVING, ORDER BY (including select-list aliases), DISTINCT, LIMIT/OFFSET,
+* correlated and uncorrelated subqueries (IN / EXISTS / scalar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.storage.expression import Scope, evaluate, is_true
+from repro.storage.types import sort_key
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    Between,
+    CaseExpression,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    FromItem,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Join,
+    Literal,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+
+
+@dataclass
+class RelationData:
+    """An intermediate relation: an ordered binding list plus its rows.
+
+    ``bindings`` maps binding name → ordered column names; ``rows`` are
+    dictionaries binding name → row dict.
+    """
+
+    bindings: list[tuple[str, list[str]]]
+    rows: list[dict[str, dict[str, object]]]
+
+    @property
+    def binding_names(self) -> list[str]:
+        return [name for name, _ in self.bindings]
+
+
+@dataclass
+class ExecutorMetrics:
+    """Counters describing the work done by one statement execution."""
+
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    rows_output: int = 0
+
+
+class Executor:
+    """Executes statements against a table provider.
+
+    ``table_provider`` must expose ``table(name) -> Table`` and
+    ``catalog`` (used only for error messages here; DDL is handled by the
+    Database facade, not the executor).
+    """
+
+    def __init__(self, table_provider):
+        self._provider = table_provider
+        self.metrics = ExecutorMetrics()
+
+    # -- public entry points --------------------------------------------------
+
+    def execute_select(
+        self, statement: SelectStatement, outer_scope: Scope | None = None
+    ) -> tuple[list[str], list[tuple]]:
+        """Run a SELECT and return ``(column_names, rows)``."""
+        self.metrics = ExecutorMetrics()
+        return self._select(statement, outer_scope)
+
+    # -- SELECT pipeline --------------------------------------------------------
+
+    def _select(
+        self, statement: SelectStatement, outer_scope: Scope | None
+    ) -> tuple[list[str], list[tuple]]:
+        relation, residual = self._compile_from(statement, outer_scope)
+        filtered = (
+            self._filter_relation(relation, residual, outer_scope) if residual else relation
+        )
+
+        has_aggregates = self._statement_has_aggregates(statement)
+        if statement.group_by or has_aggregates:
+            columns, rows = self._aggregate(statement, filtered, outer_scope)
+        else:
+            columns, rows = self._project(statement, filtered, outer_scope)
+            rows = self._order_rows(statement, filtered, rows, columns, outer_scope)
+        if statement.distinct:
+            rows = _distinct(rows)
+        rows = _apply_limit(rows, statement.limit, statement.offset)
+        self.metrics.rows_output = len(rows)
+        return columns, rows
+
+    # -- FROM clause -----------------------------------------------------------
+
+    def _compile_from(
+        self, statement: SelectStatement, outer_scope: Scope | None
+    ) -> tuple[RelationData, list[Expression]]:
+        """Compile the FROM clause; returns the relation and residual conjuncts.
+
+        Residual conjuncts are WHERE conjuncts that could not be pushed down or
+        applied during join planning (e.g. those containing subqueries); the
+        caller applies them after the joins.
+        """
+        if not statement.from_items:
+            return RelationData(bindings=[], rows=[{}]), _split_conjuncts(statement.where)
+        conjuncts = _split_conjuncts(statement.where)
+        # Compile each top-level item; INNER join trees are flattened so their
+        # ON conditions join the global conjunct pool for hash-join planning.
+        leaves: list[RelationData] = []
+        pending_outer: list[tuple[str, RelationData, Expression | None]] = []
+        for item in statement.from_items:
+            flattened, extra_conjuncts, outer_joins = self._flatten_from_item(
+                item, outer_scope
+            )
+            conjuncts.extend(extra_conjuncts)
+            leaves.extend(flattened)
+            pending_outer.extend(outer_joins)
+
+        relation, residual = self._join_leaves(leaves, conjuncts, outer_scope)
+        for join_type, right_relation, condition in pending_outer:
+            relation = self._outer_join(relation, right_relation, condition, join_type, outer_scope)
+        return relation, residual
+
+    def _flatten_from_item(
+        self, item: FromItem, outer_scope: Scope | None
+    ) -> tuple[list[RelationData], list[Expression], list[tuple[str, RelationData, Expression | None]]]:
+        """Flatten an item into leaf relations, join conjuncts, and outer joins."""
+        if isinstance(item, TableRef):
+            return [self._scan_table(item)], [], []
+        if isinstance(item, SubqueryRef):
+            return [self._scan_subquery(item, outer_scope)], [], []
+        if isinstance(item, Join):
+            if item.join_type in ("INNER", "CROSS"):
+                left_leaves, left_conjuncts, left_outer = self._flatten_from_item(
+                    item.left, outer_scope
+                )
+                right_leaves, right_conjuncts, right_outer = self._flatten_from_item(
+                    item.right, outer_scope
+                )
+                conjuncts = left_conjuncts + right_conjuncts
+                if item.condition is not None:
+                    conjuncts.extend(_split_conjuncts(item.condition))
+                return left_leaves + right_leaves, conjuncts, left_outer + right_outer
+            # LEFT / RIGHT / FULL outer joins are applied after inner joins.
+            left_leaves, left_conjuncts, left_outer = self._flatten_from_item(
+                item.left, outer_scope
+            )
+            right_relation = self._compile_item_fully(item.right, outer_scope)
+            outer = left_outer + [(item.join_type, right_relation, item.condition)]
+            return left_leaves, left_conjuncts, outer
+        raise ExecutionError(f"unsupported FROM item {type(item).__name__}")
+
+    def _compile_item_fully(self, item: FromItem, outer_scope: Scope | None) -> RelationData:
+        leaves, conjuncts, outer = self._flatten_from_item(item, outer_scope)
+        relation, residual = self._join_leaves(leaves, conjuncts, outer_scope)
+        for join_type, right_relation, condition in outer:
+            relation = self._outer_join(relation, right_relation, condition, join_type, outer_scope)
+        if residual:
+            relation = self._filter_relation(relation, residual, outer_scope)
+        return relation
+
+    def _scan_table(self, ref: TableRef) -> RelationData:
+        table = self._provider.table(ref.name)
+        binding = ref.binding
+        columns = table.schema.column_names
+        rows = [{binding: row} for row in table.rows()]
+        self.metrics.rows_scanned += len(rows)
+        return RelationData(bindings=[(binding, list(columns))], rows=rows)
+
+    def _scan_subquery(self, ref: SubqueryRef, outer_scope: Scope | None) -> RelationData:
+        columns, tuples = self._select(ref.subquery, outer_scope)
+        rows = [
+            {ref.alias: dict(zip(columns, values))}
+            for values in tuples
+        ]
+        return RelationData(bindings=[(ref.alias, list(columns))], rows=rows)
+
+    # -- join planning -----------------------------------------------------------
+
+    def _join_leaves(
+        self,
+        leaves: list[RelationData],
+        conjuncts: list[Expression],
+        outer_scope: Scope | None,
+    ) -> tuple[RelationData, list[Expression]]:
+        if not leaves:
+            return RelationData(bindings=[], rows=[{}]), list(conjuncts)
+        column_owner = self._column_ownership(leaves)
+
+        # Push single-binding conjuncts down to their leaf.  Conjuncts whose
+        # binding is not among these leaves (e.g. it belongs to the right side
+        # of an outer join) stay in the residual list.
+        leaf_bindings = {
+            name.lower() for leaf in leaves for name in leaf.binding_names
+        }
+        remaining: list[Expression] = []
+        per_leaf: dict[str, list[Expression]] = {}
+        for conjunct in conjuncts:
+            bindings = _conjunct_bindings(conjunct, column_owner)
+            if (
+                bindings is not None
+                and len(bindings) == 1
+                and next(iter(bindings)) in leaf_bindings
+            ):
+                per_leaf.setdefault(next(iter(bindings)), []).append(conjunct)
+            else:
+                remaining.append(conjunct)
+        filtered_leaves = []
+        for leaf in leaves:
+            predicates = []
+            for name in leaf.binding_names:
+                predicates.extend(per_leaf.get(name.lower(), []))
+            if predicates:
+                leaf = self._filter_relation(leaf, predicates, outer_scope)
+            filtered_leaves.append(leaf)
+
+        # Greedy left-to-right join using hash joins on available equi-conjuncts.
+        current = filtered_leaves[0]
+        pending = list(filtered_leaves[1:])
+        unjoined_conjuncts = remaining
+        while pending:
+            current_bindings = {name.lower() for name in current.binding_names}
+            # Prefer a leaf connected to the current result by an equi-join.
+            chosen_index = 0
+            chosen_equi: list[tuple[Expression, ColumnRef, ColumnRef]] = []
+            for index, leaf in enumerate(pending):
+                equi = _find_equi_joins(
+                    unjoined_conjuncts, current_bindings,
+                    {name.lower() for name in leaf.binding_names}, column_owner,
+                )
+                if equi:
+                    chosen_index, chosen_equi = index, equi
+                    break
+            leaf = pending.pop(chosen_index)
+            current = self._hash_or_nested_join(current, leaf, chosen_equi, outer_scope)
+            used = {id(conjunct) for conjunct, _, _ in chosen_equi}
+            unjoined_conjuncts = [c for c in unjoined_conjuncts if id(c) not in used]
+            # Apply any conjunct now fully covered by the joined bindings.
+            current_bindings = {name.lower() for name in current.binding_names}
+            applicable = []
+            still_remaining = []
+            for conjunct in unjoined_conjuncts:
+                bindings = _conjunct_bindings(conjunct, column_owner)
+                if bindings is not None and bindings <= current_bindings:
+                    applicable.append(conjunct)
+                else:
+                    still_remaining.append(conjunct)
+            if applicable:
+                current = self._filter_relation(current, applicable, outer_scope)
+            unjoined_conjuncts = still_remaining
+        return current, unjoined_conjuncts
+
+    def _hash_or_nested_join(
+        self,
+        left: RelationData,
+        right: RelationData,
+        equi: list[tuple[Expression, ColumnRef, ColumnRef]],
+        outer_scope: Scope | None,
+    ) -> RelationData:
+        bindings = left.bindings + right.bindings
+        if equi:
+            left_keys = [pair[1] for pair in equi]
+            right_keys = [pair[2] for pair in equi]
+            table: dict[tuple, list[dict]] = {}
+            for row in right.rows:
+                scope = Scope(row, parent=outer_scope)
+                key = tuple(scope.resolve(column) for column in right_keys)
+                if any(value is None for value in key):
+                    continue
+                table.setdefault(key, []).append(row)
+            joined: list[dict] = []
+            for row in left.rows:
+                scope = Scope(row, parent=outer_scope)
+                key = tuple(scope.resolve(column) for column in left_keys)
+                if any(value is None for value in key):
+                    continue
+                for match in table.get(key, ()):
+                    combined = dict(row)
+                    combined.update(match)
+                    joined.append(combined)
+            self.metrics.rows_joined += len(joined)
+            return RelationData(bindings=bindings, rows=joined)
+        joined = []
+        for left_row in left.rows:
+            for right_row in right.rows:
+                combined = dict(left_row)
+                combined.update(right_row)
+                joined.append(combined)
+        self.metrics.rows_joined += len(joined)
+        return RelationData(bindings=bindings, rows=joined)
+
+    def _outer_join(
+        self,
+        left: RelationData,
+        right: RelationData,
+        condition: Expression | None,
+        join_type: str,
+        outer_scope: Scope | None,
+    ) -> RelationData:
+        if join_type == "RIGHT":
+            # A RIGHT join is a LEFT join with the operands swapped.
+            return self._outer_join(right, left, condition, "LEFT", outer_scope)
+        bindings = left.bindings + right.bindings
+        null_right = {
+            name: {column: None for column in columns} for name, columns in right.bindings
+        }
+        joined: list[dict] = []
+        matched_right: set[int] = set()
+        for left_row in left.rows:
+            matched = False
+            for index, right_row in enumerate(right.rows):
+                combined = dict(left_row)
+                combined.update(right_row)
+                scope = Scope(combined, parent=outer_scope)
+                if condition is None or is_true(
+                    evaluate(condition, scope, self._run_subquery)
+                ):
+                    joined.append(combined)
+                    matched = True
+                    matched_right.add(index)
+            if not matched:
+                combined = dict(left_row)
+                combined.update(null_right)
+                joined.append(combined)
+        if join_type == "FULL":
+            null_left = {
+                name: {column: None for column in columns} for name, columns in left.bindings
+            }
+            for index, right_row in enumerate(right.rows):
+                if index not in matched_right:
+                    combined = dict(null_left)
+                    combined.update(right_row)
+                    joined.append(combined)
+        self.metrics.rows_joined += len(joined)
+        return RelationData(bindings=bindings, rows=joined)
+
+    def _filter_relation(
+        self, relation: RelationData, predicates: list[Expression], outer_scope: Scope | None
+    ) -> RelationData:
+        rows = []
+        for row in relation.rows:
+            scope = Scope(row, parent=outer_scope)
+            if all(
+                is_true(evaluate(predicate, scope, self._run_subquery))
+                for predicate in predicates
+            ):
+                rows.append(row)
+        return RelationData(bindings=relation.bindings, rows=rows)
+
+    def _column_ownership(self, leaves: list[RelationData]) -> dict[str, set[str]]:
+        """Map lower-cased column name → set of binding names that provide it."""
+        ownership: dict[str, set[str]] = {}
+        for leaf in leaves:
+            for binding, columns in leaf.bindings:
+                for column in columns:
+                    ownership.setdefault(column.lower(), set()).add(binding.lower())
+        return ownership
+
+    # -- projection ----------------------------------------------------------------
+
+    def _project(
+        self, statement: SelectStatement, relation: RelationData, outer_scope: Scope | None
+    ) -> tuple[list[str], list[tuple]]:
+        columns = self._output_columns(statement, relation)
+        rows: list[tuple] = []
+        for row in relation.rows:
+            scope = Scope(row, parent=outer_scope)
+            rows.append(tuple(self._evaluate_output(statement, relation, scope)))
+        return columns, rows
+
+    def _output_columns(
+        self, statement: SelectStatement, relation: RelationData
+    ) -> list[str]:
+        columns: list[str] = []
+        for item in statement.select_items:
+            expr = item.expression
+            if isinstance(expr, Star):
+                columns.extend(self._star_columns(expr, relation))
+            elif item.alias:
+                columns.append(item.alias)
+            elif isinstance(expr, ColumnRef):
+                columns.append(expr.name)
+            elif isinstance(expr, FunctionCall):
+                columns.append(expr.name.lower())
+            else:
+                columns.append(f"column{len(columns) + 1}")
+        return columns
+
+    def _star_columns(self, star: Star, relation: RelationData) -> list[str]:
+        names: list[str] = []
+        for binding, columns in relation.bindings:
+            if star.table is None or binding.lower() == star.table.lower():
+                names.extend(columns)
+        if not names and star.table is not None:
+            raise ExecutionError(f"unknown table alias {star.table!r} in select list")
+        return names
+
+    def _evaluate_output(
+        self, statement: SelectStatement, relation: RelationData, scope: Scope
+    ) -> list[object]:
+        values: list[object] = []
+        for item in statement.select_items:
+            expr = item.expression
+            if isinstance(expr, Star):
+                values.extend(self._star_values(expr, relation, scope))
+            else:
+                values.append(evaluate(expr, scope, self._run_subquery))
+        return values
+
+    def _star_values(
+        self, star: Star, relation: RelationData, scope: Scope
+    ) -> list[object]:
+        values: list[object] = []
+        for binding, columns in relation.bindings:
+            if star.table is None or binding.lower() == star.table.lower():
+                row = scope.bindings.get(binding.lower(), {})
+                for column in columns:
+                    values.append(row.get(column))
+        return values
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def _statement_has_aggregates(self, statement: SelectStatement) -> bool:
+        expressions = [item.expression for item in statement.select_items]
+        if statement.having is not None:
+            expressions.append(statement.having)
+        expressions.extend(item.expression for item in statement.order_by)
+        return any(_has_aggregate(expr) for expr in expressions)
+
+    def _aggregate(
+        self, statement: SelectStatement, relation: RelationData, outer_scope: Scope | None
+    ) -> tuple[list[str], list[tuple]]:
+        groups: dict[tuple, list[dict]] = {}
+        order: list[tuple] = []
+        for row in relation.rows:
+            scope = Scope(row, parent=outer_scope)
+            key = tuple(
+                _hashable(evaluate(expr, scope, self._run_subquery))
+                for expr in statement.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        if not statement.group_by and not groups:
+            groups[()] = []
+            order.append(())
+
+        columns = self._output_columns(statement, relation)
+        result_rows: list[tuple] = []
+        keyed_rows: list[tuple[tuple, dict | None, tuple]] = []
+        for key in order:
+            group_rows = groups[key]
+            representative = group_rows[0] if group_rows else {}
+            scope = Scope(representative, parent=outer_scope)
+            if statement.having is not None:
+                having_value = self._evaluate_aggregate_expr(
+                    statement.having, group_rows, scope, outer_scope
+                )
+                if not is_true(having_value):
+                    continue
+            values: list[object] = []
+            for item in statement.select_items:
+                expr = item.expression
+                if isinstance(expr, Star):
+                    values.extend(self._star_values(expr, relation, scope))
+                else:
+                    values.append(
+                        self._evaluate_aggregate_expr(expr, group_rows, scope, outer_scope)
+                    )
+            result_rows.append(tuple(values))
+            keyed_rows.append((key, representative, tuple(values)))
+
+        if statement.order_by:
+            alias_map = {
+                (item.alias or "").lower(): index
+                for index, item in enumerate(statement.select_items)
+                if item.alias
+            }
+            column_map = {name.lower(): index for index, name in enumerate(columns)}
+
+            def order_key(entry):
+                key, representative, values = entry
+                scope = Scope(representative or {}, parent=outer_scope)
+                keys = []
+                for order_item in statement.order_by:
+                    value = self._order_value(
+                        order_item.expression,
+                        groups.get(key, []),
+                        scope,
+                        outer_scope,
+                        alias_map,
+                        column_map,
+                        values,
+                    )
+                    keys.append(
+                        sort_key(value) if order_item.ascending else _Reversed(sort_key(value))
+                    )
+                return tuple(keys)
+
+            keyed_rows.sort(key=order_key)
+            result_rows = [values for _, _, values in keyed_rows]
+        return columns, result_rows
+
+    def _order_value(
+        self, expr, group_rows, scope, outer_scope, alias_map, column_map, values
+    ):
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            lowered = expr.name.lower()
+            if lowered in alias_map:
+                return values[alias_map[lowered]]
+            if lowered in column_map and not scope.has_column(expr):
+                return values[column_map[lowered]]
+        return self._evaluate_aggregate_expr(expr, group_rows, scope, outer_scope)
+
+    def _evaluate_aggregate_expr(
+        self, expr: Expression, group_rows: list[dict], scope: Scope, outer_scope: Scope | None
+    ) -> object:
+        if isinstance(expr, FunctionCall) and expr.is_aggregate:
+            return self._compute_aggregate(expr, group_rows, outer_scope)
+        if isinstance(expr, BinaryOp):
+            left = self._evaluate_aggregate_expr(expr.left, group_rows, scope, outer_scope)
+            right = self._evaluate_aggregate_expr(expr.right, group_rows, scope, outer_scope)
+            return evaluate(
+                BinaryOp(op=expr.op, left=Literal(left), right=Literal(right)),
+                scope,
+                self._run_subquery,
+            )
+        if isinstance(expr, UnaryOp):
+            operand = self._evaluate_aggregate_expr(expr.operand, group_rows, scope, outer_scope)
+            return evaluate(
+                UnaryOp(op=expr.op, operand=Literal(operand)), scope, self._run_subquery
+            )
+        if _has_aggregate(expr):
+            raise ExecutionError(
+                "aggregates may only appear at the top level of an expression or "
+                "inside simple arithmetic/boolean combinations"
+            )
+        return evaluate(expr, scope, self._run_subquery)
+
+    def _compute_aggregate(
+        self, call: FunctionCall, group_rows: list[dict], outer_scope: Scope | None
+    ) -> object:
+        name = call.name.upper()
+        if name == "COUNT" and (not call.args or isinstance(call.args[0], Star)):
+            return len(group_rows)
+        if not call.args:
+            raise ExecutionError(f"aggregate {name} requires an argument")
+        argument = call.args[0]
+        values = []
+        for row in group_rows:
+            scope = Scope(row, parent=outer_scope)
+            value = evaluate(argument, scope, self._run_subquery)
+            if value is not None:
+                values.append(value)
+        if call.distinct:
+            unique = []
+            seen = set()
+            for value in values:
+                key = _hashable(value)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(value)
+            values = unique
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            return sum(values)
+        if name == "AVG":
+            return sum(values) / len(values)
+        if name == "MIN":
+            return min(values, key=sort_key)
+        if name == "MAX":
+            return max(values, key=sort_key)
+        raise ExecutionError(f"unknown aggregate {name}")
+
+    # -- ordering -------------------------------------------------------------------
+
+    def _order_rows(
+        self,
+        statement: SelectStatement,
+        relation: RelationData,
+        rows: list[tuple],
+        columns: list[str],
+        outer_scope: Scope | None,
+    ) -> list[tuple]:
+        if not statement.order_by:
+            return rows
+        alias_map = {
+            (item.alias or "").lower(): index
+            for index, item in enumerate(statement.select_items)
+            if item.alias
+        }
+        column_map = {name.lower(): index for index, name in enumerate(columns)}
+        decorated = list(zip(relation.rows, rows))
+
+        def order_key(entry):
+            source_row, output_row = entry
+            scope = Scope(source_row, parent=outer_scope)
+            keys = []
+            for order_item in statement.order_by:
+                expr = order_item.expression
+                value = None
+                resolved = False
+                if isinstance(expr, ColumnRef) and expr.table is None:
+                    lowered = expr.name.lower()
+                    if lowered in alias_map:
+                        value = output_row[alias_map[lowered]]
+                        resolved = True
+                    elif not scope.has_column(expr) and lowered in column_map:
+                        value = output_row[column_map[lowered]]
+                        resolved = True
+                if not resolved:
+                    value = evaluate(expr, scope, self._run_subquery)
+                keys.append(
+                    sort_key(value) if order_item.ascending else _Reversed(sort_key(value))
+                )
+            return tuple(keys)
+
+        decorated.sort(key=order_key)
+        return [output_row for _, output_row in decorated]
+
+    # -- subqueries -------------------------------------------------------------------
+
+    def _run_subquery(self, subquery: SelectStatement, scope: Scope) -> list[tuple]:
+        nested = Executor(self._provider)
+        _, rows = nested._select(subquery, scope)
+        self.metrics.rows_scanned += nested.metrics.rows_scanned
+        return rows
+
+
+class _Reversed:
+    """Wrap a sort key to invert its ordering (for ORDER BY ... DESC)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _split_conjuncts(expr: Expression | None) -> list[Expression]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _conjunct_bindings(
+    expr: Expression, column_owner: dict[str, set[str]]
+) -> set[str] | None:
+    """The set of bindings a conjunct references, or None when undecidable.
+
+    Undecidable cases (subqueries, unqualified columns owned by several
+    bindings) force the conjunct to be evaluated only after the full join.
+    """
+    bindings: set[str] = set()
+    for node in _walk_no_subquery(expr):
+        if isinstance(node, (InSubquery, ExistsSubquery, ScalarSubquery)):
+            return None
+        if isinstance(node, ColumnRef):
+            if node.table:
+                bindings.add(node.table.lower())
+            else:
+                owners = column_owner.get(node.name.lower(), set())
+                if len(owners) == 1:
+                    bindings.add(next(iter(owners)))
+                else:
+                    return None
+    return bindings
+
+
+def _walk_no_subquery(expr: Expression):
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from _walk_no_subquery(expr.left)
+        yield from _walk_no_subquery(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from _walk_no_subquery(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from _walk_no_subquery(arg)
+    elif isinstance(expr, InList):
+        yield from _walk_no_subquery(expr.expr)
+        for value in expr.values:
+            yield from _walk_no_subquery(value)
+    elif isinstance(expr, Between):
+        yield from _walk_no_subquery(expr.expr)
+        yield from _walk_no_subquery(expr.low)
+        yield from _walk_no_subquery(expr.high)
+    elif isinstance(expr, CaseExpression):
+        for condition, value in expr.whens:
+            yield from _walk_no_subquery(condition)
+            yield from _walk_no_subquery(value)
+        if expr.default is not None:
+            yield from _walk_no_subquery(expr.default)
+    elif isinstance(expr, (InSubquery, ExistsSubquery, ScalarSubquery)):
+        if isinstance(expr, InSubquery):
+            yield from _walk_no_subquery(expr.expr)
+
+
+def _find_equi_joins(
+    conjuncts: list[Expression],
+    left_bindings: set[str],
+    right_bindings: set[str],
+    column_owner: dict[str, set[str]],
+) -> list[tuple[Expression, ColumnRef, ColumnRef]]:
+    """Equality conjuncts connecting the two binding sets, as (expr, left, right)."""
+    matches = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+            continue
+        if not isinstance(conjunct.left, ColumnRef) or not isinstance(
+            conjunct.right, ColumnRef
+        ):
+            continue
+        first = _resolve_binding(conjunct.left, column_owner)
+        second = _resolve_binding(conjunct.right, column_owner)
+        if first is None or second is None:
+            continue
+        if first in left_bindings and second in right_bindings:
+            matches.append((conjunct, conjunct.left, conjunct.right))
+        elif second in left_bindings and first in right_bindings:
+            matches.append((conjunct, conjunct.right, conjunct.left))
+    return matches
+
+
+def _resolve_binding(column: ColumnRef, column_owner: dict[str, set[str]]) -> str | None:
+    if column.table:
+        return column.table.lower()
+    owners = column_owner.get(column.name.lower(), set())
+    if len(owners) == 1:
+        return next(iter(owners))
+    return None
+
+
+def _has_aggregate(expr: Expression) -> bool:
+    if isinstance(expr, FunctionCall) and expr.is_aggregate:
+        return True
+    if isinstance(expr, BinaryOp):
+        return _has_aggregate(expr.left) or _has_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, FunctionCall):
+        return any(_has_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, CaseExpression):
+        return any(
+            _has_aggregate(condition) or _has_aggregate(value)
+            for condition, value in expr.whens
+        ) or (expr.default is not None and _has_aggregate(expr.default))
+    return False
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+def _distinct(rows: list[tuple]) -> list[tuple]:
+    seen = set()
+    unique = []
+    for row in rows:
+        key = tuple(_hashable(value) for value in row)
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+def _apply_limit(rows: list[tuple], limit: int | None, offset: int | None) -> list[tuple]:
+    start = offset or 0
+    if limit is None:
+        return rows[start:] if start else rows
+    return rows[start : start + limit]

@@ -1,0 +1,366 @@
+"""Expression evaluation against row scopes.
+
+The evaluator implements a pragmatic subset of SQL semantics:
+
+* three-valued logic for comparisons involving NULL (comparisons with NULL
+  are *unknown*; ``WHERE`` treats unknown as false),
+* ``LIKE`` with ``%`` and ``_`` wildcards,
+* arithmetic with NULL propagation,
+* correlated subqueries through chained scopes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import ExecutionError
+from repro.storage.types import compare_values
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Literal,
+    ScalarSubquery,
+    SelectStatement,
+    Star,
+    UnaryOp,
+)
+
+#: Type of the callback used to run nested subqueries.  It receives the
+#: subquery and the enclosing scope (for correlated references) and returns a
+#: list of result tuples.
+SubqueryRunner = Callable[[SelectStatement, "Scope"], list[tuple]]
+
+
+class Scope:
+    """A row scope: bindings of table aliases to row dicts, with a parent chain.
+
+    ``extras`` holds additional named values (select-list aliases usable in
+    ORDER BY / HAVING).
+    """
+
+    def __init__(
+        self,
+        bindings: dict[str, dict[str, object]],
+        parent: "Scope | None" = None,
+        extras: dict[str, object] | None = None,
+    ):
+        self._bindings = {name.lower(): row for name, row in bindings.items()}
+        self._parent = parent
+        self._extras = {name.lower(): value for name, value in (extras or {}).items()}
+
+    @property
+    def bindings(self) -> dict[str, dict[str, object]]:
+        return self._bindings
+
+    def child(self, bindings: dict[str, dict[str, object]]) -> "Scope":
+        return Scope(bindings, parent=self)
+
+    def with_extras(self, extras: dict[str, object]) -> "Scope":
+        merged = dict(self._extras)
+        merged.update({name.lower(): value for name, value in extras.items()})
+        scope = Scope({}, parent=self)
+        scope._extras = merged
+        return scope
+
+    def resolve(self, column: ColumnRef) -> object:
+        """Resolve a column reference to its value.
+
+        Raises :class:`~repro.errors.ExecutionError` for unknown or ambiguous
+        references.
+        """
+        name = column.name.lower()
+        if column.table:
+            binding = column.table.lower()
+            row = self._bindings.get(binding)
+            if row is not None:
+                for key, value in row.items():
+                    if key.lower() == name:
+                        return value
+                raise ExecutionError(
+                    f"column {column.name!r} not found in {column.table!r}"
+                )
+            if self._parent is not None:
+                return self._parent.resolve(column)
+            raise ExecutionError(f"unknown table alias {column.table!r}")
+        matches = []
+        for row in self._bindings.values():
+            for key, value in row.items():
+                if key.lower() == name:
+                    matches.append(value)
+                    break
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise ExecutionError(f"ambiguous column reference {column.name!r}")
+        if name in self._extras:
+            return self._extras[name]
+        if self._parent is not None:
+            return self._parent.resolve(column)
+        raise ExecutionError(f"unknown column {column.name!r}")
+
+    def has_column(self, column: ColumnRef) -> bool:
+        try:
+            self.resolve(column)
+            return True
+        except ExecutionError:
+            return False
+
+
+def evaluate(
+    expr: Expression, scope: Scope, run_subquery: SubqueryRunner | None = None
+) -> object:
+    """Evaluate ``expr`` in ``scope``; returns a Python value or None (NULL)."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return scope.resolve(expr)
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' is only allowed in the select list or COUNT(*)")
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, scope, run_subquery)
+    if isinstance(expr, UnaryOp):
+        return _evaluate_unary(expr, scope, run_subquery)
+    if isinstance(expr, FunctionCall):
+        return _evaluate_function(expr, scope, run_subquery)
+    if isinstance(expr, InList):
+        return _evaluate_in_list(expr, scope, run_subquery)
+    if isinstance(expr, InSubquery):
+        return _evaluate_in_subquery(expr, scope, run_subquery)
+    if isinstance(expr, ExistsSubquery):
+        rows = _run_subquery(expr.subquery, scope, run_subquery)
+        result = bool(rows)
+        return (not result) if expr.negated else result
+    if isinstance(expr, ScalarSubquery):
+        rows = _run_subquery(expr.subquery, scope, run_subquery)
+        if not rows:
+            return None
+        return rows[0][0]
+    if isinstance(expr, Between):
+        value = evaluate(expr.expr, scope, run_subquery)
+        low = evaluate(expr.low, scope, run_subquery)
+        high = evaluate(expr.high, scope, run_subquery)
+        low_cmp = compare_values(value, low)
+        high_cmp = compare_values(value, high)
+        if low_cmp is None or high_cmp is None:
+            return None
+        inside = low_cmp >= 0 and high_cmp <= 0
+        return (not inside) if expr.negated else inside
+    if isinstance(expr, CaseExpression):
+        for condition, value in expr.whens:
+            if is_true(evaluate(condition, scope, run_subquery)):
+                return evaluate(value, scope, run_subquery)
+        if expr.default is not None:
+            return evaluate(expr.default, scope, run_subquery)
+        return None
+    raise ExecutionError(f"unsupported expression type {type(expr).__name__}")
+
+
+def is_true(value: object) -> bool:
+    """SQL WHERE semantics: only a definite True passes (NULL/unknown fails)."""
+    return value is True
+
+
+# ---------------------------------------------------------------------------
+# Operator implementations
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_binary(expr: BinaryOp, scope: Scope, run_subquery) -> object:
+    if expr.op == "AND":
+        left = evaluate(expr.left, scope, run_subquery)
+        if left is False:
+            return False
+        right = evaluate(expr.right, scope, run_subquery)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return bool(left) and bool(right)
+    if expr.op == "OR":
+        left = evaluate(expr.left, scope, run_subquery)
+        if left is True:
+            return True
+        right = evaluate(expr.right, scope, run_subquery)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return bool(left) or bool(right)
+
+    left = evaluate(expr.left, scope, run_subquery)
+    right = evaluate(expr.right, scope, run_subquery)
+    if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+        comparison = compare_values(left, right)
+        if comparison is None:
+            return None
+        return {
+            "=": comparison == 0,
+            "<>": comparison != 0,
+            "<": comparison < 0,
+            "<=": comparison <= 0,
+            ">": comparison > 0,
+            ">=": comparison >= 0,
+        }[expr.op]
+    if expr.op == "LIKE":
+        if left is None or right is None:
+            return None
+        return _like(str(left), str(right))
+    if expr.op == "||":
+        if left is None or right is None:
+            return None
+        return str(left) + str(right)
+    if expr.op in ("+", "-", "*", "/", "%"):
+        if left is None or right is None:
+            return None
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise ExecutionError(
+                f"arithmetic {expr.op!r} requires numeric operands, got "
+                f"{type(left).__name__} and {type(right).__name__}"
+            )
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                return None
+            result = left / right
+            return result
+        if right == 0:
+            return None
+        return left % right
+    raise ExecutionError(f"unsupported binary operator {expr.op!r}")
+
+
+def _evaluate_unary(expr: UnaryOp, scope: Scope, run_subquery) -> object:
+    if expr.op == "NOT":
+        value = evaluate(expr.operand, scope, run_subquery)
+        if value is None:
+            return None
+        return not bool(value)
+    if expr.op == "-":
+        value = evaluate(expr.operand, scope, run_subquery)
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)):
+            raise ExecutionError("unary minus requires a numeric operand")
+        return -value
+    if expr.op == "IS NULL":
+        return evaluate(expr.operand, scope, run_subquery) is None
+    if expr.op == "IS NOT NULL":
+        return evaluate(expr.operand, scope, run_subquery) is not None
+    raise ExecutionError(f"unsupported unary operator {expr.op!r}")
+
+
+def _evaluate_function(expr: FunctionCall, scope: Scope, run_subquery) -> object:
+    name = expr.name.upper()
+    if name == "CAST":
+        value = evaluate(expr.args[0], scope, run_subquery)
+        target = expr.args[1].value if len(expr.args) > 1 else "TEXT"
+        return _cast(value, str(target))
+    if expr.is_aggregate:
+        raise ExecutionError(
+            f"aggregate {name} used outside of an aggregation context"
+        )
+    scalar_functions = {
+        "LOWER": lambda v: None if v is None else str(v).lower(),
+        "UPPER": lambda v: None if v is None else str(v).upper(),
+        "LENGTH": lambda v: None if v is None else len(str(v)),
+        "ABS": lambda v: None if v is None else abs(v),
+        "ROUND": lambda v: None if v is None else round(v),
+        "COALESCE": None,
+    }
+    if name == "COALESCE":
+        for arg in expr.args:
+            value = evaluate(arg, scope, run_subquery)
+            if value is not None:
+                return value
+        return None
+    if name == "ROUND" and len(expr.args) == 2:
+        value = evaluate(expr.args[0], scope, run_subquery)
+        digits = evaluate(expr.args[1], scope, run_subquery)
+        if value is None or digits is None:
+            return None
+        return round(value, int(digits))
+    handler = scalar_functions.get(name)
+    if handler is None:
+        raise ExecutionError(f"unknown function {name!r}")
+    if len(expr.args) != 1:
+        raise ExecutionError(f"function {name} expects exactly one argument")
+    return handler(evaluate(expr.args[0], scope, run_subquery))
+
+
+def _evaluate_in_list(expr: InList, scope: Scope, run_subquery) -> object:
+    value = evaluate(expr.expr, scope, run_subquery)
+    if value is None:
+        return None
+    found = False
+    saw_null = False
+    for candidate in expr.values:
+        candidate_value = evaluate(candidate, scope, run_subquery)
+        if candidate_value is None:
+            saw_null = True
+            continue
+        if compare_values(value, candidate_value) == 0:
+            found = True
+            break
+    if not found and saw_null:
+        return None
+    return (not found) if expr.negated else found
+
+
+def _evaluate_in_subquery(expr: InSubquery, scope: Scope, run_subquery) -> object:
+    value = evaluate(expr.expr, scope, run_subquery)
+    if value is None:
+        return None
+    rows = _run_subquery(expr.subquery, scope, run_subquery)
+    found = any(row and compare_values(value, row[0]) == 0 for row in rows)
+    return (not found) if expr.negated else found
+
+
+def _run_subquery(subquery: SelectStatement, scope: Scope, run_subquery) -> list[tuple]:
+    if run_subquery is None:
+        raise ExecutionError("subqueries are not supported in this context")
+    return run_subquery(subquery, scope)
+
+
+def _like(value: str, pattern: str) -> bool:
+    regex = ""
+    for ch in pattern:
+        if ch == "%":
+            regex += ".*"
+        elif ch == "_":
+            regex += "."
+        else:
+            regex += re.escape(ch)
+    return re.fullmatch(regex, value, flags=re.IGNORECASE) is not None
+
+
+def _cast(value: object, target: str) -> object:
+    if value is None:
+        return None
+    target = target.upper()
+    try:
+        if target in ("INTEGER", "INT", "BIGINT"):
+            return int(float(value)) if not isinstance(value, str) else int(float(value))
+        if target in ("FLOAT", "REAL", "DOUBLE", "NUMERIC", "DECIMAL"):
+            return float(value)
+        if target in ("TEXT", "VARCHAR", "CHAR", "STRING"):
+            return str(value)
+        if target in ("BOOLEAN", "BOOL"):
+            if isinstance(value, str):
+                return value.lower() == "true"
+            return bool(value)
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(f"cannot CAST {value!r} to {target}") from exc
+    raise ExecutionError(f"unsupported CAST target {target!r}")

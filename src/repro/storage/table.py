@@ -1,0 +1,192 @@
+"""Heap tables with secondary indexes and cached statistics."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import IntegrityError, SchemaError
+from repro.storage.indexes import HashIndex
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.statistics import TableStatistics
+
+
+class Table:
+    """A heap table: a dict of row-id → row plus its indexes.
+
+    Rows are stored as dicts keyed by the schema's column names (original
+    case).  Row ids are monotonically increasing and never reused, which lets
+    indexes reference rows stably across deletes.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self._schema = schema
+        self._rows: dict[int, dict[str, object]] = {}
+        self._next_row_id = 0
+        self._indexes: dict[str, HashIndex] = {}
+        self._stats_cache: TableStatistics | None = None
+        if schema.primary_key is not None:
+            self.create_index(
+                f"{schema.name.lower()}_pk", schema.primary_key.name, unique=True
+            )
+        for column in schema.columns:
+            if column.unique and not column.primary_key:
+                self.create_index(
+                    f"{schema.name.lower()}_{column.name.lower()}_unique",
+                    column.name,
+                    unique=True,
+                )
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> list[dict[str, object]]:
+        """A snapshot list of all rows (copies are not made; do not mutate)."""
+        return list(self._rows.values())
+
+    def scan(self):
+        """Iterate over ``(row_id, row)`` pairs."""
+        return self._rows.items()
+
+    def get(self, row_id: int) -> dict[str, object] | None:
+        return self._rows.get(row_id)
+
+    # -- indexes --------------------------------------------------------------
+
+    def create_index(self, name: str, column: str, unique: bool = False) -> HashIndex:
+        if not self._schema.has_column(column):
+            raise SchemaError(f"table {self.name!r} has no column {column!r}")
+        canonical = self._schema.column(column).name
+        key = canonical.lower()
+        if key in self._indexes:
+            return self._indexes[key]
+        index = HashIndex(name=name, column=canonical, unique=unique)
+        for row_id, row in self._rows.items():
+            index.insert(row[canonical], row_id)
+        self._indexes[key] = index
+        return index
+
+    def index_for(self, column: str) -> HashIndex | None:
+        return self._indexes.get(column.lower())
+
+    def lookup(self, column: str, value: object) -> list[dict[str, object]]:
+        """Equality lookup, via index when available, else a scan."""
+        index = self.index_for(column)
+        canonical = self._schema.column(column).name
+        if index is not None:
+            return [self._rows[row_id] for row_id in sorted(index.lookup(value))]
+        return [row for row in self._rows.values() if row[canonical] == value]
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, row: dict[str, object]) -> int:
+        """Insert a row, returning its row id."""
+        coerced = self._schema.coerce_row(row)
+        row_id = self._next_row_id
+        # Validate unique indexes before touching state so failures are atomic.
+        for index in self._indexes.values():
+            if index.unique and coerced[index.column] is not None:
+                if index.lookup(coerced[index.column]):
+                    raise IntegrityError(
+                        f"duplicate value {coerced[index.column]!r} for unique column "
+                        f"{index.column!r} of table {self.name!r}"
+                    )
+        self._rows[row_id] = coerced
+        self._next_row_id += 1
+        for index in self._indexes.values():
+            index.insert(coerced[index.column], row_id)
+        self._stats_cache = None
+        return row_id
+
+    def insert_many(self, rows) -> list[int]:
+        return [self.insert(row) for row in rows]
+
+    def delete(self, row_id: int) -> None:
+        row = self._rows.pop(row_id, None)
+        if row is None:
+            return
+        for index in self._indexes.values():
+            index.delete(row[index.column], row_id)
+        self._stats_cache = None
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows matching ``predicate(row)``; returns the number removed."""
+        doomed = [row_id for row_id, row in self._rows.items() if predicate(row)]
+        for row_id in doomed:
+            self.delete(row_id)
+        return len(doomed)
+
+    def update(self, row_id: int, changes: dict[str, object]) -> None:
+        row = self._rows.get(row_id)
+        if row is None:
+            return
+        updated = dict(row)
+        updated.update({self._schema.column(k).name: v for k, v in changes.items()})
+        coerced = self._schema.coerce_row(updated)
+        for index in self._indexes.values():
+            old_value = row[index.column]
+            new_value = coerced[index.column]
+            if old_value != new_value:
+                index.delete(old_value, row_id)
+                if index.unique and new_value is not None and index.lookup(new_value):
+                    index.insert(old_value, row_id)  # restore before failing
+                    raise IntegrityError(
+                        f"duplicate value {new_value!r} for unique column "
+                        f"{index.column!r} of table {self.name!r}"
+                    )
+                index.insert(new_value, row_id)
+        self._rows[row_id] = coerced
+        self._stats_cache = None
+
+    # -- schema evolution ------------------------------------------------------
+
+    def add_column(self, column: ColumnSchema, default: object = None) -> None:
+        if column.not_null and default is None and len(self._rows):
+            raise SchemaError(
+                f"cannot add NOT NULL column {column.name!r} without a default"
+            )
+        self._schema = self._schema.with_column_added(column)
+        for row in self._rows.values():
+            row[column.name] = column.coerce(default) if default is not None else None
+        self._stats_cache = None
+
+    def drop_column(self, name: str) -> None:
+        canonical = self._schema.column(name).name
+        if canonical.lower() in self._indexes:
+            del self._indexes[canonical.lower()]
+        self._schema = self._schema.with_column_dropped(name)
+        for row in self._rows.values():
+            row.pop(canonical, None)
+        self._stats_cache = None
+
+    def rename_column(self, old: str, new: str) -> None:
+        canonical = self._schema.column(old).name
+        self._schema = self._schema.with_column_renamed(old, new)
+        new_canonical = self._schema.column(new).name
+        for row in self._rows.values():
+            row[new_canonical] = row.pop(canonical)
+        index = self._indexes.pop(canonical.lower(), None)
+        if index is not None:
+            index.column = new_canonical
+            self._indexes[new_canonical.lower()] = index
+        self._stats_cache = None
+
+    def rename(self, new_name: str) -> None:
+        self._schema = self._schema.renamed(new_name)
+
+    # -- statistics -------------------------------------------------------------
+
+    def statistics(self, refresh: bool = False) -> TableStatistics:
+        """Table statistics; cached until the next mutation."""
+        if self._stats_cache is None or refresh:
+            self._stats_cache = TableStatistics.compute(self.name, self.rows())
+        return self._stats_cache

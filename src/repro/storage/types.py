@@ -1,0 +1,144 @@
+"""SQL value types and coercion rules for the storage engine."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """The storage engine's column types."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_sql(cls, type_name: str) -> "DataType":
+        """Map a SQL type name (from CREATE TABLE) to a :class:`DataType`."""
+        normalized = type_name.strip().upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "DECIMAL": cls.FLOAT,
+            "NUMERIC": cls.FLOAT,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        if normalized not in aliases:
+            raise SchemaError(f"unsupported SQL type: {type_name!r}")
+        return aliases[normalized]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+
+def coerce_value(value: object, data_type: DataType, column: str = "") -> object:
+    """Coerce ``value`` to the Python representation of ``data_type``.
+
+    ``None`` (SQL NULL) passes through unchanged.  Raises
+    :class:`~repro.errors.SchemaError` when the value cannot be represented.
+    """
+    if value is None:
+        return None
+    label = f" for column {column!r}" if column else ""
+    if data_type is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise SchemaError(f"cannot coerce {value!r} to INTEGER{label}") from exc
+        raise SchemaError(f"cannot coerce {value!r} to INTEGER{label}")
+    if data_type is DataType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise SchemaError(f"cannot coerce {value!r} to FLOAT{label}") from exc
+        raise SchemaError(f"cannot coerce {value!r} to FLOAT{label}")
+    if data_type is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float)):
+            return str(value)
+        raise SchemaError(f"cannot coerce {value!r} to TEXT{label}")
+    if data_type is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise SchemaError(f"cannot coerce {value!r} to BOOLEAN{label}")
+    raise SchemaError(f"unknown data type {data_type!r}")
+
+
+def infer_type(value: object) -> DataType:
+    """Infer the :class:`DataType` of a Python value (used by CREATE-from-rows)."""
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    return DataType.TEXT
+
+
+def compare_values(left: object, right: object) -> int | None:
+    """Three-way comparison honouring SQL NULL semantics.
+
+    Returns ``None`` when either side is NULL (the comparison is *unknown*),
+    otherwise -1, 0, or 1.  Mixed numeric comparisons are allowed; comparing a
+    number with text falls back to string comparison of their repr, which is
+    deterministic and sufficient for an analytical workload simulator.
+    """
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) or isinstance(right, bool):
+        left_key, right_key = bool(left), bool(right)
+    elif isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        left_key, right_key = left, right
+    elif isinstance(left, str) and isinstance(right, str):
+        left_key, right_key = left, right
+    else:
+        left_key, right_key = str(left), str(right)
+    if left_key < right_key:
+        return -1
+    if left_key > right_key:
+        return 1
+    return 0
+
+
+def sort_key(value: object):
+    """A total-order sort key that places NULLs first and mixes types safely."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    return (2, str(value))

@@ -1,0 +1,49 @@
+"""Synthetic schemas, data generators, and query-log workload generators.
+
+The paper's motivating environments are large shared scientific databases
+(SDSS, IRIS, LSST) and industrial log analysis.  Since those query logs are
+proprietary, this package generates synthetic but structurally faithful
+substitutes:
+
+* :mod:`repro.workloads.schemas` — a limnology (water science) schema matching
+  the paper's running example, a sky-survey schema, and a web-analytics
+  schema, each with deterministic data generators;
+* :mod:`repro.workloads.generator` — a multi-user behaviour model that emits
+  query sessions with exploration, refinement, copy-and-edit and error
+  behaviours (the properties the CQMS features rely on);
+* :mod:`repro.workloads.evolution` — schema-evolution scenarios for the
+  query-maintenance experiments.
+"""
+
+from repro.workloads.schemas import (
+    limnology_schema,
+    sky_survey_schema,
+    web_analytics_schema,
+    populate_limnology,
+    populate_sky_survey,
+    populate_web_analytics,
+    build_database,
+)
+from repro.workloads.generator import (
+    WorkloadConfig,
+    WorkloadQuery,
+    QueryLogGenerator,
+    GOAL_LIBRARY,
+)
+from repro.workloads.evolution import EvolutionStep, evolution_scenario
+
+__all__ = [
+    "limnology_schema",
+    "sky_survey_schema",
+    "web_analytics_schema",
+    "populate_limnology",
+    "populate_sky_survey",
+    "populate_web_analytics",
+    "build_database",
+    "WorkloadConfig",
+    "WorkloadQuery",
+    "QueryLogGenerator",
+    "GOAL_LIBRARY",
+    "EvolutionStep",
+    "evolution_scenario",
+]

@@ -1,0 +1,121 @@
+"""Schema-evolution scenarios for the query-maintenance experiments (C7).
+
+The paper (Section 4.4) observes that "schema evolution can cause some of the
+stored queries to stop working" and that the CQMS "should be able to
+efficiently identify affected queries and handle them appropriately".  An
+evolution scenario is an ordered list of DDL statements applied to the
+workload database *after* a query log has been collected; the experiment then
+checks that Query Maintenance flags exactly the queries that reference the
+changed relations/columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class EvolutionStep:
+    """One schema change with the ground truth of what it invalidates."""
+
+    ddl: str
+    kind: str              # drop_column, rename_column, drop_table, rename_table, add_column
+    table: str
+    column: str | None = None
+
+    @property
+    def breaks_queries(self) -> bool:
+        """Whether the change can invalidate existing queries at all.
+
+        Adding a column never invalidates old queries; drops and renames do.
+        """
+        return self.kind != "add_column"
+
+
+#: Built-in scenarios keyed by workload domain.  Columns were chosen so that a
+#: realistic fraction of the generated workload references them.
+_SCENARIOS: dict[str, list[EvolutionStep]] = {
+    "limnology": [
+        EvolutionStep(
+            ddl="ALTER TABLE WaterTemp RENAME COLUMN depth TO depth_m",
+            kind="rename_column",
+            table="WaterTemp",
+            column="depth",
+        ),
+        EvolutionStep(
+            ddl="ALTER TABLE CityLocations DROP COLUMN population",
+            kind="drop_column",
+            table="CityLocations",
+            column="population",
+        ),
+        EvolutionStep(
+            ddl="ALTER TABLE Lakes ADD COLUMN trophic_state TEXT",
+            kind="add_column",
+            table="Lakes",
+            column="trophic_state",
+        ),
+        EvolutionStep(
+            ddl="ALTER TABLE SensorReadings RENAME TO SensorMeasurements",
+            kind="rename_table",
+            table="SensorReadings",
+        ),
+    ],
+    "sky_survey": [
+        EvolutionStep(
+            ddl="ALTER TABLE PhotoObj RENAME COLUMN mag_g TO psf_mag_g",
+            kind="rename_column",
+            table="PhotoObj",
+            column="mag_g",
+        ),
+        EvolutionStep(
+            ddl="ALTER TABLE Runs DROP COLUMN quality",
+            kind="drop_column",
+            table="Runs",
+            column="quality",
+        ),
+        EvolutionStep(
+            ddl="ALTER TABLE Neighbors RENAME TO NeighborPairs",
+            kind="rename_table",
+            table="Neighbors",
+        ),
+    ],
+    "web_analytics": [
+        EvolutionStep(
+            ddl="ALTER TABLE PageViews RENAME COLUMN duration_s TO dwell_seconds",
+            kind="rename_column",
+            table="PageViews",
+            column="duration_s",
+        ),
+        EvolutionStep(
+            ddl="ALTER TABLE Searches DROP COLUMN clicks",
+            kind="drop_column",
+            table="Searches",
+            column="clicks",
+        ),
+        EvolutionStep(
+            ddl="ALTER TABLE Users ADD COLUMN churned BOOLEAN",
+            kind="add_column",
+            table="Users",
+            column="churned",
+        ),
+    ],
+}
+
+
+def evolution_scenario(domain: str = "limnology") -> list[EvolutionStep]:
+    """The built-in evolution scenario for a workload domain."""
+    if domain not in _SCENARIOS:
+        raise WorkloadError(
+            f"no evolution scenario for domain {domain!r}; choose from {sorted(_SCENARIOS)}"
+        )
+    return list(_SCENARIOS[domain])
+
+
+def apply_scenario(db: Database, steps: list[EvolutionStep]) -> list[EvolutionStep]:
+    """Apply each step's DDL to the database; returns the steps applied."""
+    for step in steps:
+        db.execute(step.ddl)
+    return list(steps)

@@ -1,0 +1,140 @@
+"""Tests for the client: workbench and text renderers."""
+
+import pytest
+
+from repro.client import (
+    Workbench,
+    render_assist_panel,
+    render_query_table,
+    render_recommendations,
+    render_session_graph,
+)
+from repro.client.render import render_session_summary
+
+
+@pytest.fixture()
+def client_cqms(fresh_cqms):
+    cqms = fresh_cqms
+    queries = [
+        "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T "
+        "WHERE S.loc_x = T.loc_x AND T.temp < 18",
+        "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 18",
+        "SELECT * FROM CityLocations C WHERE C.state = 'WA'",
+        "SELECT * FROM WaterTemp T WHERE T.temp < 18",
+    ]
+    for sql in queries:
+        cqms.submit("alice", sql)
+        cqms.clock.advance(45)
+    cqms.annotate("alice", 1, "find temp and salinity of seattle lakes")
+    cqms.run_miner()
+    return cqms
+
+
+class TestWorkbench:
+    def test_typing_accumulates_buffer(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT * ").type("FROM WaterSalinity S, ")
+        assert workbench.buffer == "SELECT * FROM WaterSalinity S, "
+        assert len(workbench.history) == 2
+
+    def test_assist_returns_response_and_records_history(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT * FROM WaterSalinity S, ")
+        response = workbench.assist()
+        assert response.completions["tables"]
+        assert workbench.last_response is response
+        assert workbench.history[-1].kind == "assist"
+
+    def test_apply_table_suggestion_extends_from_clause(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT * FROM WaterSalinity S, ")
+        workbench.assist()
+        workbench.apply_table_suggestion(0)
+        assert "watertemp" in workbench.buffer.lower()
+
+    def test_apply_correction_fixes_typo(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT * FROM WaterSalinty")
+        workbench.assist()
+        workbench.apply_correction(0)
+        assert "watersalinity" in workbench.buffer.lower()
+
+    def test_apply_with_no_suggestions_is_noop(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT 1")
+        workbench.assist()
+        before = workbench.buffer
+        workbench.apply_correction(0)
+        assert workbench.buffer == before
+
+    def test_submit_logs_query(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT * FROM Lakes")
+        execution = workbench.submit()
+        assert execution.succeeded
+        assert client_cqms.store.get(execution.record.qid).user == "bob"
+
+    def test_recommendations_and_adopt(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 20")
+        recommendations = workbench.recommendations(k=2)
+        assert recommendations
+        workbench.adopt_recommendation(recommendations[0])
+        assert workbench.buffer == recommendations[0].record.text
+
+    def test_clear(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob").type("SELECT 1")
+        workbench.clear()
+        assert workbench.buffer == ""
+
+    def test_panel_renders_figure3_sections(self, client_cqms):
+        workbench = Workbench(cqms=client_cqms, user="bob")
+        workbench.type("SELECT * FROM WaterSalinity S, ")
+        panel = workbench.panel()
+        assert "--- Completions ---" in panel
+        assert "--- Similar queries ---" in panel
+        assert "Score" in panel
+
+
+class TestRenderers:
+    def test_render_session_graph_shows_nodes_and_edges(self, client_cqms):
+        report = client_cqms.miner.last_report
+        session = max(report.sessions, key=len)
+        text = render_session_graph(session, client_cqms.store)
+        assert text.count("[q") == len(session.qids)
+        assert "|--(" in text
+
+    def test_render_session_summary(self, client_cqms):
+        report = client_cqms.miner.last_report
+        session = max(report.sessions, key=len)
+        summary = client_cqms.browser().summarize_session(session)
+        text = render_session_summary(summary)
+        assert "final:" in text
+
+    def test_render_recommendations_table(self, client_cqms):
+        recommendations = client_cqms.recommend(
+            "alice", "SELECT * FROM WaterSalinity S, WaterTemp T", k=2
+        )
+        table = render_recommendations(recommendations)
+        assert "Score" in table and "Diff" in table
+        assert "%" in table
+
+    def test_render_recommendations_includes_annotations(self, client_cqms):
+        recommendations = client_cqms.recommend(
+            "alice",
+            "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T WHERE T.temp < 19",
+            k=3,
+        )
+        table = render_recommendations(recommendations)
+        assert "seattle lakes" in table
+
+    def test_render_assist_panel_empty_buffer(self, client_cqms):
+        response = client_cqms.assist("alice", "")
+        panel = render_assist_panel("", response)
+        assert "(empty)" in panel
+
+    def test_render_query_table(self, client_cqms):
+        records = client_cqms.browser().my_queries("alice")
+        table = render_query_table(records)
+        assert "qid" in table
+        assert str(records[0].qid) in table

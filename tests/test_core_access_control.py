@@ -1,0 +1,113 @@
+"""Tests for users, groups, visibility, and per-query grants."""
+
+import pytest
+
+from repro.core.access_control import AccessControl, Principal, Visibility
+from repro.core.records import LoggedQuery
+from repro.errors import AccessControlError
+
+
+def record(qid=1, user="alice", group="lab1", visibility="group"):
+    return LoggedQuery(
+        qid=qid, user=user, group=group, text="SELECT 1", timestamp=0.0, visibility=visibility
+    )
+
+
+@pytest.fixture()
+def acl():
+    control = AccessControl()
+    control.register("alice", "lab1")
+    control.register("bob", "lab1")
+    control.register("carol", "lab2")
+    control.register("root", "ops", is_admin=True)
+    return control
+
+
+class TestPrincipals:
+    def test_register_and_lookup(self, acl):
+        principal = acl.principal("alice")
+        assert principal == Principal(name="alice", group="lab1")
+
+    def test_unknown_principal_raises(self, acl):
+        with pytest.raises(AccessControlError):
+            acl.principal("mallory")
+
+    def test_has_principal(self, acl):
+        assert acl.has_principal("bob")
+        assert not acl.has_principal("mallory")
+
+    def test_principals_sorted(self, acl):
+        names = [principal.name for principal in acl.principals()]
+        assert names == sorted(names)
+
+    def test_re_register_updates_group(self, acl):
+        acl.register("alice", "lab9")
+        assert acl.principal("alice").group == "lab9"
+
+
+class TestVisibility:
+    def test_parse_from_string(self):
+        assert Visibility.parse("PUBLIC") is Visibility.PUBLIC
+        assert Visibility.parse(Visibility.PRIVATE) is Visibility.PRIVATE
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(AccessControlError):
+            Visibility.parse("secret")
+
+    def test_owner_always_sees_own_query(self, acl):
+        assert acl.can_see("alice", record(visibility="private"))
+
+    def test_group_visibility(self, acl):
+        group_record = record(visibility="group")
+        assert acl.can_see("bob", group_record)        # same group
+        assert not acl.can_see("carol", group_record)  # other group
+
+    def test_private_visibility(self, acl):
+        private_record = record(visibility="private")
+        assert not acl.can_see("bob", private_record)
+
+    def test_public_visibility(self, acl):
+        assert acl.can_see("carol", record(visibility="public"))
+
+    def test_admin_sees_everything(self, acl):
+        assert acl.can_see("root", record(visibility="private"))
+
+    def test_visible_queries_filters(self, acl):
+        records = [
+            record(qid=1, visibility="private"),
+            record(qid=2, visibility="group"),
+            record(qid=3, visibility="public"),
+        ]
+        visible_to_carol = acl.visible_queries("carol", records)
+        assert [r.qid for r in visible_to_carol] == [3]
+        visible_to_bob = acl.visible_queries("bob", records)
+        assert [r.qid for r in visible_to_bob] == [2, 3]
+
+
+class TestGrants:
+    def test_explicit_grant_overrides_visibility(self, acl):
+        private_record = record(qid=5, visibility="private")
+        acl.grant(5, "carol")
+        assert acl.can_see("carol", private_record)
+        assert acl.grants_for(5) == {"carol"}
+
+    def test_revoke(self, acl):
+        private_record = record(qid=5, visibility="private")
+        acl.grant(5, "carol")
+        acl.revoke(5, "carol")
+        assert not acl.can_see("carol", private_record)
+
+    def test_revoke_nonexistent_is_noop(self, acl):
+        acl.revoke(123, "bob")
+
+
+class TestOwnershipChecks:
+    def test_owner_allowed(self, acl):
+        acl.require_owner_or_admin("alice", record(user="alice"))
+
+    def test_admin_allowed(self, acl):
+        acl.require_owner_or_admin("root", record(user="alice"))
+
+    def test_other_user_rejected(self, acl):
+        with pytest.raises(AccessControlError):
+            acl.require_owner_or_admin("bob", record(user="alice"))

@@ -1,0 +1,248 @@
+"""Tests for CQMS configuration, query records, and the Query Storage."""
+
+import pytest
+
+from repro.core.config import CQMSConfig
+from repro.core.query_store import QueryStore
+from repro.core.records import LoggedQuery, OutputSummary, RuntimeStats
+from repro.errors import MetaQueryError
+from repro.sql.canonicalize import canonical_text
+from repro.sql.features import extract_features
+
+
+def make_record(qid, sql="SELECT * FROM WaterTemp T WHERE T.temp < 18", user="alice",
+                group="lab1", timestamp=0.0, **kwargs):
+    record = LoggedQuery(
+        qid=qid,
+        user=user,
+        group=group,
+        text=sql,
+        timestamp=timestamp,
+        canonical_text=canonical_text(sql),
+        template_text=canonical_text(sql, strip_constants=True),
+        features=extract_features(sql),
+        **kwargs,
+    )
+    return record
+
+
+class TestConfig:
+    def test_default_config_is_valid(self):
+        CQMSConfig().validate()
+
+    def test_invalid_profiling_mode(self):
+        config = CQMSConfig(profiling_mode="everything")
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_invalid_visibility(self):
+        with pytest.raises(ValueError):
+            CQMSConfig(default_visibility="everyone").validate()
+
+    def test_invalid_session_gap(self):
+        with pytest.raises(ValueError):
+            CQMSConfig(session_gap_seconds=0).validate()
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            CQMSConfig(rule_min_support=2.0).validate()
+
+    def test_invalid_knn_k(self):
+        with pytest.raises(ValueError):
+            CQMSConfig(knn_default_k=0).validate()
+
+    def test_feature_weights_default_present(self):
+        config = CQMSConfig()
+        assert "tables" in config.feature_weights
+
+
+class TestRecords:
+    def test_feature_tokens_empty_without_features(self):
+        record = LoggedQuery(qid=1, user="a", group="g", text="x", timestamp=0.0)
+        assert record.feature_tokens() == []
+        assert record.feature_sets() == {}
+        assert record.tables == []
+
+    def test_feature_sets_keys(self):
+        record = make_record(1)
+        assert set(record.feature_sets()) == {
+            "tables", "joins", "predicates", "projections", "group_by", "aggregates",
+        }
+
+    def test_describe_truncates(self):
+        record = make_record(1, sql="SELECT * FROM WaterTemp WHERE " + "temp < 18 AND " * 30 + "1 = 1")
+        assert len(record.describe(max_length=50)) == 50
+        assert record.describe(max_length=50).endswith("...")
+
+    def test_output_summary_contains(self):
+        output = OutputSummary(columns=["name"], rows=[("Lake Washington",), ("Green Lake",)])
+        assert output.contains(("Green Lake",))
+        assert output.contains_value("Lake Washington")
+        assert not output.contains_value("Lake Union")
+
+    def test_runtime_defaults(self):
+        stats = RuntimeStats()
+        assert stats.succeeded is True and stats.error is None
+
+
+class TestQueryStoreBasics:
+    def test_add_and_get(self):
+        store = QueryStore()
+        record = make_record(store.next_qid())
+        store.add(record)
+        assert store.get(record.qid) is record
+        assert len(store) == 1
+        assert record.qid in store
+
+    def test_duplicate_qid_rejected(self):
+        store = QueryStore()
+        record = make_record(1)
+        store.add(record)
+        with pytest.raises(MetaQueryError):
+            store.add(make_record(1))
+
+    def test_unknown_qid_raises(self):
+        with pytest.raises(MetaQueryError):
+            QueryStore().get(99)
+
+    def test_all_queries_sorted_by_qid(self):
+        store = QueryStore()
+        store.add(make_record(2))
+        store.add(make_record(1, sql="SELECT * FROM Lakes"))
+        assert [record.qid for record in store.all_queries()] == [1, 2]
+
+    def test_queries_of_user_and_group(self):
+        store = QueryStore()
+        store.add(make_record(1, user="alice", group="lab1"))
+        store.add(make_record(2, user="bob", group="lab2"))
+        assert [r.qid for r in store.queries_of_user("alice")] == [1]
+        assert [r.qid for r in store.queries_of_group("lab2")] == [2]
+
+    def test_select_queries_filters_dml(self):
+        store = QueryStore()
+        store.add(make_record(1))
+        dml = LoggedQuery(
+            qid=2, user="a", group="g", text="DELETE FROM Lakes", timestamp=0.0,
+            statement_kind="delete",
+        )
+        store.add(dml)
+        assert [r.qid for r in store.select_queries()] == [1]
+
+
+class TestFeatureRelations:
+    def test_feature_relations_populated(self):
+        store = QueryStore()
+        record = make_record(
+            1,
+            sql=(
+                "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T "
+                "WHERE S.loc_x = T.loc_x AND T.temp < 18"
+            ),
+        )
+        store.add(record)
+        sources = store.execute_meta_sql("SELECT relName FROM DataSources WHERE qid = 1")
+        assert set(sources.column("relName")) == {"watersalinity", "watertemp"}
+        predicates = store.execute_meta_sql("SELECT attrName, op FROM Predicates WHERE qid = 1")
+        assert ("temp", "<") in predicates.rows
+        joins = store.execute_meta_sql("SELECT leftAttr FROM Joins WHERE qid = 1")
+        assert joins.rows
+        projections = store.execute_meta_sql("SELECT attrName FROM Projections WHERE qid = 1")
+        assert set(projections.column("attrName")) == {"salinity", "temp"}
+
+    def test_figure1_meta_query_over_relations(self):
+        store = QueryStore()
+        store.add(make_record(1, sql=(
+            "SELECT * FROM WaterSalinity S, WaterTemp T "
+            "WHERE S.salinity > 0.1 AND T.temp < 18"
+        )))
+        store.add(make_record(2, sql="SELECT * FROM CityLocations"))
+        result = store.execute_meta_sql(
+            "SELECT Q.qid, Q.qText FROM Queries Q, Attributes A1, Attributes A2 "
+            "WHERE Q.qid = A1.qid AND Q.qid = A2.qid "
+            "AND A1.attrName = 'salinity' AND A1.relName = 'watersalinity' "
+            "AND A2.attrName = 'temp' AND A2.relName = 'watertemp'"
+        )
+        assert result.column("qid") == [1]
+
+    def test_output_samples_stored(self):
+        store = QueryStore()
+        record = make_record(1)
+        record.output = OutputSummary(columns=["name"], rows=[("Lake Washington",)], total_rows=1)
+        store.add(record)
+        samples = store.execute_meta_sql("SELECT cellValue FROM OutputSamples WHERE qid = 1")
+        assert samples.column("cellValue") == ["Lake Washington"]
+
+    def test_runtime_stats_stored(self):
+        store = QueryStore()
+        record = make_record(1)
+        record.runtime = RuntimeStats(elapsed_seconds=1.5, result_cardinality=7, rows_scanned=40)
+        store.add(record)
+        stats = store.execute_meta_sql("SELECT cardinality FROM RuntimeStats WHERE qid = 1")
+        assert stats.scalar() == 7
+
+    def test_remove_deletes_all_shredded_rows(self):
+        store = QueryStore()
+        store.add(make_record(1))
+        store.remove(1)
+        assert len(store) == 0
+        for table in ("Queries", "DataSources", "Attributes", "Predicates"):
+            assert store.execute_meta_sql(f"SELECT * FROM {table} WHERE qid = 1").rows == []
+
+    def test_meta_sql_unconstrained(self):
+        store = QueryStore()
+        store.add(make_record(1))
+        assert store.execute_meta_sql("SELECT COUNT(*) FROM Queries").scalar() == 1
+
+
+class TestAnnotationsAndFlags:
+    def test_add_annotation(self):
+        store = QueryStore()
+        store.add(make_record(1))
+        store.add_annotation(1, author="bob", body="finds cool lakes", timestamp=5.0)
+        assert store.annotations_for(1) == ["finds cool lakes"]
+        rows = store.execute_meta_sql("SELECT author, body FROM Annotations WHERE qid = 1").rows
+        assert rows == [("bob", "finds cool lakes")]
+
+    def test_mark_invalid_and_valid(self):
+        store = QueryStore()
+        store.add(make_record(1))
+        store.mark_invalid(1, reason="missing relation")
+        assert store.get(1).flagged_invalid
+        assert store.execute_meta_sql("SELECT valid FROM Queries WHERE qid = 1").scalar() is False
+        store.mark_valid(1)
+        assert not store.get(1).flagged_invalid
+
+    def test_replace_text_keeps_annotations_and_session(self):
+        store = QueryStore()
+        record = make_record(1)
+        record.session_id = 7
+        store.add(record)
+        store.add_annotation(1, "alice", "note")
+        new_sql = "SELECT * FROM WaterTemp T WHERE T.temp < 20"
+        store.replace_text(
+            1, new_sql, extract_features(new_sql), canonical_text(new_sql),
+            canonical_text(new_sql, strip_constants=True),
+        )
+        updated = store.get(1)
+        assert updated.text == new_sql
+        assert updated.annotations == ["note"]
+        assert updated.session_id == 7
+        assert not updated.flagged_invalid
+
+
+class TestPopularity:
+    def test_popularity_counts_canonical_duplicates(self):
+        store = QueryStore()
+        store.add(make_record(1, sql="SELECT * FROM Lakes WHERE state = 'WA'"))
+        store.add(make_record(2, sql="select * from lakes where state = 'WA'"))
+        store.add(make_record(3, sql="SELECT * FROM Lakes WHERE state = 'MI'"))
+        popularity = store.popularity()
+        assert max(popularity.values()) == 2
+
+    def test_table_popularity(self):
+        store = QueryStore()
+        store.add(make_record(1, sql="SELECT * FROM Lakes"))
+        store.add(make_record(2, sql="SELECT * FROM Lakes L, WaterTemp T WHERE L.lake_id = T.lake_id"))
+        popularity = store.table_popularity()
+        assert popularity["lakes"] == 2
+        assert popularity["watertemp"] == 1

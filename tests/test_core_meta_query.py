@@ -1,0 +1,245 @@
+"""Tests for the Meta-Query Executor (all meta-query classes + access control)."""
+
+import pytest
+
+from repro.core.meta_query import DataCondition, FeatureCondition
+from repro.errors import MetaQueryError
+from repro.sql.parse_tree import TreePattern
+
+
+@pytest.fixture()
+def loaded_cqms(fresh_cqms):
+    """A CQMS with a handful of hand-crafted queries from several users."""
+    cqms = fresh_cqms
+    queries = [
+        ("alice", "SELECT * FROM WaterSalinity S, WaterTemp T WHERE S.loc_x = T.loc_x AND T.temp < 18"),
+        ("alice", "SELECT T.temp FROM WaterTemp T WHERE T.temp < 18"),
+        ("bob", "SELECT * FROM CityLocations C WHERE C.population > 100000"),
+        ("bob", "SELECT L.name, T.temp FROM Lakes L, WaterTemp T WHERE L.lake_id = T.lake_id AND T.temp < 18"),
+        ("carol", "SELECT * FROM Sensors N WHERE N.installed_year < 2005"),
+        ("alice", "SELECT C.city FROM CityLocations C WHERE C.state = 'WA'"),
+    ]
+    for user, sql in queries:
+        execution = cqms.submit(user, sql)
+        assert execution.succeeded, execution.error
+    cqms.annotate("alice", 1, "correlates salinity and temperature for Seattle lakes")
+    return cqms
+
+
+class TestKeywordAndSubstring:
+    def test_keyword_search_matches_text(self, loaded_cqms):
+        results = loaded_cqms.search_keyword("alice", "watersalinity")
+        assert len(results) == 1
+
+    def test_keyword_search_matches_annotations(self, loaded_cqms):
+        results = loaded_cqms.search_keyword("alice", ["seattle", "salinity"])
+        assert [record.qid for record in results] == [1]
+
+    def test_keyword_search_requires_all_keywords(self, loaded_cqms):
+        assert loaded_cqms.search_keyword("alice", ["salinity", "neverappears"]) == []
+
+    def test_keyword_search_empty_raises(self, loaded_cqms):
+        with pytest.raises(MetaQueryError):
+            loaded_cqms.search_keyword("alice", [])
+
+    def test_substring_search(self, loaded_cqms):
+        results = loaded_cqms.search_substring("alice", "temp < 18")
+        assert len(results) >= 2
+
+    def test_substring_search_case_insensitive(self, loaded_cqms):
+        assert loaded_cqms.search_substring("alice", "WATERTEMP")
+
+    def test_substring_empty_raises(self, loaded_cqms):
+        with pytest.raises(MetaQueryError):
+            loaded_cqms.search_substring("alice", "")
+
+    def test_limit_respected(self, loaded_cqms):
+        assert len(loaded_cqms.search_substring("alice", "SELECT", limit=2)) == 2
+
+
+class TestAccessControlFiltering:
+    def test_group_member_sees_group_queries(self, loaded_cqms):
+        # bob is in lab1 with alice: he sees alice's group-visible queries.
+        results = loaded_cqms.search_substring("bob", "WaterSalinity")
+        assert len(results) == 1
+
+    def test_other_group_does_not_see(self, loaded_cqms):
+        # carol is in lab2: she must not see alice's group-visible queries.
+        assert loaded_cqms.search_substring("carol", "WaterSalinity") == []
+
+    def test_admin_sees_everything(self, loaded_cqms):
+        assert len(loaded_cqms.search_substring("root", "SELECT")) == 6
+
+    def test_own_queries_always_visible(self, loaded_cqms):
+        assert loaded_cqms.search_substring("carol", "Sensors")
+
+
+class TestQueryByFeature:
+    def test_tables_all(self, loaded_cqms):
+        condition = FeatureCondition(tables_all=["watersalinity", "watertemp"])
+        results = loaded_cqms.search_features("alice", condition)
+        assert [record.qid for record in results] == [1]
+
+    def test_tables_any(self, loaded_cqms):
+        condition = FeatureCondition(tables_any=["citylocations", "sensors"])
+        results = loaded_cqms.search_features("root", condition)
+        assert len(results) == 3
+
+    def test_attributes_condition(self, loaded_cqms):
+        condition = FeatureCondition(attributes=[("temp", "watertemp")])
+        results = loaded_cqms.search_features("root", condition)
+        assert len(results) == 3
+
+    def test_predicates_on_with_operator(self, loaded_cqms):
+        condition = FeatureCondition(predicates_on=[("temp", "watertemp", "<")])
+        assert len(loaded_cqms.search_features("root", condition)) == 3
+        condition = FeatureCondition(predicates_on=[("temp", "watertemp", ">")])
+        assert loaded_cqms.search_features("root", condition) == []
+
+    def test_author_and_kind(self, loaded_cqms):
+        condition = FeatureCondition(author="bob", statement_kind="select")
+        assert len(loaded_cqms.search_features("root", condition)) == 2
+
+    def test_cardinality_bounds(self, loaded_cqms):
+        condition = FeatureCondition(min_cardinality=1)
+        results = loaded_cqms.search_features("root", condition)
+        assert all(record.runtime.result_cardinality >= 1 for record in results)
+
+    def test_text_contains(self, loaded_cqms):
+        condition = FeatureCondition(text_contains="population")
+        assert len(loaded_cqms.search_features("root", condition)) == 1
+
+    def test_feature_sql_figure1(self, loaded_cqms):
+        sql = (
+            "SELECT Q.qid, Q.qText FROM Queries Q, Attributes A1, Attributes A2 "
+            "WHERE Q.qid = A1.qid AND Q.qid = A2.qid "
+            "AND A1.attrName = 'salinity' AND A1.relName = 'watersalinity' "
+            "AND A2.attrName = 'temp' AND A2.relName = 'watertemp'"
+        )
+        results = loaded_cqms.search_sql("alice", sql)
+        # qid 1 references both loc_x/temp; salinity attribute appears via S.loc_x?  It must
+        # match only queries that actually touch both attributes.
+        assert all(
+            "watersalinity" in record.features.tables for record in results
+        )
+
+    def test_feature_sql_requires_qid_column(self, loaded_cqms):
+        with pytest.raises(MetaQueryError):
+            loaded_cqms.search_sql("alice", "SELECT qText FROM Queries")
+
+    def test_generate_feature_sql_from_partial(self, loaded_cqms):
+        sql = loaded_cqms.meta_query.generate_feature_sql(
+            "SELECT FROM WaterSalinity, WaterTemp"
+        )
+        assert "DataSources" in sql
+        assert "watersalinity" in sql and "watertemp" in sql
+
+    def test_generate_feature_sql_includes_attributes(self, loaded_cqms):
+        sql = loaded_cqms.meta_query.generate_feature_sql(
+            "SELECT T.temp FROM WaterTemp T WHERE T.temp < 18"
+        )
+        assert "Attributes" in sql and "'temp'" in sql
+
+    def test_generate_feature_sql_no_tables_raises(self, loaded_cqms):
+        with pytest.raises(MetaQueryError):
+            loaded_cqms.meta_query.generate_feature_sql("SELECT 1 + 1")
+
+    def test_find_queries_like_partial_end_to_end(self, loaded_cqms):
+        results = loaded_cqms.search_like_partial(
+            "alice", "SELECT FROM WaterSalinity, WaterTemp"
+        )
+        assert [record.qid for record in results] == [1]
+
+
+class TestQueryByParseTree:
+    def test_structural_match_on_table(self, loaded_cqms):
+        pattern = TreePattern(label="table", value="sensors")
+        results = loaded_cqms.search_parse_tree("root", pattern)
+        assert len(results) == 1
+
+    def test_structural_match_join_and_predicate(self, loaded_cqms):
+        pattern = TreePattern(
+            label="select",
+            children=(
+                TreePattern(label="table", value="lakes"),
+                TreePattern(label="table", value="watertemp"),
+                TreePattern(label="op", value="<"),
+            ),
+        )
+        results = loaded_cqms.search_parse_tree("root", pattern)
+        assert [record.qid for record in results] == [4]
+
+    def test_no_match(self, loaded_cqms):
+        pattern = TreePattern(label="table", value="nonexistent")
+        assert loaded_cqms.search_parse_tree("root", pattern) == []
+
+    def test_limit(self, loaded_cqms):
+        pattern = TreePattern(label="select")
+        assert len(loaded_cqms.search_parse_tree("root", pattern, limit=2)) == 2
+
+
+class TestQueryByData:
+    def test_include_value(self, loaded_cqms):
+        condition = DataCondition(include_values=["Lake Washington"])
+        results = loaded_cqms.search_by_data("root", condition)
+        assert results
+        for record in results:
+            assert record.output.contains_value("Lake Washington")
+
+    def test_include_and_exclude(self, loaded_cqms):
+        condition = DataCondition(
+            include_values=["Lake Washington"], exclude_values=["Lake Union"]
+        )
+        results = loaded_cqms.search_by_data("root", condition)
+        # Only the temp < 18 join query distinguishes the two lakes (paper example).
+        assert [record.qid for record in results] == [4]
+
+    def test_exclude_only(self, loaded_cqms):
+        condition = DataCondition(exclude_values=["NeverAValue"])
+        results = loaded_cqms.search_by_data("root", condition)
+        assert results  # every query with output qualifies
+
+    def test_queries_without_output_not_matched(self, loaded_cqms):
+        condition = DataCondition(include_values=["anything"])
+        results = loaded_cqms.search_by_data("root", condition)
+        assert all(record.output is not None for record in results)
+
+
+class TestKnn:
+    def test_knn_returns_similar_first(self, loaded_cqms):
+        results = loaded_cqms.similar_queries(
+            "root", "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 20", k=3
+        )
+        assert results
+        assert results[0].qid == 1
+
+    def test_knn_respects_access_control(self, loaded_cqms):
+        results = loaded_cqms.similar_queries(
+            "carol", "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 20", k=5
+        )
+        assert all(record.user == "carol" or record.visibility == "public" for record in results)
+
+    def test_knn_exclude_qids(self, loaded_cqms):
+        results = loaded_cqms.meta_query.knn(
+            "root", "SELECT * FROM WaterTemp T WHERE T.temp < 18", k=5, exclude_qids={2}
+        )
+        assert all(record.qid != 2 for record in results)
+
+    def test_knn_ranked_returns_scores(self, loaded_cqms):
+        ranked = loaded_cqms.meta_query.knn(
+            "root", "SELECT * FROM WaterTemp T WHERE T.temp < 18", k=3, ranked=True
+        )
+        assert all(0.0 <= item.score <= 1.0 for item in ranked)
+        scores = [item.score for item in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_knn_probe_by_qid(self, loaded_cqms):
+        results = loaded_cqms.meta_query.knn("root", 1, k=3, exclude_qids={1})
+        assert results
+
+    def test_knn_with_unparseable_probe(self, loaded_cqms):
+        assert loaded_cqms.meta_query.knn("root", "complete nonsense ~~~", k=3) == []
+
+    def test_knn_unsupported_probe_type_raises(self, loaded_cqms):
+        with pytest.raises(MetaQueryError):
+            loaded_cqms.meta_query.knn("root", 3.14, k=3)

@@ -1,0 +1,258 @@
+"""Tests for the Query Profiler and session detection."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.config import CQMSConfig
+from repro.core.profiler import ProfilingMode, QueryProfiler
+from repro.core.query_store import QueryStore
+from repro.core.records import LoggedQuery
+from repro.core.sessions import SessionDetector, pairwise_session_metrics, sessions_as_ground_truth_pairs
+from repro.sql.canonicalize import canonical_text
+from repro.sql.features import extract_features
+from repro.workloads import build_database
+
+
+@pytest.fixture()
+def profiler_setup():
+    clock = SimulatedClock()
+    db = build_database("limnology", scale=1, clock=clock)
+    store = QueryStore(clock=clock)
+    profiler = QueryProfiler(db, store, CQMSConfig(), clock=clock)
+    return clock, db, store, profiler
+
+
+class TestProfilerModes:
+    def test_features_mode_records_everything(self, profiler_setup):
+        _, _, store, profiler = profiler_setup
+        execution = profiler.profile(
+            "alice", "lab1", "SELECT * FROM WaterTemp T WHERE T.temp < 18"
+        )
+        assert execution.succeeded
+        record = execution.record
+        assert record is not None
+        assert record.features is not None
+        assert record.canonical_text
+        assert record.output is not None
+        assert record.runtime.result_cardinality == len(execution.result.rows)
+        assert len(store) == 1
+
+    def test_text_mode_skips_features(self, profiler_setup):
+        _, _, store, profiler = profiler_setup
+        profiler.set_mode("text")
+        execution = profiler.profile("alice", "lab1", "SELECT * FROM Lakes")
+        assert execution.record.features is None
+        assert execution.record.canonical_text
+        assert execution.record.output is None
+
+    def test_off_mode_logs_nothing(self, profiler_setup):
+        _, _, store, profiler = profiler_setup
+        profiler.set_mode(ProfilingMode.OFF)
+        execution = profiler.profile("alice", "lab1", "SELECT * FROM Lakes")
+        assert execution.result is not None
+        assert execution.record is None
+        assert len(store) == 0
+
+    def test_mode_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ProfilingMode.parse("verbose")
+
+
+class TestProfilerBehaviour:
+    def test_failed_query_is_still_logged(self, profiler_setup):
+        _, _, store, profiler = profiler_setup
+        execution = profiler.profile("alice", "lab1", "SELECT * FROM NoSuchTable")
+        assert not execution.succeeded
+        assert execution.record.runtime.succeeded is False
+        assert execution.record.runtime.error
+        assert len(store) == 1
+
+    def test_unparseable_query_logged_as_invalid_kind(self, profiler_setup):
+        _, _, store, profiler = profiler_setup
+        execution = profiler.profile("alice", "lab1", "SELEKT * FRM lakes")
+        assert execution.record.statement_kind == "invalid"
+
+    def test_comments_stripped_from_stored_text(self, profiler_setup):
+        _, _, store, profiler = profiler_setup
+        execution = profiler.profile(
+            "alice", "lab1", "SELECT * FROM Lakes -- my favourite query"
+        )
+        assert "favourite" not in execution.record.text
+
+    def test_qids_monotonically_increase(self, profiler_setup):
+        _, _, _, profiler = profiler_setup
+        first = profiler.profile("alice", "lab1", "SELECT * FROM Lakes")
+        second = profiler.profile("alice", "lab1", "SELECT * FROM Sensors")
+        assert second.record.qid == first.record.qid + 1
+
+    def test_annotation_requested_for_complex_queries(self, profiler_setup):
+        _, _, _, profiler = profiler_setup
+        simple = profiler.profile("alice", "lab1", "SELECT * FROM Lakes")
+        complex_query = profiler.profile(
+            "alice",
+            "lab1",
+            "SELECT * FROM WaterSalinity S, WaterTemp T, CityLocations L "
+            "WHERE S.loc_x = T.loc_x AND L.loc_x = T.loc_x",
+        )
+        nested = profiler.profile(
+            "alice",
+            "lab1",
+            "SELECT * FROM Lakes WHERE lake_id IN (SELECT lake_id FROM WaterTemp WHERE temp < 10)",
+        )
+        assert not simple.annotation_requested
+        assert complex_query.annotation_requested
+        assert nested.annotation_requested
+
+    def test_visibility_defaults_from_config(self, profiler_setup):
+        _, _, _, profiler = profiler_setup
+        execution = profiler.profile("alice", "lab1", "SELECT * FROM Lakes")
+        assert execution.record.visibility == "group"
+        override = profiler.profile("alice", "lab1", "SELECT * FROM Lakes", visibility="public")
+        assert override.record.visibility == "public"
+
+    def test_timestamps_follow_clock(self, profiler_setup):
+        clock, _, _, profiler = profiler_setup
+        clock.advance(100.0)
+        execution = profiler.profile("alice", "lab1", "SELECT * FROM Lakes")
+        assert execution.record.timestamp == pytest.approx(100.0)
+
+    def test_output_summary_respects_budget(self, profiler_setup):
+        _, _, _, profiler = profiler_setup
+        execution = profiler.profile("alice", "lab1", "SELECT * FROM WaterTemp")
+        output = execution.record.output
+        assert output.total_rows == len(execution.result.rows)
+        assert len(output.rows) <= CQMSConfig().output_sample_base_budget + 1
+        assert not output.complete
+
+    def test_dml_is_logged_with_kind(self, profiler_setup):
+        _, db, store, profiler = profiler_setup
+        execution = profiler.profile(
+            "alice", "lab1", "INSERT INTO Lakes (lake_id, name, state, area_km2, max_depth_m) "
+            "VALUES (99, 'New Lake', 'WA', 1.0, 5.0)"
+        )
+        assert execution.record.statement_kind == "insert"
+        assert execution.record.output is None
+
+    def test_catalog_version_recorded(self, profiler_setup):
+        _, db, _, profiler = profiler_setup
+        execution = profiler.profile("alice", "lab1", "SELECT * FROM Lakes")
+        assert execution.record.catalog_version == db.catalog.version
+
+
+def make_record(qid, sql, user, timestamp):
+    return LoggedQuery(
+        qid=qid,
+        user=user,
+        group="lab1",
+        text=sql,
+        timestamp=timestamp,
+        canonical_text=canonical_text(sql),
+        features=extract_features(sql),
+    )
+
+
+class TestSessionDetection:
+    def test_time_gap_splits_sessions(self):
+        records = [
+            make_record(1, "SELECT * FROM WaterTemp T WHERE T.temp < 22", "alice", 0.0),
+            make_record(2, "SELECT * FROM WaterTemp T WHERE T.temp < 18", "alice", 60.0),
+            make_record(3, "SELECT * FROM WaterTemp T WHERE T.temp < 10", "alice", 5000.0),
+        ]
+        sessions = SessionDetector(gap_seconds=900).detect(records)
+        assert len(sessions) == 2
+        assert sessions[0].qids == [1, 2]
+        assert sessions[1].qids == [3]
+
+    def test_topic_shift_splits_sessions(self):
+        records = [
+            make_record(1, "SELECT * FROM WaterTemp T WHERE T.temp < 22", "alice", 0.0),
+            make_record(2, "SELECT * FROM CityLocations", "alice", 60.0),
+        ]
+        sessions = SessionDetector(gap_seconds=900, min_similarity=0.1).detect(records)
+        assert len(sessions) == 2
+
+    def test_sessions_are_per_user(self):
+        records = [
+            make_record(1, "SELECT * FROM WaterTemp", "alice", 0.0),
+            make_record(2, "SELECT * FROM WaterTemp", "bob", 10.0),
+        ]
+        sessions = SessionDetector().detect(records)
+        assert len(sessions) == 2
+        assert {session.user for session in sessions} == {"alice", "bob"}
+
+    def test_session_ids_unique_and_chronological(self):
+        records = [
+            make_record(1, "SELECT * FROM WaterTemp", "alice", 100.0),
+            make_record(2, "SELECT * FROM Lakes", "bob", 0.0),
+        ]
+        sessions = SessionDetector().detect(records)
+        assert [session.session_id for session in sessions] == [1, 2]
+        assert sessions[0].user == "bob"
+
+    def test_edges_carry_diff_summaries(self):
+        records = [
+            make_record(1, "SELECT * FROM WaterTemp T WHERE T.temp < 22", "alice", 0.0),
+            make_record(2, "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 22", "alice", 30.0),
+            make_record(3, "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 18", "alice", 60.0),
+        ]
+        sessions = SessionDetector().detect(records)
+        assert len(sessions) == 1
+        edges = sessions[0].edges
+        assert edges[0].edge_type == "modification"
+        assert "+1 table" in edges[0].diff_summary
+        assert edges[1].edge_type == "investigation"
+        assert "const" in edges[1].diff_summary
+
+    def test_identical_query_reexecution_is_temporal_edge(self):
+        records = [
+            make_record(1, "SELECT * FROM Lakes", "alice", 0.0),
+            make_record(2, "SELECT * FROM Lakes", "alice", 30.0),
+        ]
+        sessions = SessionDetector().detect(records)
+        assert sessions[0].edges[0].edge_type == "temporal"
+
+    def test_final_qid_and_duration(self):
+        records = [
+            make_record(1, "SELECT * FROM Lakes", "alice", 0.0),
+            make_record(2, "SELECT * FROM Lakes WHERE state = 'WA'", "alice", 120.0),
+        ]
+        session = SessionDetector().detect(records)[0]
+        assert session.final_qid == 2
+        assert session.duration == 120.0
+
+    def test_records_without_features_stay_together(self):
+        records = [
+            LoggedQuery(qid=1, user="a", group="g", text="x", timestamp=0.0),
+            LoggedQuery(qid=2, user="a", group="g", text="y", timestamp=10.0),
+        ]
+        sessions = SessionDetector().detect(records)
+        assert len(sessions) == 1
+
+    def test_empty_input(self):
+        assert SessionDetector().detect([]) == []
+
+
+class TestSessionMetrics:
+    def test_ground_truth_pairs(self):
+        records = [
+            make_record(1, "SELECT * FROM Lakes", "alice", 0.0),
+            make_record(2, "SELECT * FROM Lakes", "alice", 10.0),
+            make_record(3, "SELECT * FROM Lakes", "alice", 20.0),
+        ]
+        sessions = SessionDetector().detect(records)
+        pairs = sessions_as_ground_truth_pairs(sessions)
+        assert pairs == {(1, 2), (1, 3), (2, 3)}
+
+    def test_perfect_detection_scores_one(self):
+        records = [
+            make_record(1, "SELECT * FROM Lakes", "alice", 0.0),
+            make_record(2, "SELECT * FROM Lakes", "alice", 10.0),
+        ]
+        sessions = SessionDetector().detect(records)
+        truth = sessions_as_ground_truth_pairs(sessions)
+        metrics = pairwise_session_metrics(sessions, truth)
+        assert metrics == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_empty_case(self):
+        metrics = pairwise_session_metrics([], set())
+        assert metrics["f1"] == 1.0

@@ -1,0 +1,237 @@
+"""Tests for kNN search, clustering, and association-rule mining."""
+
+import pytest
+
+from repro.mining.association_rules import RuleIndex, apriori, mine_rules
+from repro.mining.clustering import agglomerative, k_medoids, silhouette_score
+from repro.mining.knn import KNNIndex
+
+
+class TestKNNIndex:
+    def build(self):
+        index = KNNIndex()
+        index.add("q1", ["table:a", "table:b", "pred:x"])
+        index.add("q2", ["table:a", "table:b"])
+        index.add("q3", ["table:c"])
+        index.add("q4", ["table:a", "pred:x", "pred:y"])
+        return index
+
+    def test_len_and_contains(self):
+        index = self.build()
+        assert len(index) == 4
+        assert "q1" in index and "zzz" not in index
+
+    def test_nearest_orders_by_similarity(self):
+        index = self.build()
+        neighbors = index.nearest(["table:a", "table:b", "pred:x"], k=3)
+        assert neighbors[0].key == "q1"
+        assert neighbors[0].similarity == 1.0
+        assert neighbors[1].key == "q2"
+
+    def test_candidates_share_a_token(self):
+        index = self.build()
+        assert index.candidates(["table:c"]) == {"q3"}
+
+    def test_disjoint_probe_returns_nothing_in_candidate_mode(self):
+        index = self.build()
+        assert index.nearest(["table:zzz"], k=5) == []
+
+    def test_exclude(self):
+        index = self.build()
+        neighbors = index.nearest(["table:a", "table:b"], k=5, exclude={"q2"})
+        assert all(neighbor.key != "q2" for neighbor in neighbors)
+
+    def test_remove(self):
+        index = self.build()
+        index.remove("q1")
+        assert "q1" not in index
+        assert all(n.key != "q1" for n in index.nearest(["table:a"], k=10))
+
+    def test_re_add_replaces_tokens(self):
+        index = self.build()
+        index.add("q3", ["table:a"])
+        assert index.candidates(["table:c"]) == set()
+
+    def test_k_limits_results(self):
+        index = self.build()
+        assert len(index.nearest(["table:a"], k=2)) == 2
+
+    def test_custom_similarity(self):
+        index = KNNIndex(similarity=lambda probe, item: float(len(set(probe) & set(item))))
+        index.add("x", ["a", "b"])
+        index.add("y", ["a"])
+        neighbors = index.nearest(["a", "b"], k=2)
+        assert neighbors[0].key == "x" and neighbors[0].similarity == 2.0
+
+    def test_min_similarity_filters(self):
+        index = self.build()
+        neighbors = index.nearest(["table:a", "table:b", "pred:x"], k=10, min_similarity=0.9)
+        assert [n.key for n in neighbors] == ["q1"]
+
+
+def _grouped_items():
+    """Two well-separated groups of token sets plus labels."""
+    group_a = [frozenset({"a", "b", f"x{i}"}) for i in range(5)]
+    group_b = [frozenset({"c", "d", f"y{i}"}) for i in range(5)]
+    return group_a + group_b
+
+
+def _set_distance(first, second):
+    union = first | second
+    if not union:
+        return 0.0
+    return 1.0 - len(first & second) / len(union)
+
+
+class TestKMedoids:
+    def test_two_obvious_clusters_recovered(self):
+        items = _grouped_items()
+        result = k_medoids(items, k=2, distance=_set_distance, seed=1)
+        first_half = {result.labels[i] for i in range(5)}
+        second_half = {result.labels[i] for i in range(5, 10)}
+        assert len(first_half) == 1 and len(second_half) == 1
+        assert first_half != second_half
+
+    def test_k_greater_than_items_gives_singletons(self):
+        result = k_medoids(["a", "b"], k=5, distance=lambda x, y: 1.0)
+        assert result.num_clusters == 2
+
+    def test_empty_input(self):
+        result = k_medoids([], k=3, distance=lambda x, y: 0.0)
+        assert result.labels == [] and result.num_clusters == 0
+
+    def test_deterministic_for_seed(self):
+        items = _grouped_items()
+        first = k_medoids(items, k=2, distance=_set_distance, seed=3)
+        second = k_medoids(items, k=2, distance=_set_distance, seed=3)
+        assert first.labels == second.labels
+
+    def test_medoid_is_member_of_cluster(self):
+        items = _grouped_items()
+        result = k_medoids(items, k=2, distance=_set_distance, seed=0)
+        for label, medoid_index in result.medoids.items():
+            assert result.labels[medoid_index] == label
+
+    def test_clusters_and_members_helpers(self):
+        items = _grouped_items()
+        result = k_medoids(items, k=2, distance=_set_distance, seed=0)
+        clusters = result.clusters()
+        assert sum(len(v) for v in clusters.values()) == len(items)
+        label = result.label_of(0)
+        assert items[0] in result.members(label)
+        assert result.representative(label) in items
+
+    def test_silhouette_high_for_separated_clusters(self):
+        items = _grouped_items()
+        result = k_medoids(items, k=2, distance=_set_distance, seed=0)
+        assert silhouette_score(result, _set_distance) > 0.3
+
+
+class TestAgglomerative:
+    def test_num_clusters_target(self):
+        items = _grouped_items()
+        result = agglomerative(items, distance=_set_distance, num_clusters=2)
+        assert result.num_clusters == 2
+
+    def test_distance_threshold_stops_merging(self):
+        items = _grouped_items()
+        result = agglomerative(items, distance=_set_distance, distance_threshold=0.5)
+        # The two groups are far apart (distance ~1.0) so they never merge.
+        assert result.num_clusters >= 2
+
+    def test_requires_a_stopping_criterion(self):
+        with pytest.raises(ValueError):
+            agglomerative(["a"], distance=lambda x, y: 0.0)
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_linkages_work(self, linkage):
+        items = _grouped_items()
+        result = agglomerative(items, distance=_set_distance, num_clusters=2, linkage=linkage)
+        assert result.num_clusters == 2
+
+    def test_empty_input(self):
+        result = agglomerative([], distance=_set_distance, num_clusters=2)
+        assert result.labels == []
+
+
+class TestApriori:
+    TRANSACTIONS = [
+        {"salinity", "temp"},
+        {"salinity", "temp"},
+        {"salinity", "temp", "city"},
+        {"city"},
+        {"city", "lakes"},
+        {"temp"},
+    ]
+
+    def test_frequent_single_items(self):
+        itemsets = apriori(self.TRANSACTIONS, min_support=0.3, max_size=1)
+        names = {tuple(sorted(i.items)) for i in itemsets}
+        assert ("temp",) in names and ("salinity",) in names and ("city",) in names
+
+    def test_frequent_pairs(self):
+        itemsets = apriori(self.TRANSACTIONS, min_support=0.4, max_size=2)
+        assert frozenset({"salinity", "temp"}) in {i.items for i in itemsets}
+
+    def test_min_support_filters(self):
+        itemsets = apriori(self.TRANSACTIONS, min_support=0.9, max_size=2)
+        assert itemsets == []
+
+    def test_support_counts_correct(self):
+        itemsets = apriori(self.TRANSACTIONS, min_support=0.3, max_size=2)
+        by_items = {i.items: i.support_count for i in itemsets}
+        assert by_items[frozenset({"salinity", "temp"})] == 3
+        assert by_items[frozenset({"temp"})] == 4
+
+    def test_empty_transactions(self):
+        assert apriori([], min_support=0.1) == []
+
+    def test_itemset_support_fraction(self):
+        itemsets = apriori(self.TRANSACTIONS, min_support=0.3, max_size=1)
+        temp = next(i for i in itemsets if i.items == frozenset({"temp"}))
+        assert temp.support(len(self.TRANSACTIONS)) == pytest.approx(4 / 6)
+
+
+class TestRules:
+    TRANSACTIONS = TestApriori.TRANSACTIONS
+
+    def test_salinity_implies_temp(self):
+        rules = mine_rules(self.TRANSACTIONS, min_support=0.3, min_confidence=0.8)
+        matching = [
+            rule
+            for rule in rules
+            if rule.antecedent == frozenset({"salinity"}) and rule.consequent == frozenset({"temp"})
+        ]
+        assert matching
+        assert matching[0].confidence == pytest.approx(1.0)
+        assert matching[0].lift > 1.0
+
+    def test_min_confidence_filters(self):
+        rules = mine_rules(self.TRANSACTIONS, min_support=0.1, min_confidence=0.99)
+        assert all(rule.confidence >= 0.99 for rule in rules)
+
+    def test_rules_sorted_by_confidence(self):
+        rules = mine_rules(self.TRANSACTIONS, min_support=0.2, min_confidence=0.3)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_rule_string_rendering(self):
+        rules = mine_rules(self.TRANSACTIONS, min_support=0.3, min_confidence=0.8)
+        assert "->" in str(rules[0])
+
+    def test_rule_index_suggestions_context_aware(self):
+        rules = mine_rules(self.TRANSACTIONS, min_support=0.2, min_confidence=0.5)
+        index = RuleIndex(rules)
+        suggestions = dict(index.suggestions(["salinity"]))
+        assert "temp" in suggestions
+        assert "salinity" not in suggestions  # context tokens excluded
+
+    def test_rule_index_empty_context(self):
+        index = RuleIndex(mine_rules(self.TRANSACTIONS, min_support=0.2, min_confidence=0.5))
+        assert index.suggestions(["unknown-token"]) == []
+
+    def test_rule_index_len_and_rules(self):
+        rules = mine_rules(self.TRANSACTIONS, min_support=0.2, min_confidence=0.5)
+        index = RuleIndex(rules)
+        assert len(index) == len(rules)
+        assert index.rules == rules

@@ -1,0 +1,105 @@
+"""Tests for query canonicalization."""
+
+from repro.sql.canonicalize import canonical_text, canonicalize, queries_equivalent
+from repro.sql.parser import parse
+
+
+class TestCanonicalEquivalence:
+    def test_case_insensitivity(self):
+        assert queries_equivalent(
+            "SELECT * FROM Lakes WHERE Name = 'x'",
+            "select * from lakes where name = 'x'",
+        )
+
+    def test_from_order_ignored(self):
+        assert queries_equivalent(
+            "SELECT * FROM a, b WHERE a.id = b.id",
+            "SELECT * FROM b, a WHERE a.id = b.id",
+        )
+
+    def test_conjunct_order_ignored(self):
+        assert queries_equivalent(
+            "SELECT * FROM t WHERE a = 1 AND b = 2",
+            "SELECT * FROM t WHERE b = 2 AND a = 1",
+        )
+
+    def test_alias_resolution_to_table_name(self):
+        text = canonical_text("SELECT S.salinity FROM WaterSalinity S")
+        assert "watersalinity.salinity" in text
+        assert " s." not in text
+
+    def test_alias_names_do_not_matter(self):
+        assert queries_equivalent(
+            "SELECT S.salinity FROM WaterSalinity S",
+            "SELECT W.salinity FROM WaterSalinity W",
+        )
+
+    def test_literal_flipped_comparison_oriented(self):
+        assert queries_equivalent(
+            "SELECT * FROM t WHERE 18 > temp",
+            "SELECT * FROM t WHERE temp < 18",
+        )
+
+    def test_different_constants_not_equivalent(self):
+        assert not queries_equivalent(
+            "SELECT * FROM t WHERE temp < 18",
+            "SELECT * FROM t WHERE temp < 22",
+        )
+
+    def test_strip_constants_makes_them_equivalent(self):
+        assert queries_equivalent(
+            "SELECT * FROM t WHERE temp < 18",
+            "SELECT * FROM t WHERE temp < 22",
+            strip_constants=True,
+        )
+
+    def test_different_tables_not_equivalent(self):
+        assert not queries_equivalent("SELECT * FROM a", "SELECT * FROM b")
+
+    def test_self_join_aliases_preserved(self):
+        # A self join must not collapse the two occurrences of the table.
+        sql = "SELECT * FROM person a, person b WHERE a.boss = b.id"
+        text = canonical_text(sql)
+        assert text.count("person") >= 2
+        reparsed = parse(text)
+        assert len(reparsed.from_items) == 2
+
+
+class TestCanonicalForm:
+    def test_canonicalization_is_idempotent(self):
+        sql = "SELECT B.y, a.x FROM bbb B, aaa a WHERE B.k = a.k AND a.x > 5"
+        once = canonical_text(sql)
+        twice = canonical_text(once)
+        assert once == twice
+
+    def test_in_list_values_sorted(self):
+        first = canonical_text("SELECT * FROM t WHERE x IN (3, 1, 2)")
+        second = canonical_text("SELECT * FROM t WHERE x IN (2, 3, 1)")
+        assert first == second
+
+    def test_group_by_sorted(self):
+        first = canonical_text("SELECT a, b FROM t GROUP BY b, a")
+        second = canonical_text("SELECT a, b FROM t GROUP BY a, b")
+        assert first == second
+
+    def test_subquery_canonicalized_too(self):
+        text = canonical_text(
+            "SELECT * FROM t WHERE x IN (SELECT Y.v FROM Other Y WHERE Y.k = 1)"
+        )
+        assert "other.v" in text
+
+    def test_canonicalize_returns_select_statement(self):
+        statement = canonicalize(parse("SELECT A.x FROM T A"))
+        assert statement.from_items[0].name == "t"
+
+    def test_non_select_passthrough(self):
+        text = canonical_text("DELETE FROM t WHERE a = 1")
+        assert text.startswith("DELETE FROM")
+
+    def test_limit_preserved(self):
+        assert "LIMIT 5" in canonical_text("SELECT * FROM t LIMIT 5")
+
+    def test_join_equality_orientation_deterministic(self):
+        first = canonical_text("SELECT * FROM a, b WHERE a.id = b.id")
+        second = canonical_text("SELECT * FROM a, b WHERE b.id = a.id")
+        assert first == second

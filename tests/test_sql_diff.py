@@ -1,0 +1,112 @@
+"""Tests for the structural query diff (Figure 2 / Figure 3 'Diff' column)."""
+
+from repro.sql.diff import diff_queries, feature_distance
+
+
+class TestDiffEntries:
+    def test_identical_queries_have_empty_diff(self):
+        diff = diff_queries("SELECT * FROM t WHERE t.a = 1", "SELECT * FROM t WHERE t.a = 1")
+        assert diff.is_empty
+        assert diff.summary() == "none"
+        assert diff.distance() == 0
+
+    def test_added_table(self):
+        diff = diff_queries("SELECT * FROM a", "SELECT * FROM a, b")
+        assert diff.count(kind="table", change="added") == 1
+        assert "+1 table" in diff.summary()
+
+    def test_removed_table(self):
+        diff = diff_queries("SELECT * FROM a, b", "SELECT * FROM a")
+        assert diff.count(kind="table", change="removed") == 1
+
+    def test_added_predicate(self):
+        diff = diff_queries("SELECT * FROM t", "SELECT * FROM t WHERE t.x > 1")
+        assert diff.count(kind="predicate", change="added") == 1
+
+    def test_constant_change_reported_as_constant_not_predicate(self):
+        diff = diff_queries(
+            "SELECT * FROM t WHERE t.temp < 22", "SELECT * FROM t WHERE t.temp < 18"
+        )
+        assert diff.count(kind="constant", change="changed") == 1
+        assert diff.count(kind="predicate") == 0
+        assert "~1 const" in diff.summary()
+
+    def test_operator_change_is_predicate_change(self):
+        diff = diff_queries(
+            "SELECT * FROM t WHERE t.temp < 18", "SELECT * FROM t WHERE t.temp > 18"
+        )
+        assert diff.count(kind="predicate", change="added") == 1
+        assert diff.count(kind="predicate", change="removed") == 1
+
+    def test_added_join(self):
+        diff = diff_queries(
+            "SELECT * FROM a, b", "SELECT * FROM a, b WHERE a.id = b.id"
+        )
+        assert diff.count(kind="join", change="added") == 1
+
+    def test_projection_change(self):
+        diff = diff_queries("SELECT t.a FROM t", "SELECT t.a, t.b FROM t")
+        assert diff.count(kind="projection", change="added") == 1
+
+    def test_aggregate_and_group_by(self):
+        diff = diff_queries(
+            "SELECT t.a FROM t", "SELECT t.a, COUNT(*) FROM t GROUP BY t.a"
+        )
+        assert diff.count(kind="aggregate", change="added") == 1
+        assert diff.count(kind="group_by", change="added") == 1
+
+    def test_described_lines_are_readable(self):
+        diff = diff_queries("SELECT * FROM a", "SELECT * FROM a, b")
+        lines = diff.described()
+        assert any("added relation b" in line for line in lines)
+
+
+class TestFigure2Session:
+    """The exact session of the paper's Figure 2, edge by edge."""
+
+    Q1 = "SELECT * FROM WaterTemp T WHERE T.temp < 22"
+    Q2 = "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 22"
+    Q3 = "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 10"
+    Q4 = "SELECT * FROM WaterSalinity S, WaterTemp T WHERE T.temp < 18"
+    Q5 = (
+        "SELECT * FROM WaterSalinity S, WaterTemp T, CityLocations L "
+        "WHERE T.temp < 18 AND S.loc_x = T.loc_x AND S.loc_y = T.loc_y"
+    )
+
+    def test_edge1_adds_watersalinity(self):
+        diff = diff_queries(self.Q1, self.Q2)
+        assert diff.count(kind="table", change="added") == 1
+        assert "watersalinity" in diff.entries[0].detail
+
+    def test_edge2_and_3_try_constants(self):
+        diff = diff_queries(self.Q2, self.Q3)
+        assert diff.count(kind="constant", change="changed") == 1
+        diff = diff_queries(self.Q3, self.Q4)
+        assert diff.count(kind="constant", change="changed") == 1
+
+    def test_edge4_adds_table_and_join_predicates(self):
+        diff = diff_queries(self.Q4, self.Q5)
+        assert diff.count(kind="table", change="added") == 1
+        assert diff.count(kind="join", change="added") == 2
+
+
+class TestDistance:
+    def test_distance_zero_only_for_equal_features(self):
+        assert feature_distance("SELECT * FROM a", "SELECT * FROM a") == 0
+        assert feature_distance("SELECT * FROM a", "SELECT * FROM b") > 0
+
+    def test_distance_symmetric_in_size(self):
+        forward = feature_distance("SELECT * FROM a", "SELECT * FROM a, b")
+        backward = feature_distance("SELECT * FROM a, b", "SELECT * FROM a")
+        assert forward == backward
+
+    def test_summary_aggregates_counts(self):
+        diff = diff_queries("SELECT * FROM a", "SELECT * FROM a, b, c")
+        assert diff.summary() == "+2 table"
+
+    def test_accepts_feature_objects(self):
+        from repro.sql.features import extract_features
+
+        first = extract_features("SELECT * FROM a")
+        second = extract_features("SELECT * FROM a, b")
+        assert diff_queries(first, second).count(kind="table", change="added") == 1

@@ -1,0 +1,168 @@
+"""Tests for the parse-tree model, structural matching, and tree edit distance."""
+
+import pytest
+
+from repro.sql.parse_tree import (
+    ParseTreeNode,
+    TreePattern,
+    match_pattern,
+    normalized_tree_distance,
+    to_parse_tree,
+    tree_depth,
+    tree_edit_distance,
+    tree_size,
+)
+
+
+class TestTreeConstruction:
+    def test_simple_select_tree_shape(self):
+        tree = to_parse_tree("SELECT name FROM lakes WHERE area_km2 > 10")
+        assert tree.label == "select"
+        labels = {node.label for node in tree.walk()}
+        assert {"projection", "from", "where", "table", "column", "op", "literal"} <= labels
+
+    def test_table_nodes_lowercased(self):
+        tree = to_parse_tree("SELECT * FROM WaterTemp")
+        tables = [node.value for node in tree.find("table")]
+        assert tables == ["watertemp"]
+
+    def test_strip_constants_replaces_literals(self):
+        tree = to_parse_tree("SELECT * FROM t WHERE t.x = 5", strip_constants=True)
+        literals = [node.value for node in tree.find("literal")]
+        assert literals == ["?"]
+
+    def test_join_tree(self):
+        tree = to_parse_tree("SELECT * FROM a JOIN b ON a.id = b.id")
+        joins = tree.find("join")
+        assert len(joins) == 1
+        assert joins[0].value == "inner"
+
+    def test_group_order_limit_nodes(self):
+        tree = to_parse_tree("SELECT a FROM t GROUP BY a ORDER BY a DESC LIMIT 3")
+        assert tree.find("group_by")
+        assert tree.find("order_by")
+        assert tree.find("limit")[0].value == "3"
+
+    def test_subquery_nested_select(self):
+        tree = to_parse_tree("SELECT * FROM t WHERE t.x IN (SELECT y FROM s)")
+        selects = tree.find("select")
+        assert len(selects) == 2
+
+    def test_non_select_statement_tree(self):
+        tree = to_parse_tree("DELETE FROM lakes WHERE lake_id = 1")
+        assert tree.label == "statement"
+        assert tree.find("table")[0].value == "lakes"
+
+    def test_tree_size_and_depth(self):
+        tree = to_parse_tree("SELECT a FROM t")
+        assert tree_size(tree) >= 5
+        assert tree_depth(tree) >= 3
+
+    def test_signature_includes_value(self):
+        node = ParseTreeNode("table", "lakes")
+        assert node.signature() == "table:lakes"
+        assert ParseTreeNode("where").signature() == "where"
+
+
+class TestPatternMatching:
+    def test_match_single_table(self):
+        tree = to_parse_tree("SELECT * FROM WaterTemp T WHERE T.temp < 18")
+        assert match_pattern(tree, TreePattern(label="table", value="watertemp"))
+        assert not match_pattern(tree, TreePattern(label="table", value="lakes"))
+
+    def test_match_join_of_two_relations(self):
+        tree = to_parse_tree(
+            "SELECT * FROM WaterSalinity S, WaterTemp T WHERE S.loc_x = T.loc_x"
+        )
+        pattern = TreePattern(
+            label="select",
+            children=(
+                TreePattern(label="table", value="watersalinity"),
+                TreePattern(label="table", value="watertemp"),
+            ),
+        )
+        assert match_pattern(tree, pattern)
+
+    def test_match_selection_on_column(self):
+        tree = to_parse_tree("SELECT * FROM WaterTemp T WHERE T.temp < 18")
+        pattern = TreePattern(
+            label="where",
+            children=(
+                TreePattern(label="op", value="<", children=(
+                    TreePattern(label="column", value="t.temp"),
+                )),
+            ),
+        )
+        assert match_pattern(tree, pattern)
+
+    def test_unordered_containment_semantics(self):
+        """Pattern children may match in any order and at any depth."""
+        tree = to_parse_tree(
+            "SELECT * FROM a, b WHERE a.x = b.x AND a.y > 3"
+        )
+        pattern = TreePattern(
+            label="select",
+            children=(
+                TreePattern(label="table", value="b"),
+                TreePattern(label="table", value="a"),
+                TreePattern(label="op", value=">"),
+            ),
+        )
+        assert match_pattern(tree, pattern)
+
+    def test_pattern_with_missing_child_fails(self):
+        tree = to_parse_tree("SELECT * FROM a")
+        pattern = TreePattern(
+            label="select", children=(TreePattern(label="table", value="zzz"),)
+        )
+        assert not match_pattern(tree, pattern)
+
+    def test_pattern_on_nested_subquery(self):
+        tree = to_parse_tree("SELECT * FROM a WHERE a.x IN (SELECT b.x FROM b)")
+        assert match_pattern(tree, TreePattern(label="table", value="b"))
+
+
+class TestTreeEditDistance:
+    def test_identical_trees_distance_zero(self):
+        first = to_parse_tree("SELECT * FROM t WHERE t.a = 1")
+        second = to_parse_tree("SELECT * FROM t WHERE t.a = 1")
+        assert tree_edit_distance(first, second) == 0
+
+    def test_constant_change_costs_one(self):
+        first = to_parse_tree("SELECT * FROM t WHERE t.a = 1")
+        second = to_parse_tree("SELECT * FROM t WHERE t.a = 2")
+        assert tree_edit_distance(first, second) == 1
+
+    def test_symmetry(self):
+        first = to_parse_tree("SELECT * FROM a, b WHERE a.x = b.x")
+        second = to_parse_tree("SELECT * FROM a")
+        assert tree_edit_distance(first, second) == tree_edit_distance(second, first)
+
+    def test_bigger_changes_cost_more(self):
+        base = to_parse_tree("SELECT * FROM a")
+        small = to_parse_tree("SELECT * FROM a WHERE a.x = 1")
+        large = to_parse_tree(
+            "SELECT a.x, COUNT(*) FROM a, b WHERE a.x = b.x GROUP BY a.x"
+        )
+        assert tree_edit_distance(base, small) < tree_edit_distance(base, large)
+
+    def test_distance_bounded_by_sum_of_sizes(self):
+        first = to_parse_tree("SELECT * FROM a")
+        second = to_parse_tree("SELECT b.x FROM b WHERE b.y < 3")
+        assert tree_edit_distance(first, second) <= tree_size(first) + tree_size(second)
+
+    def test_normalized_distance_in_unit_interval(self):
+        first = to_parse_tree("SELECT * FROM a")
+        second = to_parse_tree("SELECT b.x, b.y FROM b, c WHERE b.k = c.k")
+        value = normalized_tree_distance(first, second)
+        assert 0.0 <= value <= 1.0
+
+    def test_stripping_constants_reduces_distance(self):
+        q1 = "SELECT * FROM t WHERE t.a = 1 AND t.b = 'x'"
+        q2 = "SELECT * FROM t WHERE t.a = 9 AND t.b = 'y'"
+        raw = tree_edit_distance(to_parse_tree(q1), to_parse_tree(q2))
+        stripped = tree_edit_distance(
+            to_parse_tree(q1, strip_constants=True), to_parse_tree(q2, strip_constants=True)
+        )
+        assert stripped < raw
+        assert stripped == 0

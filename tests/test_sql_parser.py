@@ -1,0 +1,344 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    AlterTableStatement,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExistsSubquery,
+    FunctionCall,
+    InList,
+    InSubquery,
+    InsertStatement,
+    Join,
+    Literal,
+    ScalarSubquery,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    UpdateStatement,
+)
+from repro.sql.parser import parse, parse_expression, parse_many
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        statement = parse("SELECT * FROM lakes")
+        assert isinstance(statement, SelectStatement)
+        assert isinstance(statement.select_items[0].expression, Star)
+        assert statement.from_items == (TableRef(name="lakes", alias=None),)
+
+    def test_select_columns_with_aliases(self):
+        statement = parse("SELECT name AS n, area_km2 area FROM lakes")
+        assert statement.select_items[0].alias == "n"
+        assert statement.select_items[1].alias == "area"
+
+    def test_table_alias_with_and_without_as(self):
+        first = parse("SELECT * FROM lakes AS L")
+        second = parse("SELECT * FROM lakes L")
+        assert first.from_items[0].alias == "L"
+        assert second.from_items[0].alias == "L"
+
+    def test_qualified_star(self):
+        statement = parse("SELECT L.* FROM lakes L")
+        star = statement.select_items[0].expression
+        assert isinstance(star, Star)
+        assert star.table == "L"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT state FROM lakes").distinct is True
+
+    def test_where_comparison(self):
+        statement = parse("SELECT * FROM t WHERE a < 5")
+        assert isinstance(statement.where, BinaryOp)
+        assert statement.where.op == "<"
+        assert statement.where.right == Literal(5)
+
+    def test_not_equal_normalized(self):
+        statement = parse("SELECT * FROM t WHERE a != 5")
+        assert statement.where.op == "<>"
+
+    def test_group_by_having(self):
+        statement = parse(
+            "SELECT state, COUNT(*) FROM lakes GROUP BY state HAVING COUNT(*) > 2"
+        )
+        assert len(statement.group_by) == 1
+        assert isinstance(statement.having, BinaryOp)
+
+    def test_order_by_directions(self):
+        statement = parse("SELECT * FROM t ORDER BY a, b DESC, c ASC")
+        assert [item.ascending for item in statement.order_by] == [True, False, True]
+
+    def test_limit_offset(self):
+        statement = parse("SELECT * FROM t LIMIT 10 OFFSET 5")
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_trailing_semicolon_allowed(self):
+        assert isinstance(parse("SELECT 1;"), SelectStatement)
+
+    def test_select_without_from(self):
+        statement = parse("SELECT 1 + 2")
+        assert statement.from_items == ()
+
+
+class TestJoins:
+    def test_explicit_inner_join(self):
+        statement = parse("SELECT * FROM a JOIN b ON a.id = b.id")
+        join = statement.from_items[0]
+        assert isinstance(join, Join)
+        assert join.join_type == "INNER"
+        assert isinstance(join.condition, BinaryOp)
+
+    def test_left_outer_join(self):
+        statement = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert statement.from_items[0].join_type == "LEFT"
+
+    def test_cross_join_has_no_condition(self):
+        statement = parse("SELECT * FROM a CROSS JOIN b")
+        join = statement.from_items[0]
+        assert join.join_type == "CROSS"
+        assert join.condition is None
+
+    def test_chained_joins_left_associative(self):
+        statement = parse("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+        outer = statement.from_items[0]
+        assert isinstance(outer, Join)
+        assert isinstance(outer.left, Join)
+        assert isinstance(outer.right, TableRef)
+
+    def test_comma_separated_tables(self):
+        statement = parse("SELECT * FROM a, b, c")
+        assert len(statement.from_items) == 3
+
+    def test_derived_table(self):
+        statement = parse("SELECT * FROM (SELECT id FROM t) sub")
+        item = statement.from_items[0]
+        assert isinstance(item, SubqueryRef)
+        assert item.alias == "sub"
+
+
+class TestExpressions:
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, UnaryOp)
+        assert expr.operand == Literal(5)
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, Between)
+        assert expr.low == Literal(1)
+        assert expr.high == Literal(10)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated is True
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert len(expr.values) == 3
+
+    def test_not_in_list(self):
+        assert parse_expression("x NOT IN (1)").negated is True
+
+    def test_in_subquery(self):
+        expr = parse_expression("x IN (SELECT id FROM t)")
+        assert isinstance(expr, InSubquery)
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ExistsSubquery)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(x) FROM t)")
+        assert isinstance(expr, ScalarSubquery)
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'Lake%'")
+        assert expr.op == "LIKE"
+
+    def test_not_like_wraps_in_not(self):
+        expr = parse_expression("name NOT LIKE 'x%'")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("a IS NULL").op == "IS NULL"
+        assert parse_expression("a IS NOT NULL").op == "IS NOT NULL"
+
+    def test_case_expression(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert len(expr.whens) == 1
+        assert expr.default == Literal("small")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE END")
+
+    def test_aggregate_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr, FunctionCall)
+        assert isinstance(expr.args[0], Star)
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT name)")
+        assert expr.distinct is True
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS INTEGER)")
+        assert expr.name == "CAST"
+        assert expr.args[1] == Literal("INTEGER")
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+        assert parse_expression("NULL") == Literal(None)
+
+    def test_string_concatenation(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_qualified_column(self):
+        expr = parse_expression("T.temp")
+        assert expr == ColumnRef(name="temp", table="T")
+
+
+class TestDml:
+    def test_insert_values(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_insert_without_columns(self):
+        statement = parse("INSERT INTO t VALUES (1, 2)")
+        assert statement.columns == ()
+
+    def test_insert_select(self):
+        statement = parse("INSERT INTO t (a) SELECT b FROM s")
+        assert statement.select is not None
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = 'x' WHERE id = 3")
+        assert isinstance(statement, UpdateStatement)
+        assert len(statement.assignments) == 2
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a < 0")
+        assert isinstance(statement, DeleteStatement)
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDdl:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(32) NOT NULL, score FLOAT)"
+        )
+        assert isinstance(statement, CreateTableStatement)
+        assert statement.columns[0].primary_key is True
+        assert statement.columns[1].not_null is True
+
+    def test_create_table_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists is True
+
+    def test_drop_table(self):
+        statement = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, DropTableStatement)
+        assert statement.if_exists is True
+
+    def test_alter_add_column(self):
+        statement = parse("ALTER TABLE t ADD COLUMN c TEXT")
+        assert isinstance(statement, AlterTableStatement)
+        assert statement.action == "add_column"
+        assert statement.column.name == "c"
+
+    def test_alter_drop_column(self):
+        statement = parse("ALTER TABLE t DROP COLUMN c")
+        assert statement.action == "drop_column"
+        assert statement.column_name == "c"
+
+    def test_alter_rename_column(self):
+        statement = parse("ALTER TABLE t RENAME COLUMN a TO b")
+        assert statement.action == "rename_column"
+        assert (statement.column_name, statement.new_name) == ("a", "b")
+
+    def test_alter_rename_table(self):
+        statement = parse("ALTER TABLE t RENAME TO s")
+        assert statement.action == "rename_table"
+        assert statement.new_name == "s"
+
+    def test_create_index(self):
+        statement = parse("CREATE UNIQUE INDEX idx ON t (a)")
+        assert isinstance(statement, CreateIndexStatement)
+        assert statement.unique is True
+
+
+class TestErrorsAndScripts:
+    def test_unknown_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse("GRANT ALL TO bob")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 FROM t extra garbage here ,,")
+
+    def test_missing_from_table_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM WHERE a = 1")
+
+    def test_structural_keyword_not_an_identifier(self):
+        with pytest.raises(ParseError):
+            parse("SELECT FROM WaterSalinity")
+
+    def test_unbalanced_parenthesis_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t WHERE (a = 1")
+
+    def test_parse_many(self):
+        statements = parse_many("SELECT 1; SELECT 2; ")
+        assert len(statements) == 2
+
+    def test_parse_error_carries_token(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT * FROM t WHERE a ==")
+        assert excinfo.value.token is not None
+
+    def test_paper_figure1_meta_query_parses(self):
+        sql = (
+            "SELECT Q.qid, Q.qText FROM Queries Q, Attributes A1, Attributes A2 "
+            "WHERE Q.qid = A1.qid AND Q.qid = A2.qid "
+            "AND A1.attrName = 'salinity' AND A1.relName = 'WaterSalinity' "
+            "AND A2.attrName = 'temp' AND A2.relName = 'WaterTemp'"
+        )
+        statement = parse(sql)
+        assert len(statement.from_items) == 3

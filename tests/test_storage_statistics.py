@@ -1,0 +1,165 @@
+"""Tests for histograms, samples, selectivity estimation, and output summaries."""
+
+import random
+
+from repro.storage.statistics import (
+    Histogram,
+    ReservoirSample,
+    TableStatistics,
+    entropy,
+    summarize_output,
+)
+
+
+class TestHistogram:
+    def test_build_on_non_numeric_returns_none(self):
+        assert Histogram.build(["a", "b", None]) is None
+
+    def test_counts_sum_to_population(self):
+        values = list(range(100))
+        histogram = Histogram.build(values, buckets=8)
+        assert sum(histogram.counts) == 100
+
+    def test_null_count_tracked(self):
+        histogram = Histogram.build([1, 2, None, None, 3])
+        assert histogram.null_count == 2
+
+    def test_selectivity_less_than(self):
+        values = list(range(100))
+        histogram = Histogram.build(values, buckets=10)
+        estimate = histogram.estimate_selectivity("<", 50)
+        assert 0.4 <= estimate <= 0.6
+
+    def test_selectivity_out_of_range(self):
+        histogram = Histogram.build(list(range(10)))
+        assert histogram.estimate_selectivity("<", -5) == 0.0
+        assert histogram.estimate_selectivity("<", 100) == 1.0
+        assert histogram.estimate_selectivity(">", 100) == 0.0
+
+    def test_selectivity_equality_small(self):
+        histogram = Histogram.build(list(range(1000)), buckets=16)
+        assert histogram.estimate_selectivity("=", 500) < 0.05
+
+    def test_distance_of_identical_distributions_near_zero(self):
+        values = [random.Random(0).uniform(0, 10) for _ in range(500)]
+        first = Histogram.build(values)
+        second = Histogram.build(list(values))
+        assert first.distance(second) < 0.05
+
+    def test_distance_of_shifted_distributions_large(self):
+        first = Histogram.build([random.Random(0).uniform(0, 10) for _ in range(500)])
+        second = Histogram.build([random.Random(1).uniform(100, 110) for _ in range(500)])
+        assert first.distance(second) > 0.5
+
+
+class TestReservoirSample:
+    def test_keeps_all_items_under_capacity(self):
+        sample = ReservoirSample(capacity=10)
+        sample.extend(range(5))
+        assert sorted(sample.items) == [0, 1, 2, 3, 4]
+
+    def test_never_exceeds_capacity(self):
+        sample = ReservoirSample(capacity=10)
+        sample.extend(range(1000))
+        assert len(sample.items) == 10
+        assert sample.seen == 1000
+
+    def test_sample_drawn_from_population(self):
+        sample = ReservoirSample(capacity=16)
+        sample.extend(range(500))
+        assert all(0 <= item < 500 for item in sample.items)
+
+
+class TestTableStatistics:
+    ROWS = [
+        {"id": i, "state": "WA" if i % 3 else "MI", "area": float(i)} for i in range(60)
+    ]
+
+    def test_compute_row_count_and_columns(self):
+        stats = TableStatistics.compute("t", self.ROWS)
+        assert stats.row_count == 60
+        assert set(stats.columns) == {"id", "state", "area"}
+
+    def test_distinct_and_most_common(self):
+        stats = TableStatistics.compute("t", self.ROWS)
+        assert stats.columns["state"].distinct_count == 2
+        assert stats.columns["state"].most_common[0][0] == "WA"
+
+    def test_selectivity_equality_on_categorical(self):
+        stats = TableStatistics.compute("t", self.ROWS)
+        assert abs(stats.selectivity("state", "=", "WA") - 0.5) < 0.1
+
+    def test_selectivity_range_on_numeric(self):
+        stats = TableStatistics.compute("t", self.ROWS)
+        assert 0.3 <= stats.selectivity("area", "<", 30.0) <= 0.7
+
+    def test_selectivity_in_list(self):
+        stats = TableStatistics.compute("t", self.ROWS)
+        assert stats.selectivity("state", "IN", ["WA", "MI"]) == 1.0
+
+    def test_selectivity_unknown_column_default(self):
+        stats = TableStatistics.compute("t", self.ROWS)
+        assert stats.selectivity("nope", "=", 1) == 0.33
+
+    def test_empty_table(self):
+        stats = TableStatistics.compute("t", [])
+        assert stats.row_count == 0
+        assert stats.selectivity("x", "=", 1) == 0.33
+
+    def test_drift_detects_row_count_change(self):
+        first = TableStatistics.compute("t", self.ROWS)
+        second = TableStatistics.compute("t", self.ROWS[:20])
+        assert first.drift(second) > 0.3
+
+    def test_drift_near_zero_for_same_data(self):
+        first = TableStatistics.compute("t", self.ROWS)
+        second = TableStatistics.compute("t", list(self.ROWS))
+        assert first.drift(second) < 0.05
+
+    def test_drift_detects_distribution_shift(self):
+        shifted = [{"id": i, "state": "WA", "area": float(i) + 1000.0} for i in range(60)]
+        first = TableStatistics.compute("t", self.ROWS)
+        second = TableStatistics.compute("t", shifted)
+        assert first.drift(second) > 0.5
+
+
+class TestOutputSummarization:
+    COLUMNS = ["a", "b"]
+
+    def test_small_output_kept_completely(self):
+        rows = [(i, i) for i in range(10)]
+        assert summarize_output(rows, self.COLUMNS, execution_time=0.0) == rows
+
+    def test_large_fast_output_sampled_to_base_budget(self):
+        rows = [(i, i) for i in range(10_000)]
+        summary = summarize_output(rows, self.COLUMNS, execution_time=0.0, base_budget=64)
+        assert len(summary) == 64
+
+    def test_long_running_query_gets_bigger_budget(self):
+        rows = [(i, i) for i in range(10_000)]
+        fast = summarize_output(rows, self.COLUMNS, execution_time=0.0, base_budget=32)
+        slow = summarize_output(rows, self.COLUMNS, execution_time=60.0, base_budget=32)
+        assert len(slow) > len(fast)
+
+    def test_budget_capped_at_max(self):
+        rows = [(i,) for i in range(20_000)]
+        summary = summarize_output(
+            rows, ["a"], execution_time=10_000.0, base_budget=32, max_budget=500
+        )
+        assert len(summary) == 500
+
+    def test_sampled_rows_come_from_output(self):
+        rows = [(i, str(i)) for i in range(1000)]
+        summary = summarize_output(rows, self.COLUMNS, execution_time=0.0, base_budget=16)
+        assert all(row in rows for row in summary)
+
+
+class TestEntropy:
+    def test_entropy_zero_for_single_bucket(self):
+        assert entropy([10, 0, 0]) == 0.0
+
+    def test_entropy_max_for_uniform(self):
+        assert abs(entropy([5, 5, 5, 5]) - 2.0) < 1e-9
+
+    def test_entropy_empty(self):
+        assert entropy([]) == 0.0

@@ -1,0 +1,167 @@
+"""Tests for heap tables, indexes, and table-level schema evolution."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+
+def make_table():
+    return Table(
+        TableSchema(
+            name="lakes",
+            columns=[
+                ColumnSchema("id", DataType.INTEGER, primary_key=True),
+                ColumnSchema("name", DataType.TEXT, unique=True),
+                ColumnSchema("state", DataType.TEXT),
+                ColumnSchema("area", DataType.FLOAT),
+            ],
+        )
+    )
+
+
+def seed(table):
+    table.insert({"id": 1, "name": "Washington", "state": "WA", "area": 87.6})
+    table.insert({"id": 2, "name": "Union", "state": "WA", "area": 2.3})
+    table.insert({"id": 3, "name": "Michigan", "state": "MI", "area": 58000.0})
+    return table
+
+
+class TestInsertDeleteUpdate:
+    def test_insert_returns_increasing_row_ids(self):
+        table = make_table()
+        first = table.insert({"id": 1, "name": "a", "state": "WA", "area": 1.0})
+        second = table.insert({"id": 2, "name": "b", "state": "WA", "area": 1.0})
+        assert second == first + 1
+        assert len(table) == 2
+
+    def test_primary_key_uniqueness_enforced(self):
+        table = seed(make_table())
+        with pytest.raises(IntegrityError):
+            table.insert({"id": 1, "name": "dup", "state": "WA", "area": 1.0})
+
+    def test_unique_column_enforced(self):
+        table = seed(make_table())
+        with pytest.raises(IntegrityError):
+            table.insert({"id": 9, "name": "Union", "state": "OR", "area": 1.0})
+
+    def test_failed_insert_leaves_table_unchanged(self):
+        table = seed(make_table())
+        before = len(table)
+        with pytest.raises(IntegrityError):
+            table.insert({"id": 1, "name": "x", "state": "WA", "area": 1.0})
+        assert len(table) == before
+
+    def test_delete_removes_row_and_index_entry(self):
+        table = seed(make_table())
+        row_id = next(rid for rid, row in table.scan() if row["id"] == 2)
+        table.delete(row_id)
+        assert len(table) == 2
+        assert table.lookup("id", 2) == []
+
+    def test_delete_where(self):
+        table = seed(make_table())
+        removed = table.delete_where(lambda row: row["state"] == "WA")
+        assert removed == 2
+        assert len(table) == 1
+
+    def test_update_changes_values_and_indexes(self):
+        table = seed(make_table())
+        row_id = next(rid for rid, row in table.scan() if row["id"] == 2)
+        table.update(row_id, {"name": "Lake Union", "area": 3.5})
+        assert table.lookup("name", "Lake Union")[0]["area"] == 3.5
+        assert table.lookup("name", "Union") == []
+
+    def test_update_unique_violation_restores_index(self):
+        table = seed(make_table())
+        row_id = next(rid for rid, row in table.scan() if row["id"] == 2)
+        with pytest.raises(IntegrityError):
+            table.update(row_id, {"name": "Washington"})
+        # The old value is still findable after the failed update.
+        assert table.lookup("name", "Union")[0]["id"] == 2
+
+    def test_insert_coerces_types(self):
+        table = make_table()
+        table.insert({"id": "5", "name": "x", "state": "WA", "area": "2.5"})
+        row = table.lookup("id", 5)[0]
+        assert row["area"] == 2.5
+
+    def test_insert_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().insert({"id": 1, "nope": "x"})
+
+
+class TestIndexes:
+    def test_secondary_index_lookup(self):
+        table = seed(make_table())
+        index = table.create_index("by_state", "state")
+        assert index.distinct_values() == 2
+        assert {row["name"] for row in table.lookup("state", "WA")} == {"Washington", "Union"}
+
+    def test_lookup_without_index_scans(self):
+        table = seed(make_table())
+        assert len(table.lookup("area", 2.3)) == 1
+
+    def test_create_index_on_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().create_index("bad", "nope")
+
+    def test_index_created_after_inserts_backfills(self):
+        table = seed(make_table())
+        index = table.create_index("by_state", "state")
+        assert index.lookup("MI")
+
+    def test_nulls_not_indexed(self):
+        table = make_table()
+        table.create_index("by_state", "state")
+        table.insert({"id": 10, "name": "n", "state": None, "area": 1.0})
+        assert table.index_for("state").lookup(None) == set()
+
+
+class TestSchemaEvolution:
+    def test_add_column_fills_nulls(self):
+        table = seed(make_table())
+        table.add_column(ColumnSchema("depth", DataType.FLOAT))
+        assert all(row["depth"] is None for row in table.rows())
+
+    def test_add_column_with_default(self):
+        table = seed(make_table())
+        table.add_column(ColumnSchema("kind", DataType.TEXT), default="freshwater")
+        assert all(row["kind"] == "freshwater" for row in table.rows())
+
+    def test_add_not_null_column_without_default_raises(self):
+        table = seed(make_table())
+        with pytest.raises(SchemaError):
+            table.add_column(ColumnSchema("kind", DataType.TEXT, not_null=True))
+
+    def test_drop_column(self):
+        table = seed(make_table())
+        table.drop_column("area")
+        assert "area" not in table.rows()[0]
+        assert not table.schema.has_column("area")
+
+    def test_rename_column_moves_data_and_index(self):
+        table = seed(make_table())
+        table.rename_column("name", "lake_name")
+        assert table.lookup("lake_name", "Union")[0]["id"] == 2
+        with pytest.raises(SchemaError):
+            table.schema.column("name")
+
+    def test_rename_table(self):
+        table = make_table()
+        table.rename("water_bodies")
+        assert table.name == "water_bodies"
+
+
+class TestStatistics:
+    def test_statistics_cached_until_mutation(self):
+        table = seed(make_table())
+        first = table.statistics()
+        assert table.statistics() is first
+        table.insert({"id": 9, "name": "new", "state": "OR", "area": 4.0})
+        assert table.statistics() is not first
+
+    def test_statistics_row_count(self):
+        assert seed(make_table()).statistics().row_count == 3

@@ -1,0 +1,103 @@
+"""Tests for storage value types and coercion."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.types import DataType, coerce_value, compare_values, infer_type, sort_key
+
+
+class TestDataType:
+    @pytest.mark.parametrize(
+        "sql_type,expected",
+        [
+            ("INT", DataType.INTEGER),
+            ("integer", DataType.INTEGER),
+            ("BIGINT", DataType.INTEGER),
+            ("FLOAT", DataType.FLOAT),
+            ("DOUBLE", DataType.FLOAT),
+            ("NUMERIC", DataType.FLOAT),
+            ("TEXT", DataType.TEXT),
+            ("VARCHAR", DataType.TEXT),
+            ("BOOLEAN", DataType.BOOLEAN),
+            ("bool", DataType.BOOLEAN),
+        ],
+    )
+    def test_from_sql_aliases(self, sql_type, expected):
+        assert DataType.from_sql(sql_type) is expected
+
+    def test_from_sql_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            DataType.from_sql("GEOMETRY")
+
+    def test_is_numeric(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.TEXT.is_numeric
+
+
+class TestCoercion:
+    def test_null_passes_through(self):
+        assert coerce_value(None, DataType.INTEGER) is None
+
+    def test_integer_from_float_when_integral(self):
+        assert coerce_value(3.0, DataType.INTEGER) == 3
+
+    def test_integer_from_string(self):
+        assert coerce_value("7", DataType.INTEGER) == 7
+
+    def test_integer_from_bad_string_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value("abc", DataType.INTEGER)
+
+    def test_float_from_int(self):
+        assert coerce_value(3, DataType.FLOAT) == 3.0
+
+    def test_text_from_number(self):
+        assert coerce_value(3.5, DataType.TEXT) == "3.5"
+
+    def test_boolean_from_int(self):
+        assert coerce_value(1, DataType.BOOLEAN) is True
+        assert coerce_value(0, DataType.BOOLEAN) is False
+
+    def test_boolean_from_string(self):
+        assert coerce_value("true", DataType.BOOLEAN) is True
+
+    def test_boolean_from_other_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value("maybe", DataType.BOOLEAN)
+
+    def test_infer_type(self):
+        assert infer_type(True) is DataType.BOOLEAN
+        assert infer_type(3) is DataType.INTEGER
+        assert infer_type(3.5) is DataType.FLOAT
+        assert infer_type("x") is DataType.TEXT
+
+
+class TestComparison:
+    def test_null_comparisons_are_unknown(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+
+    def test_numeric_comparison(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2.0) == 0
+
+    def test_string_comparison(self):
+        assert compare_values("a", "b") == -1
+
+    def test_mixed_type_comparison_is_deterministic(self):
+        first = compare_values(1, "a")
+        second = compare_values(1, "a")
+        assert first == second
+        assert first in (-1, 0, 1)
+
+    def test_sort_key_orders_nulls_first(self):
+        values = ["b", None, 3, 1.5, None, "a"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None and ordered[1] is None
+
+    def test_sort_key_handles_mixed_types(self):
+        values = ["x", 2, None, 1]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [None, 1, 2, "x"]

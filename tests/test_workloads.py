@@ -1,0 +1,195 @@
+"""Tests for the synthetic schemas, data generators, and workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sql.features import extract_features
+from repro.storage.database import Database
+from repro.workloads import (
+    GOAL_LIBRARY,
+    QueryLogGenerator,
+    WorkloadConfig,
+    build_database,
+    evolution_scenario,
+)
+from repro.workloads.evolution import apply_scenario
+from repro.workloads.generator import Goal, _SessionState
+
+
+class TestSchemasAndData:
+    @pytest.mark.parametrize("domain", ["limnology", "sky_survey", "web_analytics"])
+    def test_build_database_populates_all_tables(self, domain):
+        db = build_database(domain, scale=1)
+        assert isinstance(db, Database)
+        for table in db.table_names():
+            assert len(db.table(table)) > 0
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ValueError):
+            build_database("genomics")
+
+    def test_scale_increases_data_volume(self):
+        small = build_database("limnology", scale=1)
+        large = build_database("limnology", scale=2)
+        assert large.total_rows() > small.total_rows()
+
+    def test_generation_is_deterministic_for_seed(self):
+        first = build_database("limnology", scale=1, seed=3)
+        second = build_database("limnology", scale=1, seed=3)
+        assert first.execute("SELECT COUNT(*), AVG(temp) FROM WaterTemp").rows == \
+            second.execute("SELECT COUNT(*), AVG(temp) FROM WaterTemp").rows
+
+    def test_lake_washington_seeded_cool(self, limnology_db_readonly):
+        """Lake Washington (lake_id 1) must only have temp < 18 readings (C3 seed)."""
+        max_temp = limnology_db_readonly.execute(
+            "SELECT MAX(temp) FROM WaterTemp WHERE lake_id = 1"
+        ).scalar()
+        assert max_temp < 18
+
+    def test_lake_union_has_warm_readings(self, limnology_db_readonly):
+        count = limnology_db_readonly.execute(
+            "SELECT COUNT(*) FROM WaterTemp WHERE lake_id = 2 AND temp >= 18"
+        ).scalar()
+        assert count > 0
+
+
+class TestGoalLibrary:
+    @pytest.mark.parametrize("domain", sorted(GOAL_LIBRARY))
+    def test_goal_final_queries_execute_on_their_domain(self, domain):
+        db = build_database(domain, scale=1)
+        for goal in GOAL_LIBRARY[domain]:
+            result = db.execute(goal.final_sql())
+            assert result.stats.statement_kind == "select"
+
+    def test_goal_final_sql_includes_all_tables(self):
+        for goal in GOAL_LIBRARY["limnology"]:
+            features = extract_features(goal.final_sql())
+            assert len(features.tables) == len(goal.tables)
+
+    def test_session_state_progresses_to_completion(self):
+        import random
+
+        goal = GOAL_LIBRARY["limnology"][0]
+        state = _SessionState.initial(goal, random.Random(0))
+        steps = 0
+        while not state.is_complete and steps < 30:
+            state.apply(state.possible_steps()[0], random.Random(0))
+            steps += 1
+        assert state.is_complete
+        assert state.render() == _SessionState.full(goal).render()
+
+    def test_unknown_session_step_raises(self):
+        import random
+
+        goal = GOAL_LIBRARY["limnology"][0]
+        state = _SessionState.initial(goal, random.Random(0))
+        with pytest.raises(WorkloadError):
+            state.apply("fly_to_the_moon", random.Random(0))
+
+
+class TestWorkloadGenerator:
+    def test_generates_requested_sessions(self, small_workload):
+        finals = [event for event in small_workload if event.is_final]
+        assert len(finals) == 40
+
+    def test_log_sorted_by_timestamp(self, small_workload):
+        timestamps = [event.timestamp for event in small_workload]
+        assert timestamps == sorted(timestamps)
+
+    def test_every_query_parses_and_executes(self, small_workload, limnology_db_readonly):
+        for event in small_workload[:100]:
+            result = limnology_db_readonly.execute(event.sql)
+            assert result.stats.statement_kind == "select"
+
+    def test_deterministic_for_seed(self):
+        first = QueryLogGenerator(WorkloadConfig(num_sessions=10, seed=9)).generate()
+        second = QueryLogGenerator(WorkloadConfig(num_sessions=10, seed=9)).generate()
+        assert [e.sql for e in first] == [e.sql for e in second]
+
+    def test_different_seeds_differ(self):
+        first = QueryLogGenerator(WorkloadConfig(num_sessions=10, seed=1)).generate()
+        second = QueryLogGenerator(WorkloadConfig(num_sessions=10, seed=2)).generate()
+        assert [e.sql for e in first] != [e.sql for e in second]
+
+    def test_sessions_have_small_intra_gaps(self, small_workload):
+        by_session = {}
+        for event in small_workload:
+            by_session.setdefault((event.user, event.session_ordinal), []).append(event)
+        for events in by_session.values():
+            ordered = sorted(events, key=lambda e: e.step)
+            for previous, current in zip(ordered, ordered[1:]):
+                assert 0 < current.timestamp - previous.timestamp <= 120.0
+
+    def test_consecutive_session_queries_share_tables(self, small_workload):
+        by_session = {}
+        for event in small_workload:
+            by_session.setdefault((event.user, event.session_ordinal), []).append(event)
+        for events in by_session.values():
+            ordered = sorted(events, key=lambda e: e.step)
+            for previous, current in zip(ordered, ordered[1:]):
+                first = set(extract_features(previous.sql).tables)
+                second = set(extract_features(current.sql).tables)
+                assert first & second
+
+    def test_some_annotations_present(self):
+        log = QueryLogGenerator(
+            WorkloadConfig(num_sessions=60, seed=2, annotation_probability=0.8)
+        ).generate()
+        assert any(event.annotation for event in log)
+
+    def test_users_and_groups_assigned(self, small_workload):
+        users = {event.user for event in small_workload}
+        groups = {event.group for event in small_workload}
+        assert len(users) > 1
+        assert len(groups) > 1
+
+    def test_final_queries_helper(self, small_workload):
+        generator = QueryLogGenerator(WorkloadConfig(num_sessions=5, seed=1))
+        log = generator.generate()
+        finals = generator.final_queries(log)
+        assert all(event.is_final for event in finals)
+        assert len(finals) == 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(WorkloadError):
+            QueryLogGenerator(WorkloadConfig(domain="unknown"))
+        with pytest.raises(WorkloadError):
+            QueryLogGenerator(WorkloadConfig(num_users=2, num_groups=5))
+        with pytest.raises(WorkloadError):
+            QueryLogGenerator(WorkloadConfig(num_sessions=0))
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(WorkloadError):
+            QueryLogGenerator(WorkloadConfig(), num_sessions=5)
+
+    def test_overrides_shortcut(self):
+        generator = QueryLogGenerator(num_sessions=3, seed=1)
+        assert generator.config.num_sessions == 3
+
+
+class TestEvolutionScenarios:
+    @pytest.mark.parametrize("domain", ["limnology", "sky_survey", "web_analytics"])
+    def test_scenarios_apply_cleanly(self, domain):
+        db = build_database(domain, scale=1)
+        steps = evolution_scenario(domain)
+        apply_scenario(db, steps)
+        # Each step is reflected in the catalog change log.
+        kinds = [change.kind for change in db.catalog.changes()]
+        for step in steps:
+            assert step.kind in kinds
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(WorkloadError):
+            evolution_scenario("nope")
+
+    def test_breaks_queries_flag(self):
+        steps = evolution_scenario("limnology")
+        add_steps = [step for step in steps if step.kind == "add_column"]
+        assert all(not step.breaks_queries for step in add_steps)
+        assert any(step.breaks_queries for step in steps)
+
+    def test_rename_column_actually_renames(self):
+        db = build_database("limnology", scale=1)
+        apply_scenario(db, [step for step in evolution_scenario("limnology") if step.kind == "rename_column"])
+        columns = db.schema_columns()["watertemp"]
+        assert "depth_m" in columns and "depth" not in columns
