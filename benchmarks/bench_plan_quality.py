@@ -1,0 +1,103 @@
+"""Plan-quality micro-benchmark: access paths on feature-relation joins.
+
+The planner/executor split exists so that CQMS meta-queries — ordinary SQL
+over the feature relations — stop full-scanning tables whose equality indexes
+already exist (the ``qid`` indexes of the Query Storage).  This experiment
+isolates that effect on a synthetic feature-relation workload:
+
+* **indexed** — the Figure 1-shaped join runs against tables with hash
+  indexes on ``qid``/``relName``, so the planner chooses an ``IndexScan``
+  driving side and ``IndexLoopJoin`` probes,
+* **seq-only** — the same data without indexes forces sequential scans and
+  hash joins.
+
+Reported series: latency per query, rows actually scanned (the honest
+``rows_scanned`` metric), and the plan trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import print_table
+from repro.storage.database import Database
+
+NUM_QUERIES = 500
+ATTRS_PER_QUERY = 3
+RELATIONS = [f"rel{i}" for i in range(10)]
+
+META_JOIN_SQL = (
+    "SELECT Q.qid FROM Queries Q, Attributes A "
+    "WHERE Q.qid = A.qid AND A.relName = 'rel3'"
+)
+
+
+def _build(indexed: bool) -> Database:
+    db = Database(name="plan_quality")
+    db.execute("CREATE TABLE Queries (qid INTEGER, qText TEXT)")
+    db.execute(
+        "CREATE TABLE Attributes (qid INTEGER, attrName TEXT, relName TEXT)"
+    )
+    db.insert_rows(
+        "Queries",
+        [{"qid": qid, "qText": f"SELECT * FROM t{qid}"} for qid in range(NUM_QUERIES)],
+    )
+    db.insert_rows(
+        "Attributes",
+        [
+            {
+                "qid": qid,
+                "attrName": f"attr{position}",
+                "relName": RELATIONS[(qid + position) % len(RELATIONS)],
+            }
+            for qid in range(NUM_QUERIES)
+            for position in range(ATTRS_PER_QUERY)
+        ],
+    )
+    if indexed:
+        db.execute("CREATE INDEX queries_qid ON Queries (qid)")
+        db.execute("CREATE INDEX attributes_qid ON Attributes (qid)")
+        db.execute("CREATE INDEX attributes_relname ON Attributes (relName)")
+    return db
+
+
+class TestPlanQuality:
+    def test_indexed_plan_uses_index_scans(self):
+        db = _build(indexed=True)
+        plan = db.explain(META_JOIN_SQL)
+        assert "IndexScan" in plan.text(), plan.text()
+        seq_plan = _build(indexed=False).explain(META_JOIN_SQL)
+        assert "IndexScan" not in seq_plan.text()
+        print_table(
+            "Plan quality: chosen plans",
+            ["variant", "plan"],
+            [("indexed", " / ".join(plan.lines)), ("seq-only", " / ".join(seq_plan.lines))],
+        )
+
+    @pytest.mark.parametrize("indexed", [True, False], ids=["indexed", "seq-only"])
+    def test_meta_join_latency(self, benchmark, indexed):
+        db = _build(indexed=indexed)
+        result = benchmark(db.execute, META_JOIN_SQL)
+        print_table(
+            f"Plan quality: {'indexed' if indexed else 'seq-only'} meta-join",
+            ["rows", "rows_scanned", "index_lookups"],
+            [(len(result), result.stats.rows_scanned, result.stats.index_lookups)],
+        )
+        assert len(result) == NUM_QUERIES * ATTRS_PER_QUERY // len(RELATIONS)
+
+    def test_index_scans_touch_fewer_rows(self):
+        indexed = _build(indexed=True).execute(META_JOIN_SQL)
+        seq_only = _build(indexed=False).execute(META_JOIN_SQL)
+        assert indexed.rows == seq_only.rows or sorted(indexed.rows) == sorted(seq_only.rows)
+        assert indexed.stats.rows_scanned < seq_only.stats.rows_scanned / 3, (
+            indexed.stats,
+            seq_only.stats,
+        )
+        print_table(
+            "Plan quality: rows touched by access path",
+            ["variant", "rows_scanned", "index_lookups"],
+            [
+                ("indexed", indexed.stats.rows_scanned, indexed.stats.index_lookups),
+                ("seq-only", seq_only.stats.rows_scanned, seq_only.stats.index_lookups),
+            ],
+        )

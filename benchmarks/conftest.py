@@ -3,6 +3,20 @@
 import sys
 from pathlib import Path
 
+import pytest
+
 # Allow ``import bench_common`` from benchmark modules regardless of how pytest
 # was invoked (rootdir vs. benchmarks/ as cwd).
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_collection_modifyitems(items):
+    """Tag the experiments so `-m "not bench"` can exclude them anywhere.
+
+    The hook sees the session-wide item list, so restrict the marker to items
+    collected from this directory.
+    """
+    bench_dir = Path(__file__).resolve().parent
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)

@@ -95,6 +95,18 @@ def render_assist_panel(partial_sql: str, response: AssistResponse) -> str:
     return "\n".join(lines)
 
 
+def render_plan(explanation, title: str = "Query plan") -> str:
+    """Render a :class:`~repro.storage.planner.PlanExplanation` as text.
+
+    Shows the operator tree the engine chose — access paths (``IndexScan`` vs
+    ``SeqScan``), join order and physical join operators — so users can see
+    why a (meta-)query is fast or slow.
+    """
+    lines = [f"=== {title} ==="]
+    lines.extend(explanation.lines)
+    return "\n".join(lines)
+
+
 def render_query_table(records: list[LoggedQuery], max_width: int = 70) -> str:
     """Render a list of logged queries as a table (the browse log view)."""
     header = f"{'qid':<6}| {'user':<10}| {'when':<10}| {'card.':<7}| query"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.client.render import render_assist_panel
+from repro.client.render import render_assist_panel, render_plan
 from repro.core.cqms import CQMS, AssistResponse
 from repro.core.profiler import ProfiledExecution
 from repro.core.recommender import Recommendation
@@ -21,7 +21,7 @@ from repro.core.recommender import Recommendation
 class WorkbenchEvent:
     """One step of the editing history (used by tests and demos)."""
 
-    kind: str          # "type" | "assist" | "apply" | "submit"
+    kind: str          # "type" | "assist" | "apply" | "explain" | "submit"
     detail: str
 
 
@@ -90,6 +90,18 @@ class Workbench:
     def recommendations(self, k: int = 5) -> list[Recommendation]:
         """Similar-query recommendations for the current buffer."""
         return self.cqms.recommend(self.user, self.buffer, k=k)
+
+    def explain(self) -> str:
+        """The rendered execution plan of the buffer (not executed)."""
+        explanation = self.cqms.explain(self.user, self.buffer)
+        self.history.append(WorkbenchEvent(kind="explain", detail=self.buffer))
+        return render_plan(explanation)
+
+    def explain_meta(self, meta_sql: str) -> str:
+        """The rendered plan of a SQL meta-query over the Query Storage."""
+        explanation = self.cqms.explain_meta(self.user, meta_sql)
+        self.history.append(WorkbenchEvent(kind="explain", detail=meta_sql))
+        return render_plan(explanation, title="Meta-query plan")
 
     # -- submission ------------------------------------------------------------------
 

@@ -125,6 +125,19 @@ class CQMS:
             timestamp=timestamp,
         )
 
+    def explain(self, user: str, sql: str):
+        """EXPLAIN a user query against the DBMS without executing it.
+
+        Returns the engine's plan tree (access paths, join order, estimates).
+        """
+        self.access_control.principal(user)
+        return self.database.explain(sql)
+
+    def explain_meta(self, user: str, meta_sql: str):
+        """EXPLAIN a SQL meta-query over the Query Storage feature relations."""
+        self.access_control.principal(user)
+        return self.meta_query.explain_meta_sql(meta_sql)
+
     def annotate(self, user: str, qid: int, body: str) -> None:
         """Attach an annotation to a query the user can see."""
         principal = self.access_control.principal(user)

@@ -232,6 +232,16 @@ class MetaQueryExecutor:
         """
         return self._store.execute_meta_sql(sql)
 
+    def explain_meta_sql(self, sql: str):
+        """EXPLAIN a SQL meta-query without running it.
+
+        Surfaces the engine's plan tree (access paths, join order, cost
+        estimates) for meta-queries over the feature relations — e.g. a
+        ``Queries ⋈ Attributes`` meta-query shows ``IndexScan`` probes of the
+        ``qid`` indexes instead of full scans.
+        """
+        return self._store.explain_meta_sql(sql)
+
     def generate_feature_sql(self, partial_sql: str) -> str:
         """Generate the Figure 1 SQL meta-query from a partially written query.
 

@@ -134,9 +134,20 @@ class QueryStore:
             ("OutputSamples", "qid"),
             ("Annotations", "qid"),
             ("SessionEdges", "sessionId"),
+            # Search columns of the Figure 1 meta-queries: the planner turns
+            # equality conditions on these into IndexScans.
+            ("DataSources", "relName"),
+            ("Attributes", "attrName"),
+            ("Attributes", "relName"),
+            ("Predicates", "attrName"),
+            ("Projections", "attrName"),
         ):
-            self._meta_db.table(table).create_index(f"{table.lower()}_{column}", column)
+            self._meta_db.table(table).create_index(f"{table.lower()}_{column.lower()}", column)
         self._records: dict[int, LoggedQuery] = {}
+        # Secondary indexes so per-user / per-group lookups (called once per
+        # recommendation) do not scan the whole log.
+        self._qids_by_user: dict[str, set[int]] = {}
+        self._qids_by_group: dict[str, set[int]] = {}
         self._next_qid = 1
 
     # -- basic access ---------------------------------------------------------
@@ -168,10 +179,10 @@ class QueryStore:
         return [self._records[qid] for qid in sorted(self._records)]
 
     def queries_of_user(self, user: str) -> list[LoggedQuery]:
-        return [record for record in self.all_queries() if record.user == user]
+        return [self._records[qid] for qid in sorted(self._qids_by_user.get(user, ()))]
 
     def queries_of_group(self, group: str) -> list[LoggedQuery]:
-        return [record for record in self.all_queries() if record.group == group]
+        return [self._records[qid] for qid in sorted(self._qids_by_group.get(group, ()))]
 
     def select_queries(self) -> list[LoggedQuery]:
         """Only SELECT statements (the ones mining and recommendation use)."""
@@ -184,6 +195,8 @@ class QueryStore:
         if record.qid in self._records:
             raise MetaQueryError(f"duplicate query id {record.qid}")
         self._records[record.qid] = record
+        self._qids_by_user.setdefault(record.user, set()).add(record.qid)
+        self._qids_by_group.setdefault(record.group, set()).add(record.qid)
         self._meta_db.insert_rows(
             "Queries",
             [
@@ -328,19 +341,27 @@ class QueryStore:
         record.flagged_invalid = True
         record.invalid_reason = reason
         record.flag_count += 1
-        self._meta_db.execute(f"UPDATE Queries SET valid = FALSE WHERE qid = {qid}")
+        self._set_validity(qid, False)
 
     def mark_valid(self, qid: int) -> None:
         record = self.get(qid)
         record.flagged_invalid = False
         record.invalid_reason = None
-        self._meta_db.execute(f"UPDATE Queries SET valid = TRUE WHERE qid = {qid}")
+        self._set_validity(qid, True)
+
+    def _set_validity(self, qid: int, valid: bool) -> None:
+        """Flip ``Queries.valid`` through the qid index, bypassing SQL parsing."""
+        table = self._meta_db.table("Queries")
+        for row_id in self._feature_row_ids(table, qid):
+            table.update(row_id, {"valid": valid})
 
     def remove(self, qid: int) -> None:
         """Remove a query and all its shredded features."""
-        self.get(qid)
+        record = self.get(qid)
         del self._records[qid]
-        for table in (
+        self._qids_by_user.get(record.user, set()).discard(qid)
+        self._qids_by_group.get(record.group, set()).discard(qid)
+        for table_name in (
             "Queries",
             "DataSources",
             "Attributes",
@@ -351,7 +372,17 @@ class QueryStore:
             "OutputSamples",
             "Annotations",
         ):
-            self._meta_db.execute(f"DELETE FROM {table} WHERE qid = {qid}")
+            table = self._meta_db.table(table_name)
+            for row_id in self._feature_row_ids(table, qid):
+                table.delete(row_id)
+
+    @staticmethod
+    def _feature_row_ids(table, qid: int) -> list[int]:
+        """Row ids of a feature relation's rows for ``qid`` (index-assisted)."""
+        index = table.index_for("qid")
+        if index is not None:
+            return sorted(index.lookup(qid))
+        return [row_id for row_id, row in table.scan() if row.get("qid") == qid]
 
     def replace_text(self, qid: int, new_text: str, features, canonical: str, template: str) -> None:
         """Replace a repaired query's text and re-shred its features."""
@@ -399,6 +430,15 @@ class QueryStore:
         the other feature relations.
         """
         return self._meta_db.execute(sql)
+
+    def explain_meta_sql(self, sql: str):
+        """EXPLAIN a SQL meta-query over the feature relations.
+
+        Returns the engine's :class:`~repro.storage.planner.PlanExplanation`
+        so users can see which access paths (e.g. the ``qid`` index scans)
+        the meta-query will use, without executing it.
+        """
+        return self._meta_db.explain(sql)
 
 
 def _constant_text(value: object) -> str | None:

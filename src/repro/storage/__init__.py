@@ -10,7 +10,11 @@ Query Storage feature relations.  It provides:
 * :mod:`repro.storage.table` — heap tables with secondary indexes,
 * :mod:`repro.storage.expression` — expression evaluation,
 * :mod:`repro.storage.statistics` — histograms, samples, selectivity estimates,
-* :mod:`repro.storage.executor` — the SQL executor,
+* :mod:`repro.storage.planner` — the cost-based SELECT planner (access paths,
+  join ordering, EXPLAIN),
+* :mod:`repro.storage.operators` — Volcano-style physical operators,
+* :mod:`repro.storage.executor` — the SQL executor (projection, aggregation,
+  ordering over the streamed operator pipeline),
 * :mod:`repro.storage.database` — the user-facing :class:`Database` facade.
 """
 
@@ -19,6 +23,7 @@ from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.catalog import Catalog, SchemaChange
 from repro.storage.table import Table
 from repro.storage.database import Database, QueryResult, ExecutionStats
+from repro.storage.planner import PlanExplanation, Planner, SelectPlan
 from repro.storage.statistics import Histogram, ReservoirSample, TableStatistics
 
 __all__ = [
@@ -31,6 +36,9 @@ __all__ = [
     "Database",
     "QueryResult",
     "ExecutionStats",
+    "PlanExplanation",
+    "Planner",
+    "SelectPlan",
     "Histogram",
     "ReservoirSample",
     "TableStatistics",

@@ -14,6 +14,7 @@ from repro.errors import CatalogError, ExecutionError
 from repro.storage.catalog import Catalog
 from repro.storage.executor import Executor
 from repro.storage.expression import Scope, evaluate, is_true
+from repro.storage.planner import PlanExplanation, Planner
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.statistics import TableStatistics
 from repro.storage.table import Table
@@ -41,6 +42,7 @@ class ExecutionStats:
     rows_joined: int = 0
     result_cardinality: int = 0
     statement_kind: str = "select"
+    index_lookups: int = 0
 
 
 @dataclass
@@ -149,6 +151,26 @@ class Database:
         result.stats.elapsed_seconds = max(0.0, self._clock() - start)
         return result
 
+    def explain(self, sql_or_statement) -> PlanExplanation:
+        """Plan a statement without executing it and return the plan tree.
+
+        For SELECT statements the explanation shows the chosen access paths
+        (``IndexScan`` vs ``SeqScan``), join order, physical join operators
+        with build sides, and per-node cardinality estimates.
+        """
+        statement: Statement = (
+            parse(sql_or_statement) if isinstance(sql_or_statement, str) else sql_or_statement
+        )
+        if isinstance(statement, SelectStatement):
+            plan = Planner(self).plan_select(statement)
+            return PlanExplanation(
+                statement_kind="select", lines=plan.explain_lines(), root=plan.root
+            )
+        kind = type(statement).__name__.removesuffix("Statement").lower()
+        target = getattr(statement, "table", None)
+        line = kind.title() if target is None else f"{kind.title()} [{target}]"
+        return PlanExplanation(statement_kind=kind, lines=[line])
+
     def _dispatch(self, statement: Statement) -> QueryResult:
         if isinstance(statement, SelectStatement):
             return self._execute_select(statement)
@@ -176,6 +198,7 @@ class Database:
             rows_joined=executor.metrics.rows_joined,
             result_cardinality=len(rows),
             statement_kind="select",
+            index_lookups=executor.metrics.index_lookups,
         )
         return QueryResult(columns=columns, rows=rows, stats=stats, rowcount=len(rows))
 

@@ -1,71 +1,66 @@
 """SQL executor.
 
 Executes parsed statements against the tables owned by a
-:class:`~repro.storage.database.Database`.  The SELECT pipeline implements a
-small but real query processor:
+:class:`~repro.storage.database.Database`.  Since the planner/executor split,
+the SELECT pipeline has three real layers:
 
-* predicate pushdown of single-table conjuncts,
-* hash joins for equi-join conjuncts (essential for the CQMS meta-queries,
-  which join the ``Attributes`` feature relation with itself as in Figure 1),
-* nested-loop fallback and LEFT/RIGHT outer joins,
-* grouping and aggregation (COUNT/SUM/AVG/MIN/MAX, DISTINCT),
-* HAVING, ORDER BY (including select-list aliases), DISTINCT, LIMIT/OFFSET,
-* correlated and uncorrelated subqueries (IN / EXISTS / scalar).
+* **parse** — :mod:`repro.sql.parser` produces the AST,
+* **plan** — :class:`~repro.storage.planner.Planner` performs predicate
+  pushdown, chooses per-table access paths (``IndexScan`` vs ``SeqScan``),
+  orders joins by estimated cardinality, and picks physical joins (hash join
+  with cost-chosen build side, index nested-loop join),
+* **execute** — this module streams rows through the Volcano-style operator
+  tree (:mod:`repro.storage.operators`) and applies projection, grouping and
+  aggregation (COUNT/SUM/AVG/MIN/MAX, DISTINCT), HAVING, ORDER BY (including
+  select-list aliases), DISTINCT, LIMIT/OFFSET, and correlated and
+  uncorrelated subqueries (IN / EXISTS / scalar).
+
+When a query has no ORDER BY, output rows stream straight out of the operator
+pipeline and LIMIT short-circuits the scan.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ExecutionError
 from repro.storage.expression import Scope, evaluate, is_true
+from repro.storage.operators import ExecutionContext
+from repro.storage.planner import (
+    Planner,
+    SelectPlan,
+    has_aggregate as _has_aggregate,
+    statement_has_aggregates,
+)
 from repro.storage.types import sort_key
 from repro.sql.ast_nodes import (
     BinaryOp,
-    Between,
-    CaseExpression,
     ColumnRef,
-    ExistsSubquery,
     Expression,
-    FromItem,
     FunctionCall,
-    InList,
-    InSubquery,
-    Join,
     Literal,
-    ScalarSubquery,
-    SelectItem,
     SelectStatement,
     Star,
-    SubqueryRef,
-    TableRef,
     UnaryOp,
 )
 
-
-@dataclass
-class RelationData:
-    """An intermediate relation: an ordered binding list plus its rows.
-
-    ``bindings`` maps binding name → ordered column names; ``rows`` are
-    dictionaries binding name → row dict.
-    """
-
-    bindings: list[tuple[str, list[str]]]
-    rows: list[dict[str, dict[str, object]]]
-
-    @property
-    def binding_names(self) -> list[str]:
-        return [name for name, _ in self.bindings]
+#: FROM-ordered bindings of a relation: (binding name, ordered column names).
+Bindings = list[tuple[str, list[str]]]
 
 
 @dataclass
 class ExecutorMetrics:
-    """Counters describing the work done by one statement execution."""
+    """Counters describing the work done by one statement execution.
+
+    ``rows_scanned`` counts rows actually fetched by the chosen access paths
+    (an index lookup charges only the matching rows, a sequential scan charges
+    every row), so profiler numbers stay honest across plan changes.
+    """
 
     rows_scanned: int = 0
     rows_joined: int = 0
     rows_output: int = 0
+    index_lookups: int = 0
 
 
 class Executor:
@@ -94,345 +89,81 @@ class Executor:
     def _select(
         self, statement: SelectStatement, outer_scope: Scope | None
     ) -> tuple[list[str], list[tuple]]:
-        relation, residual = self._compile_from(statement, outer_scope)
-        filtered = (
-            self._filter_relation(relation, residual, outer_scope) if residual else relation
-        )
+        plan = Planner(self._provider).plan_select(statement)
+        return self._execute_plan(plan, outer_scope)
 
-        has_aggregates = self._statement_has_aggregates(statement)
-        if statement.group_by or has_aggregates:
-            columns, rows = self._aggregate(statement, filtered, outer_scope)
+    def _execute_plan(
+        self, plan: SelectPlan, outer_scope: Scope | None
+    ) -> tuple[list[str], list[tuple]]:
+        statement = plan.statement
+        ctx = ExecutionContext(
+            metrics=self.metrics,
+            outer_scope=outer_scope,
+            run_subquery=self._run_subquery,
+            run_select=lambda subplan: self._execute_plan(subplan, outer_scope),
+        )
+        source = plan.root.rows(ctx)
+        if statement.group_by or statement_has_aggregates(statement):
+            columns, rows = self._aggregate(statement, plan, source, outer_scope)
+            if statement.distinct:
+                rows = _distinct(rows)
+            rows = _apply_limit(rows, statement.limit, statement.offset)
+        elif statement.order_by:
+            columns = plan.output_columns
+            pairs = []
+            for row in source:
+                scope = Scope(row, parent=outer_scope)
+                pairs.append(
+                    (row, tuple(self._evaluate_output(statement, plan.bindings, scope)))
+                )
+            rows = self._order_rows(statement, pairs, columns, outer_scope)
+            if statement.distinct:
+                rows = _distinct(rows)
+            rows = _apply_limit(rows, statement.limit, statement.offset)
         else:
-            columns, rows = self._project(statement, filtered, outer_scope)
-            rows = self._order_rows(statement, filtered, rows, columns, outer_scope)
-        if statement.distinct:
-            rows = _distinct(rows)
-        rows = _apply_limit(rows, statement.limit, statement.offset)
+            # Pure streaming path: project row by row, stop once LIMIT is met.
+            columns = plan.output_columns
+            needed = (
+                statement.limit + (statement.offset or 0)
+                if statement.limit is not None
+                else None
+            )
+            seen: set | None = set() if statement.distinct else None
+            rows = []
+            for row in source:
+                scope = Scope(row, parent=outer_scope)
+                values = tuple(self._evaluate_output(statement, plan.bindings, scope))
+                if seen is not None:
+                    key = tuple(_hashable(value) for value in values)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                rows.append(values)
+                if needed is not None and len(rows) >= needed:
+                    break
+            rows = _apply_limit(rows, statement.limit, statement.offset)
         self.metrics.rows_output = len(rows)
         return columns, rows
 
-    # -- FROM clause -----------------------------------------------------------
-
-    def _compile_from(
-        self, statement: SelectStatement, outer_scope: Scope | None
-    ) -> tuple[RelationData, list[Expression]]:
-        """Compile the FROM clause; returns the relation and residual conjuncts.
-
-        Residual conjuncts are WHERE conjuncts that could not be pushed down or
-        applied during join planning (e.g. those containing subqueries); the
-        caller applies them after the joins.
-        """
-        if not statement.from_items:
-            return RelationData(bindings=[], rows=[{}]), _split_conjuncts(statement.where)
-        conjuncts = _split_conjuncts(statement.where)
-        # Compile each top-level item; INNER join trees are flattened so their
-        # ON conditions join the global conjunct pool for hash-join planning.
-        leaves: list[RelationData] = []
-        pending_outer: list[tuple[str, RelationData, Expression | None]] = []
-        for item in statement.from_items:
-            flattened, extra_conjuncts, outer_joins = self._flatten_from_item(
-                item, outer_scope
-            )
-            conjuncts.extend(extra_conjuncts)
-            leaves.extend(flattened)
-            pending_outer.extend(outer_joins)
-
-        relation, residual = self._join_leaves(leaves, conjuncts, outer_scope)
-        for join_type, right_relation, condition in pending_outer:
-            relation = self._outer_join(relation, right_relation, condition, join_type, outer_scope)
-        return relation, residual
-
-    def _flatten_from_item(
-        self, item: FromItem, outer_scope: Scope | None
-    ) -> tuple[list[RelationData], list[Expression], list[tuple[str, RelationData, Expression | None]]]:
-        """Flatten an item into leaf relations, join conjuncts, and outer joins."""
-        if isinstance(item, TableRef):
-            return [self._scan_table(item)], [], []
-        if isinstance(item, SubqueryRef):
-            return [self._scan_subquery(item, outer_scope)], [], []
-        if isinstance(item, Join):
-            if item.join_type in ("INNER", "CROSS"):
-                left_leaves, left_conjuncts, left_outer = self._flatten_from_item(
-                    item.left, outer_scope
-                )
-                right_leaves, right_conjuncts, right_outer = self._flatten_from_item(
-                    item.right, outer_scope
-                )
-                conjuncts = left_conjuncts + right_conjuncts
-                if item.condition is not None:
-                    conjuncts.extend(_split_conjuncts(item.condition))
-                return left_leaves + right_leaves, conjuncts, left_outer + right_outer
-            # LEFT / RIGHT / FULL outer joins are applied after inner joins.
-            left_leaves, left_conjuncts, left_outer = self._flatten_from_item(
-                item.left, outer_scope
-            )
-            right_relation = self._compile_item_fully(item.right, outer_scope)
-            outer = left_outer + [(item.join_type, right_relation, item.condition)]
-            return left_leaves, left_conjuncts, outer
-        raise ExecutionError(f"unsupported FROM item {type(item).__name__}")
-
-    def _compile_item_fully(self, item: FromItem, outer_scope: Scope | None) -> RelationData:
-        leaves, conjuncts, outer = self._flatten_from_item(item, outer_scope)
-        relation, residual = self._join_leaves(leaves, conjuncts, outer_scope)
-        for join_type, right_relation, condition in outer:
-            relation = self._outer_join(relation, right_relation, condition, join_type, outer_scope)
-        if residual:
-            relation = self._filter_relation(relation, residual, outer_scope)
-        return relation
-
-    def _scan_table(self, ref: TableRef) -> RelationData:
-        table = self._provider.table(ref.name)
-        binding = ref.binding
-        columns = table.schema.column_names
-        rows = [{binding: row} for row in table.rows()]
-        self.metrics.rows_scanned += len(rows)
-        return RelationData(bindings=[(binding, list(columns))], rows=rows)
-
-    def _scan_subquery(self, ref: SubqueryRef, outer_scope: Scope | None) -> RelationData:
-        columns, tuples = self._select(ref.subquery, outer_scope)
-        rows = [
-            {ref.alias: dict(zip(columns, values))}
-            for values in tuples
-        ]
-        return RelationData(bindings=[(ref.alias, list(columns))], rows=rows)
-
-    # -- join planning -----------------------------------------------------------
-
-    def _join_leaves(
-        self,
-        leaves: list[RelationData],
-        conjuncts: list[Expression],
-        outer_scope: Scope | None,
-    ) -> tuple[RelationData, list[Expression]]:
-        if not leaves:
-            return RelationData(bindings=[], rows=[{}]), list(conjuncts)
-        column_owner = self._column_ownership(leaves)
-
-        # Push single-binding conjuncts down to their leaf.  Conjuncts whose
-        # binding is not among these leaves (e.g. it belongs to the right side
-        # of an outer join) stay in the residual list.
-        leaf_bindings = {
-            name.lower() for leaf in leaves for name in leaf.binding_names
-        }
-        remaining: list[Expression] = []
-        per_leaf: dict[str, list[Expression]] = {}
-        for conjunct in conjuncts:
-            bindings = _conjunct_bindings(conjunct, column_owner)
-            if (
-                bindings is not None
-                and len(bindings) == 1
-                and next(iter(bindings)) in leaf_bindings
-            ):
-                per_leaf.setdefault(next(iter(bindings)), []).append(conjunct)
-            else:
-                remaining.append(conjunct)
-        filtered_leaves = []
-        for leaf in leaves:
-            predicates = []
-            for name in leaf.binding_names:
-                predicates.extend(per_leaf.get(name.lower(), []))
-            if predicates:
-                leaf = self._filter_relation(leaf, predicates, outer_scope)
-            filtered_leaves.append(leaf)
-
-        # Greedy left-to-right join using hash joins on available equi-conjuncts.
-        current = filtered_leaves[0]
-        pending = list(filtered_leaves[1:])
-        unjoined_conjuncts = remaining
-        while pending:
-            current_bindings = {name.lower() for name in current.binding_names}
-            # Prefer a leaf connected to the current result by an equi-join.
-            chosen_index = 0
-            chosen_equi: list[tuple[Expression, ColumnRef, ColumnRef]] = []
-            for index, leaf in enumerate(pending):
-                equi = _find_equi_joins(
-                    unjoined_conjuncts, current_bindings,
-                    {name.lower() for name in leaf.binding_names}, column_owner,
-                )
-                if equi:
-                    chosen_index, chosen_equi = index, equi
-                    break
-            leaf = pending.pop(chosen_index)
-            current = self._hash_or_nested_join(current, leaf, chosen_equi, outer_scope)
-            used = {id(conjunct) for conjunct, _, _ in chosen_equi}
-            unjoined_conjuncts = [c for c in unjoined_conjuncts if id(c) not in used]
-            # Apply any conjunct now fully covered by the joined bindings.
-            current_bindings = {name.lower() for name in current.binding_names}
-            applicable = []
-            still_remaining = []
-            for conjunct in unjoined_conjuncts:
-                bindings = _conjunct_bindings(conjunct, column_owner)
-                if bindings is not None and bindings <= current_bindings:
-                    applicable.append(conjunct)
-                else:
-                    still_remaining.append(conjunct)
-            if applicable:
-                current = self._filter_relation(current, applicable, outer_scope)
-            unjoined_conjuncts = still_remaining
-        return current, unjoined_conjuncts
-
-    def _hash_or_nested_join(
-        self,
-        left: RelationData,
-        right: RelationData,
-        equi: list[tuple[Expression, ColumnRef, ColumnRef]],
-        outer_scope: Scope | None,
-    ) -> RelationData:
-        bindings = left.bindings + right.bindings
-        if equi:
-            left_keys = [pair[1] for pair in equi]
-            right_keys = [pair[2] for pair in equi]
-            table: dict[tuple, list[dict]] = {}
-            for row in right.rows:
-                scope = Scope(row, parent=outer_scope)
-                key = tuple(scope.resolve(column) for column in right_keys)
-                if any(value is None for value in key):
-                    continue
-                table.setdefault(key, []).append(row)
-            joined: list[dict] = []
-            for row in left.rows:
-                scope = Scope(row, parent=outer_scope)
-                key = tuple(scope.resolve(column) for column in left_keys)
-                if any(value is None for value in key):
-                    continue
-                for match in table.get(key, ()):
-                    combined = dict(row)
-                    combined.update(match)
-                    joined.append(combined)
-            self.metrics.rows_joined += len(joined)
-            return RelationData(bindings=bindings, rows=joined)
-        joined = []
-        for left_row in left.rows:
-            for right_row in right.rows:
-                combined = dict(left_row)
-                combined.update(right_row)
-                joined.append(combined)
-        self.metrics.rows_joined += len(joined)
-        return RelationData(bindings=bindings, rows=joined)
-
-    def _outer_join(
-        self,
-        left: RelationData,
-        right: RelationData,
-        condition: Expression | None,
-        join_type: str,
-        outer_scope: Scope | None,
-    ) -> RelationData:
-        if join_type == "RIGHT":
-            # A RIGHT join is a LEFT join with the operands swapped.
-            return self._outer_join(right, left, condition, "LEFT", outer_scope)
-        bindings = left.bindings + right.bindings
-        null_right = {
-            name: {column: None for column in columns} for name, columns in right.bindings
-        }
-        joined: list[dict] = []
-        matched_right: set[int] = set()
-        for left_row in left.rows:
-            matched = False
-            for index, right_row in enumerate(right.rows):
-                combined = dict(left_row)
-                combined.update(right_row)
-                scope = Scope(combined, parent=outer_scope)
-                if condition is None or is_true(
-                    evaluate(condition, scope, self._run_subquery)
-                ):
-                    joined.append(combined)
-                    matched = True
-                    matched_right.add(index)
-            if not matched:
-                combined = dict(left_row)
-                combined.update(null_right)
-                joined.append(combined)
-        if join_type == "FULL":
-            null_left = {
-                name: {column: None for column in columns} for name, columns in left.bindings
-            }
-            for index, right_row in enumerate(right.rows):
-                if index not in matched_right:
-                    combined = dict(null_left)
-                    combined.update(right_row)
-                    joined.append(combined)
-        self.metrics.rows_joined += len(joined)
-        return RelationData(bindings=bindings, rows=joined)
-
-    def _filter_relation(
-        self, relation: RelationData, predicates: list[Expression], outer_scope: Scope | None
-    ) -> RelationData:
-        rows = []
-        for row in relation.rows:
-            scope = Scope(row, parent=outer_scope)
-            if all(
-                is_true(evaluate(predicate, scope, self._run_subquery))
-                for predicate in predicates
-            ):
-                rows.append(row)
-        return RelationData(bindings=relation.bindings, rows=rows)
-
-    def _column_ownership(self, leaves: list[RelationData]) -> dict[str, set[str]]:
-        """Map lower-cased column name → set of binding names that provide it."""
-        ownership: dict[str, set[str]] = {}
-        for leaf in leaves:
-            for binding, columns in leaf.bindings:
-                for column in columns:
-                    ownership.setdefault(column.lower(), set()).add(binding.lower())
-        return ownership
-
     # -- projection ----------------------------------------------------------------
 
-    def _project(
-        self, statement: SelectStatement, relation: RelationData, outer_scope: Scope | None
-    ) -> tuple[list[str], list[tuple]]:
-        columns = self._output_columns(statement, relation)
-        rows: list[tuple] = []
-        for row in relation.rows:
-            scope = Scope(row, parent=outer_scope)
-            rows.append(tuple(self._evaluate_output(statement, relation, scope)))
-        return columns, rows
-
-    def _output_columns(
-        self, statement: SelectStatement, relation: RelationData
-    ) -> list[str]:
-        columns: list[str] = []
-        for item in statement.select_items:
-            expr = item.expression
-            if isinstance(expr, Star):
-                columns.extend(self._star_columns(expr, relation))
-            elif item.alias:
-                columns.append(item.alias)
-            elif isinstance(expr, ColumnRef):
-                columns.append(expr.name)
-            elif isinstance(expr, FunctionCall):
-                columns.append(expr.name.lower())
-            else:
-                columns.append(f"column{len(columns) + 1}")
-        return columns
-
-    def _star_columns(self, star: Star, relation: RelationData) -> list[str]:
-        names: list[str] = []
-        for binding, columns in relation.bindings:
-            if star.table is None or binding.lower() == star.table.lower():
-                names.extend(columns)
-        if not names and star.table is not None:
-            raise ExecutionError(f"unknown table alias {star.table!r} in select list")
-        return names
-
     def _evaluate_output(
-        self, statement: SelectStatement, relation: RelationData, scope: Scope
+        self, statement: SelectStatement, bindings: Bindings, scope: Scope
     ) -> list[object]:
         values: list[object] = []
         for item in statement.select_items:
             expr = item.expression
             if isinstance(expr, Star):
-                values.extend(self._star_values(expr, relation, scope))
+                values.extend(self._star_values(expr, bindings, scope))
             else:
                 values.append(evaluate(expr, scope, self._run_subquery))
         return values
 
     def _star_values(
-        self, star: Star, relation: RelationData, scope: Scope
+        self, star: Star, bindings: Bindings, scope: Scope
     ) -> list[object]:
         values: list[object] = []
-        for binding, columns in relation.bindings:
+        for binding, columns in bindings:
             if star.table is None or binding.lower() == star.table.lower():
                 row = scope.bindings.get(binding.lower(), {})
                 for column in columns:
@@ -441,19 +172,16 @@ class Executor:
 
     # -- aggregation ----------------------------------------------------------------
 
-    def _statement_has_aggregates(self, statement: SelectStatement) -> bool:
-        expressions = [item.expression for item in statement.select_items]
-        if statement.having is not None:
-            expressions.append(statement.having)
-        expressions.extend(item.expression for item in statement.order_by)
-        return any(_has_aggregate(expr) for expr in expressions)
-
     def _aggregate(
-        self, statement: SelectStatement, relation: RelationData, outer_scope: Scope | None
+        self,
+        statement: SelectStatement,
+        plan: SelectPlan,
+        source,
+        outer_scope: Scope | None,
     ) -> tuple[list[str], list[tuple]]:
         groups: dict[tuple, list[dict]] = {}
         order: list[tuple] = []
-        for row in relation.rows:
+        for row in source:
             scope = Scope(row, parent=outer_scope)
             key = tuple(
                 _hashable(evaluate(expr, scope, self._run_subquery))
@@ -467,7 +195,7 @@ class Executor:
             groups[()] = []
             order.append(())
 
-        columns = self._output_columns(statement, relation)
+        columns = plan.output_columns
         result_rows: list[tuple] = []
         keyed_rows: list[tuple[tuple, dict | None, tuple]] = []
         for key in order:
@@ -484,7 +212,7 @@ class Executor:
             for item in statement.select_items:
                 expr = item.expression
                 if isinstance(expr, Star):
-                    values.extend(self._star_values(expr, relation, scope))
+                    values.extend(self._star_values(expr, plan.bindings, scope))
                 else:
                     values.append(
                         self._evaluate_aggregate_expr(expr, group_rows, scope, outer_scope)
@@ -602,20 +330,16 @@ class Executor:
     def _order_rows(
         self,
         statement: SelectStatement,
-        relation: RelationData,
-        rows: list[tuple],
+        pairs: list[tuple[dict, tuple]],
         columns: list[str],
         outer_scope: Scope | None,
     ) -> list[tuple]:
-        if not statement.order_by:
-            return rows
         alias_map = {
             (item.alias or "").lower(): index
             for index, item in enumerate(statement.select_items)
             if item.alias
         }
         column_map = {name.lower(): index for index, name in enumerate(columns)}
-        decorated = list(zip(relation.rows, rows))
 
         def order_key(entry):
             source_row, output_row = entry
@@ -640,8 +364,8 @@ class Executor:
                 )
             return tuple(keys)
 
-        decorated.sort(key=order_key)
-        return [output_row for _, output_row in decorated]
+        pairs.sort(key=order_key)
+        return [output_row for _, output_row in pairs]
 
     # -- subqueries -------------------------------------------------------------------
 
@@ -649,6 +373,8 @@ class Executor:
         nested = Executor(self._provider)
         _, rows = nested._select(subquery, scope)
         self.metrics.rows_scanned += nested.metrics.rows_scanned
+        self.metrics.rows_joined += nested.metrics.rows_joined
+        self.metrics.index_lookups += nested.metrics.index_lookups
         return rows
 
 
@@ -670,119 +396,6 @@ class _Reversed:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
-
-
-def _split_conjuncts(expr: Expression | None) -> list[Expression]:
-    if expr is None:
-        return []
-    if isinstance(expr, BinaryOp) and expr.op == "AND":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
-
-
-def _conjunct_bindings(
-    expr: Expression, column_owner: dict[str, set[str]]
-) -> set[str] | None:
-    """The set of bindings a conjunct references, or None when undecidable.
-
-    Undecidable cases (subqueries, unqualified columns owned by several
-    bindings) force the conjunct to be evaluated only after the full join.
-    """
-    bindings: set[str] = set()
-    for node in _walk_no_subquery(expr):
-        if isinstance(node, (InSubquery, ExistsSubquery, ScalarSubquery)):
-            return None
-        if isinstance(node, ColumnRef):
-            if node.table:
-                bindings.add(node.table.lower())
-            else:
-                owners = column_owner.get(node.name.lower(), set())
-                if len(owners) == 1:
-                    bindings.add(next(iter(owners)))
-                else:
-                    return None
-    return bindings
-
-
-def _walk_no_subquery(expr: Expression):
-    yield expr
-    if isinstance(expr, BinaryOp):
-        yield from _walk_no_subquery(expr.left)
-        yield from _walk_no_subquery(expr.right)
-    elif isinstance(expr, UnaryOp):
-        yield from _walk_no_subquery(expr.operand)
-    elif isinstance(expr, FunctionCall):
-        for arg in expr.args:
-            yield from _walk_no_subquery(arg)
-    elif isinstance(expr, InList):
-        yield from _walk_no_subquery(expr.expr)
-        for value in expr.values:
-            yield from _walk_no_subquery(value)
-    elif isinstance(expr, Between):
-        yield from _walk_no_subquery(expr.expr)
-        yield from _walk_no_subquery(expr.low)
-        yield from _walk_no_subquery(expr.high)
-    elif isinstance(expr, CaseExpression):
-        for condition, value in expr.whens:
-            yield from _walk_no_subquery(condition)
-            yield from _walk_no_subquery(value)
-        if expr.default is not None:
-            yield from _walk_no_subquery(expr.default)
-    elif isinstance(expr, (InSubquery, ExistsSubquery, ScalarSubquery)):
-        if isinstance(expr, InSubquery):
-            yield from _walk_no_subquery(expr.expr)
-
-
-def _find_equi_joins(
-    conjuncts: list[Expression],
-    left_bindings: set[str],
-    right_bindings: set[str],
-    column_owner: dict[str, set[str]],
-) -> list[tuple[Expression, ColumnRef, ColumnRef]]:
-    """Equality conjuncts connecting the two binding sets, as (expr, left, right)."""
-    matches = []
-    for conjunct in conjuncts:
-        if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
-            continue
-        if not isinstance(conjunct.left, ColumnRef) or not isinstance(
-            conjunct.right, ColumnRef
-        ):
-            continue
-        first = _resolve_binding(conjunct.left, column_owner)
-        second = _resolve_binding(conjunct.right, column_owner)
-        if first is None or second is None:
-            continue
-        if first in left_bindings and second in right_bindings:
-            matches.append((conjunct, conjunct.left, conjunct.right))
-        elif second in left_bindings and first in right_bindings:
-            matches.append((conjunct, conjunct.right, conjunct.left))
-    return matches
-
-
-def _resolve_binding(column: ColumnRef, column_owner: dict[str, set[str]]) -> str | None:
-    if column.table:
-        return column.table.lower()
-    owners = column_owner.get(column.name.lower(), set())
-    if len(owners) == 1:
-        return next(iter(owners))
-    return None
-
-
-def _has_aggregate(expr: Expression) -> bool:
-    if isinstance(expr, FunctionCall) and expr.is_aggregate:
-        return True
-    if isinstance(expr, BinaryOp):
-        return _has_aggregate(expr.left) or _has_aggregate(expr.right)
-    if isinstance(expr, UnaryOp):
-        return _has_aggregate(expr.operand)
-    if isinstance(expr, FunctionCall):
-        return any(_has_aggregate(arg) for arg in expr.args)
-    if isinstance(expr, CaseExpression):
-        return any(
-            _has_aggregate(condition) or _has_aggregate(value)
-            for condition, value in expr.whens
-        ) or (expr.default is not None and _has_aggregate(expr.default))
-    return False
 
 
 def _hashable(value: object) -> object:

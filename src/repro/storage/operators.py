@@ -1,0 +1,457 @@
+"""Volcano-style physical operators for the SELECT pipeline.
+
+Each operator is one node of a physical plan produced by
+:mod:`repro.storage.planner`.  ``rows(ctx)`` lazily yields *binding
+dictionaries* (binding name → row dict) so filters, joins, and projections
+stream instead of materializing intermediate relations; ``explain_lines``
+renders the subtree for ``Database.explain``.
+
+Access paths:
+
+* :class:`SeqScan` — full scan of a heap table,
+* :class:`IndexScan` — equality probe of a :class:`~repro.storage.indexes.HashIndex`,
+  either against a constant or, inside an :class:`IndexLookupJoin`, against the
+  join key of each outer row (an index nested-loop join).
+
+All operators charge their work to :class:`ExecutionContext.metrics` so
+``rows_scanned`` reflects the rows actually touched by the chosen access path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import SchemaError
+from repro.sql.ast_nodes import ColumnRef, Expression
+from repro.sql.formatter import format_expression
+from repro.storage.expression import Scope, evaluate, is_true
+from repro.storage.types import DataType, coerce_value, compare_values
+
+#: One streamed row: binding name → row dict.
+RowDict = dict[str, dict[str, object]]
+
+
+@dataclass
+class ExecutionContext:
+    """Runtime services shared by every operator of one executing plan.
+
+    ``run_subquery`` evaluates expression-level subqueries (IN / EXISTS /
+    scalar); ``run_select`` executes a nested :class:`~repro.storage.planner.SelectPlan`
+    (derived tables) through the full SELECT pipeline of the owning executor.
+    """
+
+    metrics: object
+    outer_scope: Scope | None = None
+    run_subquery: Callable | None = None
+    run_select: Callable | None = None
+
+
+class Operator:
+    """Base class of physical plan nodes."""
+
+    bindings: list[tuple[str, list[str]]]
+    children: tuple["Operator", ...] = ()
+    estimate: float = 0.0
+
+    @property
+    def binding_names(self) -> list[str]:
+        return [name for name, _ in self.bindings]
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        lines = ["  " * depth + self.label()]
+        for child in self.children:
+            lines.extend(child.explain_lines(depth + 1))
+        return lines
+
+
+class EmptyRow(Operator):
+    """The FROM-less relation: exactly one empty binding row (``SELECT 1``)."""
+
+    def __init__(self):
+        self.bindings = []
+        self.estimate = 1.0
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        yield {}
+
+    def label(self) -> str:
+        return "Result"
+
+
+class SeqScan(Operator):
+    """Full scan of a heap table under one binding name."""
+
+    def __init__(self, table, binding: str, estimate: float):
+        self.table = table
+        self.binding = binding
+        self.bindings = [(binding, list(table.schema.column_names))]
+        self.estimate = estimate
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        for row in self.table.rows():
+            ctx.metrics.rows_scanned += 1
+            yield {self.binding: row}
+
+    def label(self) -> str:
+        return f"SeqScan {_scan_target(self.table, self.binding)} [est={self.estimate:.0f}]"
+
+
+class IndexScan(Operator):
+    """Equality probe of a hash index.
+
+    ``value_expr`` is either a constant expression (planner-selected equality
+    conjunct) or a column of the outer side when the scan is driven by an
+    :class:`IndexLookupJoin` (``probe=True``).
+    """
+
+    def __init__(
+        self,
+        table,
+        binding: str,
+        column: str,
+        value_expr: Expression,
+        estimate: float,
+        probe: bool = False,
+    ):
+        self.table = table
+        self.binding = binding
+        self.column = column
+        self.value_expr = value_expr
+        self.bindings = [(binding, list(table.schema.column_names))]
+        self.estimate = estimate
+        self.probe = probe
+
+    def lookup_rows(self, value: object, ctx: ExecutionContext):
+        """Fetch the heap rows whose indexed column equals ``value``.
+
+        Equality must mean exactly what the engine's ``=`` means
+        (:func:`~repro.storage.types.compare_values`), so the probe value is
+        translated into hash keys first; when the comparison cannot be
+        expressed as hash lookups (e.g. a boolean probed against a numeric
+        column) the scan degrades to a filtered heap scan with identical
+        semantics.
+        """
+        if value is None:
+            return
+        index = self.table.index_for(self.column)
+        keys = (
+            equality_probe_keys(value, self.table.schema.column(self.column).data_type)
+            if index is not None
+            else None
+        )
+        if keys is None:
+            for row in self.table.rows():
+                ctx.metrics.rows_scanned += 1
+                if compare_values(row.get(self.column), value) == 0:
+                    yield row
+            return
+        ctx.metrics.index_lookups += 1
+        row_ids: set[int] = set()
+        for key in keys:
+            row_ids |= index.lookup(key)
+        for row_id in sorted(row_ids):
+            row = self.table.get(row_id)
+            if row is None:
+                continue
+            ctx.metrics.rows_scanned += 1
+            yield row
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        scope = Scope({}, parent=ctx.outer_scope)
+        value = evaluate(self.value_expr, scope, ctx.run_subquery)
+        for row in self.lookup_rows(value, ctx):
+            yield {self.binding: row}
+
+    def label(self) -> str:
+        condition = f"{self.column} = {format_expression(self.value_expr)}"
+        return (
+            f"IndexScan {_scan_target(self.table, self.binding)} "
+            f"({condition}) [est={self.estimate:.0f}]"
+        )
+
+
+class SubqueryScan(Operator):
+    """A derived table ``(SELECT ...) alias``: the subplan runs through the
+    executor (aggregation, ordering, ...) and its tuples are re-bound."""
+
+    def __init__(self, plan, alias: str, estimate: float):
+        self.plan = plan
+        self.alias = alias
+        self.bindings = [(alias, list(plan.output_columns))]
+        self.children = (plan.root,)
+        self.estimate = estimate
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        columns, tuples = ctx.run_select(self.plan)
+        for values in tuples:
+            yield {self.alias: dict(zip(columns, values))}
+
+    def label(self) -> str:
+        return f"SubqueryScan AS {self.alias} [est={self.estimate:.0f}]"
+
+
+class Filter(Operator):
+    """Streaming conjunctive filter over a child operator."""
+
+    def __init__(self, child: Operator, predicates: list[Expression], estimate: float):
+        self.child = child
+        self.predicates = list(predicates)
+        self.bindings = child.bindings
+        self.children = (child,)
+        self.estimate = estimate
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        for row in self.child.rows(ctx):
+            scope = Scope(row, parent=ctx.outer_scope)
+            if all(
+                is_true(evaluate(predicate, scope, ctx.run_subquery))
+                for predicate in self.predicates
+            ):
+                yield row
+
+    def label(self) -> str:
+        predicates = " AND ".join(format_expression(p) for p in self.predicates)
+        return f"Filter ({predicates})"
+
+
+class HashJoin(Operator):
+    """Equi-join: the estimated-smaller side is materialized into a hash table
+    and the other side streams through it."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        pairs: list[tuple[ColumnRef, ColumnRef]],
+        build_left: bool,
+        estimate: float,
+    ):
+        self.left = left
+        self.right = right
+        self.pairs = list(pairs)
+        self.build_left = build_left
+        self.bindings = left.bindings + right.bindings
+        self.children = (left, right)
+        self.estimate = estimate
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        left_keys = [left for left, _ in self.pairs]
+        right_keys = [right for _, right in self.pairs]
+        if self.build_left:
+            build, probe = self.left, self.right
+            build_keys, probe_keys = left_keys, right_keys
+        else:
+            build, probe = self.right, self.left
+            build_keys, probe_keys = right_keys, left_keys
+        table: dict[tuple, list[RowDict]] = {}
+        for row in build.rows(ctx):
+            scope = Scope(row, parent=ctx.outer_scope)
+            key = tuple(scope.resolve(column) for column in build_keys)
+            if any(value is None for value in key):
+                continue
+            table.setdefault(key, []).append(row)
+        for row in probe.rows(ctx):
+            scope = Scope(row, parent=ctx.outer_scope)
+            key = tuple(scope.resolve(column) for column in probe_keys)
+            if any(value is None for value in key):
+                continue
+            for match in table.get(key, ()):
+                combined = dict(row)
+                combined.update(match)
+                ctx.metrics.rows_joined += 1
+                yield combined
+
+    def label(self) -> str:
+        condition = " AND ".join(
+            f"{left} = {right}" for left, right in self.pairs
+        )
+        side = "left" if self.build_left else "right"
+        return f"HashJoin ({condition}) [build={side}, est={self.estimate:.0f}]"
+
+
+class IndexLookupJoin(Operator):
+    """Index nested-loop join: for each outer row, probe the inner table's
+    hash index on the join key instead of scanning the inner table."""
+
+    def __init__(
+        self,
+        outer: Operator,
+        scan: IndexScan,
+        outer_key: Expression,
+        residual: list[Expression],
+        estimate: float,
+    ):
+        self.outer = outer
+        self.scan = scan
+        self.outer_key = outer_key
+        self.residual = list(residual)
+        self.bindings = outer.bindings + scan.bindings
+        self.children = (outer, scan)
+        self.estimate = estimate
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        for outer_row in self.outer.rows(ctx):
+            scope = Scope(outer_row, parent=ctx.outer_scope)
+            value = evaluate(self.outer_key, scope, ctx.run_subquery)
+            if value is None:
+                continue
+            for inner_row in self.scan.lookup_rows(value, ctx):
+                combined = dict(outer_row)
+                combined[self.scan.binding] = inner_row
+                if self.residual:
+                    inner_scope = Scope(combined, parent=ctx.outer_scope)
+                    if not all(
+                        is_true(evaluate(p, inner_scope, ctx.run_subquery))
+                        for p in self.residual
+                    ):
+                        continue
+                ctx.metrics.rows_joined += 1
+                yield combined
+
+    def label(self) -> str:
+        parts = [
+            f"IndexLoopJoin ({self.scan.binding}.{self.scan.column} = "
+            f"{format_expression(self.outer_key)})"
+        ]
+        if self.residual:
+            residual = " AND ".join(format_expression(p) for p in self.residual)
+            parts.append(f"filter ({residual})")
+        return " ".join(parts) + f" [est={self.estimate:.0f}]"
+
+
+class NestedLoopJoin(Operator):
+    """Cross product (no usable equi-join conjunct); the right side is
+    materialized once, the left side streams."""
+
+    def __init__(self, left: Operator, right: Operator, estimate: float):
+        self.left = left
+        self.right = right
+        self.bindings = left.bindings + right.bindings
+        self.children = (left, right)
+        self.estimate = estimate
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        right_rows = list(self.right.rows(ctx))
+        for left_row in self.left.rows(ctx):
+            for right_row in right_rows:
+                combined = dict(left_row)
+                combined.update(right_row)
+                ctx.metrics.rows_joined += 1
+                yield combined
+
+    def label(self) -> str:
+        return f"NestedLoopJoin (cross) [est={self.estimate:.0f}]"
+
+
+class OuterJoin(Operator):
+    """LEFT or FULL outer join (RIGHT joins are swapped into LEFT by the
+    planner).  Both sides materialize — outer joins need match bookkeeping."""
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        condition: Expression | None,
+        join_type: str,
+        estimate: float,
+    ):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.join_type = join_type
+        self.bindings = left.bindings + right.bindings
+        self.children = (left, right)
+        self.estimate = estimate
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        right_rows = list(self.right.rows(ctx))
+        null_right = {
+            name: {column: None for column in columns}
+            for name, columns in self.right.bindings
+        }
+        matched_right: set[int] = set()
+        for left_row in self.left.rows(ctx):
+            matched = False
+            for index, right_row in enumerate(right_rows):
+                combined = dict(left_row)
+                combined.update(right_row)
+                scope = Scope(combined, parent=ctx.outer_scope)
+                if self.condition is None or is_true(
+                    evaluate(self.condition, scope, ctx.run_subquery)
+                ):
+                    matched = True
+                    matched_right.add(index)
+                    ctx.metrics.rows_joined += 1
+                    yield combined
+            if not matched:
+                combined = dict(left_row)
+                combined.update(null_right)
+                ctx.metrics.rows_joined += 1
+                yield combined
+        if self.join_type == "FULL":
+            null_left = {
+                name: {column: None for column in columns}
+                for name, columns in self.left.bindings
+            }
+            for index, right_row in enumerate(right_rows):
+                if index not in matched_right:
+                    combined = dict(null_left)
+                    combined.update(right_row)
+                    ctx.metrics.rows_joined += 1
+                    yield combined
+
+    def label(self) -> str:
+        condition = (
+            format_expression(self.condition) if self.condition is not None else "TRUE"
+        )
+        return f"{self.join_type.title()}OuterJoin ({condition}) [est={self.estimate:.0f}]"
+
+
+def equality_probe_keys(value: object, data_type: DataType) -> list | None:
+    """Hash keys that reproduce ``compare_values`` equality for a column.
+
+    Returns the keys to probe (possibly empty — provably no match), or None
+    when the comparison semantics cannot be expressed as hash lookups and the
+    caller must fall back to a ``compare_values`` scan.  Stored values are
+    always coerced to ``data_type``, which is what makes the mapping exact.
+    """
+    if value is None:
+        return []
+    if isinstance(value, bool):
+        # Against non-boolean columns, compare_values matches by truthiness —
+        # that is a set of keys, not one.
+        return [value] if data_type is DataType.BOOLEAN else None
+    if isinstance(value, (int, float)):
+        if data_type in (DataType.INTEGER, DataType.FLOAT):
+            return [value]
+        if data_type is DataType.TEXT:
+            return [str(value)]  # compare_values falls back to str comparison
+        return None
+    if isinstance(value, str):
+        if data_type is DataType.TEXT:
+            return [value]
+        if data_type is DataType.BOOLEAN:
+            return [bool(value)]  # compare_values compares truthiness
+        if data_type in (DataType.INTEGER, DataType.FLOAT):
+            # compare_values compares str(stored) to the probe string, so the
+            # probe matches only when it round-trips exactly ('2' does, '02'
+            # and '2.00' do not).
+            try:
+                coerced = coerce_value(value, data_type)
+            except SchemaError:
+                return []
+            return [coerced] if str(coerced) == value else []
+    return None
+
+
+def _scan_target(table, binding: str) -> str:
+    if binding.lower() == table.name.lower():
+        return table.name
+    return f"{table.name} AS {binding}"

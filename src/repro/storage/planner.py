@@ -1,0 +1,701 @@
+"""Cost-based logical/physical planner for SELECT statements.
+
+The planner is the middle layer of the engine's parse → plan → execute
+pipeline.  Given a parsed :class:`~repro.sql.ast_nodes.SelectStatement` it
+
+1. splits the WHERE clause into conjuncts and pushes single-table conjuncts
+   down to their leaf,
+2. chooses an *access path* per leaf — an :class:`~repro.storage.operators.IndexScan`
+   when an equality conjunct matches a :class:`~repro.storage.indexes.HashIndex`,
+   otherwise a :class:`~repro.storage.operators.SeqScan`,
+3. orders the joins greedily by estimated cardinality (table statistics when
+   cached, cheap index/row-count estimates otherwise) and picks a physical
+   join per step — an index nested-loop join when the inner table has a hash
+   index on the join key and the outer side is estimated smaller than an
+   inner scan, else a hash join with the estimated-smaller side as build side,
+4. leaves conjuncts that cannot be placed (subqueries, outer-join columns) as
+   a residual :class:`~repro.storage.operators.Filter` above the join tree.
+
+The result is a :class:`SelectPlan` whose operator tree the executor streams;
+:meth:`SelectPlan.explain_lines` renders the plan for ``Database.explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpression,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    FromItem,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Join,
+    Literal,
+    ScalarSubquery,
+    SelectStatement,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.formatter import format_expression
+from repro.storage.operators import (
+    EmptyRow,
+    Filter,
+    HashJoin,
+    IndexLookupJoin,
+    IndexScan,
+    NestedLoopJoin,
+    Operator,
+    OuterJoin,
+    SeqScan,
+    SubqueryScan,
+    equality_probe_keys,
+)
+
+#: Cardinality guess for derived tables (no statistics available at plan time).
+DEFAULT_SUBQUERY_ESTIMATE = 100.0
+
+#: Fallback selectivities when neither statistics nor indexes can help.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_SELECTIVITY = 0.33
+
+
+@dataclass
+class PlanExplanation:
+    """The result of ``Database.explain``: a statement kind plus plan lines."""
+
+    statement_kind: str
+    lines: list[str] = field(default_factory=list)
+    root: Operator | None = None
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    def __str__(self) -> str:
+        return self.text()
+
+    def __contains__(self, needle: str) -> bool:
+        return needle in self.text()
+
+
+@dataclass
+class SelectPlan:
+    """A planned SELECT: the FROM/WHERE operator pipeline plus metadata.
+
+    ``bindings`` lists the relation's bindings in FROM-clause order (the order
+    ``SELECT *`` expands in), independent of the join order the planner chose.
+    """
+
+    statement: SelectStatement
+    root: Operator
+    bindings: list[tuple[str, list[str]]]
+    output_columns: list[str]
+
+    def explain_lines(self) -> list[str]:
+        lines: list[str] = []
+        depth = 0
+        statement = self.statement
+
+        def push(text: str) -> None:
+            nonlocal depth
+            lines.append("  " * depth + text)
+            depth += 1
+
+        if statement.limit is not None or statement.offset:
+            parts = []
+            if statement.limit is not None:
+                parts.append(f"limit={statement.limit}")
+            if statement.offset:
+                parts.append(f"offset={statement.offset}")
+            push(f"Limit [{', '.join(parts)}]")
+        if statement.distinct:
+            push("Distinct")
+        if statement.order_by:
+            keys = ", ".join(
+                format_expression(item.expression) + ("" if item.ascending else " DESC")
+                for item in statement.order_by
+            )
+            push(f"Sort [{keys}]")
+        if statement.group_by or statement_has_aggregates(statement):
+            detail = ""
+            if statement.group_by:
+                detail = " [group by " + ", ".join(
+                    format_expression(expr) for expr in statement.group_by
+                ) + "]"
+            if statement.having is not None:
+                detail += f" having ({format_expression(statement.having)})"
+            push("Aggregate" + detail)
+        push(f"Project [{', '.join(self.output_columns)}]")
+        lines.extend(self.root.explain_lines(depth))
+        return lines
+
+    def text(self) -> str:
+        return "\n".join(self.explain_lines())
+
+
+@dataclass
+class _Leaf:
+    """One FROM-clause leaf while the planner is working on it."""
+
+    binding: str
+    columns: list[str]
+    table: object | None = None          # Table for base tables, None for subqueries
+    subplan: SelectPlan | None = None
+    predicates: list[Expression] = field(default_factory=list)
+    operator: Operator | None = None
+    estimate: float = 0.0
+    seq_cost: float = 0.0                # cost of producing the leaf by scanning
+
+
+class Planner:
+    """Plans SELECT statements against a table provider.
+
+    ``table_provider`` must expose ``table(name) -> Table``.  With
+    ``use_indexes=False`` the planner only emits sequential scans and hash
+    joins — used by benchmarks to quantify access-path quality.
+    """
+
+    def __init__(self, table_provider, use_indexes: bool = True):
+        self._provider = table_provider
+        self._use_indexes = use_indexes
+
+    # -- public entry point ----------------------------------------------------
+
+    def plan_select(self, statement: SelectStatement) -> SelectPlan:
+        conjuncts = _split_conjuncts(statement.where)
+        if not statement.from_items:
+            root: Operator = EmptyRow()
+            if conjuncts:
+                root = Filter(root, conjuncts, estimate=1.0)
+            bindings: list[tuple[str, list[str]]] = []
+        else:
+            leaves: list[_Leaf] = []
+            pending_outer: list[tuple[str, Operator, Expression | None]] = []
+            for item in statement.from_items:
+                flattened, extra_conjuncts, outer_joins = self._flatten(item)
+                conjuncts.extend(extra_conjuncts)
+                leaves.extend(flattened)
+                pending_outer.extend(outer_joins)
+            root, residual = self._plan_joins(leaves, conjuncts)
+            for join_type, right_op, condition in pending_outer:
+                if join_type == "RIGHT":
+                    # A RIGHT join is a LEFT join with the operands swapped.
+                    root = OuterJoin(
+                        right_op, root, condition, "LEFT", estimate=root.estimate
+                    )
+                else:
+                    root = OuterJoin(
+                        root, right_op, condition, join_type, estimate=root.estimate
+                    )
+            if residual:
+                root = Filter(root, residual, estimate=root.estimate)
+            # SELECT * expands in FROM-clause order regardless of join order.
+            bindings = [(leaf.binding, leaf.columns) for leaf in leaves]
+            for _, right_op, _ in pending_outer:
+                bindings.extend(right_op.bindings)
+        return SelectPlan(
+            statement=statement,
+            root=root,
+            bindings=bindings,
+            output_columns=compute_output_columns(statement, bindings),
+        )
+
+    # -- FROM flattening --------------------------------------------------------
+
+    def _flatten(
+        self, item: FromItem
+    ) -> tuple[list[_Leaf], list[Expression], list[tuple[str, Operator, Expression | None]]]:
+        """Flatten an item into leaves, join conjuncts, and pending outer joins."""
+        if isinstance(item, TableRef):
+            table = self._provider.table(item.name)
+            return (
+                [
+                    _Leaf(
+                        binding=item.binding,
+                        columns=list(table.schema.column_names),
+                        table=table,
+                    )
+                ],
+                [],
+                [],
+            )
+        if isinstance(item, SubqueryRef):
+            subplan = self.plan_select(item.subquery)
+            return (
+                [
+                    _Leaf(
+                        binding=item.alias,
+                        columns=list(subplan.output_columns),
+                        subplan=subplan,
+                    )
+                ],
+                [],
+                [],
+            )
+        if isinstance(item, Join):
+            if item.join_type in ("INNER", "CROSS"):
+                left_leaves, left_conjuncts, left_outer = self._flatten(item.left)
+                right_leaves, right_conjuncts, right_outer = self._flatten(item.right)
+                conjuncts = left_conjuncts + right_conjuncts
+                if item.condition is not None:
+                    conjuncts.extend(_split_conjuncts(item.condition))
+                return left_leaves + right_leaves, conjuncts, left_outer + right_outer
+            # LEFT / RIGHT / FULL outer joins apply after the inner-join tree.
+            left_leaves, left_conjuncts, left_outer = self._flatten(item.left)
+            right_op = self._plan_item_fully(item.right)
+            outer = left_outer + [(item.join_type, right_op, item.condition)]
+            return left_leaves, left_conjuncts, outer
+        raise ExecutionError(f"unsupported FROM item {type(item).__name__}")
+
+    def _plan_item_fully(self, item: FromItem) -> Operator:
+        leaves, conjuncts, outer = self._flatten(item)
+        op, residual = self._plan_joins(leaves, conjuncts)
+        for join_type, right_op, condition in outer:
+            if join_type == "RIGHT":
+                op = OuterJoin(right_op, op, condition, "LEFT", estimate=op.estimate)
+            else:
+                op = OuterJoin(op, right_op, condition, join_type, estimate=op.estimate)
+        if residual:
+            op = Filter(op, residual, estimate=op.estimate)
+        return op
+
+    # -- join planning -----------------------------------------------------------
+
+    def _plan_joins(
+        self, leaves: list[_Leaf], conjuncts: list[Expression]
+    ) -> tuple[Operator, list[Expression]]:
+        column_owner = self._column_ownership(leaves)
+        leaf_bindings = {leaf.binding.lower() for leaf in leaves}
+
+        # Push single-binding conjuncts down to their leaf; conjuncts whose
+        # binding set is undecidable (subqueries, ambiguous columns) or not
+        # among these leaves stay in the shared pool.
+        remaining: list[Expression] = []
+        per_leaf: dict[str, list[Expression]] = {}
+        for conjunct in conjuncts:
+            bindings = _conjunct_bindings(conjunct, column_owner)
+            if (
+                bindings is not None
+                and len(bindings) == 1
+                and next(iter(bindings)) in leaf_bindings
+            ):
+                per_leaf.setdefault(next(iter(bindings)), []).append(conjunct)
+            else:
+                remaining.append(conjunct)
+        for leaf in leaves:
+            leaf.predicates = per_leaf.get(leaf.binding.lower(), [])
+            self._build_access_path(leaf)
+
+        # Greedy join order: start from the smallest estimated leaf, then
+        # repeatedly attach the smallest leaf connected by an equi-join
+        # (falling back to the smallest remaining leaf as a cross join).
+        start_index = min(
+            range(len(leaves)), key=lambda i: (leaves[i].estimate, i)
+        )
+        first = leaves[start_index]
+        current: Operator = first.operator
+        current_est = first.estimate
+        current_bindings = {first.binding.lower()}
+        pending = [leaf for i, leaf in enumerate(leaves) if i != start_index]
+        unjoined = remaining
+        while pending:
+            best_key = None
+            best_index = 0
+            best_equi: list[tuple[Expression, ColumnRef, ColumnRef]] = []
+            for index, leaf in enumerate(pending):
+                equi = _find_equi_joins(
+                    unjoined, current_bindings, {leaf.binding.lower()}, column_owner
+                )
+                key = (0 if equi else 1, leaf.estimate, index)
+                if best_key is None or key < best_key:
+                    best_key, best_index, best_equi = key, index, equi
+            leaf = pending.pop(best_index)
+            current, current_est = self._join(current, current_est, leaf, best_equi)
+            used = {id(conjunct) for conjunct, _, _ in best_equi}
+            unjoined = [c for c in unjoined if id(c) not in used]
+            current_bindings.add(leaf.binding.lower())
+            # Apply any conjunct now fully covered by the joined bindings.
+            applicable = []
+            still_remaining = []
+            for conjunct in unjoined:
+                bindings = _conjunct_bindings(conjunct, column_owner)
+                if bindings is not None and bindings <= current_bindings:
+                    applicable.append(conjunct)
+                else:
+                    still_remaining.append(conjunct)
+            if applicable:
+                current = Filter(current, applicable, estimate=current_est)
+            unjoined = still_remaining
+        return current, unjoined
+
+    def _join(
+        self,
+        current: Operator,
+        current_est: float,
+        leaf: _Leaf,
+        equi: list[tuple[Expression, ColumnRef, ColumnRef]],
+    ) -> tuple[Operator, float]:
+        """Attach ``leaf`` to ``current``, choosing the physical join."""
+        if equi:
+            joined_est = max(
+                1.0,
+                current_est
+                * max(leaf.estimate, 1.0)
+                / self._distinct_estimate(leaf, equi[0][2].name),
+            )
+            indexed = self._indexed_join_key(leaf, equi)
+            if indexed is not None and current_est < leaf.seq_cost:
+                _, outer_key, leaf_key = indexed
+                residual = [
+                    conjunct for conjunct, _, key in equi if key is not leaf_key
+                ]
+                residual.extend(leaf.predicates)
+                probe = IndexScan(
+                    leaf.table,
+                    leaf.binding,
+                    leaf.table.schema.column(leaf_key.name).name,
+                    outer_key,
+                    estimate=max(
+                        leaf.seq_cost / self._distinct_estimate(leaf, leaf_key.name),
+                        1.0,
+                    ),
+                    probe=True,
+                )
+                return (
+                    IndexLookupJoin(current, probe, outer_key, residual, joined_est),
+                    joined_est,
+                )
+            pairs = [(left, right) for _, left, right in equi]
+            build_left = current_est <= leaf.estimate
+            return (
+                HashJoin(current, leaf.operator, pairs, build_left, joined_est),
+                joined_est,
+            )
+        joined_est = max(current_est, 1.0) * max(leaf.estimate, 1.0)
+        return NestedLoopJoin(current, leaf.operator, joined_est), joined_est
+
+    def _indexed_join_key(
+        self, leaf: _Leaf, equi: list[tuple[Expression, ColumnRef, ColumnRef]]
+    ) -> tuple[Expression, ColumnRef, ColumnRef] | None:
+        """The first equi pair whose leaf-side column has a hash index."""
+        if not self._use_indexes or leaf.table is None:
+            return None
+        for conjunct, outer_key, leaf_key in equi:
+            if not leaf.table.schema.has_column(leaf_key.name):
+                continue
+            if leaf.table.index_for(leaf_key.name) is not None:
+                return conjunct, outer_key, leaf_key
+        return None
+
+    # -- access paths -------------------------------------------------------------
+
+    def _build_access_path(self, leaf: _Leaf) -> None:
+        """Choose the leaf's operator and estimates (sets fields in place)."""
+        if leaf.table is None:
+            leaf.seq_cost = DEFAULT_SUBQUERY_ESTIMATE
+            estimate = DEFAULT_SUBQUERY_ESTIMATE
+            op: Operator = SubqueryScan(leaf.subplan, leaf.binding, estimate)
+            if leaf.predicates:
+                estimate *= DEFAULT_SELECTIVITY ** len(leaf.predicates)
+                op = Filter(op, leaf.predicates, estimate=estimate)
+            leaf.operator, leaf.estimate = op, estimate
+            return
+        table = leaf.table
+        row_count = float(len(table))
+        leaf.seq_cost = max(row_count, 1.0)
+        index_pick = self._pick_index_conjunct(table, leaf.predicates)
+        if index_pick is not None:
+            conjunct, column, value_expr, selectivity = index_pick
+            estimate = max(row_count * selectivity, 0.0)
+            op = IndexScan(table, leaf.binding, column, value_expr, estimate)
+            leaf.seq_cost = max(estimate, 1.0)
+            rest = [p for p in leaf.predicates if p is not conjunct]
+        else:
+            selectivity = 1.0
+            estimate = row_count
+            op = SeqScan(table, leaf.binding, estimate)
+            rest = list(leaf.predicates)
+        if rest:
+            for predicate in rest:
+                estimate *= self._predicate_selectivity(table, predicate)
+            op = Filter(op, rest, estimate=estimate)
+        leaf.operator, leaf.estimate = op, estimate
+
+    def _pick_index_conjunct(
+        self, table, predicates: list[Expression]
+    ) -> tuple[Expression, str, Expression, float] | None:
+        """The most selective ``column = constant`` conjunct with a hash index."""
+        if not self._use_indexes:
+            return None
+        best = None
+        for predicate in predicates:
+            match = _constant_equality(predicate)
+            if match is None:
+                continue
+            column, value_expr = match
+            if not table.schema.has_column(column.name):
+                continue
+            canonical = table.schema.column(column.name).name
+            if table.index_for(canonical) is None:
+                continue
+            if isinstance(value_expr, Literal) and (
+                equality_probe_keys(
+                    value_expr.value, table.schema.column(canonical).data_type
+                )
+                is None
+            ):
+                # The comparison semantics need a compare_values scan; do not
+                # promise an IndexScan the runtime would degrade anyway.
+                continue
+            selectivity = self._predicate_selectivity(table, predicate)
+            candidate = (predicate, canonical, value_expr, selectivity)
+            if best is None or selectivity < best[3]:
+                best = candidate
+        return best
+
+    # -- estimation ----------------------------------------------------------------
+
+    def _predicate_selectivity(self, table, predicate: Expression) -> float:
+        comparison = _simple_comparison(predicate)
+        if comparison is None:
+            return DEFAULT_SELECTIVITY
+        column, op, value = comparison
+        stats = table.cached_statistics
+        if stats is not None:
+            return stats.selectivity(column.name, op, value)
+        if op == "=":
+            index = table.index_for(column.name) if table.schema.has_column(column.name) else None
+            if index is not None and index.distinct_values():
+                return 1.0 / index.distinct_values()
+            return DEFAULT_EQ_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+
+    def _distinct_estimate(self, leaf: _Leaf, column_name: str) -> float:
+        """Estimated distinct count of a leaf column (join-size denominator)."""
+        if leaf.table is None:
+            return max(leaf.estimate, 1.0)
+        if leaf.table.schema.has_column(column_name):
+            index = leaf.table.index_for(column_name)
+            if index is not None and index.distinct_values():
+                return float(index.distinct_values())
+            stats = leaf.table.cached_statistics
+            if stats is not None:
+                column_stats = stats.columns.get(column_name.lower())
+                if column_stats is not None:
+                    return float(max(column_stats.distinct_count, 1))
+        return float(max(len(leaf.table), 1))
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _column_ownership(self, leaves: list[_Leaf]) -> dict[str, set[str]]:
+        """Map lower-cased column name → set of binding names providing it."""
+        ownership: dict[str, set[str]] = {}
+        for leaf in leaves:
+            for column in leaf.columns:
+                ownership.setdefault(column.lower(), set()).add(leaf.binding.lower())
+        return ownership
+
+
+# ---------------------------------------------------------------------------
+# Statement-level helpers (shared with the executor)
+# ---------------------------------------------------------------------------
+
+
+def compute_output_columns(
+    statement: SelectStatement, bindings: list[tuple[str, list[str]]]
+) -> list[str]:
+    """Output column names of a SELECT, given the FROM-ordered bindings."""
+    columns: list[str] = []
+    for item in statement.select_items:
+        expr = item.expression
+        if isinstance(expr, Star):
+            columns.extend(star_columns(expr, bindings))
+        elif item.alias:
+            columns.append(item.alias)
+        elif isinstance(expr, ColumnRef):
+            columns.append(expr.name)
+        elif isinstance(expr, FunctionCall):
+            columns.append(expr.name.lower())
+        else:
+            columns.append(f"column{len(columns) + 1}")
+    return columns
+
+
+def star_columns(star: Star, bindings: list[tuple[str, list[str]]]) -> list[str]:
+    """Expand ``*`` or ``alias.*`` against the FROM-ordered bindings."""
+    names: list[str] = []
+    for binding, columns in bindings:
+        if star.table is None or binding.lower() == star.table.lower():
+            names.extend(columns)
+    if not names and star.table is not None:
+        raise ExecutionError(f"unknown table alias {star.table!r} in select list")
+    return names
+
+
+def statement_has_aggregates(statement: SelectStatement) -> bool:
+    expressions = [item.expression for item in statement.select_items]
+    if statement.having is not None:
+        expressions.append(statement.having)
+    expressions.extend(item.expression for item in statement.order_by)
+    return any(has_aggregate(expr) for expr in expressions)
+
+
+def has_aggregate(expr: Expression) -> bool:
+    if isinstance(expr, FunctionCall) and expr.is_aggregate:
+        return True
+    if isinstance(expr, BinaryOp):
+        return has_aggregate(expr.left) or has_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return has_aggregate(expr.operand)
+    if isinstance(expr, FunctionCall):
+        return any(has_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, CaseExpression):
+        return any(
+            has_aggregate(condition) or has_aggregate(value)
+            for condition, value in expr.whens
+        ) or (expr.default is not None and has_aggregate(expr.default))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Conjunct analysis
+# ---------------------------------------------------------------------------
+
+
+def _split_conjuncts(expr: Expression | None) -> list[Expression]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _conjunct_bindings(
+    expr: Expression, column_owner: dict[str, set[str]]
+) -> set[str] | None:
+    """The set of bindings a conjunct references, or None when undecidable.
+
+    Undecidable cases (subqueries, unqualified columns owned by several
+    bindings) force the conjunct to be evaluated only after the full join.
+    """
+    bindings: set[str] = set()
+    for node in _walk_no_subquery(expr):
+        if isinstance(node, (InSubquery, ExistsSubquery, ScalarSubquery)):
+            return None
+        if isinstance(node, ColumnRef):
+            if node.table:
+                bindings.add(node.table.lower())
+            else:
+                owners = column_owner.get(node.name.lower(), set())
+                if len(owners) == 1:
+                    bindings.add(next(iter(owners)))
+                else:
+                    return None
+    return bindings
+
+
+def _walk_no_subquery(expr: Expression):
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from _walk_no_subquery(expr.left)
+        yield from _walk_no_subquery(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from _walk_no_subquery(expr.operand)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from _walk_no_subquery(arg)
+    elif isinstance(expr, InList):
+        yield from _walk_no_subquery(expr.expr)
+        for value in expr.values:
+            yield from _walk_no_subquery(value)
+    elif isinstance(expr, Between):
+        yield from _walk_no_subquery(expr.expr)
+        yield from _walk_no_subquery(expr.low)
+        yield from _walk_no_subquery(expr.high)
+    elif isinstance(expr, CaseExpression):
+        for condition, value in expr.whens:
+            yield from _walk_no_subquery(condition)
+            yield from _walk_no_subquery(value)
+        if expr.default is not None:
+            yield from _walk_no_subquery(expr.default)
+    elif isinstance(expr, (InSubquery, ExistsSubquery, ScalarSubquery)):
+        if isinstance(expr, InSubquery):
+            yield from _walk_no_subquery(expr.expr)
+
+
+def _find_equi_joins(
+    conjuncts: list[Expression],
+    left_bindings: set[str],
+    right_bindings: set[str],
+    column_owner: dict[str, set[str]],
+) -> list[tuple[Expression, ColumnRef, ColumnRef]]:
+    """Equality conjuncts connecting the two binding sets, as (expr, left, right)."""
+    matches = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, BinaryOp) or conjunct.op != "=":
+            continue
+        if not isinstance(conjunct.left, ColumnRef) or not isinstance(
+            conjunct.right, ColumnRef
+        ):
+            continue
+        first = _resolve_binding(conjunct.left, column_owner)
+        second = _resolve_binding(conjunct.right, column_owner)
+        if first is None or second is None:
+            continue
+        if first in left_bindings and second in right_bindings:
+            matches.append((conjunct, conjunct.left, conjunct.right))
+        elif second in left_bindings and first in right_bindings:
+            matches.append((conjunct, conjunct.right, conjunct.left))
+    return matches
+
+
+def _resolve_binding(column: ColumnRef, column_owner: dict[str, set[str]]) -> str | None:
+    if column.table:
+        return column.table.lower()
+    owners = column_owner.get(column.name.lower(), set())
+    if len(owners) == 1:
+        return next(iter(owners))
+    return None
+
+
+def _constant_equality(expr: Expression) -> tuple[ColumnRef, Expression] | None:
+    """Match ``column = constant-expression`` in either orientation."""
+    if not isinstance(expr, BinaryOp) or expr.op != "=":
+        return None
+    for column, value in ((expr.left, expr.right), (expr.right, expr.left)):
+        if isinstance(column, ColumnRef) and _is_constant(value):
+            return column, value
+    return None
+
+
+def _is_constant(expr: Expression) -> bool:
+    """True when the expression references no columns and no subqueries."""
+    for node in _walk_no_subquery(expr):
+        if isinstance(node, (ColumnRef, Star, InSubquery, ExistsSubquery, ScalarSubquery)):
+            return False
+    return True
+
+
+_FLIPPED_OPS = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _simple_comparison(expr: Expression) -> tuple[ColumnRef, str, object] | None:
+    """Match ``column op literal`` (either orientation) for selectivity lookup."""
+    if isinstance(expr, BinaryOp) and expr.op in _FLIPPED_OPS:
+        if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+            return expr.left, expr.op, expr.right.value
+        if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+            return expr.right, _FLIPPED_OPS[expr.op], expr.left.value
+    if isinstance(expr, InList) and isinstance(expr.expr, ColumnRef) and not expr.negated:
+        values = [v.value for v in expr.values if isinstance(v, Literal)]
+        if len(values) == len(expr.values):
+            return expr.expr, "IN", values
+    return None

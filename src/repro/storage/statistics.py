@@ -49,8 +49,10 @@ class Histogram:
         low, high = float(min(numeric)), float(max(numeric))
         counts = [0] * buckets
         width = (high - low) / buckets if high > low else 1.0
+        if width <= 0.0:
+            width = 1.0  # a subnormal spread can underflow the bucket width
         for value in numeric:
-            index = int((float(value) - low) / width) if high > low else 0
+            index = int((float(value) - low) / width)
             counts[min(index, buckets - 1)] += 1
         return cls(low=low, high=high, counts=counts, null_count=null_count)
 
@@ -61,10 +63,12 @@ class Histogram:
             return 0.0
         buckets = len(self.counts)
         width = (self.high - self.low) / buckets if self.high > self.low else 1.0
+        if width <= 0.0:
+            width = 1.0
         if op == "=":
             if constant < self.low or constant > self.high:
                 return 0.0
-            index = min(int((constant - self.low) / width), buckets - 1) if width else 0
+            index = min(int((constant - self.low) / width), buckets - 1)
             # Assume uniformity inside the bucket with ~10 distinct values.
             return self.counts[index] / populated / 10.0
         if op in ("<", "<="):
@@ -112,7 +116,11 @@ class Histogram:
             return [0.0] * grid
         result = [0.0] * grid
         width = (high - low) / grid if high > low else 1.0
+        if width <= 0.0:
+            width = 1.0
         own_width = (self.high - self.low) / len(self.counts) if self.high > self.low else 1.0
+        if own_width <= 0.0:
+            own_width = 1.0
         for index, count in enumerate(self.counts):
             center = self.low + (index + 0.5) * own_width
             target = int((center - low) / width) if width else 0

@@ -190,3 +190,13 @@ class Table:
         if self._stats_cache is None or refresh:
             self._stats_cache = TableStatistics.compute(self.name, self.rows())
         return self._stats_cache
+
+    @property
+    def cached_statistics(self) -> TableStatistics | None:
+        """The statistics snapshot if still fresh, without recomputing.
+
+        The planner consults this so planning never pays for a full statistics
+        build on a hot path; stale or absent statistics fall back to cheap
+        row-count and index-cardinality estimates.
+        """
+        return self._stats_cache

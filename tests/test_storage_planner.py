@@ -1,0 +1,279 @@
+"""Tests for the cost-based planner: access paths, join order, EXPLAIN."""
+
+import pytest
+
+from repro.storage.database import Database
+from repro.storage.planner import Planner
+from repro.sql.parser import parse
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE lakes (id INTEGER PRIMARY KEY, name TEXT, state TEXT, area FLOAT)"
+    )
+    database.execute(
+        "CREATE TABLE readings (lake_id INTEGER, temp FLOAT, depth FLOAT, month INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO lakes (id, name, state, area) VALUES "
+        "(1, 'Washington', 'WA', 87.6), (2, 'Union', 'WA', 2.3), "
+        "(3, 'Michigan', 'MI', 58000.0), (4, 'Chelan', 'WA', 135.0)"
+    )
+    database.execute(
+        "INSERT INTO readings (lake_id, temp, depth, month) VALUES "
+        "(1, 15.0, 5.0, 6), (1, 17.5, 10.0, 7), (1, 12.0, 20.0, 8), "
+        "(2, 20.0, 3.0, 6), (2, 22.5, 4.0, 7), "
+        "(3, 9.0, 30.0, 6), (4, 11.0, 12.0, 7)"
+    )
+    return database
+
+
+class TestAccessPathSelection:
+    def test_equality_on_indexed_column_uses_index_scan(self, db):
+        plan = db.explain("SELECT name FROM lakes WHERE id = 2")
+        assert "IndexScan lakes (id = 2)" in plan.text()
+        assert "SeqScan" not in plan.text()
+
+    def test_equality_on_unindexed_column_uses_seq_scan(self, db):
+        plan = db.explain("SELECT name FROM lakes WHERE state = 'WA'")
+        assert "SeqScan lakes" in plan.text()
+        assert "Filter (state = 'WA')" in plan.text()
+
+    def test_created_index_is_picked_up(self, db):
+        before = db.explain("SELECT * FROM readings WHERE month = 7")
+        assert "SeqScan readings" in before.text()
+        db.execute("CREATE INDEX idx_month ON readings (month)")
+        after = db.explain("SELECT * FROM readings WHERE month = 7")
+        assert "IndexScan readings (month = 7)" in after.text()
+
+    def test_non_equality_predicates_stay_as_filters(self, db):
+        plan = db.explain("SELECT name FROM lakes WHERE id > 2")
+        assert "SeqScan lakes" in plan.text()
+
+    def test_remaining_predicates_filter_above_index_scan(self, db):
+        plan = db.explain("SELECT name FROM lakes WHERE id = 2 AND area > 1")
+        text = plan.text()
+        assert "IndexScan lakes (id = 2)" in text
+        assert "Filter (area > 1" in text
+
+    def test_index_scan_results_match_seq_scan(self, db):
+        statement = parse("SELECT name FROM lakes WHERE id = 3")
+        indexed = Planner(db).plan_select(statement)
+        seq_only = Planner(db, use_indexes=False).plan_select(statement)
+        assert "IndexScan" in "\n".join(indexed.explain_lines())
+        assert "IndexScan" not in "\n".join(seq_only.explain_lines())
+        assert db.execute(statement).rows == [("Michigan",)]
+
+    def test_index_probe_matches_engine_equality_semantics(self, db):
+        # compare_values string-compares mixed number/text, so indexed and
+        # unindexed execution must agree on cross-type equality.
+        assert db.execute("SELECT name FROM lakes WHERE id = '2'").rows == [("Union",)]
+        assert db.execute("SELECT name FROM lakes WHERE id = '02'").rows == []
+        db.execute("CREATE INDEX idx_name ON lakes (name)")
+        assert db.execute("SELECT id FROM lakes WHERE name = 'Union'").rows == [(2,)]
+        # Numeric probe against the indexed TEXT column: str-comparison match.
+        db.execute("INSERT INTO lakes (id, name, state, area) VALUES (7, '42', 'ZZ', 1.0)")
+        assert db.execute("SELECT id FROM lakes WHERE name = 42").rows == [(7,)]
+
+    def test_boolean_probe_on_numeric_index_falls_back_to_scan(self, db):
+        # TRUE against an INTEGER column matches by truthiness (every nonzero
+        # id); that cannot be one hash probe, so the planner must not claim an
+        # IndexScan and execution must keep compare_values semantics.
+        plan = db.explain("SELECT name FROM lakes WHERE id = TRUE")
+        assert "IndexScan" not in plan.text()
+        result = db.execute("SELECT name FROM lakes WHERE id = TRUE")
+        assert len(result.rows) == 4
+
+    def test_index_scan_scans_fewer_rows(self, db):
+        by_index = db.execute("SELECT name FROM lakes WHERE id = 1")
+        assert by_index.stats.rows_scanned == 1
+        assert by_index.stats.index_lookups == 1
+        by_scan = db.execute("SELECT name FROM lakes WHERE state = 'WA'")
+        assert by_scan.stats.rows_scanned == 4
+        assert by_scan.stats.index_lookups == 0
+
+
+class TestJoinPlanning:
+    def test_index_loop_join_probes_indexed_side(self, db):
+        plan = db.explain(
+            "SELECT L.name, R.temp FROM lakes L, readings R "
+            "WHERE L.id = R.lake_id AND R.temp < 12"
+        )
+        text = plan.text()
+        assert "IndexLoopJoin" in text
+        assert "IndexScan lakes AS L (id = R.lake_id)" in text
+
+    def test_hash_join_without_usable_index(self, db):
+        db.execute("CREATE TABLE states (code TEXT, region TEXT)")
+        db.execute("INSERT INTO states VALUES ('WA', 'west'), ('MI', 'midwest')")
+        plan = db.explain("SELECT * FROM lakes L, states S WHERE L.state = S.code")
+        assert "HashJoin" in plan.text()
+
+    def test_join_order_starts_with_smaller_estimate(self, db):
+        # With fresh statistics, the skew is visible to the planner: the
+        # filtered readings side (temp < 10 matches one row) must drive the
+        # join rather than the 4-row lakes table being scanned per row.
+        db.statistics("lakes", refresh=True)
+        db.statistics("readings", refresh=True)
+        plan = db.explain(
+            "SELECT L.name FROM lakes L, readings R "
+            "WHERE L.id = R.lake_id AND R.temp < 10"
+        )
+        lines = plan.lines
+        scan_lines = [l for l in lines if "Scan" in l]
+        # The first access path in the tree is the driving (outer) side.
+        assert "readings" in scan_lines[0]
+
+    def test_join_order_with_skewed_statistics(self):
+        db = Database()
+        db.execute("CREATE TABLE big (k INTEGER, payload TEXT)")
+        db.execute("CREATE TABLE small (k INTEGER, tag TEXT)")
+        db.insert_rows("big", [{"k": i % 50, "payload": "x"} for i in range(400)])
+        db.insert_rows("small", [{"k": i, "tag": "t"} for i in range(5)])
+        db.statistics("big", refresh=True)
+        db.statistics("small", refresh=True)
+        plan = db.explain("SELECT * FROM big B, small S WHERE B.k = S.k")
+        scan_lines = [l for l in plan.lines if "Scan" in l]
+        assert "small" in scan_lines[0], plan.text()
+        result = db.execute("SELECT COUNT(*) FROM big B, small S WHERE B.k = S.k")
+        assert result.scalar() == 5 * 8
+
+    def test_hash_join_build_side_is_smaller_input(self, db):
+        db.execute("CREATE TABLE tiny (state TEXT)")
+        db.execute("INSERT INTO tiny VALUES ('WA')")
+        plan = db.explain("SELECT * FROM lakes L, tiny T WHERE L.state = T.state")
+        join_line = next(l for l in plan.lines if "HashJoin" in l)
+        assert "build=left" in join_line  # tiny drives, so build side is left
+
+    def test_cross_join_is_nested_loop(self, db):
+        plan = db.explain("SELECT * FROM lakes CROSS JOIN readings")
+        assert "NestedLoopJoin (cross)" in plan.text()
+
+
+class TestExplain:
+    def test_explain_is_stable_across_calls(self, db):
+        sql = (
+            "SELECT L.state, COUNT(*) AS n FROM lakes L, readings R "
+            "WHERE L.id = R.lake_id AND R.temp < 20 "
+            "GROUP BY L.state HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 3"
+        )
+        first = db.explain(sql)
+        second = db.explain(sql)
+        assert first.lines == second.lines
+
+    def test_explain_decorations(self, db):
+        plan = db.explain(
+            "SELECT DISTINCT state FROM lakes ORDER BY state LIMIT 2 OFFSET 1"
+        )
+        text = plan.text()
+        for marker in ("Limit [limit=2, offset=1]", "Distinct", "Sort [state]", "Project [state]"):
+            assert marker in text
+        # Decorations nest top-down: Limit above Distinct above Sort.
+        assert plan.lines[0].startswith("Limit")
+
+    def test_explain_aggregate_node(self, db):
+        plan = db.explain("SELECT state, COUNT(*) FROM lakes GROUP BY state")
+        assert "Aggregate [group by state]" in plan.text()
+
+    def test_explain_select_without_from(self, db):
+        plan = db.explain("SELECT 1 + 2")
+        assert "Result" in plan.text()
+
+    def test_explain_does_not_execute(self, db):
+        db.explain("SELECT * FROM lakes")
+        # A plan is produced without touching row counts.
+        assert db.explain("SELECT * FROM lakes").statement_kind == "select"
+
+    def test_explain_dml_statements(self, db):
+        assert "Insert [lakes]" in db.explain(
+            "INSERT INTO lakes (id, name, state, area) VALUES (9, 'X', 'OR', 1.0)"
+        ).text()
+        assert db.explain("DELETE FROM readings WHERE temp > 50").statement_kind == "delete"
+
+    def test_explain_subquery_scan(self, db):
+        plan = db.explain(
+            "SELECT big.name FROM (SELECT name, area FROM lakes WHERE area > 100) big"
+        )
+        assert "SubqueryScan AS big" in plan.text()
+
+    def test_explain_outer_join(self, db):
+        plan = db.explain(
+            "SELECT L.name FROM lakes L LEFT JOIN readings R ON L.id = R.lake_id"
+        )
+        assert "LeftOuterJoin" in plan.text()
+
+
+class TestPlannerSemantics:
+    """The planner must not change results, only how they are produced."""
+
+    QUERIES = [
+        "SELECT * FROM lakes WHERE id = 2",
+        "SELECT name FROM lakes WHERE id = 2 AND state = 'WA'",
+        "SELECT L.name, R.temp FROM lakes L, readings R WHERE L.id = R.lake_id",
+        "SELECT L.name FROM lakes L JOIN readings R ON L.id = R.lake_id WHERE R.month = 8",
+        "SELECT lake_id, COUNT(*) FROM readings GROUP BY lake_id",
+        "SELECT * FROM lakes WHERE id = (SELECT MAX(lake_id) FROM readings)",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_same_rows_with_and_without_indexes(self, db, sql):
+        statement = parse(sql)
+        from repro.storage.executor import Executor
+
+        with_indexes = db.execute(statement)
+        # Plan the same statement with indexes disabled and compare rows.
+        executor = Executor(db)
+        plan = Planner(db, use_indexes=False).plan_select(statement)
+        columns, rows = executor._execute_plan(plan, None)
+        assert sorted(map(repr, rows)) == sorted(map(repr, with_indexes.rows))
+        assert columns == with_indexes.columns
+
+    def test_select_star_order_follows_from_clause(self, db):
+        # Even when the planner reorders the join, * expands in FROM order.
+        result = db.execute(
+            "SELECT * FROM lakes L, readings R WHERE L.id = R.lake_id AND R.temp < 10"
+        )
+        assert result.columns == [
+            "id", "name", "state", "area", "lake_id", "temp", "depth", "month",
+        ]
+        assert result.rows == [(3, "Michigan", "MI", 58000.0, 3, 9.0, 30.0, 6)]
+
+    def test_limit_short_circuits_scan(self, db):
+        result = db.execute("SELECT name FROM lakes LIMIT 2")
+        assert len(result.rows) == 2
+        # The streaming pipeline stops as soon as LIMIT is satisfied.
+        assert result.stats.rows_scanned == 2
+
+
+class TestMetaQueryExplain:
+    def test_feature_relation_join_uses_qid_index(self, fresh_cqms):
+        fresh_cqms.submit("alice", "SELECT * FROM WaterTemp T WHERE T.temp < 18")
+        fresh_cqms.submit(
+            "alice",
+            "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T "
+            "WHERE S.lake = T.lake",
+        )
+        meta_sql = (
+            "SELECT Q.qid FROM Queries Q, Attributes A "
+            "WHERE Q.qid = A.qid AND A.relName = 'watertemp'"
+        )
+        explanation = fresh_cqms.explain_meta("alice", meta_sql)
+        assert "IndexScan" in explanation.text()
+        # The planner's answer matches the executed meta-query.
+        result = fresh_cqms.store.execute_meta_sql(meta_sql)
+        assert result.stats.index_lookups > 0
+
+    def test_workbench_renders_plans(self, fresh_cqms):
+        from repro.client.workbench import Workbench
+
+        workbench = Workbench(fresh_cqms, "alice")
+        workbench.type("SELECT * FROM WaterTemp WHERE lake = 'Lake Union'")
+        panel = workbench.explain()
+        assert panel.startswith("=== Query plan ===")
+        assert "WaterTemp" in panel
+        meta_panel = workbench.explain_meta("SELECT qid FROM Queries WHERE qid = 1")
+        assert meta_panel.startswith("=== Meta-query plan ===")
+        assert "IndexScan" in meta_panel
+        assert workbench.history[-1].kind == "explain"
