@@ -306,12 +306,13 @@ class AlterTableStatement:
 
 @dataclass(frozen=True)
 class CreateIndexStatement:
-    """``CREATE [UNIQUE] INDEX name ON table (col)``."""
+    """``CREATE [UNIQUE] INDEX name ON table (col) [USING kind]``."""
 
     name: str
     table: str
     column: str
     unique: bool = False
+    kind: str = "hash"
 
 
 Statement = Union[

@@ -67,9 +67,10 @@ def format_statement(statement: Statement) -> str:
         return _format_alter(statement)
     if isinstance(statement, CreateIndexStatement):
         unique = "UNIQUE " if statement.unique else ""
+        using = "" if statement.kind == "hash" else f" USING {statement.kind.upper()}"
         return (
             f"CREATE {unique}INDEX {statement.name} "
-            f"ON {statement.table} ({statement.column})"
+            f"ON {statement.table} ({statement.column}){using}"
         )
     raise TypeError(f"unsupported statement type: {type(statement).__name__}")
 

@@ -399,7 +399,18 @@ class _Parser:
         self.expect_punct("(")
         column = self.expect_identifier()
         self.expect_punct(")")
-        return CreateIndexStatement(name=name, table=table, column=column, unique=unique)
+        kind = "hash"
+        # USING is matched contextually (not reserved): workloads that use
+        # "using" as an ordinary identifier must keep parsing.
+        if (
+            self.current.type is TokenType.IDENTIFIER
+            and self.current.value.upper() == "USING"
+        ):
+            self.advance()
+            kind = self.expect_identifier().lower()
+        return CreateIndexStatement(
+            name=name, table=table, column=column, unique=unique, kind=kind
+        )
 
     def _parse_column_definition(self) -> ColumnDefinition:
         name = self.expect_identifier()

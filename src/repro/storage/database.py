@@ -14,7 +14,8 @@ from repro.errors import CatalogError, ExecutionError
 from repro.storage.catalog import Catalog
 from repro.storage.executor import Executor
 from repro.storage.expression import Scope, evaluate, is_true
-from repro.storage.planner import PlanExplanation, Planner
+from repro.storage.operators import ExecutionContext
+from repro.storage.planner import DmlPlan, PlanExplanation, Planner
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.statistics import TableStatistics
 from repro.storage.table import Table
@@ -166,6 +167,16 @@ class Database:
             return PlanExplanation(
                 statement_kind="select", lines=plan.explain_lines(), root=plan.root
             )
+        if isinstance(statement, UpdateStatement):
+            plan = Planner(self).plan_update(statement)
+            return PlanExplanation(
+                statement_kind="update", lines=plan.explain_lines(), root=plan.root
+            )
+        if isinstance(statement, DeleteStatement):
+            plan = Planner(self).plan_delete(statement)
+            return PlanExplanation(
+                statement_kind="delete", lines=plan.explain_lines(), root=plan.root
+            )
         kind = type(statement).__name__.removesuffix("Statement").lower()
         target = getattr(statement, "table", None)
         line = kind.title() if target is None else f"{kind.title()} [{target}]"
@@ -205,9 +216,20 @@ class Database:
     def _execute_insert(self, statement: InsertStatement) -> QueryResult:
         table = self.table(statement.table)
         count = 0
+        stats = ExecutionStats(statement_kind="insert")
+        target_columns = list(statement.columns) or table.schema.column_names
         if statement.select is not None:
             select_result = self._execute_select(statement.select)
-            target_columns = list(statement.columns) or table.schema.column_names
+            # Reading the source is the work an INSERT ... SELECT does.
+            stats.rows_scanned = select_result.stats.rows_scanned
+            stats.rows_joined = select_result.stats.rows_joined
+            stats.index_lookups = select_result.stats.index_lookups
+            if len(select_result.columns) != len(target_columns):
+                raise ExecutionError(
+                    f"INSERT into {statement.table!r} selects "
+                    f"{len(select_result.columns)} columns for "
+                    f"{len(target_columns)} target columns"
+                )
             for row in select_result.rows:
                 table.insert(dict(zip(target_columns, row)))
                 count += 1
@@ -215,7 +237,6 @@ class Database:
             scope = Scope({})
             for row_exprs in statement.rows:
                 values = [evaluate(expr, scope, None) for expr in row_exprs]
-                target_columns = list(statement.columns) or table.schema.column_names
                 if len(values) != len(target_columns):
                     raise ExecutionError(
                         f"INSERT into {statement.table!r} supplies {len(values)} values "
@@ -223,40 +244,68 @@ class Database:
                     )
                 table.insert(dict(zip(target_columns, values)))
                 count += 1
-        stats = ExecutionStats(statement_kind="insert", result_cardinality=count)
+        stats.result_cardinality = count
         return QueryResult(stats=stats, rowcount=count)
+
+    def _find_dml_targets(
+        self, plan: DmlPlan, executor: Executor
+    ) -> list[tuple[int, dict]]:
+        """Candidate ``(row_id, row)`` pairs of a planned UPDATE/DELETE.
+
+        The plan's access path (index/range scan when the WHERE allows it)
+        produces candidates; residual conjuncts are re-checked per row.  The
+        list is materialized before any mutation so the scan never observes
+        its own writes.
+        """
+        ctx = ExecutionContext(
+            metrics=executor.metrics, run_subquery=executor._run_subquery
+        )
+        matches = []
+        for row_id, row in plan.scan.pairs(ctx):
+            scope = Scope({plan.binding: row})
+            if all(
+                is_true(evaluate(predicate, scope, executor._run_subquery))
+                for predicate in plan.residual
+            ):
+                matches.append((row_id, row))
+        return matches
 
     def _execute_update(self, statement: UpdateStatement) -> QueryResult:
         table = self.table(statement.table)
         executor = Executor(self)
+        plan = Planner(self).plan_update(statement)
         count = 0
-        for row_id, row in list(table.scan()):
+        for row_id, row in self._find_dml_targets(plan, executor):
             scope = Scope({statement.table: row})
-            if statement.where is None or is_true(
-                evaluate(statement.where, scope, executor._run_subquery)
-            ):
-                changes = {
-                    column: evaluate(value, scope, executor._run_subquery)
-                    for column, value in statement.assignments
-                }
-                table.update(row_id, changes)
-                count += 1
-        stats = ExecutionStats(statement_kind="update", result_cardinality=count)
+            changes = {
+                column: evaluate(value, scope, executor._run_subquery)
+                for column, value in statement.assignments
+            }
+            table.update(row_id, changes)
+            count += 1
+        stats = ExecutionStats(
+            statement_kind="update",
+            result_cardinality=count,
+            rows_scanned=executor.metrics.rows_scanned,
+            rows_joined=executor.metrics.rows_joined,
+            index_lookups=executor.metrics.index_lookups,
+        )
         return QueryResult(stats=stats, rowcount=count)
 
     def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
         table = self.table(statement.table)
         executor = Executor(self)
-        doomed = []
-        for row_id, row in table.scan():
-            scope = Scope({statement.table: row})
-            if statement.where is None or is_true(
-                evaluate(statement.where, scope, executor._run_subquery)
-            ):
-                doomed.append(row_id)
-        for row_id in doomed:
+        plan = Planner(self).plan_delete(statement)
+        doomed = self._find_dml_targets(plan, executor)
+        for row_id, _ in doomed:
             table.delete(row_id)
-        stats = ExecutionStats(statement_kind="delete", result_cardinality=len(doomed))
+        stats = ExecutionStats(
+            statement_kind="delete",
+            result_cardinality=len(doomed),
+            rows_scanned=executor.metrics.rows_scanned,
+            rows_joined=executor.metrics.rows_joined,
+            index_lookups=executor.metrics.index_lookups,
+        )
         return QueryResult(stats=stats, rowcount=len(doomed))
 
     def _execute_create_table(self, statement: CreateTableStatement) -> QueryResult:
@@ -340,7 +389,12 @@ class Database:
 
     def _execute_create_index(self, statement: CreateIndexStatement) -> QueryResult:
         table = self.table(statement.table)
-        table.create_index(statement.name, statement.column, unique=statement.unique)
+        table.create_index(
+            statement.name,
+            statement.column,
+            unique=statement.unique,
+            kind=statement.kind,
+        )
         return QueryResult(stats=ExecutionStats(statement_kind="create_index"))
 
     # -- misc ---------------------------------------------------------------------

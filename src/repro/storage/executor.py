@@ -15,8 +15,9 @@ the SELECT pipeline has three real layers:
   select-list aliases), DISTINCT, LIMIT/OFFSET, and correlated and
   uncorrelated subqueries (IN / EXISTS / scalar).
 
-When a query has no ORDER BY, output rows stream straight out of the operator
-pipeline and LIMIT short-circuits the scan.
+When a query has no ORDER BY — or the planner eliminated the sort because a
+sorted index already delivers the requested order — output rows stream
+straight out of the operator pipeline and LIMIT short-circuits the scan.
 """
 
 from __future__ import annotations
@@ -108,7 +109,7 @@ class Executor:
             if statement.distinct:
                 rows = _distinct(rows)
             rows = _apply_limit(rows, statement.limit, statement.offset)
-        elif statement.order_by:
+        elif statement.order_by and not plan.sort_eliminated:
             columns = plan.output_columns
             pairs = []
             for row in source:
@@ -121,7 +122,9 @@ class Executor:
                 rows = _distinct(rows)
             rows = _apply_limit(rows, statement.limit, statement.offset)
         else:
-            # Pure streaming path: project row by row, stop once LIMIT is met.
+            # Pure streaming path (including index-ordered ORDER BY, where the
+            # scan already yields sorted rows): project row by row, stop once
+            # LIMIT is met.
             columns = plan.output_columns
             needed = (
                 statement.limit + (statement.offset or 0)

@@ -1,15 +1,26 @@
 """Secondary indexes for heap tables.
 
-The engine supports hash indexes (equality lookups) which are enough both for
-user workloads and for the Query Storage's frequent lookups by ``qid``,
-``relName``, and ``attrName`` during meta-query execution.
+The engine supports two index kinds:
+
+* :class:`HashIndex` — equality lookups, enough for the Query Storage's
+  frequent probes by ``qid``, ``relName``, and ``attrName`` during meta-query
+  execution;
+* :class:`SortedIndex` — a bisect-backed ordered index whose keys follow the
+  engine's total order (:func:`~repro.storage.types.sort_key`), serving range
+  predicates (``ts BETWEEN …``, ``temp < 18``) and ORDER BY without sorting.
+
+Both kinds share the ``insert`` / ``delete`` / ``lookup`` surface so
+:class:`~repro.storage.table.Table` maintains them uniformly; a column may
+carry one index of each kind.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.errors import IntegrityError
+from repro.storage.types import sort_key
 
 
 @dataclass
@@ -20,6 +31,8 @@ class HashIndex:
     column: str
     unique: bool = False
     _buckets: dict[object, set[int]] = field(default_factory=dict, repr=False)
+
+    kind = "hash"
 
     def insert(self, value: object, row_id: int) -> None:
         """Register ``row_id`` under ``value``; NULLs are not indexed."""
@@ -53,3 +66,123 @@ class HashIndex:
 
     def clear(self) -> None:
         self._buckets.clear()
+
+
+@dataclass
+class SortedIndex:
+    """An ordered index: a sorted key list plus per-key row-id buckets.
+
+    Keys are :func:`~repro.storage.types.sort_key` values, so the index order
+    is exactly the order the executor's ORDER BY produces and the order
+    ``compare_values`` induces within a typed column.  NULL rows are tracked
+    separately (they participate in ordered scans, never in range lookups,
+    and do not violate uniqueness).
+    """
+
+    name: str
+    column: str
+    unique: bool = False
+    _keys: list = field(default_factory=list, repr=False)
+    _buckets: dict[tuple, set[int]] = field(default_factory=dict, repr=False)
+    _null_rows: set[int] = field(default_factory=set, repr=False)
+
+    kind = "sorted"
+
+    def insert(self, value: object, row_id: int) -> None:
+        """Register ``row_id`` under ``value``; NULL rows go to the null set."""
+        if value is None:
+            self._null_rows.add(row_id)
+            return
+        key = sort_key(value)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bisect.insort(self._keys, key)
+            self._buckets[key] = {row_id}
+            return
+        if self.unique and bucket:
+            raise IntegrityError(
+                f"unique index {self.name!r} violated for value {value!r}"
+            )
+        bucket.add(row_id)
+
+    def delete(self, value: object, row_id: int) -> None:
+        if value is None:
+            self._null_rows.discard(row_id)
+            return
+        key = sort_key(value)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(row_id)
+        if not bucket:
+            del self._buckets[key]
+            position = bisect.bisect_left(self._keys, key)
+            if position < len(self._keys) and self._keys[position] == key:
+                del self._keys[position]
+
+    def lookup(self, value: object) -> set[int]:
+        """Row ids whose indexed column equals ``value`` (empty set for NULL)."""
+        if value is None:
+            return set()
+        return set(self._buckets.get(sort_key(value), set()))
+
+    def range_row_ids(
+        self,
+        low_key: tuple | None,
+        high_key: tuple | None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        descending: bool = False,
+    ):
+        """Row ids with ``low_key (<|<=) key (<|<=) high_key``, in key order.
+
+        Bounds are :func:`~repro.storage.types.sort_key` keys (None =
+        unbounded).  NULL rows are never part of a range — a comparison
+        against NULL is unknown.
+        """
+        if low_key is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._keys, low_key)
+        else:
+            start = bisect.bisect_right(self._keys, low_key)
+        if high_key is None:
+            stop = len(self._keys)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self._keys, high_key)
+        else:
+            stop = bisect.bisect_left(self._keys, high_key)
+        selected = self._keys[start:stop]
+        if descending:
+            selected = reversed(selected)
+        for key in selected:
+            yield from sorted(self._buckets[key])
+
+    def ordered_row_ids(self, descending: bool = False):
+        """All row ids in index order, NULLs placed as ORDER BY places them.
+
+        Ascending puts NULLs first (the engine's ``sort_key`` ranks NULL
+        lowest), descending puts them last.
+        """
+        if not descending:
+            yield from sorted(self._null_rows)
+            yield from self.range_row_ids(None, None)
+        else:
+            yield from self.range_row_ids(None, None, descending=True)
+            yield from sorted(self._null_rows)
+
+    def distinct_values(self) -> int:
+        return len(self._buckets)
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._buckets.clear()
+        self._null_rows.clear()
+
+
+#: Index kind name → implementation class (SQL ``USING`` clause, Table API).
+INDEX_KINDS: dict[str, type] = {
+    "hash": HashIndex,
+    "sorted": SortedIndex,
+    "btree": SortedIndex,  # common SQL spelling for the ordered kind
+}

@@ -11,7 +11,13 @@ Access paths:
 * :class:`SeqScan` — full scan of a heap table,
 * :class:`IndexScan` — equality probe of a :class:`~repro.storage.indexes.HashIndex`,
   either against a constant or, inside an :class:`IndexLookupJoin`, against the
-  join key of each outer row (an index nested-loop join).
+  join key of each outer row (an index nested-loop join),
+* :class:`RangeScan` — bisect walk of a :class:`~repro.storage.indexes.SortedIndex`
+  between constant bounds; unbounded it doubles as an ordered full scan that
+  lets the planner eliminate an ORDER BY sort.
+
+Every scan also exposes ``pairs(ctx)`` yielding ``(row_id, row)`` so UPDATE
+and DELETE reuse the same access paths to locate their target rows.
 
 All operators charge their work to :class:`ExecutionContext.metrics` so
 ``rows_scanned`` reflects the rows actually touched by the chosen access path.
@@ -26,7 +32,7 @@ from repro.errors import SchemaError
 from repro.sql.ast_nodes import ColumnRef, Expression
 from repro.sql.formatter import format_expression
 from repro.storage.expression import Scope, evaluate, is_true
-from repro.storage.types import DataType, coerce_value, compare_values
+from repro.storage.types import DataType, coerce_value, compare_values, sort_key
 
 #: One streamed row: binding name → row dict.
 RowDict = dict[str, dict[str, object]]
@@ -94,9 +100,13 @@ class SeqScan(Operator):
         self.bindings = [(binding, list(table.schema.column_names))]
         self.estimate = estimate
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        for row in self.table.rows():
+    def pairs(self, ctx: ExecutionContext) -> Iterator[tuple[int, dict]]:
+        for row_id, row in self.table.scan():
             ctx.metrics.rows_scanned += 1
+            yield row_id, row
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        for _, row in self.pairs(ctx):
             yield {self.binding: row}
 
     def label(self) -> str:
@@ -128,8 +138,8 @@ class IndexScan(Operator):
         self.estimate = estimate
         self.probe = probe
 
-    def lookup_rows(self, value: object, ctx: ExecutionContext):
-        """Fetch the heap rows whose indexed column equals ``value``.
+    def lookup_pairs(self, value: object, ctx: ExecutionContext):
+        """Fetch ``(row_id, row)`` pairs whose indexed column equals ``value``.
 
         Equality must mean exactly what the engine's ``=`` means
         (:func:`~repro.storage.types.compare_values`), so the probe value is
@@ -147,10 +157,10 @@ class IndexScan(Operator):
             else None
         )
         if keys is None:
-            for row in self.table.rows():
+            for row_id, row in self.table.scan():
                 ctx.metrics.rows_scanned += 1
                 if compare_values(row.get(self.column), value) == 0:
-                    yield row
+                    yield row_id, row
             return
         ctx.metrics.index_lookups += 1
         row_ids: set[int] = set()
@@ -161,12 +171,19 @@ class IndexScan(Operator):
             if row is None:
                 continue
             ctx.metrics.rows_scanned += 1
+            yield row_id, row
+
+    def lookup_rows(self, value: object, ctx: ExecutionContext):
+        for _, row in self.lookup_pairs(value, ctx):
             yield row
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+    def pairs(self, ctx: ExecutionContext) -> Iterator[tuple[int, dict]]:
         scope = Scope({}, parent=ctx.outer_scope)
         value = evaluate(self.value_expr, scope, ctx.run_subquery)
-        for row in self.lookup_rows(value, ctx):
+        yield from self.lookup_pairs(value, ctx)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        for _, row in self.pairs(ctx):
             yield {self.binding: row}
 
     def label(self) -> str:
@@ -175,6 +192,149 @@ class IndexScan(Operator):
             f"IndexScan {_scan_target(self.table, self.binding)} "
             f"({condition}) [est={self.estimate:.0f}]"
         )
+
+
+class RangeScan(Operator):
+    """Ordered walk of a :class:`~repro.storage.indexes.SortedIndex`.
+
+    ``low`` / ``high`` are constant bound expressions (None = unbounded);
+    ``descending`` reverses the walk.  With both bounds absent the scan visits
+    every row in index order — including NULL rows, placed where ORDER BY
+    places them — which is what lets the planner drop an explicit sort.
+    Bounded scans skip NULL rows, exactly as the range predicate would.
+    """
+
+    def __init__(
+        self,
+        table,
+        binding: str,
+        column: str,
+        low: Expression | None,
+        high: Expression | None,
+        low_inclusive: bool,
+        high_inclusive: bool,
+        estimate: float,
+        descending: bool = False,
+    ):
+        self.table = table
+        self.binding = binding
+        self.column = column
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.bindings = [(binding, list(table.schema.column_names))]
+        self.estimate = estimate
+        self.descending = descending
+
+    def _bound_key(self, bound: Expression | None, ctx: ExecutionContext):
+        """Evaluate a bound to its index key: (key, ok) with ok=False for NULL."""
+        if bound is None:
+            return None, True
+        scope = Scope({}, parent=ctx.outer_scope)
+        value = evaluate(bound, scope, ctx.run_subquery)
+        if value is None:
+            return None, False  # comparison with NULL is unknown: empty range
+        data_type = self.table.schema.column(self.column).data_type
+        key = range_probe_key(value, data_type)
+        if key is None:
+            raise _RangeKeyUnavailable(value)
+        return key, True
+
+    def pairs(self, ctx: ExecutionContext) -> Iterator[tuple[int, dict]]:
+        index = self.table.sorted_index_for(self.column)
+        if index is None:
+            yield from self._fallback_pairs(ctx)
+            return
+        try:
+            low_key, low_ok = self._bound_key(self.low, ctx)
+            high_key, high_ok = self._bound_key(self.high, ctx)
+        except _RangeKeyUnavailable:
+            # The comparison semantics cannot be expressed as index keys
+            # (planner normally prevents this); keep compare_values semantics.
+            yield from self._fallback_pairs(ctx)
+            return
+        if not low_ok or not high_ok:
+            return
+        ctx.metrics.index_lookups += 1
+        if self.low is None and self.high is None:
+            row_ids = index.ordered_row_ids(descending=self.descending)
+        else:
+            row_ids = index.range_row_ids(
+                low_key,
+                high_key,
+                self.low_inclusive,
+                self.high_inclusive,
+                descending=self.descending,
+            )
+        for row_id in row_ids:
+            row = self.table.get(row_id)
+            if row is None:
+                continue
+            ctx.metrics.rows_scanned += 1
+            yield row_id, row
+
+    def _fallback_pairs(self, ctx: ExecutionContext) -> Iterator[tuple[int, dict]]:
+        """Heap scan honouring the bounds and the promised order."""
+        scope = Scope({}, parent=ctx.outer_scope)
+        low_value = evaluate(self.low, scope, ctx.run_subquery) if self.low is not None else None
+        high_value = (
+            evaluate(self.high, scope, ctx.run_subquery) if self.high is not None else None
+        )
+        if (self.low is not None and low_value is None) or (
+            self.high is not None and high_value is None
+        ):
+            return
+        matches = []
+        for row_id, row in self.table.scan():
+            ctx.metrics.rows_scanned += 1
+            value = row.get(self.column)
+            if self.low is not None:
+                ordering = compare_values(value, low_value)
+                if ordering is None or ordering < 0 or (ordering == 0 and not self.low_inclusive):
+                    continue
+            if self.high is not None:
+                ordering = compare_values(value, high_value)
+                if ordering is None or ordering > 0 or (ordering == 0 and not self.high_inclusive):
+                    continue
+            matches.append((row_id, row))
+        unbounded = self.low is None and self.high is None
+        matches.sort(
+            key=lambda pair: sort_key(pair[1].get(self.column)),
+            reverse=self.descending,
+        )
+        if unbounded and self.descending:
+            # NULLs sort lowest ascending, so a reversed sort puts them first;
+            # ORDER BY ... DESC wants them last.
+            nulls = [pair for pair in matches if pair[1].get(self.column) is None]
+            matches = [pair for pair in matches if pair[1].get(self.column) is not None] + nulls
+        yield from matches
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        for _, row in self.pairs(ctx):
+            yield {self.binding: row}
+
+    def label(self) -> str:
+        conditions = []
+        if self.low is not None:
+            op = ">=" if self.low_inclusive else ">"
+            conditions.append(f"{self.column} {op} {format_expression(self.low)}")
+        if self.high is not None:
+            op = "<=" if self.high_inclusive else "<"
+            conditions.append(f"{self.column} {op} {format_expression(self.high)}")
+        if not conditions:
+            conditions.append(f"ORDER BY {self.column}")
+        detail = " AND ".join(conditions)
+        if self.descending:
+            detail += " DESC" if self.low is None and self.high is None else ", desc"
+        return (
+            f"RangeScan {_scan_target(self.table, self.binding)} "
+            f"({detail}) [est={self.estimate:.0f}]"
+        )
+
+
+class _RangeKeyUnavailable(Exception):
+    """A range bound cannot be expressed as a sorted-index key."""
 
 
 class SubqueryScan(Operator):
@@ -448,6 +608,45 @@ def equality_probe_keys(value: object, data_type: DataType) -> list | None:
             except SchemaError:
                 return []
             return [coerced] if str(coerced) == value else []
+    return None
+
+
+def range_probe_key(value: object, data_type: DataType) -> tuple | None:
+    """The sorted-index key that reproduces ``compare_values`` ordering.
+
+    A :class:`~repro.storage.indexes.SortedIndex` orders by
+    :func:`~repro.storage.types.sort_key` of the *stored* (coerced) values, so
+    a probe is only valid when comparing the probe value against every stored
+    value follows the same order as comparing their sort keys:
+
+    * numeric probe vs numeric column — numeric order,
+    * string probe vs TEXT column — string order,
+    * numeric probe vs TEXT column — ``compare_values`` falls back to
+      comparing ``str(stored)`` with ``str(probe)``, which is string order,
+    * any probe vs BOOLEAN column — truthiness order,
+
+    Returns None when the semantics cannot be expressed (e.g. a string probe
+    against a numeric column compares decimal *strings*, which does not follow
+    numeric index order) and the caller must fall back to a scan.
+    """
+    if value is None:
+        return None
+    if data_type is DataType.BOOLEAN:
+        return sort_key(bool(value))
+    if isinstance(value, bool):
+        # Against non-boolean columns compare_values uses truthiness, which a
+        # value-ordered index cannot serve.
+        return None
+    if isinstance(value, (int, float)):
+        if data_type in (DataType.INTEGER, DataType.FLOAT):
+            return sort_key(value)
+        if data_type is DataType.TEXT:
+            return sort_key(str(value))
+        return None
+    if isinstance(value, str):
+        if data_type is DataType.TEXT:
+            return sort_key(value)
+        return None
     return None
 
 

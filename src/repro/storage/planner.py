@@ -1,4 +1,4 @@
-"""Cost-based logical/physical planner for SELECT statements.
+"""Cost-based logical/physical planner for SELECT and DML statements.
 
 The planner is the middle layer of the engine's parse → plan → execute
 pipeline.  Given a parsed :class:`~repro.sql.ast_nodes.SelectStatement` it
@@ -7,14 +7,27 @@ pipeline.  Given a parsed :class:`~repro.sql.ast_nodes.SelectStatement` it
    down to their leaf,
 2. chooses an *access path* per leaf — an :class:`~repro.storage.operators.IndexScan`
    when an equality conjunct matches a :class:`~repro.storage.indexes.HashIndex`,
-   otherwise a :class:`~repro.storage.operators.SeqScan`,
+   a :class:`~repro.storage.operators.RangeScan` when range conjuncts
+   (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``) match a
+   :class:`~repro.storage.indexes.SortedIndex` (bounds on the same column are
+   merged into one scan), otherwise a
+   :class:`~repro.storage.operators.SeqScan`; when both an equality and a
+   range pick exist the estimated-cheaper one wins,
 3. orders the joins greedily by estimated cardinality (table statistics when
    cached, cheap index/row-count estimates otherwise) and picks a physical
    join per step — an index nested-loop join when the inner table has a hash
    index on the join key and the outer side is estimated smaller than an
    inner scan, else a hash join with the estimated-smaller side as build side,
 4. leaves conjuncts that cannot be placed (subqueries, outer-join columns) as
-   a residual :class:`~repro.storage.operators.Filter` above the join tree.
+   a residual :class:`~repro.storage.operators.Filter` above the join tree,
+5. eliminates the ORDER BY sort when the query reads one table and the (single)
+   sort key matches a sorted index — the scan then streams rows in index order
+   and LIMIT short-circuits instead of materializing for a sort.
+
+UPDATE and DELETE go through the same access-path selection via
+:meth:`Planner.plan_update` / :meth:`Planner.plan_delete`, which return a
+:class:`DmlPlan` whose scan yields candidate ``(row_id, row)`` pairs — an
+indexed WHERE prunes the heap instead of scanning it.
 
 The result is a :class:`SelectPlan` whose operator tree the executor streams;
 :meth:`SelectPlan.explain_lines` renders the plan for ``Database.explain``.
@@ -30,6 +43,7 @@ from repro.sql.ast_nodes import (
     BinaryOp,
     CaseExpression,
     ColumnRef,
+    DeleteStatement,
     ExistsSubquery,
     Expression,
     FromItem,
@@ -44,6 +58,7 @@ from repro.sql.ast_nodes import (
     SubqueryRef,
     TableRef,
     UnaryOp,
+    UpdateStatement,
 )
 from repro.sql.formatter import format_expression
 from repro.storage.operators import (
@@ -55,10 +70,13 @@ from repro.storage.operators import (
     NestedLoopJoin,
     Operator,
     OuterJoin,
+    RangeScan,
     SeqScan,
     SubqueryScan,
     equality_probe_keys,
+    range_probe_key,
 )
+from repro.storage.types import compare_values
 
 #: Cardinality guess for derived tables (no statistics available at plan time).
 DEFAULT_SUBQUERY_ESTIMATE = 100.0
@@ -98,6 +116,9 @@ class SelectPlan:
     root: Operator
     bindings: list[tuple[str, list[str]]]
     output_columns: list[str]
+    #: True when a sorted index already delivers the ORDER BY order, so the
+    #: executor streams instead of materializing for a sort.
+    sort_eliminated: bool = False
 
     def explain_lines(self) -> list[str]:
         lines: list[str] = []
@@ -118,7 +139,7 @@ class SelectPlan:
             push(f"Limit [{', '.join(parts)}]")
         if statement.distinct:
             push("Distinct")
-        if statement.order_by:
+        if statement.order_by and not self.sort_eliminated:
             keys = ", ".join(
                 format_expression(item.expression) + ("" if item.ascending else " DESC")
                 for item in statement.order_by
@@ -135,6 +156,46 @@ class SelectPlan:
             push("Aggregate" + detail)
         push(f"Project [{', '.join(self.output_columns)}]")
         lines.extend(self.root.explain_lines(depth))
+        return lines
+
+    def text(self) -> str:
+        return "\n".join(self.explain_lines())
+
+
+@dataclass
+class DmlPlan:
+    """A planned UPDATE or DELETE: the access path locating the target rows.
+
+    ``scan`` is a :class:`~repro.storage.operators.SeqScan`,
+    :class:`~repro.storage.operators.IndexScan`, or
+    :class:`~repro.storage.operators.RangeScan` whose ``pairs(ctx)`` yields
+    candidate ``(row_id, row)`` pairs; ``residual`` holds the WHERE conjuncts
+    the access path does not already guarantee (evaluated per candidate row by
+    the database before mutating).
+    """
+
+    kind: str  # "update" | "delete"
+    table: object
+    binding: str
+    scan: Operator
+    residual: list[Expression] = field(default_factory=list)
+
+    @property
+    def root(self) -> Operator:
+        """The full operator tree (residual filter included), for consumers
+        walking the plan rather than reading its rendered lines."""
+        if self.residual:
+            return Filter(self.scan, self.residual, estimate=self.scan.estimate)
+        return self.scan
+
+    def explain_lines(self) -> list[str]:
+        lines = [f"{self.kind.title()} [{self.table.name}]"]
+        depth = 1
+        if self.residual:
+            predicates = " AND ".join(format_expression(p) for p in self.residual)
+            lines.append("  " * depth + f"Filter ({predicates})")
+            depth += 1
+        lines.extend(self.scan.explain_lines(depth))
         return lines
 
     def text(self) -> str:
@@ -171,6 +232,7 @@ class Planner:
 
     def plan_select(self, statement: SelectStatement) -> SelectPlan:
         conjuncts = _split_conjuncts(statement.where)
+        sort_eliminated = False
         if not statement.from_items:
             root: Operator = EmptyRow()
             if conjuncts:
@@ -201,11 +263,123 @@ class Planner:
             bindings = [(leaf.binding, leaf.columns) for leaf in leaves]
             for _, right_op, _ in pending_outer:
                 bindings.extend(right_op.bindings)
+            if (
+                len(leaves) == 1
+                and not pending_outer
+                and leaves[0].table is not None
+            ):
+                sort_eliminated, root = self._try_sort_elimination(
+                    statement, leaves[0], root
+                )
         return SelectPlan(
             statement=statement,
             root=root,
             bindings=bindings,
             output_columns=compute_output_columns(statement, bindings),
+            sort_eliminated=sort_eliminated,
+        )
+
+    def _try_sort_elimination(
+        self, statement: SelectStatement, leaf: _Leaf, root: Operator
+    ) -> tuple[bool, Operator]:
+        """Serve a single-column ORDER BY from a sorted index when possible.
+
+        Returns ``(eliminated, root)``; the root is rewritten when a
+        ``SeqScan`` can become an unbounded ordered ``RangeScan``.  An
+        existing ``RangeScan`` on the sort column just flips its direction;
+        an equality ``IndexScan`` on a different column is left alone (sorting
+        its few matches is cheaper than an ordered full walk).
+        """
+        if not self._use_indexes or len(statement.order_by) != 1:
+            return False, root
+        if statement.group_by or statement_has_aggregates(statement):
+            return False, root
+        order_item = statement.order_by[0]
+        expr = order_item.expression
+        if not isinstance(expr, ColumnRef):
+            return False, root
+        if expr.table is not None and expr.table.lower() != leaf.binding.lower():
+            return False, root
+        if expr.table is None and any(
+            (item.alias or "").lower() == expr.name.lower()
+            for item in statement.select_items
+        ):
+            # ORDER BY resolves select-list aliases before source columns.
+            return False, root
+        table = leaf.table
+        if not table.schema.has_column(expr.name):
+            return False, root
+        canonical = table.schema.column(expr.name).name
+        if table.sorted_index_for(canonical) is None:
+            return False, root
+        parent: Filter | None = None
+        node = root
+        while isinstance(node, Filter):
+            parent, node = node, node.child
+        if isinstance(node, RangeScan):
+            if node.column.lower() != canonical.lower():
+                return False, root
+            node.descending = not order_item.ascending
+            return True, root
+        if isinstance(node, SeqScan):
+            ordered = RangeScan(
+                table,
+                leaf.binding,
+                canonical,
+                low=None,
+                high=None,
+                low_inclusive=True,
+                high_inclusive=True,
+                estimate=node.estimate,
+                descending=not order_item.ascending,
+            )
+            if parent is None:
+                return True, ordered
+            parent.child = ordered
+            parent.children = (ordered,)
+            return True, root
+        return False, root
+
+    def plan_update(self, statement: UpdateStatement) -> DmlPlan:
+        """Plan an UPDATE: choose the access path locating the target rows."""
+        return self._plan_dml(statement.table, statement.where, "update")
+
+    def plan_delete(self, statement: DeleteStatement) -> DmlPlan:
+        """Plan a DELETE: choose the access path locating the target rows."""
+        return self._plan_dml(statement.table, statement.where, "delete")
+
+    def _plan_dml(self, table_name: str, where: Expression | None, kind: str) -> DmlPlan:
+        table = self._provider.table(table_name)
+        leaf = _Leaf(
+            binding=table_name,
+            columns=list(table.schema.column_names),
+            table=table,
+        )
+        conjuncts = _split_conjuncts(where)
+        column_owner = self._column_ownership([leaf])
+        pushable: list[Expression] = []
+        residual: list[Expression] = []
+        for conjunct in conjuncts:
+            bindings = _conjunct_bindings(conjunct, column_owner)
+            if bindings is not None and bindings <= {leaf.binding.lower()}:
+                pushable.append(conjunct)
+            else:
+                # Subqueries (and misqualified references) cannot drive an
+                # index; they are re-checked per candidate row.
+                residual.append(conjunct)
+        leaf.predicates = pushable
+        self._build_access_path(leaf)
+        scan = leaf.operator
+        filtered: list[Expression] = []
+        while isinstance(scan, Filter):
+            filtered.extend(scan.predicates)
+            scan = scan.child
+        return DmlPlan(
+            kind=kind,
+            table=table,
+            binding=table_name,
+            scan=scan,
+            residual=filtered + residual,
         )
 
     # -- FROM flattening --------------------------------------------------------
@@ -412,14 +586,31 @@ class Planner:
         row_count = float(len(table))
         leaf.seq_cost = max(row_count, 1.0)
         index_pick = self._pick_index_conjunct(table, leaf.predicates)
-        if index_pick is not None:
+        range_pick = self._pick_range_conjuncts(table, leaf.predicates)
+        if index_pick is not None and (
+            range_pick is None or index_pick[3] <= range_pick.selectivity
+        ):
             conjunct, column, value_expr, selectivity = index_pick
             estimate = max(row_count * selectivity, 0.0)
             op = IndexScan(table, leaf.binding, column, value_expr, estimate)
             leaf.seq_cost = max(estimate, 1.0)
             rest = [p for p in leaf.predicates if p is not conjunct]
+        elif range_pick is not None:
+            estimate = max(row_count * range_pick.selectivity, 0.0)
+            op = RangeScan(
+                table,
+                leaf.binding,
+                range_pick.column,
+                range_pick.low,
+                range_pick.high,
+                range_pick.low_inclusive,
+                range_pick.high_inclusive,
+                estimate,
+            )
+            leaf.seq_cost = max(estimate, 1.0)
+            used = {id(conjunct) for conjunct in range_pick.conjuncts}
+            rest = [p for p in leaf.predicates if id(p) not in used]
         else:
-            selectivity = 1.0
             estimate = row_count
             op = SeqScan(table, leaf.binding, estimate)
             rest = list(leaf.predicates)
@@ -461,7 +652,84 @@ class Planner:
                 best = candidate
         return best
 
+    def _pick_range_conjuncts(
+        self, table, predicates: list[Expression]
+    ) -> "_RangePick | None":
+        """The most selective set of range conjuncts served by a sorted index.
+
+        Range conjuncts (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``) with
+        literal bounds on the same sorted-indexed column are merged into one
+        bounded scan (the tightest lower and upper bound win); among columns,
+        the lowest estimated selectivity wins.
+        """
+        if not self._use_indexes:
+            return None
+        per_column: dict[str, list[tuple[Expression, list[tuple[str, Literal]]]]] = {}
+        for predicate in predicates:
+            match = _range_bounds(predicate)
+            if match is None:
+                continue
+            column, bounds = match
+            if not table.schema.has_column(column.name):
+                continue
+            canonical = table.schema.column(column.name).name
+            if table.sorted_index_for(canonical) is None:
+                continue
+            data_type = table.schema.column(canonical).data_type
+            if any(
+                range_probe_key(literal.value, data_type) is None
+                for _, literal in bounds
+            ):
+                # The comparison cannot be expressed as sorted-index keys; do
+                # not promise a RangeScan the runtime would degrade anyway.
+                continue
+            per_column.setdefault(canonical, []).append((predicate, bounds))
+        best: _RangePick | None = None
+        for canonical, entries in per_column.items():
+            low: tuple[Literal, bool] | None = None
+            high: tuple[Literal, bool] | None = None
+            for _, bounds in entries:
+                for op, literal in bounds:
+                    if op in (">", ">="):
+                        candidate = (literal, op == ">=")
+                        low = candidate if low is None else _tighter_bound(low, candidate, lower=True)
+                    else:
+                        candidate = (literal, op == "<=")
+                        high = candidate if high is None else _tighter_bound(high, candidate, lower=False)
+            selectivity = self._range_selectivity(table, canonical, low, high)
+            pick = _RangePick(
+                conjuncts=[conjunct for conjunct, _ in entries],
+                column=canonical,
+                low=low[0] if low else None,
+                high=high[0] if high else None,
+                low_inclusive=low[1] if low else True,
+                high_inclusive=high[1] if high else True,
+                selectivity=selectivity,
+            )
+            if best is None or selectivity < best.selectivity:
+                best = pick
+        return best
+
     # -- estimation ----------------------------------------------------------------
+
+    def _range_selectivity(
+        self,
+        table,
+        column: str,
+        low: tuple[Literal, bool] | None,
+        high: tuple[Literal, bool] | None,
+    ) -> float:
+        stats = table.cached_statistics
+        if stats is not None:
+            return stats.range_selectivity(
+                column,
+                low[0].value if low else None,
+                high[0].value if high else None,
+                low[1] if low else True,
+                high[1] if high else True,
+            )
+        sides = (low is not None) + (high is not None)
+        return DEFAULT_SELECTIVITY ** sides
 
     def _predicate_selectivity(self, table, predicate: Expression) -> float:
         comparison = _simple_comparison(predicate)
@@ -682,6 +950,62 @@ def _is_constant(expr: Expression) -> bool:
         if isinstance(node, (ColumnRef, Star, InSubquery, ExistsSubquery, ScalarSubquery)):
             return False
     return True
+
+
+@dataclass
+class _RangePick:
+    """A planner-chosen RangeScan: merged bounds plus the conjuncts it covers."""
+
+    conjuncts: list[Expression]
+    column: str
+    low: Literal | None
+    high: Literal | None
+    low_inclusive: bool
+    high_inclusive: bool
+    selectivity: float
+
+
+_RANGE_OPS = frozenset({"<", "<=", ">", ">="})
+
+
+def _range_bounds(
+    expr: Expression,
+) -> tuple[ColumnRef, list[tuple[str, Literal]]] | None:
+    """Match a range conjunct with literal bounds.
+
+    Returns ``(column, [(op, literal), ...])`` with ops normalized to the
+    column-on-the-left orientation; BETWEEN yields both bounds.
+    """
+    if isinstance(expr, BinaryOp) and expr.op in _RANGE_OPS:
+        if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+            return expr.left, [(expr.op, expr.right)]
+        if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+            return expr.right, [(_FLIPPED_OPS[expr.op], expr.left)]
+        return None
+    if (
+        isinstance(expr, Between)
+        and not expr.negated
+        and isinstance(expr.expr, ColumnRef)
+        and isinstance(expr.low, Literal)
+        and isinstance(expr.high, Literal)
+    ):
+        return expr.expr, [(">=", expr.low), ("<=", expr.high)]
+    return None
+
+
+def _tighter_bound(
+    current: tuple[Literal, bool], candidate: tuple[Literal, bool], lower: bool
+) -> tuple[Literal, bool]:
+    """The tighter of two merged range bounds (exclusive wins a tie)."""
+    ordering = compare_values(current[0].value, candidate[0].value)
+    if ordering is None:
+        return current
+    if ordering == 0:
+        # Same constant: the exclusive bound is strictly tighter.
+        return current if not current[1] else candidate
+    if lower:
+        return current if ordering > 0 else candidate
+    return current if ordering < 0 else candidate
 
 
 _FLIPPED_OPS = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<>": "<>"}

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.errors import IntegrityError, SchemaError
-from repro.storage.indexes import HashIndex
+from repro.storage.indexes import INDEX_KINDS, HashIndex, SortedIndex
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.statistics import TableStatistics
 
@@ -15,14 +15,17 @@ class Table:
 
     Rows are stored as dicts keyed by the schema's column names (original
     case).  Row ids are monotonically increasing and never reused, which lets
-    indexes reference rows stably across deletes.
+    indexes reference rows stably across deletes.  Each column may carry one
+    index per kind (a hash index for equality probes and a sorted index for
+    range scans and ordered access).
     """
 
     def __init__(self, schema: TableSchema):
         self._schema = schema
         self._rows: dict[int, dict[str, object]] = {}
         self._next_row_id = 0
-        self._indexes: dict[str, HashIndex] = {}
+        # column (lower-cased) → kind ("hash"/"sorted") → index
+        self._indexes: dict[str, dict[str, HashIndex | SortedIndex]] = {}
         self._stats_cache: TableStatistics | None = None
         if schema.primary_key is not None:
             self.create_index(
@@ -62,21 +65,51 @@ class Table:
 
     # -- indexes --------------------------------------------------------------
 
-    def create_index(self, name: str, column: str, unique: bool = False) -> HashIndex:
+    def create_index(
+        self, name: str, column: str, unique: bool = False, kind: str = "hash"
+    ) -> HashIndex | SortedIndex:
+        try:
+            index_class = INDEX_KINDS[kind.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"unknown index kind {kind!r}; expected one of {sorted(INDEX_KINDS)}"
+            ) from None
         if not self._schema.has_column(column):
             raise SchemaError(f"table {self.name!r} has no column {column!r}")
         canonical = self._schema.column(column).name
-        key = canonical.lower()
-        if key in self._indexes:
-            return self._indexes[key]
-        index = HashIndex(name=name, column=canonical, unique=unique)
+        kinds = self._indexes.setdefault(canonical.lower(), {})
+        existing = kinds.get(index_class.kind)
+        if existing is not None:
+            if existing.unique != unique:
+                raise SchemaError(
+                    f"index {existing.name!r} on {self.name}.{canonical} already "
+                    f"exists with unique={existing.unique}; cannot create "
+                    f"{name!r} with unique={unique}"
+                )
+            return existing
+        index = index_class(name=name, column=canonical, unique=unique)
         for row_id, row in self._rows.items():
             index.insert(row[canonical], row_id)
-        self._indexes[key] = index
+        kinds[index_class.kind] = index
         return index
 
-    def index_for(self, column: str) -> HashIndex | None:
-        return self._indexes.get(column.lower())
+    def index_for(self, column: str) -> HashIndex | SortedIndex | None:
+        """The column's equality-capable index (hash preferred, else sorted)."""
+        kinds = self._indexes.get(column.lower())
+        if not kinds:
+            return None
+        return kinds.get("hash") or kinds.get("sorted")
+
+    def sorted_index_for(self, column: str) -> SortedIndex | None:
+        """The column's sorted index, when one exists."""
+        kinds = self._indexes.get(column.lower())
+        if not kinds:
+            return None
+        return kinds.get("sorted")
+
+    def _iter_indexes(self):
+        for kinds in self._indexes.values():
+            yield from kinds.values()
 
     def lookup(self, column: str, value: object) -> list[dict[str, object]]:
         """Equality lookup, via index when available, else a scan."""
@@ -93,7 +126,7 @@ class Table:
         coerced = self._schema.coerce_row(row)
         row_id = self._next_row_id
         # Validate unique indexes before touching state so failures are atomic.
-        for index in self._indexes.values():
+        for index in self._iter_indexes():
             if index.unique and coerced[index.column] is not None:
                 if index.lookup(coerced[index.column]):
                     raise IntegrityError(
@@ -102,7 +135,7 @@ class Table:
                     )
         self._rows[row_id] = coerced
         self._next_row_id += 1
-        for index in self._indexes.values():
+        for index in self._iter_indexes():
             index.insert(coerced[index.column], row_id)
         self._stats_cache = None
         return row_id
@@ -114,7 +147,7 @@ class Table:
         row = self._rows.pop(row_id, None)
         if row is None:
             return
-        for index in self._indexes.values():
+        for index in self._iter_indexes():
             index.delete(row[index.column], row_id)
         self._stats_cache = None
 
@@ -132,10 +165,16 @@ class Table:
         updated = dict(row)
         updated.update({self._schema.column(k).name: v for k, v in changes.items()})
         coerced = self._schema.coerce_row(updated)
-        for index in self._indexes.values():
-            old_value = row[index.column]
-            new_value = coerced[index.column]
-            if old_value != new_value:
+        # Re-point every affected index, rolling back the ones already touched
+        # if a later unique index rejects the new value — a failed update must
+        # leave every index exactly as it was.
+        touched: list[tuple[object, object, object]] = []
+        try:
+            for index in self._iter_indexes():
+                old_value = row[index.column]
+                new_value = coerced[index.column]
+                if old_value == new_value:
+                    continue
                 index.delete(old_value, row_id)
                 if index.unique and new_value is not None and index.lookup(new_value):
                     index.insert(old_value, row_id)  # restore before failing
@@ -144,6 +183,12 @@ class Table:
                         f"{index.column!r} of table {self.name!r}"
                     )
                 index.insert(new_value, row_id)
+                touched.append((index, old_value, new_value))
+        except IntegrityError:
+            for index, old_value, new_value in reversed(touched):
+                index.delete(new_value, row_id)
+                index.insert(old_value, row_id)
+            raise
         self._rows[row_id] = coerced
         self._stats_cache = None
 
@@ -161,8 +206,7 @@ class Table:
 
     def drop_column(self, name: str) -> None:
         canonical = self._schema.column(name).name
-        if canonical.lower() in self._indexes:
-            del self._indexes[canonical.lower()]
+        self._indexes.pop(canonical.lower(), None)
         self._schema = self._schema.with_column_dropped(name)
         for row in self._rows.values():
             row.pop(canonical, None)
@@ -174,10 +218,11 @@ class Table:
         new_canonical = self._schema.column(new).name
         for row in self._rows.values():
             row[new_canonical] = row.pop(canonical)
-        index = self._indexes.pop(canonical.lower(), None)
-        if index is not None:
-            index.column = new_canonical
-            self._indexes[new_canonical.lower()] = index
+        kinds = self._indexes.pop(canonical.lower(), None)
+        if kinds is not None:
+            for index in kinds.values():
+                index.column = new_canonical
+            self._indexes[new_canonical.lower()] = kinds
         self._stats_cache = None
 
     def rename(self, new_name: str) -> None:

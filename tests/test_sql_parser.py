@@ -301,6 +301,18 @@ class TestDdl:
         statement = parse("CREATE UNIQUE INDEX idx ON t (a)")
         assert isinstance(statement, CreateIndexStatement)
         assert statement.unique is True
+        assert statement.kind == "hash"
+
+    def test_create_index_using_kind(self):
+        statement = parse("CREATE INDEX idx ON t (a) USING SORTED")
+        assert isinstance(statement, CreateIndexStatement)
+        assert statement.kind == "sorted"
+
+    def test_using_stays_a_plain_identifier(self):
+        # USING is matched contextually, not reserved: logged workloads may
+        # use it as a column name.
+        statement = parse("SELECT using FROM t WHERE using = 'x'")
+        assert statement.select_items[0].expression.name == "using"
 
 
 class TestErrorsAndScripts:

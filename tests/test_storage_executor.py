@@ -256,6 +256,16 @@ class TestDmlAndDdl:
         with pytest.raises(ExecutionError):
             db.execute("INSERT INTO lakes (id, name) VALUES (10)")
 
+    def test_insert_select_wrong_arity_raises(self, db):
+        # Regression: a SELECT wider or narrower than the target column list
+        # must fail loudly instead of silently dropping / NULL-filling values.
+        db.execute("CREATE TABLE wa_lakes (id INTEGER, name TEXT)")
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO wa_lakes (id, name) SELECT id, name, state FROM lakes")
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO wa_lakes SELECT id FROM lakes")
+        assert len(db.execute("SELECT * FROM wa_lakes")) == 0
+
     def test_create_table_if_not_exists_is_idempotent(self, db):
         db.execute("CREATE TABLE IF NOT EXISTS lakes (id INTEGER)")
         assert len(db.execute("SELECT * FROM lakes")) == 4
@@ -315,3 +325,44 @@ class TestExecutionStats:
         result = db.execute("INSERT INTO lakes (id, name, state, area) VALUES (99, 'X', 'OR', 1.0)")
         assert result.stats.statement_kind == "insert"
         assert result.rowcount == 1
+        assert result.stats.result_cardinality == 1
+        # A VALUES insert reads nothing.
+        assert result.stats.rows_scanned == 0
+        assert result.stats.index_lookups == 0
+
+    def test_insert_select_stats_charge_the_source_read(self, db):
+        db.execute("CREATE TABLE ids (id INTEGER)")
+        result = db.execute("INSERT INTO ids (id) SELECT id FROM lakes WHERE id = 1")
+        assert result.stats.statement_kind == "insert"
+        assert result.stats.result_cardinality == 1
+        # The id = 1 probe goes through the lakes primary-key index.
+        assert result.stats.index_lookups == 1
+        assert result.stats.rows_scanned == 1
+
+    def test_update_stats_full_scan(self, db):
+        result = db.execute("UPDATE readings SET depth = depth + 1 WHERE month = 7")
+        assert result.stats.statement_kind == "update"
+        assert result.stats.result_cardinality == 3
+        # month is unindexed: every heap row is scanned, no index lookups.
+        assert result.stats.rows_scanned == 7
+        assert result.stats.index_lookups == 0
+
+    def test_update_stats_indexed_probe(self, db):
+        result = db.execute("UPDATE lakes SET area = 0.0 WHERE id = 3")
+        assert result.rowcount == 1
+        assert result.stats.index_lookups == 1
+        # The primary-key probe touches only the matching row, not the heap.
+        assert result.stats.rows_scanned == 1
+
+    def test_delete_stats_indexed_probe(self, db):
+        result = db.execute("DELETE FROM lakes WHERE id = 4")
+        assert result.rowcount == 1
+        assert result.stats.statement_kind == "delete"
+        assert result.stats.index_lookups == 1
+        assert result.stats.rows_scanned == 1
+
+    def test_delete_stats_full_scan(self, db):
+        result = db.execute("DELETE FROM readings WHERE temp > 100")
+        assert result.rowcount == 0
+        assert result.stats.rows_scanned == 7
+        assert result.stats.index_lookups == 0

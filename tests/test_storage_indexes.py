@@ -1,0 +1,84 @@
+"""Unit tests for the secondary index structures (hash and sorted)."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.storage.indexes import INDEX_KINDS, HashIndex, SortedIndex
+from repro.storage.types import sort_key
+
+
+def make_sorted(values, unique=False):
+    index = SortedIndex(name="idx", column="v", unique=unique)
+    for row_id, value in enumerate(values):
+        index.insert(value, row_id)
+    return index
+
+
+class TestSortedIndexBasics:
+    def test_kind_markers(self):
+        assert HashIndex(name="h", column="c").kind == "hash"
+        assert SortedIndex(name="s", column="c").kind == "sorted"
+        assert INDEX_KINDS["btree"] is SortedIndex
+
+    def test_equality_lookup(self):
+        index = make_sorted([5.0, 1.0, 5.0, 3.0])
+        assert index.lookup(5.0) == {0, 2}
+        assert index.lookup(2.0) == set()
+        assert index.lookup(None) == set()
+
+    def test_distinct_values_ignores_nulls(self):
+        index = make_sorted([1.0, None, 2.0, None, 1.0])
+        assert index.distinct_values() == 2
+
+    def test_unique_violation(self):
+        index = make_sorted([1.0], unique=True)
+        with pytest.raises(IntegrityError):
+            index.insert(1.0, 99)
+
+    def test_unique_allows_multiple_nulls(self):
+        index = make_sorted([None, None], unique=True)
+        assert index.lookup(None) == set()
+
+    def test_delete_removes_key_when_bucket_empties(self):
+        index = make_sorted([1.0, 2.0])
+        index.delete(1.0, 0)
+        assert list(index.range_row_ids(None, None)) == [1]
+        index.delete(2.0, 1)
+        assert list(index.range_row_ids(None, None)) == []
+
+    def test_clear(self):
+        index = make_sorted([1.0, None, 2.0])
+        index.clear()
+        assert index.distinct_values() == 0
+        assert list(index.ordered_row_ids()) == []
+
+
+class TestSortedIndexRanges:
+    def test_range_inclusive_exclusive(self):
+        index = make_sorted([10.0, 20.0, 30.0, 40.0])
+        key = lambda v: sort_key(v)
+        assert list(index.range_row_ids(key(20.0), key(30.0))) == [1, 2]
+        assert list(index.range_row_ids(key(20.0), key(30.0), low_inclusive=False)) == [2]
+        assert list(index.range_row_ids(key(20.0), key(30.0), high_inclusive=False)) == [1]
+        assert list(index.range_row_ids(None, key(15.0))) == [0]
+        assert list(index.range_row_ids(key(35.0), None)) == [3]
+
+    def test_range_excludes_nulls(self):
+        index = make_sorted([10.0, None, 30.0])
+        assert list(index.range_row_ids(None, None)) == [0, 2]
+
+    def test_range_descending(self):
+        index = make_sorted([10.0, 20.0, 30.0])
+        assert list(index.range_row_ids(None, None, descending=True)) == [2, 1, 0]
+
+    def test_ordered_row_ids_places_nulls_like_order_by(self):
+        index = make_sorted([10.0, None, 30.0, None])
+        # Ascending: NULLs first (sort_key ranks NULL lowest).
+        assert list(index.ordered_row_ids()) == [1, 3, 0, 2]
+        # Descending: NULLs last.
+        assert list(index.ordered_row_ids(descending=True)) == [2, 0, 1, 3]
+
+    def test_text_keys_order_lexicographically(self):
+        index = make_sorted(["banana", "apple", "cherry"])
+        key = lambda v: sort_key(v)
+        assert list(index.range_row_ids(key("b"), None)) == [0, 2]

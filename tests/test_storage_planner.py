@@ -95,6 +95,182 @@ class TestAccessPathSelection:
         assert by_scan.stats.index_lookups == 0
 
 
+class TestRangeScanSelection:
+    @pytest.fixture()
+    def sorted_db(self, db):
+        db.execute("CREATE INDEX lakes_area_sorted ON lakes (area) USING SORTED")
+        return db
+
+    def test_range_predicate_uses_range_scan(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes WHERE area > 50")
+        assert "RangeScan lakes (area > 50)" in plan.text(), plan.text()
+        assert "SeqScan" not in plan.text()
+        result = sorted_db.execute("SELECT name FROM lakes WHERE area > 50")
+        assert set(result.column("name")) == {"Washington", "Michigan", "Chelan"}
+        assert result.stats.index_lookups == 1
+        assert result.stats.rows_scanned == 3
+
+    def test_between_uses_range_scan(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes WHERE area BETWEEN 2 AND 200")
+        assert "RangeScan lakes (area >= 2 AND area <= 200)" in plan.text()
+        result = sorted_db.execute("SELECT name FROM lakes WHERE area BETWEEN 2 AND 200")
+        assert set(result.column("name")) == {"Washington", "Union", "Chelan"}
+
+    def test_bounds_on_same_column_merge_into_one_scan(self, sorted_db):
+        plan = sorted_db.explain(
+            "SELECT name FROM lakes WHERE area > 2 AND area <= 200 AND area > 3"
+        )
+        text = plan.text()
+        assert "RangeScan lakes (area > 3 AND area <= 200)" in text, text
+        result = sorted_db.execute(
+            "SELECT name FROM lakes WHERE area > 2 AND area <= 200 AND area > 3"
+        )
+        assert set(result.column("name")) == {"Washington", "Chelan"}
+
+    def test_range_scan_without_sorted_index_stays_seq(self, db):
+        plan = db.explain("SELECT name FROM lakes WHERE area > 50")
+        assert "RangeScan" not in plan.text()
+        assert "SeqScan lakes" in plan.text()
+
+    def test_range_results_match_seq_scan(self, sorted_db):
+        sql = "SELECT name FROM lakes WHERE area >= 2.3 AND area < 135"
+        statement = parse(sql)
+        indexed = sorted_db.execute(statement)
+        seq_plan = Planner(sorted_db, use_indexes=False).plan_select(statement)
+        assert "RangeScan" not in "\n".join(seq_plan.explain_lines())
+        from repro.storage.executor import Executor
+
+        executor = Executor(sorted_db)
+        _, seq_rows = executor._execute_plan(seq_plan, None)
+        assert sorted(indexed.rows) == sorted(seq_rows)
+
+    def test_string_bound_on_numeric_column_degrades_to_scan(self, sorted_db):
+        # compare_values string-compares a numeric column against a string
+        # bound; that order is not the index order, so no RangeScan.
+        plan = sorted_db.explain("SELECT name FROM lakes WHERE area < '50'")
+        assert "RangeScan" not in plan.text()
+
+    def test_equality_pick_beats_looser_range(self, sorted_db):
+        # id = 2 (one row via the pk hash index) must win over the wide range.
+        plan = sorted_db.explain("SELECT name FROM lakes WHERE id = 2 AND area > 1")
+        assert "IndexScan lakes (id = 2)" in plan.text()
+
+
+class TestSortElimination:
+    @pytest.fixture()
+    def sorted_db(self, db):
+        db.execute("CREATE INDEX lakes_area_sorted ON lakes (area) USING SORTED")
+        return db
+
+    def test_order_by_sorted_column_drops_sort(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes ORDER BY area")
+        assert "Sort" not in plan.text(), plan.text()
+        assert "RangeScan lakes (ORDER BY area)" in plan.text()
+        result = sorted_db.execute("SELECT name FROM lakes ORDER BY area")
+        assert result.column("name") == ["Union", "Washington", "Chelan", "Michigan"]
+
+    def test_order_by_desc_drops_sort(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes ORDER BY area DESC")
+        assert "Sort" not in plan.text()
+        result = sorted_db.execute("SELECT name FROM lakes ORDER BY area DESC")
+        assert result.column("name") == ["Michigan", "Chelan", "Washington", "Union"]
+
+    def test_order_by_limit_short_circuits(self, sorted_db):
+        result = sorted_db.execute("SELECT name FROM lakes ORDER BY area DESC LIMIT 2")
+        assert result.column("name") == ["Michigan", "Chelan"]
+        # Only the two delivered rows are fetched from the heap.
+        assert result.stats.rows_scanned == 2
+
+    def test_range_predicate_and_matching_order_share_the_scan(self, sorted_db):
+        plan = sorted_db.explain(
+            "SELECT name FROM lakes WHERE area > 3 ORDER BY area DESC"
+        )
+        text = plan.text()
+        assert "Sort" not in text, text
+        assert "RangeScan" in text and "desc" in text
+        result = sorted_db.execute(
+            "SELECT name FROM lakes WHERE area > 3 ORDER BY area DESC"
+        )
+        assert result.column("name") == ["Michigan", "Chelan", "Washington"]
+
+    def test_order_by_unindexed_column_keeps_sort(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes ORDER BY name")
+        assert "Sort [name]" in plan.text()
+
+    def test_order_by_alias_shadowing_column_keeps_sort(self, sorted_db):
+        # ORDER BY resolves select-list aliases first; the sort must stay.
+        plan = sorted_db.explain("SELECT name, id * -1 AS area FROM lakes ORDER BY area")
+        assert "Sort [area]" in plan.text()
+        result = sorted_db.execute("SELECT name, id * -1 AS area FROM lakes ORDER BY area")
+        assert result.column("name") == ["Chelan", "Michigan", "Union", "Washington"]
+
+    def test_multi_key_order_keeps_sort(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes ORDER BY area, name")
+        assert "Sort [area, name]" in plan.text()
+
+    def test_join_keeps_sort(self, sorted_db):
+        plan = sorted_db.explain(
+            "SELECT L.name FROM lakes L, readings R WHERE L.id = R.lake_id ORDER BY L.area"
+        )
+        assert "Sort" in plan.text()
+
+
+class TestDmlPlanning:
+    def test_update_with_indexed_where_probes_index(self, db):
+        plan = db.explain("UPDATE lakes SET area = 0.0 WHERE id = 2")
+        text = plan.text()
+        assert plan.statement_kind == "update"
+        assert text.startswith("Update [lakes]")
+        assert "IndexScan lakes (id = 2)" in text
+        assert "SeqScan" not in text
+
+    def test_delete_with_indexed_where_probes_index(self, db):
+        plan = db.explain("DELETE FROM lakes WHERE id = 2")
+        assert plan.statement_kind == "delete"
+        assert "Delete [lakes]" in plan.text()
+        assert "IndexScan lakes (id = 2)" in plan.text()
+
+    def test_dml_range_predicate_uses_range_scan(self, db):
+        db.execute("CREATE INDEX readings_temp_sorted ON readings (temp) USING SORTED")
+        plan = db.explain("DELETE FROM readings WHERE temp < 12")
+        assert "RangeScan readings (temp < 12)" in plan.text(), plan.text()
+        result = db.execute("DELETE FROM readings WHERE temp < 12")
+        assert result.rowcount == 2
+        assert result.stats.rows_scanned == 2
+        assert result.stats.index_lookups == 1
+
+    def test_dml_without_usable_index_full_scans(self, db):
+        plan = db.explain("UPDATE readings SET depth = 0.0 WHERE month = 7")
+        assert "SeqScan readings" in plan.text()
+        assert "Filter (month = 7)" in plan.text()
+
+    def test_dml_without_where_full_scans(self, db):
+        plan = db.explain("DELETE FROM readings")
+        assert "SeqScan readings" in plan.text()
+        assert "Filter" not in plan.text()
+
+    def test_dml_subquery_predicate_stays_residual(self, db):
+        plan = db.explain(
+            "DELETE FROM readings WHERE lake_id IN (SELECT id FROM lakes WHERE state = 'MI')"
+        )
+        assert "Filter (lake_id IN" in plan.text()
+        result = db.execute(
+            "DELETE FROM readings WHERE lake_id IN (SELECT id FROM lakes WHERE state = 'MI')"
+        )
+        assert result.rowcount == 1
+
+    def test_planned_update_matches_full_scan_semantics(self, db):
+        db.execute("UPDATE lakes SET area = area + 1 WHERE id = 2")
+        assert db.execute("SELECT area FROM lakes WHERE id = 2").scalar() == 3.3
+
+    def test_update_of_the_probed_column_is_safe(self, db):
+        # The access path drives through the index being rewritten: the
+        # candidate list must be materialized before mutation.
+        result = db.execute("UPDATE lakes SET id = id + 10 WHERE id > 0")
+        assert result.rowcount == 4
+        assert sorted(db.execute("SELECT id FROM lakes").column("id")) == [11, 12, 13, 14]
+
+
 class TestJoinPlanning:
     def test_index_loop_join_probes_indexed_side(self, db):
         plan = db.explain(

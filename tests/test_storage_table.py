@@ -82,6 +82,20 @@ class TestInsertDeleteUpdate:
         # The old value is still findable after the failed update.
         assert table.lookup("name", "Union")[0]["id"] == 2
 
+    def test_failed_update_rolls_back_earlier_indexes(self):
+        # Two unique columns: the first (id, the primary key) accepts its new
+        # value, then the second (name) raises — the first index must be
+        # restored, not left pointing at the never-committed value.
+        table = seed(make_table())
+        row_id = next(rid for rid, row in table.scan() if row["id"] == 2)
+        with pytest.raises(IntegrityError):
+            table.update(row_id, {"id": 99, "name": "Washington"})
+        assert table.lookup("id", 2)[0]["name"] == "Union"
+        assert table.lookup("id", 99) == []
+        assert table.lookup("name", "Union")[0]["id"] == 2
+        # A re-insert of the rejected id must not hit a phantom index entry.
+        table.insert({"id": 99, "name": "New", "state": "OR", "area": 1.0})
+
     def test_insert_coerces_types(self):
         table = make_table()
         table.insert({"id": "5", "name": "x", "state": "WA", "area": "2.5"})
@@ -118,6 +132,57 @@ class TestIndexes:
         table.create_index("by_state", "state")
         table.insert({"id": 10, "name": "n", "state": None, "area": 1.0})
         assert table.index_for("state").lookup(None) == set()
+
+    def test_create_index_is_idempotent_for_matching_request(self):
+        table = seed(make_table())
+        first = table.create_index("by_state", "state")
+        assert table.create_index("other_name", "state") is first
+
+    def test_create_index_uniqueness_conflict_raises(self):
+        # A unique index must never be silently satisfied by an existing
+        # non-unique one (or vice versa).
+        table = seed(make_table())
+        table.create_index("by_state", "state", unique=False)
+        with pytest.raises(SchemaError):
+            table.create_index("by_state_unique", "state", unique=True)
+        with pytest.raises(SchemaError):
+            table.create_index("pk_again", "id", unique=False)
+
+    def test_unknown_index_kind_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().create_index("weird", "state", kind="rtree")
+
+    def test_hash_and_sorted_coexist_on_one_column(self):
+        table = seed(make_table())
+        hash_index = table.create_index("area_hash", "area")
+        sorted_index = table.create_index("area_sorted", "area", kind="sorted")
+        assert hash_index is not sorted_index
+        assert table.index_for("area") is hash_index
+        assert table.sorted_index_for("area") is sorted_index
+        # Both kinds are maintained through mutations.
+        table.insert({"id": 7, "name": "Tahoe", "state": "CA", "area": 191.0})
+        assert hash_index.lookup(191.0)
+        assert sorted_index.lookup(191.0)
+        row_id = next(rid for rid, row in table.scan() if row["id"] == 7)
+        table.update(row_id, {"area": 192.0})
+        assert not sorted_index.lookup(191.0)
+        assert sorted_index.lookup(192.0)
+        table.delete(row_id)
+        assert not hash_index.lookup(192.0)
+        assert not sorted_index.lookup(192.0)
+
+    def test_sorted_index_backfills_existing_rows(self):
+        table = seed(make_table())
+        index = table.create_index("area_sorted", "area", kind="sorted")
+        assert index.distinct_values() == 3
+
+    def test_rename_column_moves_all_index_kinds(self):
+        table = seed(make_table())
+        table.create_index("area_sorted", "area", kind="sorted")
+        table.rename_column("area", "surface")
+        assert table.sorted_index_for("surface") is not None
+        assert table.sorted_index_for("surface").column == "surface"
+        assert table.sorted_index_for("area") is None
 
 
 class TestSchemaEvolution:
