@@ -1,0 +1,150 @@
+"""Plan-cache benchmark: the repeated Figure 1 meta-query mix.
+
+The CQMS meta-query workload is highly templated — browsing, recommendation,
+and maintenance issue the same statement shapes over and over with different
+constants.  This experiment replays a workload into the Query Storage and then
+drives the Figure 1 meta-query mix against the feature relations:
+
+* **hit rate** — every template is planned once; all later instances re-bind
+  the cached plan (target: >= 90% on the mix),
+* **end-to-end latency** — the same mix with the plan cache disabled vs
+  enabled (identical data, identical results),
+* **planning amortization** — the per-statement cost of a cold planning pass
+  vs a cache lookup + constant re-bind on a hot template.
+
+Run: PYTHONPATH=src python -m pytest benchmarks/bench_plan_cache.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import build_env, print_table
+from repro.storage.planner import Planner
+
+#: The Figure 1 meta-query mix: one template per interaction mode, each
+#: instantiated with a rotating constant.
+def _mix(store, round_index: int) -> list[str]:
+    users = [f"user{i}" for i in range(8)]
+    relations = ["lakes", "samples", "sensors", "stations", "readings"]
+    user = users[round_index % len(users)]
+    relation = relations[round_index % len(relations)]
+    threshold = float(round_index % 7)
+    qid = 1 + round_index % max(len(store), 1)
+    return [
+        # Browse: a user's recent queries.
+        f"SELECT qid, qText FROM Queries WHERE userName = '{user}' "
+        "ORDER BY ts DESC LIMIT 10",
+        # Recommendation: who else reads this relation (query-by-feature join).
+        "SELECT DISTINCT Queries.userName FROM Queries, DataSources "
+        f"WHERE Queries.qid = DataSources.qid AND DataSources.relName = '{relation}'",
+        # Query-by-feature: queries filtering a relation on a given attribute.
+        "SELECT DataSources.qid FROM DataSources, Predicates "
+        "WHERE DataSources.qid = Predicates.qid "
+        f"AND DataSources.relName = '{relation}' AND Predicates.relName = '{relation}'",
+        # Maintenance: expensive queries past a runtime threshold.
+        f"SELECT qid FROM RuntimeStats WHERE elapsedSeconds > {threshold} LIMIT 20",
+        # Annotation lookup for one query.
+        f"SELECT author, body FROM Annotations WHERE qid = {qid}",
+    ]
+
+
+def _run_mix(meta_db, store, rounds: int) -> tuple[float, list[list[tuple]]]:
+    """Execute ``rounds`` rounds of the mix; returns (seconds, result rows)."""
+    results: list[list[tuple]] = []
+    start = time.perf_counter()
+    for round_index in range(rounds):
+        for sql in _mix(store, round_index):
+            results.append(meta_db.execute(sql).rows)
+    return time.perf_counter() - start, results
+
+
+class TestPlanCacheMix:
+    ROUNDS = 40
+
+    def test_hit_rate_and_end_to_end_speedup(self):
+        env = build_env(num_sessions=80, num_users=8)
+        meta_db = env.store.meta_database
+        statements = self.ROUNDS * len(_mix(env.store, 0))
+
+        # Cold: plan cache disabled — every statement pays a planning pass.
+        meta_db.set_plan_cache_size(0)
+        cold_best = float("inf")
+        for _ in range(3):
+            elapsed, cold_results = _run_mix(meta_db, env.store, self.ROUNDS)
+            cold_best = min(cold_best, elapsed)
+
+        # Warm: plan cache enabled — templates plan once, then re-bind.
+        meta_db.set_plan_cache_size(128)
+        warm_best = float("inf")
+        for _ in range(3):
+            elapsed, warm_results = _run_mix(meta_db, env.store, self.ROUNDS)
+            warm_best = min(warm_best, elapsed)
+        stats = meta_db.plan_cache_stats()
+
+        assert warm_results == cold_results  # re-bound plans are correct
+        assert stats.hit_rate >= 0.90, stats
+        assert warm_best < cold_best, (warm_best, cold_best)
+        print_table(
+            f"Figure 1 meta-query mix ({statements} statements/run, best of 3)",
+            ["variant", "seconds", "per-statement (us)", "hit rate"],
+            [
+                ("cold planning", f"{cold_best:.4f}", f"{cold_best / statements * 1e6:.0f}", "-"),
+                (
+                    "plan cache",
+                    f"{warm_best:.4f}",
+                    f"{warm_best / statements * 1e6:.0f}",
+                    f"{stats.hit_rate:.1%}",
+                ),
+                ("speedup", f"{cold_best / warm_best:.2f}x", "", ""),
+            ],
+        )
+
+    def test_planning_amortized_on_hot_template(self):
+        """A cache lookup + re-bind is far cheaper than a planning pass."""
+        env = build_env(num_sessions=80, num_users=8)
+        meta_db = env.store.meta_database
+        meta_db.set_plan_cache_size(128)
+        sql = _mix(env.store, 0)[2]  # the two-table query-by-feature join
+        from repro.sql.parser import parse
+
+        statement = parse(sql)
+        repeats = 300
+
+        start = time.perf_counter()
+        for _ in range(repeats):
+            Planner(meta_db).plan_select(statement)
+        plan_cost = (time.perf_counter() - start) / repeats
+
+        meta_db.execute(sql)  # populate the cache
+        cache = meta_db._plan_cache
+        start = time.perf_counter()
+        for _ in range(repeats):
+            prepared = cache.prepare(statement)
+            hit = cache.lookup(prepared, count=False)
+            assert hit is not None
+        hot_cost = (time.perf_counter() - start) / repeats
+
+        print_table(
+            "Planning amortization (hot query-by-feature template)",
+            ["path", "per-statement (us)"],
+            [
+                ("cold plan_select", f"{plan_cost * 1e6:.1f}"),
+                ("cache lookup + re-bind", f"{hot_cost * 1e6:.1f}"),
+                ("ratio", f"{plan_cost / hot_cost:.1f}x"),
+            ],
+        )
+        assert hot_cost < plan_cost
+
+    def test_invalidation_keeps_plans_honest(self):
+        """DDL on a feature relation forces a re-plan that uses the new index."""
+        env = build_env(num_sessions=80, num_users=8)
+        meta_db = env.store.meta_database
+        meta_db.set_plan_cache_size(128)
+        sql = "SELECT qid FROM Queries WHERE statementKind = 'select' LIMIT 5"
+        meta_db.execute(sql)
+        assert meta_db.execute(sql).plan_cache_hit
+        meta_db.execute("CREATE INDEX q_kind ON Queries (statementKind)")
+        refreshed = meta_db.execute(sql)
+        assert not refreshed.plan_cache_hit
+        assert "IndexScan" in meta_db.explain(sql).text()

@@ -107,6 +107,23 @@ def render_plan(explanation, title: str = "Query plan") -> str:
     return "\n".join(lines)
 
 
+def render_plan_cache(stats_by_engine: dict[str, object]) -> str:
+    """Render plan-cache hit rates per engine (the Workbench status line).
+
+    ``stats_by_engine`` maps an engine label to its
+    :class:`~repro.storage.plan_cache.PlanCacheStats`.
+    """
+    lines = ["=== Plan cache ==="]
+    for label, stats in stats_by_engine.items():
+        lines.append(
+            f"{label}: {stats.hit_rate:.0%} hit rate "
+            f"({stats.hits} hits / {stats.lookups} lookups, "
+            f"{stats.size}/{stats.capacity} plans cached, "
+            f"invalidated ddl={stats.invalidated_ddl} drift={stats.invalidated_drift})"
+        )
+    return "\n".join(lines)
+
+
 def render_query_table(records: list[LoggedQuery], max_width: int = 70) -> str:
     """Render a list of logged queries as a table (the browse log view)."""
     header = f"{'qid':<6}| {'user':<10}| {'when':<10}| {'card.':<7}| query"

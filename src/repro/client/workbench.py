@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.client.render import render_assist_panel, render_plan
+from repro.client.render import render_assist_panel, render_plan, render_plan_cache
 from repro.core.cqms import CQMS, AssistResponse
 from repro.core.profiler import ProfiledExecution
 from repro.core.recommender import Recommendation
@@ -102,6 +102,10 @@ class Workbench:
         explanation = self.cqms.explain_meta(self.user, meta_sql)
         self.history.append(WorkbenchEvent(kind="explain", detail=meta_sql))
         return render_plan(explanation, title="Meta-query plan")
+
+    def plan_cache_panel(self) -> str:
+        """Rendered plan-cache hit rates of both engines (DBMS + Query Storage)."""
+        return render_plan_cache(self.cqms.plan_cache_stats())
 
     # -- submission ------------------------------------------------------------------
 

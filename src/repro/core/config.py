@@ -71,6 +71,9 @@ class CQMSConfig:
     auto_repair_renames: bool = True
     drop_invalid_after_flags: int = 3
 
+    # -- plan cache (meta-database hot path) ------------------------------------------
+    plan_cache_size: int = 128                # cached meta-query templates (0 = off)
+
     # -- access control (Sections 1 / 2.4) --------------------------------------------
     default_visibility: str = "group"          # "private" | "group" | "public"
 
@@ -90,3 +93,5 @@ class CQMSConfig:
             raise ValueError("output sample budgets must be non-negative")
         if self.knn_default_k < 1:
             raise ValueError("knn_default_k must be at least 1")
+        if self.plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be non-negative")

@@ -68,7 +68,9 @@ class CQMS:
         self.config.validate()
         self.clock = clock or SimulatedClock()
         self.database = database
-        self.store = QueryStore(clock=self.clock)
+        self.store = QueryStore(
+            clock=self.clock, plan_cache_size=self.config.plan_cache_size
+        )
         self.access_control = AccessControl(
             default_visibility=Visibility.parse(self.config.default_visibility)
         )
@@ -137,6 +139,18 @@ class CQMS:
         """EXPLAIN a SQL meta-query over the Query Storage feature relations."""
         self.access_control.principal(user)
         return self.meta_query.explain_meta_sql(meta_sql)
+
+    def plan_cache_stats(self) -> dict[str, object]:
+        """Plan-cache counters of both engines the CQMS runs on.
+
+        ``"database"`` is the user DBMS, ``"query_storage"`` the meta-database
+        holding the feature relations (where the templated Figure 1
+        meta-queries make the hit rate interesting).
+        """
+        return {
+            "database": self.database.plan_cache_stats(),
+            "query_storage": self.store.plan_cache_stats(),
+        }
 
     def annotate(self, user: str, qid: int, body: str) -> None:
         """Attach an annotation to a query the user can see."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.core.records import LoggedQuery
 from repro.errors import MetaQueryError
 from repro.storage.database import Database, QueryResult
+from repro.storage.plan_cache import DEFAULT_PLAN_CACHE_SIZE
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.types import DataType
 
@@ -119,8 +120,10 @@ FEATURE_RELATIONS: list[TableSchema] = [
 class QueryStore:
     """Query Storage: feature relations + the in-memory record index."""
 
-    def __init__(self, clock=None):
-        self._meta_db = Database(name="query_storage", clock=clock)
+    def __init__(self, clock=None, plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE):
+        self._meta_db = Database(
+            name="query_storage", clock=clock, plan_cache_size=plan_cache_size
+        )
         for table_schema in FEATURE_RELATIONS:
             self._meta_db.create_table(table_schema)
         for table, column in (
@@ -372,8 +375,15 @@ class QueryStore:
         for row_id in self._feature_row_ids(table, qid):
             table.update(row_id, {"valid": valid})
 
-    def remove(self, qid: int) -> None:
-        """Remove a query and all its shredded features."""
+    def remove(self, qid: int) -> list[dict]:
+        """Remove a query and all its shredded features.
+
+        Session rows referencing the query are cleaned up too: its
+        ``SessionEdges`` are deleted and the owning session's ``numQueries``
+        is decremented, so meta-SQL over the session relations never sees
+        edges pointing at a query that no longer exists.  Returns copies of
+        the deleted edge rows (``replace_text`` restores them after a repair).
+        """
         record = self.get(qid)
         del self._records[qid]
         self._qids_by_user.get(record.user, set()).discard(qid)
@@ -392,6 +402,28 @@ class QueryStore:
             table = self._meta_db.table(table_name)
             for row_id in self._feature_row_ids(table, qid):
                 table.delete(row_id)
+        edges = self._meta_db.table("SessionEdges")
+        dangling = [
+            (row_id, dict(row))
+            for row_id, row in list(edges.scan())
+            if row["fromQid"] == qid or row["toQid"] == qid
+        ]
+        for row_id, _ in dangling:
+            edges.delete(row_id)
+        if record.session_id is not None:
+            self._adjust_session_count(record.session_id, -1)
+        return [row for _, row in dangling]
+
+    def _adjust_session_count(self, session_id: int, delta: int) -> None:
+        """Shift a session's ``numQueries`` after adding/removing a member."""
+        sessions = self._meta_db.table("Sessions")
+        for row_id, row in list(sessions.scan()):
+            if row["sessionId"] == session_id:
+                sessions.update(
+                    row_id,
+                    {"numQueries": max(0, (row["numQueries"] or 0) + delta)},
+                )
+                break  # session ids are unique in the Sessions relation
 
     @staticmethod
     def _feature_row_ids(table, qid: int) -> list[int]:
@@ -402,11 +434,21 @@ class QueryStore:
         return [row_id for row_id, row in table.scan() if row.get("qid") == qid]
 
     def replace_text(self, qid: int, new_text: str, features, canonical: str, template: str) -> None:
-        """Replace a repaired query's text and re-shred its features."""
+        """Replace a repaired query's text and re-shred its features.
+
+        The repaired query keeps its identity: annotation rows, session
+        edges, and the session membership captured before the remove/add
+        cycle are restored afterwards — both on the in-memory record and in
+        the feature relations, so meta-SQL over ``Annotations`` and
+        ``SessionEdges`` stays consistent with the record index.
+        """
         record = self.get(qid)
         annotations = list(record.annotations)
+        annotation_rows = [
+            dict(row) for row in self._meta_db.table("Annotations").lookup("qid", qid)
+        ]
         session_id = record.session_id
-        self.remove(qid)
+        edge_rows = self.remove(qid)
         record.text = new_text
         record.features = features
         record.canonical_text = canonical
@@ -417,6 +459,12 @@ class QueryStore:
         self.add(record)
         record.annotations = annotations
         record.session_id = session_id
+        if annotation_rows:
+            self._meta_db.insert_rows("Annotations", annotation_rows)
+        if edge_rows:
+            self._meta_db.insert_rows("SessionEdges", edge_rows)
+        if session_id is not None:
+            self._adjust_session_count(session_id, +1)
 
     # -- statistics --------------------------------------------------------------------------
 
@@ -456,6 +504,14 @@ class QueryStore:
         the meta-query will use, without executing it.
         """
         return self._meta_db.explain(sql)
+
+    def plan_cache_stats(self):
+        """Plan-cache counters of the meta-database.
+
+        The Figure 1 meta-queries are highly templated, so the hit rate here
+        is the headline number for the Query Storage's planning overhead.
+        """
+        return self._meta_db.plan_cache_stats()
 
 
 def _constant_text(value: object) -> str | None:

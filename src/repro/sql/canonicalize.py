@@ -1,4 +1,4 @@
-"""Query canonicalization.
+"""Query canonicalization and plan-template parameterization.
 
 The miner and the similarity functions need to decide when two queries are
 "the same analysis" even if they differ in irrelevant surface details such as
@@ -6,6 +6,15 @@ identifier case, alias names, the order of FROM tables, or the order of the
 conjuncts in the WHERE clause.  The paper (Section 4.3) additionally suggests
 comparing parse trees *after removing constants*; :func:`canonicalize`
 supports that through ``strip_constants=True``.
+
+The same constant-stripped canonical form keys the engine's plan cache
+(:mod:`repro.storage.plan_cache`): :func:`parameterize_statement` replaces
+every literal constant with a :class:`ParamLiteral` that *carries its value*
+but *renders as* ``'?'``, so canonicalizing the parameterized statement yields
+the template text directly while the planner still sees real constants.
+:func:`collect_parameters` then enumerates the parameter sites in a
+deterministic traversal order, which is what lets a cached plan be re-bound
+positionally to a later statement instance of the same template.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from repro.sql.ast_nodes import (
     BinaryOp,
     CaseExpression,
     ColumnRef,
+    DeleteStatement,
     ExistsSubquery,
     Expression,
     FromItem,
@@ -34,12 +44,34 @@ from repro.sql.ast_nodes import (
     SubqueryRef,
     TableRef,
     UnaryOp,
+    UpdateStatement,
 )
 from repro.sql.formatter import format_statement
 from repro.sql.parser import parse
 
 #: Placeholder used in place of literals when ``strip_constants`` is requested.
 _CONSTANT_PLACEHOLDER = "?"
+
+
+class ParamLiteral(Literal):
+    """A literal constant captured as a plan-template parameter.
+
+    Behaves exactly like :class:`~repro.sql.ast_nodes.Literal` everywhere the
+    engine evaluates or pattern-matches expressions (``value`` holds the real
+    constant), but *formats* as the placeholder ``'?'``.  That single property
+    makes canonicalization of a parameterized statement instance-independent:
+    conjunct sorting, IN-list sorting, and the rendered template text all see
+    ``'?'`` regardless of the constant, so every instance of a query template
+    produces the same canonical text and the same parameter order.
+
+    The plan cache re-binds cached plans in place by assigning ``value`` on
+    the shared parameter nodes (via ``object.__setattr__`` since ``Literal``
+    is frozen); the engine is single-threaded and plans never execute
+    concurrently, which is what makes the in-place swap safe.
+    """
+
+    def __str__(self) -> str:  # renders like a stripped constant
+        return f"'{_CONSTANT_PLACEHOLDER}'"
 
 #: Comparison operators and their mirror when operands are swapped.
 _MIRROR_OPS = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<>": "<>"}
@@ -344,6 +376,275 @@ def _expr_sort_key(expr: Expression) -> str:
 def strip_constants_statement(statement: SelectStatement) -> SelectStatement:
     """Convenience wrapper: canonicalize with constants replaced by ``'?'``."""
     return canonicalize(statement, strip_constants=True)
+
+
+# ---------------------------------------------------------------------------
+# Plan-template parameterization (used by the plan cache)
+# ---------------------------------------------------------------------------
+
+
+def canonical_statement(statement: Statement) -> Statement:
+    """A canonical form of a statement for plan-cache keying.
+
+    SELECTs go through :func:`canonicalize`.  UPDATE/DELETE get the subset
+    that is safe without join analysis: a lower-cased table name plus
+    canonicalized (flattened, sorted, oriented) WHERE conjuncts and SET
+    expressions.  Other statements are returned unchanged.
+    """
+    if isinstance(statement, SelectStatement):
+        return canonicalize(statement)
+    if isinstance(statement, UpdateStatement):
+        alias_map = {statement.table.lower(): statement.table.lower()}
+        return UpdateStatement(
+            table=statement.table.lower(),
+            assignments=tuple(
+                (column.lower(), _canon_expr(value, alias_map, False))
+                for column, value in statement.assignments
+            ),
+            where=(
+                _canon_expr(statement.where, alias_map, False)
+                if statement.where is not None
+                else None
+            ),
+        )
+    if isinstance(statement, DeleteStatement):
+        alias_map = {statement.table.lower(): statement.table.lower()}
+        return DeleteStatement(
+            table=statement.table.lower(),
+            where=(
+                _canon_expr(statement.where, alias_map, False)
+                if statement.where is not None
+                else None
+            ),
+        )
+    return statement
+
+
+def parameterize_statement(statement: Statement) -> tuple[Statement, list[ParamLiteral]]:
+    """Replace every non-NULL literal with a value-carrying :class:`ParamLiteral`.
+
+    Returns the rewritten statement plus the parameter nodes in source order.
+    NULL literals stay as plain literals: NULL-ness changes the meaning of a
+    comparison, so it is part of the template, not a parameter.  The rewritten
+    statement is execution-equivalent to the original (parameters carry the
+    original values) while formatting as the constant-stripped template.
+    """
+    params: list[ParamLiteral] = []
+    rewritten = _param_statement(statement, params)
+    return rewritten, params
+
+
+def collect_parameters(statement: Statement) -> list[ParamLiteral]:
+    """The statement's :class:`ParamLiteral` nodes in deterministic order.
+
+    The traversal order is a pure function of the statement's template
+    structure, so two instances of the same template (e.g. the original
+    parameterized statement of a cached plan and a freshly canonicalized
+    incoming instance) enumerate corresponding parameter sites at the same
+    positions — which is what makes positional re-binding sound.
+    """
+    params: list[ParamLiteral] = []
+    _walk_statement_params(statement, params)
+    return params
+
+
+def _param_statement(statement: Statement, params: list[ParamLiteral]) -> Statement:
+    if isinstance(statement, SelectStatement):
+        return _param_select(statement, params)
+    if isinstance(statement, UpdateStatement):
+        return UpdateStatement(
+            table=statement.table,
+            assignments=tuple(
+                (column, _param_expr(value, params))
+                for column, value in statement.assignments
+            ),
+            where=(
+                _param_expr(statement.where, params)
+                if statement.where is not None
+                else None
+            ),
+        )
+    if isinstance(statement, DeleteStatement):
+        return DeleteStatement(
+            table=statement.table,
+            where=(
+                _param_expr(statement.where, params)
+                if statement.where is not None
+                else None
+            ),
+        )
+    return statement
+
+
+def _param_select(statement: SelectStatement, params: list[ParamLiteral]) -> SelectStatement:
+    return SelectStatement(
+        select_items=tuple(
+            SelectItem(expression=_param_expr(item.expression, params), alias=item.alias)
+            for item in statement.select_items
+        ),
+        from_items=tuple(
+            _param_from_item(item, params) for item in statement.from_items
+        ),
+        where=_param_expr(statement.where, params) if statement.where is not None else None,
+        group_by=tuple(_param_expr(expr, params) for expr in statement.group_by),
+        having=_param_expr(statement.having, params) if statement.having is not None else None,
+        order_by=tuple(
+            OrderItem(expression=_param_expr(item.expression, params), ascending=item.ascending)
+            for item in statement.order_by
+        ),
+        limit=statement.limit,
+        offset=statement.offset,
+        distinct=statement.distinct,
+    )
+
+
+def _param_from_item(item: FromItem, params: list[ParamLiteral]) -> FromItem:
+    if isinstance(item, TableRef):
+        return item
+    if isinstance(item, SubqueryRef):
+        return SubqueryRef(subquery=_param_select(item.subquery, params), alias=item.alias)
+    if isinstance(item, Join):
+        return Join(
+            join_type=item.join_type,
+            left=_param_from_item(item.left, params),
+            right=_param_from_item(item.right, params),
+            condition=(
+                _param_expr(item.condition, params) if item.condition is not None else None
+            ),
+        )
+    raise TypeError(f"unsupported FROM item: {type(item).__name__}")
+
+
+def _param_expr(expr: Expression, params: list[ParamLiteral]) -> Expression:
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return expr
+        param = ParamLiteral(expr.value)
+        params.append(param)
+        return param
+    if isinstance(expr, (ColumnRef, Star)):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            op=expr.op,
+            left=_param_expr(expr.left, params),
+            right=_param_expr(expr.right, params),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(op=expr.op, operand=_param_expr(expr.operand, params))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            name=expr.name,
+            args=tuple(_param_expr(arg, params) for arg in expr.args),
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            expr=_param_expr(expr.expr, params),
+            values=tuple(_param_expr(value, params) for value in expr.values),
+            negated=expr.negated,
+        )
+    if isinstance(expr, InSubquery):
+        return InSubquery(
+            expr=_param_expr(expr.expr, params),
+            subquery=_param_select(expr.subquery, params),
+            negated=expr.negated,
+        )
+    if isinstance(expr, ExistsSubquery):
+        return ExistsSubquery(
+            subquery=_param_select(expr.subquery, params), negated=expr.negated
+        )
+    if isinstance(expr, ScalarSubquery):
+        return ScalarSubquery(subquery=_param_select(expr.subquery, params))
+    if isinstance(expr, Between):
+        return Between(
+            expr=_param_expr(expr.expr, params),
+            low=_param_expr(expr.low, params),
+            high=_param_expr(expr.high, params),
+            negated=expr.negated,
+        )
+    if isinstance(expr, CaseExpression):
+        return CaseExpression(
+            whens=tuple(
+                (_param_expr(condition, params), _param_expr(value, params))
+                for condition, value in expr.whens
+            ),
+            default=(
+                _param_expr(expr.default, params) if expr.default is not None else None
+            ),
+        )
+    raise TypeError(f"unsupported expression type: {type(expr).__name__}")
+
+
+def _walk_statement_params(statement: Statement, params: list[ParamLiteral]) -> None:
+    if isinstance(statement, SelectStatement):
+        for item in statement.select_items:
+            _walk_expr_params(item.expression, params)
+        for from_item in statement.from_items:
+            _walk_from_item_params(from_item, params)
+        if statement.where is not None:
+            _walk_expr_params(statement.where, params)
+        for expr in statement.group_by:
+            _walk_expr_params(expr, params)
+        if statement.having is not None:
+            _walk_expr_params(statement.having, params)
+        for order_item in statement.order_by:
+            _walk_expr_params(order_item.expression, params)
+    elif isinstance(statement, UpdateStatement):
+        for _, value in statement.assignments:
+            _walk_expr_params(value, params)
+        if statement.where is not None:
+            _walk_expr_params(statement.where, params)
+    elif isinstance(statement, DeleteStatement):
+        if statement.where is not None:
+            _walk_expr_params(statement.where, params)
+
+
+def _walk_from_item_params(item: FromItem, params: list[ParamLiteral]) -> None:
+    if isinstance(item, SubqueryRef):
+        _walk_statement_params(item.subquery, params)
+    elif isinstance(item, Join):
+        _walk_from_item_params(item.left, params)
+        _walk_from_item_params(item.right, params)
+        if item.condition is not None:
+            _walk_expr_params(item.condition, params)
+
+
+def _walk_expr_params(expr: Expression, params: list[ParamLiteral]) -> None:
+    if isinstance(expr, ParamLiteral):
+        params.append(expr)
+        return
+    if isinstance(expr, (Literal, ColumnRef, Star)):
+        return
+    if isinstance(expr, BinaryOp):
+        _walk_expr_params(expr.left, params)
+        _walk_expr_params(expr.right, params)
+    elif isinstance(expr, UnaryOp):
+        _walk_expr_params(expr.operand, params)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            _walk_expr_params(arg, params)
+    elif isinstance(expr, InList):
+        _walk_expr_params(expr.expr, params)
+        for value in expr.values:
+            _walk_expr_params(value, params)
+    elif isinstance(expr, InSubquery):
+        _walk_expr_params(expr.expr, params)
+        _walk_statement_params(expr.subquery, params)
+    elif isinstance(expr, ExistsSubquery):
+        _walk_statement_params(expr.subquery, params)
+    elif isinstance(expr, ScalarSubquery):
+        _walk_statement_params(expr.subquery, params)
+    elif isinstance(expr, Between):
+        _walk_expr_params(expr.expr, params)
+        _walk_expr_params(expr.low, params)
+        _walk_expr_params(expr.high, params)
+    elif isinstance(expr, CaseExpression):
+        for condition, value in expr.whens:
+            _walk_expr_params(condition, params)
+            _walk_expr_params(value, params)
+        if expr.default is not None:
+            _walk_expr_params(expr.default, params)
 
 
 def replace_limit(statement: SelectStatement, limit: int | None) -> SelectStatement:

@@ -12,6 +12,8 @@ Query Storage feature relations.  It provides:
 * :mod:`repro.storage.statistics` — histograms, samples, selectivity estimates,
 * :mod:`repro.storage.planner` — the cost-based SELECT planner (access paths,
   join ordering, EXPLAIN),
+* :mod:`repro.storage.plan_cache` — the template plan cache with
+  version/drift invalidation,
 * :mod:`repro.storage.operators` — Volcano-style physical operators,
 * :mod:`repro.storage.executor` — the SQL executor (projection, aggregation,
   ordering over the streamed operator pipeline),
@@ -23,6 +25,7 @@ from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.catalog import Catalog, SchemaChange
 from repro.storage.table import Table
 from repro.storage.database import Database, QueryResult, ExecutionStats
+from repro.storage.plan_cache import PlanCache, PlanCacheStats
 from repro.storage.planner import PlanExplanation, Planner, SelectPlan
 from repro.storage.statistics import Histogram, ReservoirSample, TableStatistics
 
@@ -36,6 +39,8 @@ __all__ = [
     "Database",
     "QueryResult",
     "ExecutionStats",
+    "PlanCache",
+    "PlanCacheStats",
     "PlanExplanation",
     "Planner",
     "SelectPlan",

@@ -15,7 +15,13 @@ from repro.storage.catalog import Catalog
 from repro.storage.executor import Executor
 from repro.storage.expression import Scope, evaluate, is_true
 from repro.storage.operators import ExecutionContext
-from repro.storage.planner import DmlPlan, PlanExplanation, Planner
+from repro.storage.plan_cache import (
+    DEFAULT_MAX_DRIFT,
+    DEFAULT_PLAN_CACHE_SIZE,
+    PlanCache,
+    PlanCacheStats,
+)
+from repro.storage.planner import DmlPlan, PlanExplanation, Planner, SelectPlan
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.statistics import TableStatistics
 from repro.storage.table import Table
@@ -44,6 +50,8 @@ class ExecutionStats:
     result_cardinality: int = 0
     statement_kind: str = "select"
     index_lookups: int = 0
+    #: True when the statement executed through a re-bound cached plan.
+    plan_cache_hit: bool = False
 
 
 @dataclass
@@ -60,6 +68,11 @@ class QueryResult:
 
     def __iter__(self):
         return iter(self.rows)
+
+    @property
+    def plan_cache_hit(self) -> bool:
+        """True when the statement executed through a re-bound cached plan."""
+        return self.stats.plan_cache_hit
 
     def as_dicts(self) -> list[dict[str, object]]:
         """Rows as dictionaries keyed by output column name."""
@@ -87,11 +100,20 @@ class Database:
     generators use a simulated clock so that experiments are deterministic.
     """
 
-    def __init__(self, name: str = "db", clock=None):
+    def __init__(
+        self,
+        name: str = "db",
+        clock=None,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        plan_cache_max_drift: float = DEFAULT_MAX_DRIFT,
+    ):
         self.name = name
         self._catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self._clock = clock if clock is not None else time.monotonic
+        self._plan_cache_max_drift = plan_cache_max_drift
+        self._plan_cache: PlanCache | None = None
+        self.set_plan_cache_size(plan_cache_size)
 
     # -- catalog access ----------------------------------------------------------
 
@@ -140,6 +162,73 @@ class Database:
     def statistics(self, table_name: str, refresh: bool = False) -> TableStatistics:
         return self.table(table_name).statistics(refresh=refresh)
 
+    # -- plan cache -----------------------------------------------------------------
+
+    def set_plan_cache_size(self, size: int) -> None:
+        """Resize (or, with 0, disable) the plan cache; existing entries drop."""
+        if size <= 0:
+            self._plan_cache = None
+            return
+        self._plan_cache = PlanCache(
+            resolve_table=self._resolve_table_for_cache,
+            capacity=size,
+            max_drift=self._plan_cache_max_drift,
+        )
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        """Hit/miss/invalidation counters of the plan cache."""
+        if self._plan_cache is None:
+            return PlanCacheStats(capacity=0)
+        return self._plan_cache.stats()
+
+    def _resolve_table_for_cache(self, name: str) -> Table | None:
+        return self._tables.get(name.lower())
+
+    def _peek_cached_plan(self, statement: Statement):
+        """The statement's fresh cached plan, re-bound, without counting a
+        lookup (EXPLAIN must not skew the hit rate)."""
+        if self._plan_cache is None:
+            return None
+        prepared = self._plan_cache.prepare(statement)
+        return self._plan_cache.lookup(prepared, count=False)
+
+    def _plan_select(self, statement: SelectStatement) -> tuple[SelectPlan, bool]:
+        """A plan for the statement: from the cache when the template is fresh,
+        otherwise freshly planned (and cached when safely re-bindable)."""
+        if self._plan_cache is None:
+            return Planner(self).plan_select(statement), False
+        prepared = self._plan_cache.prepare(statement)
+        cached = self._plan_cache.lookup(prepared)
+        if cached is not None:
+            return cached.plan, True
+        planner = Planner(self)
+        plan = planner.plan_select(prepared.statement)
+        if not planner.rebind_unsafe:
+            self._plan_cache.store(prepared, plan)
+        return plan, False
+
+    def _plan_dml(
+        self, statement: UpdateStatement | DeleteStatement, kind: str
+    ) -> tuple[DmlPlan, UpdateStatement | DeleteStatement, bool]:
+        """Like :meth:`_plan_select` for UPDATE/DELETE.
+
+        Also returns the statement to evaluate expressions from: the cached
+        parameterized template on a hit (its parameter nodes re-bound to this
+        instance's constants), so SET assignments see the right values.
+        """
+        planner = Planner(self)
+        plan_method = planner.plan_update if kind == "update" else planner.plan_delete
+        if self._plan_cache is None:
+            return plan_method(statement), statement, False
+        prepared = self._plan_cache.prepare(statement)
+        cached = self._plan_cache.lookup(prepared)
+        if cached is not None:
+            return cached.plan, cached.statement, True
+        plan = plan_method(prepared.statement)
+        if not planner.rebind_unsafe:
+            self._plan_cache.store(prepared, plan)
+        return plan, prepared.statement, False
+
     # -- execution ------------------------------------------------------------------
 
     def execute(self, sql_or_statement, parameters: None = None) -> QueryResult:
@@ -162,6 +251,20 @@ class Database:
         statement: Statement = (
             parse(sql_or_statement) if isinstance(sql_or_statement, str) else sql_or_statement
         )
+        if isinstance(statement, (SelectStatement, UpdateStatement, DeleteStatement)):
+            kind = type(statement).__name__.removesuffix("Statement").lower()
+            cached = self._peek_cached_plan(statement)
+            if cached is not None:
+                # Cached plans are templates: literals render as '?'.
+                lines = cached.plan.explain_lines()
+                if lines:
+                    lines[0] += "  (cached)"
+                return PlanExplanation(
+                    statement_kind=kind,
+                    lines=lines,
+                    root=cached.plan.root,
+                    plan_cache_hit=True,
+                )
         if isinstance(statement, SelectStatement):
             plan = Planner(self).plan_select(statement)
             return PlanExplanation(
@@ -202,14 +305,16 @@ class Database:
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
     def _execute_select(self, statement: SelectStatement) -> QueryResult:
+        plan, cache_hit = self._plan_select(statement)
         executor = Executor(self)
-        columns, rows = executor.execute_select(statement)
+        columns, rows = executor.execute_plan(plan)
         stats = ExecutionStats(
             rows_scanned=executor.metrics.rows_scanned,
             rows_joined=executor.metrics.rows_joined,
             result_cardinality=len(rows),
             statement_kind="select",
             index_lookups=executor.metrics.index_lookups,
+            plan_cache_hit=cache_hit,
         )
         return QueryResult(columns=columns, rows=rows, stats=stats, rowcount=len(rows))
 
@@ -273,7 +378,7 @@ class Database:
     def _execute_update(self, statement: UpdateStatement) -> QueryResult:
         table = self.table(statement.table)
         executor = Executor(self)
-        plan = Planner(self).plan_update(statement)
+        plan, statement, cache_hit = self._plan_dml(statement, "update")
         count = 0
         for row_id, row in self._find_dml_targets(plan, executor):
             scope = Scope({statement.table: row})
@@ -289,13 +394,14 @@ class Database:
             rows_scanned=executor.metrics.rows_scanned,
             rows_joined=executor.metrics.rows_joined,
             index_lookups=executor.metrics.index_lookups,
+            plan_cache_hit=cache_hit,
         )
         return QueryResult(stats=stats, rowcount=count)
 
     def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
         table = self.table(statement.table)
         executor = Executor(self)
-        plan = Planner(self).plan_delete(statement)
+        plan, statement, cache_hit = self._plan_dml(statement, "delete")
         doomed = self._find_dml_targets(plan, executor)
         for row_id, _ in doomed:
             table.delete(row_id)
@@ -305,6 +411,7 @@ class Database:
             rows_scanned=executor.metrics.rows_scanned,
             rows_joined=executor.metrics.rows_joined,
             index_lookups=executor.metrics.index_lookups,
+            plan_cache_hit=cache_hit,
         )
         return QueryResult(stats=stats, rowcount=len(doomed))
 

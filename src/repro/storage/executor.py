@@ -85,6 +85,13 @@ class Executor:
         self.metrics = ExecutorMetrics()
         return self._select(statement, outer_scope)
 
+    def execute_plan(
+        self, plan: SelectPlan, outer_scope: Scope | None = None
+    ) -> tuple[list[str], list[tuple]]:
+        """Run an already-planned SELECT (used by the Database's plan cache)."""
+        self.metrics = ExecutorMetrics()
+        return self._execute_plan(plan, outer_scope)
+
     # -- SELECT pipeline --------------------------------------------------------
 
     def _select(

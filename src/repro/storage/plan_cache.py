@@ -1,0 +1,344 @@
+"""Template plan cache with version-based invalidation.
+
+The CQMS meta-query workload is highly templated: browsing, recommendation,
+and maintenance issue the same Figure 1 statement shapes thousands of times
+with different constants.  This module lets :class:`~repro.storage.database.Database`
+plan each *template* once:
+
+* **Keying** — an incoming statement is parameterized
+  (:func:`~repro.sql.canonicalize.parameterize_statement` swaps every literal
+  for a value-carrying :class:`~repro.sql.canonicalize.ParamLiteral` that
+  formats as ``'?'``) and then canonicalized; the rendered canonical text is
+  the constant-stripped template key.  The key also carries the constants'
+  type signature (so type-dependent access-path guards stay valid across
+  instances) and the surface template text (case, alias, and FROM order affect
+  output columns, so plans are only shared between textually identical
+  templates).
+* **Re-binding** — the cached plan's operator tree and statement share the
+  template's ``ParamLiteral`` nodes, and canonicalization enumerates parameter
+  sites in a template-deterministic order, so executing a new instance is one
+  positional in-place assignment of the new constants — no re-planning, no
+  tree copy.  The engine is single-threaded and plans are never executed
+  concurrently, which is what makes the in-place swap safe.
+* **Invalidation** — each cached plan snapshots, per touched table, the
+  table's identity, ``schema_version``, ``version``, row count, and (when
+  available) its statistics.  DDL and index changes require an exact
+  ``schema_version`` match; plain DML churn invalidates only when it drifts
+  past a configurable budget (relative row-count change, tightened by
+  :meth:`~repro.storage.statistics.TableStatistics.drift` when histogram
+  snapshots exist on both sides) — the paper's Section 4.4 notion of
+  "significant changes in data distribution".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.sql.ast_nodes import (
+    DeleteStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+    iter_subqueries,
+    select_statement_tables,
+)
+from repro.sql.canonicalize import (
+    ParamLiteral,
+    canonical_statement,
+    collect_parameters,
+    parameterize_statement,
+)
+from repro.sql.formatter import format_statement
+
+#: Default number of cached plans kept by a Database.
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+#: Default staleness budget: relative row-count / histogram drift beyond which
+#: a cached plan is discarded (matches CQMSConfig.statistics_drift_threshold).
+DEFAULT_MAX_DRIFT = 0.25
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters describing the plan cache's behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated_ddl: int = 0
+    invalidated_drift: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class PreparedStatement:
+    """A statement readied for cache lookup.
+
+    ``statement`` is the parameterized surface form (execution-equivalent to
+    the original: the parameters carry the original constants); ``values``
+    are those constants in canonical template order; ``key`` identifies the
+    template: canonical constant-stripped text, constant type signature, and
+    surface template text.
+    """
+
+    statement: Statement
+    key: tuple[str, tuple[str, ...], str]
+    values: list
+    params: list[ParamLiteral]
+    table_names: tuple[str, ...]
+
+    @property
+    def canonical_template(self) -> str:
+        return self.key[0]
+
+
+@dataclass
+class _TemplateKey:
+    """Memoized canonicalization of one surface template.
+
+    Canonicalizing every incoming statement would cost as much as planning a
+    small one, so the cache canonicalizes each *surface template text* once:
+    ``canonical`` is its constant-stripped canonical text and ``order`` maps
+    canonical parameter positions to surface (parse-order) positions — enough
+    to put any later instance's constants into canonical order without
+    re-canonicalizing.
+    """
+
+    canonical: str
+    order: list[int]
+    table_names: tuple[str, ...]
+
+
+@dataclass
+class _TableSnapshot:
+    """A touched table's state at plan time."""
+
+    name: str
+    table: object
+    schema_version: int
+    version: int
+    row_count: int
+    statistics: object | None
+
+
+@dataclass
+class CachedPlan:
+    """One cached template plan plus everything needed to validate/re-bind it."""
+
+    plan: object                      # SelectPlan | DmlPlan
+    statement: Statement              # parameterized template statement
+    params: list[ParamLiteral]        # canonical-order parameter nodes
+    snapshots: list[_TableSnapshot] = field(default_factory=list)
+    hits: int = 0
+
+    def bind(self, values: list) -> None:
+        """Point the template's parameter nodes at a new instance's constants.
+
+        The nodes are shared by the plan's operator tree and statement, so
+        this one pass re-binds the whole plan.  ``Literal`` is frozen, hence
+        the ``object.__setattr__``.
+        """
+        for param, value in zip(self.params, values):
+            object.__setattr__(param, "value", value)
+
+
+class PlanCache:
+    """An LRU cache of template plans with version/drift invalidation.
+
+    ``resolve_table`` maps a lower-cased table name to the owning database's
+    current :class:`~repro.storage.table.Table` (or None), used to detect
+    drops and re-creates by object identity.
+    """
+
+    def __init__(
+        self,
+        resolve_table,
+        capacity: int = DEFAULT_PLAN_CACHE_SIZE,
+        max_drift: float = DEFAULT_MAX_DRIFT,
+    ):
+        self._resolve = resolve_table
+        self.capacity = capacity
+        self.max_drift = max_drift
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self._templates: OrderedDict[str, _TemplateKey] = OrderedDict()
+        self._stats = PlanCacheStats(capacity=capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying ------------------------------------------------------------------
+
+    def prepare(self, statement: Statement) -> PreparedStatement:
+        """Parameterize and key a statement for lookup/store."""
+        parameterized, surface_params = parameterize_statement(statement)
+        surface = format_statement(parameterized)
+        template = self._templates.get(surface)
+        if template is None:
+            canonical = canonical_statement(parameterized)
+            position = {id(param): i for i, param in enumerate(surface_params)}
+            template = _TemplateKey(
+                canonical=format_statement(canonical),
+                order=[position[id(param)] for param in collect_parameters(canonical)],
+                table_names=_statement_table_names(parameterized),
+            )
+            self._templates[surface] = template
+            while len(self._templates) > max(4 * self.capacity, 64):
+                self._templates.popitem(last=False)
+        else:
+            self._templates.move_to_end(surface)
+        ordered = [surface_params[i] for i in template.order]
+        values = [param.value for param in ordered]
+        key = (
+            template.canonical,
+            tuple(type(value).__name__ for value in values),
+            surface,
+        )
+        return PreparedStatement(
+            statement=parameterized,
+            key=key,
+            values=values,
+            params=ordered,
+            table_names=template.table_names,
+        )
+
+    # -- lookup / store ------------------------------------------------------------
+
+    def lookup(self, prepared: PreparedStatement, count: bool = True) -> CachedPlan | None:
+        """Return a fresh, re-bound cached plan for the template, or None.
+
+        Stale entries (DDL mismatch, dropped/re-created table, drift past the
+        budget) are evicted so a stale plan can never be executed.  With
+        ``count=False`` the lookup leaves the hit/miss counters untouched
+        (used by EXPLAIN so inspection does not skew the hit rate).
+        """
+        entry = self._entries.get(prepared.key)
+        if entry is not None:
+            reason = self._staleness(entry)
+            if reason is not None:
+                del self._entries[prepared.key]
+                if reason == "ddl":
+                    self._stats.invalidated_ddl += 1
+                else:
+                    self._stats.invalidated_drift += 1
+                entry = None
+            elif len(entry.params) != len(prepared.values):
+                # Defensive: a key collision between different templates.
+                del self._entries[prepared.key]
+                entry = None
+        if entry is None:
+            if count:
+                self._stats.misses += 1
+            return None
+        self._entries.move_to_end(prepared.key)
+        entry.bind(prepared.values)
+        if count:
+            self._stats.hits += 1
+            entry.hits += 1
+        return entry
+
+    def store(self, prepared: PreparedStatement, plan: object) -> CachedPlan | None:
+        """Cache a freshly planned template; returns the entry (or None).
+
+        The plan must have been produced from ``prepared.statement`` so the
+        parameter nodes are shared between the plan and the cache entry.
+        """
+        snapshots = []
+        for name in prepared.table_names:
+            table = self._resolve(name)
+            if table is None:
+                return None  # planning raced a drop; do not cache
+            snapshots.append(
+                _TableSnapshot(
+                    name=name,
+                    table=table,
+                    schema_version=table.schema_version,
+                    version=table.version,
+                    row_count=len(table),
+                    statistics=table.cached_statistics,
+                )
+            )
+        entry = CachedPlan(
+            plan=plan,
+            statement=prepared.statement,
+            params=prepared.params,
+            snapshots=snapshots,
+        )
+        self._entries[prepared.key] = entry
+        self._entries.move_to_end(prepared.key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
+        return entry
+
+    # -- invalidation ----------------------------------------------------------------
+
+    def _staleness(self, entry: CachedPlan) -> str | None:
+        """Why the entry is stale: ``"ddl"``, ``"drift"``, or None (fresh)."""
+        for snapshot in entry.snapshots:
+            current = self._resolve(snapshot.name)
+            if current is not snapshot.table:
+                return "ddl"  # dropped, or dropped and re-created
+            if current.schema_version != snapshot.schema_version:
+                return "ddl"
+            if current.version == snapshot.version:
+                continue
+            row_count = len(current)
+            population = max(row_count, snapshot.row_count, 1)
+            drift = abs(row_count - snapshot.row_count) / population
+            # Mutation churn relative to table size: catches update-heavy
+            # workloads that rewrite values while the row count stays flat
+            # (statistics are usually cold there — every mutation clears the
+            # cached snapshot — so histogram distance alone would miss it).
+            drift = max(drift, (current.version - snapshot.version) / population)
+            current_stats = current.cached_statistics
+            if snapshot.statistics is not None and current_stats is not None:
+                drift = max(drift, snapshot.statistics.drift(current_stats))
+            if drift > self.max_drift:
+                return "drift"
+        return None
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._templates.clear()
+
+    def stats(self) -> PlanCacheStats:
+        self._stats.size = len(self._entries)
+        self._stats.capacity = self.capacity
+        return self._stats
+
+
+def _statement_table_names(statement: Statement) -> tuple[str, ...]:
+    """Lower-cased names of every base table a statement touches.
+
+    Expression-level subqueries are included too: they are planned fresh at
+    execution time, so invalidating on their tables is merely conservative.
+    """
+    names: set[str] = set()
+    if isinstance(statement, SelectStatement):
+        names.update(ref.name.lower() for ref in select_statement_tables(statement))
+    elif isinstance(statement, (UpdateStatement, DeleteStatement)):
+        names.add(statement.table.lower())
+        expressions = []
+        if statement.where is not None:
+            expressions.append(statement.where)
+        if isinstance(statement, UpdateStatement):
+            expressions.extend(value for _, value in statement.assignments)
+        for expr in expressions:
+            for subquery in iter_subqueries(expr):
+                names.update(
+                    ref.name.lower() for ref in select_statement_tables(subquery)
+                )
+    return tuple(sorted(names))

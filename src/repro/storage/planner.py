@@ -93,6 +93,9 @@ class PlanExplanation:
     statement_kind: str
     lines: list[str] = field(default_factory=list)
     root: Operator | None = None
+    #: True when the rendered plan was served from the plan cache (the lines
+    #: then show the template form with ``'?'`` parameter placeholders).
+    plan_cache_hit: bool = False
 
     def text(self) -> str:
         return "\n".join(self.lines)
@@ -227,6 +230,11 @@ class Planner:
     def __init__(self, table_provider, use_indexes: bool = True):
         self._provider = table_provider
         self._use_indexes = use_indexes
+        #: Set when a produced plan folded constants in a way that makes
+        #: positional re-binding unsound (e.g. redundant range bounds merged,
+        #: dropping a conjunct whose literal no longer appears in the plan).
+        #: The plan cache refuses to cache such plans.
+        self.rebind_unsafe = False
 
     # -- public entry point ----------------------------------------------------
 
@@ -596,6 +604,8 @@ class Planner:
             leaf.seq_cost = max(estimate, 1.0)
             rest = [p for p in leaf.predicates if p is not conjunct]
         elif range_pick is not None:
+            if range_pick.merged_bounds:
+                self.rebind_unsafe = True
             estimate = max(row_count * range_pick.selectivity, 0.0)
             op = RangeScan(
                 table,
@@ -688,12 +698,16 @@ class Planner:
         for canonical, entries in per_column.items():
             low: tuple[Literal, bool] | None = None
             high: tuple[Literal, bool] | None = None
+            low_candidates = 0
+            high_candidates = 0
             for _, bounds in entries:
                 for op, literal in bounds:
                     if op in (">", ">="):
+                        low_candidates += 1
                         candidate = (literal, op == ">=")
                         low = candidate if low is None else _tighter_bound(low, candidate, lower=True)
                     else:
+                        high_candidates += 1
                         candidate = (literal, op == "<=")
                         high = candidate if high is None else _tighter_bound(high, candidate, lower=False)
             selectivity = self._range_selectivity(table, canonical, low, high)
@@ -705,6 +719,9 @@ class Planner:
                 low_inclusive=low[1] if low else True,
                 high_inclusive=high[1] if high else True,
                 selectivity=selectivity,
+                # Competing bounds on one side mean a literal was folded away;
+                # the scan no longer represents every covered conjunct.
+                merged_bounds=low_candidates > 1 or high_candidates > 1,
             )
             if best is None or selectivity < best.selectivity:
                 best = pick
@@ -963,6 +980,9 @@ class _RangePick:
     low_inclusive: bool
     high_inclusive: bool
     selectivity: float
+    #: True when redundant bounds on one side were folded into the tighter one
+    #: (the folded conjunct's literal is gone, so re-binding is unsound).
+    merged_bounds: bool = False
 
 
 _RANGE_OPS = frozenset({"<", "<=", ">", ">="})

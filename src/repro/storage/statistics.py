@@ -66,33 +66,61 @@ class Histogram:
         if width <= 0.0:
             width = 1.0
         if op == "=":
-            if constant < self.low or constant > self.high:
-                return 0.0
-            index = min(int((constant - self.low) / width), buckets - 1)
-            # Assume uniformity inside the bucket with ~10 distinct values.
-            return self.counts[index] / populated / 10.0
-        if op in ("<", "<="):
-            return self._cumulative_fraction(constant, populated, width, below=True)
-        if op in (">", ">="):
-            return 1.0 - self._cumulative_fraction(constant, populated, width, below=True)
+            return self._equal_fraction(constant, populated, width)
+        if op == "<":
+            return self._cumulative_fraction(constant, populated, width, inclusive=False)
+        if op == "<=":
+            return self._cumulative_fraction(constant, populated, width, inclusive=True)
+        if op == ">":
+            return max(
+                0.0,
+                1.0 - self._cumulative_fraction(constant, populated, width, inclusive=True),
+            )
+        if op == ">=":
+            return max(
+                0.0,
+                1.0 - self._cumulative_fraction(constant, populated, width, inclusive=False),
+            )
         if op == "<>":
             return 1.0 - self.estimate_selectivity("=", constant)
         return 0.33
 
-    def _cumulative_fraction(
-        self, constant: float, populated: int, width: float, below: bool
-    ) -> float:
-        if constant <= self.low:
+    def _equal_fraction(self, constant: float, populated: int, width: float) -> float:
+        """Estimated fraction of rows exactly equal to ``constant``."""
+        if constant < self.low or constant > self.high:
             return 0.0
-        if constant >= self.high:
+        buckets = len(self.counts)
+        index = min(int((constant - self.low) / width), buckets - 1)
+        # Assume uniformity inside the bucket with ~10 distinct values.
+        return self.counts[index] / populated / 10.0
+
+    def _cumulative_fraction(
+        self, constant: float, populated: int, width: float, inclusive: bool
+    ) -> float:
+        """P(value <= constant) when ``inclusive`` else P(value < constant).
+
+        The boundary value itself is worth roughly one bucket-tenth of mass
+        (the same heuristic the ``=`` estimate uses), which is what makes
+        ``<`` and ``<=`` — and hence BETWEEN versus strict ranges — cost
+        differently.
+        """
+        equal = self._equal_fraction(constant, populated, width)
+        if constant < self.low:
+            return 0.0
+        if constant == self.low:
+            return equal if inclusive else 0.0
+        if constant > self.high:
             return 1.0
+        if constant == self.high:
+            return 1.0 if inclusive else max(0.0, 1.0 - equal)
         position = (constant - self.low) / width if width else 0.0
         full_buckets = int(position)
         fraction_in_bucket = position - full_buckets
         count = sum(self.counts[:full_buckets])
         if full_buckets < len(self.counts):
             count += self.counts[full_buckets] * fraction_in_bucket
-        return count / populated
+        base = count / populated
+        return min(1.0, base + equal) if inclusive else base
 
     def distance(self, other: "Histogram") -> float:
         """Total-variation-style distance in [0, 1] between two histograms.

@@ -27,6 +27,12 @@ class Table:
         # column (lower-cased) → kind ("hash"/"sorted") → index
         self._indexes: dict[str, dict[str, HashIndex | SortedIndex]] = {}
         self._stats_cache: TableStatistics | None = None
+        # Monotonic change counters consumed by the plan cache: ``version``
+        # moves on every mutation (DML, DDL, index builds, statistics
+        # refreshes); ``schema_version`` moves only on DDL and index changes,
+        # where cached plans require an exact match instead of a drift check.
+        self.version = 0
+        self.schema_version = 0
         if schema.primary_key is not None:
             self.create_index(
                 f"{schema.name.lower()}_pk", schema.primary_key.name, unique=True
@@ -60,6 +66,12 @@ class Table:
         """Iterate over ``(row_id, row)`` pairs."""
         return self._rows.items()
 
+    def _bump(self, schema: bool = False) -> None:
+        """Advance the change counters after a mutation."""
+        self.version += 1
+        if schema:
+            self.schema_version += 1
+
     def get(self, row_id: int) -> dict[str, object] | None:
         return self._rows.get(row_id)
 
@@ -91,6 +103,7 @@ class Table:
         for row_id, row in self._rows.items():
             index.insert(row[canonical], row_id)
         kinds[index_class.kind] = index
+        self._bump(schema=True)
         return index
 
     def index_for(self, column: str) -> HashIndex | SortedIndex | None:
@@ -138,6 +151,7 @@ class Table:
         for index in self._iter_indexes():
             index.insert(coerced[index.column], row_id)
         self._stats_cache = None
+        self.version += 1
         return row_id
 
     def insert_many(self, rows) -> list[int]:
@@ -150,6 +164,7 @@ class Table:
         for index in self._iter_indexes():
             index.delete(row[index.column], row_id)
         self._stats_cache = None
+        self.version += 1
 
     def delete_where(self, predicate) -> int:
         """Delete rows matching ``predicate(row)``; returns the number removed."""
@@ -191,6 +206,7 @@ class Table:
             raise
         self._rows[row_id] = coerced
         self._stats_cache = None
+        self.version += 1
 
     # -- schema evolution ------------------------------------------------------
 
@@ -203,6 +219,7 @@ class Table:
         for row in self._rows.values():
             row[column.name] = column.coerce(default) if default is not None else None
         self._stats_cache = None
+        self._bump(schema=True)
 
     def drop_column(self, name: str) -> None:
         canonical = self._schema.column(name).name
@@ -211,6 +228,7 @@ class Table:
         for row in self._rows.values():
             row.pop(canonical, None)
         self._stats_cache = None
+        self._bump(schema=True)
 
     def rename_column(self, old: str, new: str) -> None:
         canonical = self._schema.column(old).name
@@ -224,9 +242,11 @@ class Table:
                 index.column = new_canonical
             self._indexes[new_canonical.lower()] = kinds
         self._stats_cache = None
+        self._bump(schema=True)
 
     def rename(self, new_name: str) -> None:
         self._schema = self._schema.renamed(new_name)
+        self._bump(schema=True)
 
     # -- statistics -------------------------------------------------------------
 
@@ -234,6 +254,10 @@ class Table:
         """Table statistics; cached until the next mutation."""
         if self._stats_cache is None or refresh:
             self._stats_cache = TableStatistics.compute(self.name, self.rows())
+            if refresh:
+                # An explicit refresh changes the planner's costing inputs;
+                # let cached plans re-validate against the new snapshot.
+                self.version += 1
         return self._stats_cache
 
     @property

@@ -1,0 +1,137 @@
+"""Feature-relation consistency: Annotations and SessionEdges stay in sync
+with the in-memory record index across remove/repair cycles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query_store import QueryStore
+from repro.core.records import LoggedQuery
+from repro.core.sessions import QuerySession, SessionEdge
+from repro.sql.canonicalize import canonical_text
+from repro.sql.features import extract_features
+
+
+def logged(qid: int, text: str, user: str = "alice", ts: float = 0.0) -> LoggedQuery:
+    return LoggedQuery(
+        qid=qid,
+        user=user,
+        group="lab",
+        text=text,
+        timestamp=ts,
+        canonical_text=canonical_text(text),
+        template_text=canonical_text(text, strip_constants=True),
+        features=extract_features(text),
+    )
+
+
+@pytest.fixture()
+def store_with_session() -> QueryStore:
+    store = QueryStore()
+    store.add(logged(1, "SELECT a FROM t WHERE x = 1", ts=0.0))
+    store.add(logged(2, "SELECT a FROM t WHERE x = 2", ts=10.0))
+    store.add(logged(3, "SELECT a, b FROM t WHERE x = 2", ts=20.0))
+    session = QuerySession(
+        session_id=7,
+        user="alice",
+        qids=[1, 2, 3],
+        start_time=0.0,
+        end_time=20.0,
+        edges=[
+            SessionEdge(1, 2, "modification", "changed constant", 1),
+            SessionEdge(2, 3, "modification", "added projection", 1),
+        ],
+    )
+    store.record_sessions([session])
+    return store
+
+
+def annotation_rows(store: QueryStore, qid: int) -> list[dict]:
+    return store.execute_meta_sql(
+        f"SELECT author, ts, body FROM Annotations WHERE qid = {qid} ORDER BY ts"
+    ).as_dicts()
+
+
+class TestReplaceTextAnnotations:
+    def test_annotation_rows_survive_repair(self):
+        store = QueryStore()
+        store.add(logged(1, "SELECT a FROM old_t"))
+        store.add_annotation(1, author="bob", body="baseline analysis", timestamp=5.0)
+        store.add_annotation(1, author="carol", body="verified", timestamp=9.0)
+        new_text = "SELECT a FROM new_t"
+        store.replace_text(
+            1,
+            new_text,
+            extract_features(new_text),
+            canonical_text(new_text),
+            canonical_text(new_text, strip_constants=True),
+        )
+        # The meta-relation agrees with the in-memory annotation list again.
+        rows = annotation_rows(store, 1)
+        assert [(row["author"], row["ts"], row["body"]) for row in rows] == [
+            ("bob", 5.0, "baseline analysis"),
+            ("carol", 9.0, "verified"),
+        ]
+        assert store.annotations_for(1) == ["baseline analysis", "verified"]
+
+    def test_repair_without_annotations_adds_none(self):
+        store = QueryStore()
+        store.add(logged(1, "SELECT a FROM old_t"))
+        new_text = "SELECT a FROM new_t"
+        store.replace_text(
+            1,
+            new_text,
+            extract_features(new_text),
+            canonical_text(new_text),
+            canonical_text(new_text, strip_constants=True),
+        )
+        assert annotation_rows(store, 1) == []
+
+
+class TestRemoveSessionConsistency:
+    def test_remove_deletes_dangling_edges(self, store_with_session):
+        store = store_with_session
+        store.remove(2)
+        remaining = store.execute_meta_sql(
+            "SELECT fromQid, toQid FROM SessionEdges"
+        ).rows
+        assert remaining == []  # both edges referenced qid 2
+
+    def test_remove_decrements_num_queries(self, store_with_session):
+        store = store_with_session
+        store.remove(3)
+        row = store.execute_meta_sql(
+            "SELECT numQueries FROM Sessions WHERE sessionId = 7"
+        )
+        assert row.scalar() == 2
+        edges = store.execute_meta_sql(
+            "SELECT fromQid, toQid FROM SessionEdges ORDER BY fromQid"
+        ).rows
+        assert edges == [(1, 2)]
+
+    def test_remove_unsessioned_query_leaves_sessions_alone(self, store_with_session):
+        store = store_with_session
+        store.add(logged(9, "SELECT 1", ts=99.0))
+        store.remove(9)
+        assert store.execute_meta_sql(
+            "SELECT numQueries FROM Sessions WHERE sessionId = 7"
+        ).scalar() == 3
+
+    def test_replace_text_preserves_session_rows(self, store_with_session):
+        store = store_with_session
+        new_text = "SELECT a FROM t WHERE x = 20"
+        store.replace_text(
+            2,
+            new_text,
+            extract_features(new_text),
+            canonical_text(new_text),
+            canonical_text(new_text, strip_constants=True),
+        )
+        assert store.get(2).session_id == 7
+        assert store.execute_meta_sql(
+            "SELECT numQueries FROM Sessions WHERE sessionId = 7"
+        ).scalar() == 3
+        edges = store.execute_meta_sql(
+            "SELECT fromQid, toQid FROM SessionEdges ORDER BY fromQid"
+        ).rows
+        assert edges == [(1, 2), (2, 3)]

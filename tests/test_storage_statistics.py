@@ -40,6 +40,33 @@ class TestHistogram:
         histogram = Histogram.build(list(range(1000)), buckets=16)
         assert histogram.estimate_selectivity("=", 500) < 0.05
 
+    def test_inclusive_bounds_cost_more_than_strict(self):
+        histogram = Histogram.build(list(range(100)), buckets=10)
+        assert histogram.estimate_selectivity("<=", 50) > histogram.estimate_selectivity("<", 50)
+        assert histogram.estimate_selectivity(">=", 50) > histogram.estimate_selectivity(">", 50)
+
+    def test_le_equals_lt_plus_eq(self):
+        histogram = Histogram.build(list(range(100)), buckets=10)
+        lt = histogram.estimate_selectivity("<", 50)
+        le = histogram.estimate_selectivity("<=", 50)
+        eq = histogram.estimate_selectivity("=", 50)
+        assert abs(le - (lt + eq)) < 1e-9
+
+    def test_inclusivity_at_domain_boundaries(self):
+        histogram = Histogram.build(list(range(100)), buckets=10)
+        assert histogram.estimate_selectivity("<", 0) == 0.0
+        assert histogram.estimate_selectivity("<=", 0) > 0.0
+        assert histogram.estimate_selectivity(">", 99) == 0.0
+        assert histogram.estimate_selectivity(">=", 99) > 0.0
+        assert histogram.estimate_selectivity("<=", 99) == 1.0
+
+    def test_range_selectivity_honours_inclusive_flags(self):
+        rows = [{"v": i} for i in range(100)]
+        stats = TableStatistics.compute("t", rows)
+        between = stats.range_selectivity("v", 20, 40, True, True)
+        strict = stats.range_selectivity("v", 20, 40, False, False)
+        assert between > strict
+
     def test_distance_of_identical_distributions_near_zero(self):
         values = [random.Random(0).uniform(0, 10) for _ in range(500)]
         first = Histogram.build(values)
