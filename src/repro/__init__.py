@@ -51,7 +51,7 @@ from repro.sql import (
     to_parse_tree,
 )
 from repro.sql.parse_tree import TreePattern
-from repro.storage import Database, PlanExplanation
+from repro.storage import Database, ExecutionSettings, PlanExplanation
 from repro.workloads import (
     QueryLogGenerator,
     WorkloadConfig,
@@ -86,6 +86,7 @@ __all__ = [
     "SessionDetector",
     "TutorialGenerator",
     "Database",
+    "ExecutionSettings",
     "PlanExplanation",
     "parse",
     "format_statement",

@@ -99,9 +99,14 @@ def render_plan(explanation, title: str = "Query plan") -> str:
     """Render a :class:`~repro.storage.planner.PlanExplanation` as text.
 
     Shows the operator tree the engine chose — access paths (``IndexScan`` vs
-    ``SeqScan``), join order and physical join operators — so users can see
-    why a (meta-)query is fast or slow.
+    ``SeqScan`` vs ``ParallelSeqScan``), join order and physical join
+    operators — so users can see why a (meta-)query is fast or slow.  An
+    analyzed explanation (EXPLAIN ANALYZE) is titled accordingly; its lines
+    already carry the per-node actual rows/batches/times and the execution
+    summary.
     """
+    if getattr(explanation, "analyzed", False):
+        title += " (analyzed)"
     lines = [f"=== {title} ==="]
     lines.extend(explanation.lines)
     return "\n".join(lines)
@@ -119,7 +124,8 @@ def render_plan_cache(stats_by_engine: dict[str, object]) -> str:
             f"{label}: {stats.hit_rate:.0%} hit rate "
             f"({stats.hits} hits / {stats.lookups} lookups, "
             f"{stats.size}/{stats.capacity} plans cached, "
-            f"invalidated ddl={stats.invalidated_ddl} drift={stats.invalidated_drift})"
+            f"invalidated ddl={stats.invalidated_ddl} drift={stats.invalidated_drift}, "
+            f"statements {stats.statement_hits}/{stats.statement_lookups})"
         )
     return "\n".join(lines)
 

@@ -91,15 +91,19 @@ class Workbench:
         """Similar-query recommendations for the current buffer."""
         return self.cqms.recommend(self.user, self.buffer, k=k)
 
-    def explain(self) -> str:
-        """The rendered execution plan of the buffer (not executed)."""
-        explanation = self.cqms.explain(self.user, self.buffer)
+    def explain(self, analyze: bool = False) -> str:
+        """The rendered execution plan of the buffer.
+
+        With ``analyze=True`` (EXPLAIN ANALYZE) the buffer is executed and the
+        plan shows each node's actual rows, batches, and wall time.
+        """
+        explanation = self.cqms.explain(self.user, self.buffer, analyze=analyze)
         self.history.append(WorkbenchEvent(kind="explain", detail=self.buffer))
         return render_plan(explanation)
 
-    def explain_meta(self, meta_sql: str) -> str:
+    def explain_meta(self, meta_sql: str, analyze: bool = False) -> str:
         """The rendered plan of a SQL meta-query over the Query Storage."""
-        explanation = self.cqms.explain_meta(self.user, meta_sql)
+        explanation = self.cqms.explain_meta(self.user, meta_sql, analyze=analyze)
         self.history.append(WorkbenchEvent(kind="explain", detail=meta_sql))
         return render_plan(explanation, title="Meta-query plan")
 

@@ -74,6 +74,11 @@ class CQMSConfig:
     # -- plan cache (meta-database hot path) ------------------------------------------
     plan_cache_size: int = 128                # cached meta-query templates (0 = off)
 
+    # -- execution engine (batched scans over the feature relations) --------------------
+    exec_batch_size: int = 256                # rows per operator batch
+    exec_parallel_workers: int = 1            # >1 fans ParallelSeqScan across threads
+    exec_parallel_threshold: int = 4096       # min heap rows before parallelizing
+
     # -- access control (Sections 1 / 2.4) --------------------------------------------
     default_visibility: str = "group"          # "private" | "group" | "public"
 
@@ -95,3 +100,21 @@ class CQMSConfig:
             raise ValueError("knn_default_k must be at least 1")
         if self.plan_cache_size < 0:
             raise ValueError("plan_cache_size must be non-negative")
+        if self.exec_batch_size < 1:
+            raise ValueError("exec_batch_size must be at least 1")
+        if self.exec_parallel_workers < 1:
+            raise ValueError("exec_parallel_workers must be at least 1")
+        if self.exec_parallel_threshold < 0:
+            raise ValueError("exec_parallel_threshold must be non-negative")
+
+    def exec_settings(self):
+        """The storage-layer :class:`~repro.storage.exec_settings.ExecutionSettings`
+        equivalent of the ``exec_*`` knobs (built lazily to keep the import
+        direction core → storage)."""
+        from repro.storage.exec_settings import ExecutionSettings
+
+        return ExecutionSettings(
+            batch_size=self.exec_batch_size,
+            parallel_workers=self.exec_parallel_workers,
+            parallel_threshold=self.exec_parallel_threshold,
+        )

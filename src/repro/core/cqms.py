@@ -69,7 +69,9 @@ class CQMS:
         self.clock = clock or SimulatedClock()
         self.database = database
         self.store = QueryStore(
-            clock=self.clock, plan_cache_size=self.config.plan_cache_size
+            clock=self.clock,
+            plan_cache_size=self.config.plan_cache_size,
+            exec_settings=self.config.exec_settings(),
         )
         self.access_control = AccessControl(
             default_visibility=Visibility.parse(self.config.default_visibility)
@@ -127,18 +129,21 @@ class CQMS:
             timestamp=timestamp,
         )
 
-    def explain(self, user: str, sql: str):
-        """EXPLAIN a user query against the DBMS without executing it.
+    def explain(self, user: str, sql: str, analyze: bool = False):
+        """EXPLAIN a user query against the DBMS.
 
-        Returns the engine's plan tree (access paths, join order, estimates).
+        Returns the engine's plan tree (access paths, join order, estimates);
+        with ``analyze=True`` the query is executed and every node carries its
+        actual rows, batches, and wall time (SELECT only).
         """
         self.access_control.principal(user)
-        return self.database.explain(sql)
+        return self.database.explain(sql, analyze=analyze)
 
-    def explain_meta(self, user: str, meta_sql: str):
-        """EXPLAIN a SQL meta-query over the Query Storage feature relations."""
+    def explain_meta(self, user: str, meta_sql: str, analyze: bool = False):
+        """EXPLAIN (optionally ANALYZE) a SQL meta-query over the Query
+        Storage feature relations."""
         self.access_control.principal(user)
-        return self.meta_query.explain_meta_sql(meta_sql)
+        return self.meta_query.explain_meta_sql(meta_sql, analyze=analyze)
 
     def plan_cache_stats(self) -> dict[str, object]:
         """Plan-cache counters of both engines the CQMS runs on.

@@ -232,15 +232,16 @@ class MetaQueryExecutor:
         """
         return self._store.execute_meta_sql(sql)
 
-    def explain_meta_sql(self, sql: str):
-        """EXPLAIN a SQL meta-query without running it.
+    def explain_meta_sql(self, sql: str, analyze: bool = False):
+        """EXPLAIN (optionally ANALYZE) a SQL meta-query.
 
         Surfaces the engine's plan tree (access paths, join order, cost
         estimates) for meta-queries over the feature relations — e.g. a
         ``Queries ⋈ Attributes`` meta-query shows ``IndexScan`` probes of the
-        ``qid`` indexes instead of full scans.
+        ``qid`` indexes instead of full scans.  ``analyze=True`` executes the
+        meta-query and annotates each node with actual rows/batches/time.
         """
-        return self._store.explain_meta_sql(sql)
+        return self._store.explain_meta_sql(sql, analyze=analyze)
 
     def generate_feature_sql(self, partial_sql: str) -> str:
         """Generate the Figure 1 SQL meta-query from a partially written query.

@@ -120,9 +120,17 @@ FEATURE_RELATIONS: list[TableSchema] = [
 class QueryStore:
     """Query Storage: feature relations + the in-memory record index."""
 
-    def __init__(self, clock=None, plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE):
+    def __init__(
+        self,
+        clock=None,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        exec_settings=None,
+    ):
         self._meta_db = Database(
-            name="query_storage", clock=clock, plan_cache_size=plan_cache_size
+            name="query_storage",
+            clock=clock,
+            plan_cache_size=plan_cache_size,
+            exec_settings=exec_settings,
         )
         for table_schema in FEATURE_RELATIONS:
             self._meta_db.create_table(table_schema)
@@ -496,14 +504,16 @@ class QueryStore:
         """
         return self._meta_db.execute(sql)
 
-    def explain_meta_sql(self, sql: str):
-        """EXPLAIN a SQL meta-query over the feature relations.
+    def explain_meta_sql(self, sql: str, analyze: bool = False):
+        """EXPLAIN (optionally ANALYZE) a SQL meta-query over the feature relations.
 
         Returns the engine's :class:`~repro.storage.planner.PlanExplanation`
         so users can see which access paths (e.g. the ``qid`` index scans)
-        the meta-query will use, without executing it.
+        the meta-query will use; with ``analyze=True`` the meta-query is
+        executed and every plan node carries its actual row count, batch
+        count, and wall time.
         """
-        return self._meta_db.explain(sql)
+        return self._meta_db.explain(sql, analyze=analyze)
 
     def plan_cache_stats(self):
         """Plan-cache counters of the meta-database.

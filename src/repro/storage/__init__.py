@@ -14,13 +14,16 @@ Query Storage feature relations.  It provides:
   join ordering, EXPLAIN),
 * :mod:`repro.storage.plan_cache` — the template plan cache with
   version/drift invalidation,
-* :mod:`repro.storage.operators` — Volcano-style physical operators,
+* :mod:`repro.storage.exec_settings` — batch-size / parallel-scan knobs,
+* :mod:`repro.storage.operators` — batched Volcano-style physical operators
+  (compiled predicate fast paths, partitioned parallel scans),
 * :mod:`repro.storage.executor` — the SQL executor (projection, aggregation,
   ordering over the streamed operator pipeline),
 * :mod:`repro.storage.database` — the user-facing :class:`Database` facade.
 """
 
 from repro.storage.types import DataType
+from repro.storage.exec_settings import ExecutionSettings
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.catalog import Catalog, SchemaChange
 from repro.storage.table import Table
@@ -31,6 +34,7 @@ from repro.storage.statistics import Histogram, ReservoirSample, TableStatistics
 
 __all__ = [
     "DataType",
+    "ExecutionSettings",
     "ColumnSchema",
     "TableSchema",
     "Catalog",

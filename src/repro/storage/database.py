@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import CatalogError, ExecutionError
 from repro.storage.catalog import Catalog
+from repro.storage.exec_settings import DEFAULT_SETTINGS, ExecutionSettings
 from repro.storage.executor import Executor
 from repro.storage.expression import Scope, evaluate, is_true
 from repro.storage.operators import ExecutionContext
@@ -52,6 +53,10 @@ class ExecutionStats:
     index_lookups: int = 0
     #: True when the statement executed through a re-bound cached plan.
     plan_cache_hit: bool = False
+    #: Batches the executor consumed from the plan root (batched pipeline).
+    batches: int = 0
+    #: True when the raw SQL text skipped the parser via the statement cache.
+    statement_cache_hit: bool = False
 
 
 @dataclass
@@ -106,11 +111,14 @@ class Database:
         clock=None,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         plan_cache_max_drift: float = DEFAULT_MAX_DRIFT,
+        exec_settings: ExecutionSettings | None = None,
     ):
         self.name = name
         self._catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self._clock = clock if clock is not None else time.monotonic
+        #: Batch-size / parallel-scan knobs, read by the planner and executor.
+        self.exec_settings = exec_settings or DEFAULT_SETTINGS
         self._plan_cache_max_drift = plan_cache_max_drift
         self._plan_cache: PlanCache | None = None
         self.set_plan_cache_size(plan_cache_size)
@@ -192,12 +200,22 @@ class Database:
         prepared = self._plan_cache.prepare(statement)
         return self._plan_cache.lookup(prepared, count=False)
 
-    def _plan_select(self, statement: SelectStatement) -> tuple[SelectPlan, bool]:
+    def _plan_select(
+        self, statement: SelectStatement, prepared=None, text: str | None = None
+    ) -> tuple[SelectPlan, bool]:
         """A plan for the statement: from the cache when the template is fresh,
-        otherwise freshly planned (and cached when safely re-bindable)."""
+        otherwise freshly planned (and cached when safely re-bindable).
+
+        ``prepared`` is a statement-cache hit (parse + parameterize already
+        done); ``text`` is the raw SQL when known, so a freshly prepared
+        statement can be remembered for future byte-identical resubmissions.
+        """
         if self._plan_cache is None:
             return Planner(self).plan_select(statement), False
-        prepared = self._plan_cache.prepare(statement)
+        if prepared is None:
+            prepared = self._plan_cache.prepare(statement)
+            if text is not None:
+                self._plan_cache.store_statement(text, prepared)
         cached = self._plan_cache.lookup(prepared)
         if cached is not None:
             return cached.plan, True
@@ -208,7 +226,11 @@ class Database:
         return plan, False
 
     def _plan_dml(
-        self, statement: UpdateStatement | DeleteStatement, kind: str
+        self,
+        statement: UpdateStatement | DeleteStatement,
+        kind: str,
+        prepared=None,
+        text: str | None = None,
     ) -> tuple[DmlPlan, UpdateStatement | DeleteStatement, bool]:
         """Like :meth:`_plan_select` for UPDATE/DELETE.
 
@@ -220,7 +242,10 @@ class Database:
         plan_method = planner.plan_update if kind == "update" else planner.plan_delete
         if self._plan_cache is None:
             return plan_method(statement), statement, False
-        prepared = self._plan_cache.prepare(statement)
+        if prepared is None:
+            prepared = self._plan_cache.prepare(statement)
+            if text is not None:
+                self._plan_cache.store_statement(text, prepared)
         cached = self._plan_cache.lookup(prepared)
         if cached is not None:
             return cached.plan, cached.statement, True
@@ -232,25 +257,51 @@ class Database:
     # -- execution ------------------------------------------------------------------
 
     def execute(self, sql_or_statement, parameters: None = None) -> QueryResult:
-        """Parse (if needed) and execute one statement."""
-        statement: Statement = (
-            parse(sql_or_statement) if isinstance(sql_or_statement, str) else sql_or_statement
-        )
+        """Parse (if needed) and execute one statement.
+
+        Raw SQL first consults the statement cache: a byte-identical
+        resubmission reuses the memoized parse + parameterize result and skips
+        the tokenizer/parser entirely (its plan-cache key included).
+        """
+        prepared = None
+        text: str | None = None
+        if isinstance(sql_or_statement, str):
+            text = sql_or_statement
+            if self._plan_cache is not None:
+                prepared = self._plan_cache.lookup_statement(text)
+            statement: Statement = (
+                prepared.statement if prepared is not None else parse(text)
+            )
+        else:
+            statement = sql_or_statement
         start = self._clock()
-        result = self._dispatch(statement)
+        result = self._dispatch(statement, prepared, text)
         result.stats.elapsed_seconds = max(0.0, self._clock() - start)
+        result.stats.statement_cache_hit = prepared is not None
         return result
 
-    def explain(self, sql_or_statement) -> PlanExplanation:
-        """Plan a statement without executing it and return the plan tree.
+    def explain(self, sql_or_statement, analyze: bool = False) -> PlanExplanation:
+        """Plan a statement — and with ``analyze=True``, run it — returning
+        the plan tree.
 
         For SELECT statements the explanation shows the chosen access paths
-        (``IndexScan`` vs ``SeqScan``), join order, physical join operators
-        with build sides, and per-node cardinality estimates.
+        (``IndexScan`` vs ``SeqScan`` vs ``ParallelSeqScan``), join order,
+        physical join operators with build sides, and per-node cardinality
+        estimates.  ``analyze=True`` (EXPLAIN ANALYZE) additionally executes
+        the statement and annotates every plan node with its actual row count,
+        batch count, and wall time, plus an execution summary line; it is
+        supported for SELECT only, since analyzing DML would mutate data.
         """
         statement: Statement = (
             parse(sql_or_statement) if isinstance(sql_or_statement, str) else sql_or_statement
         )
+        if analyze:
+            if not isinstance(statement, SelectStatement):
+                raise ExecutionError(
+                    "EXPLAIN ANALYZE supports SELECT statements only "
+                    "(analyzing DML would mutate data)"
+                )
+            return self._explain_analyze(statement)
         if isinstance(statement, (SelectStatement, UpdateStatement, DeleteStatement)):
             kind = type(statement).__name__.removesuffix("Statement").lower()
             cached = self._peek_cached_plan(statement)
@@ -285,15 +336,58 @@ class Database:
         line = kind.title() if target is None else f"{kind.title()} [{target}]"
         return PlanExplanation(statement_kind=kind, lines=[line])
 
-    def _dispatch(self, statement: Statement) -> QueryResult:
+    def _explain_analyze(self, statement: SelectStatement) -> PlanExplanation:
+        """EXPLAIN ANALYZE a SELECT: execute it collecting per-node actuals.
+
+        The plan comes through the regular plan cache (the execution is real,
+        so counting the lookup keeps the hit rate honest); per-node wall times
+        use ``time.perf_counter`` while the summary's elapsed time uses the
+        database's injectable clock, exactly like :meth:`execute`.
+        """
+        plan, cache_hit = self._plan_select(statement)
+        executor = Executor(self)
+        node_stats: dict = {}
+        start = self._clock()
+        columns, rows = executor.execute_plan(plan, node_stats=node_stats)
+        elapsed = max(0.0, self._clock() - start)
+        stats = ExecutionStats(
+            elapsed_seconds=elapsed,
+            rows_scanned=executor.metrics.rows_scanned,
+            rows_joined=executor.metrics.rows_joined,
+            result_cardinality=len(rows),
+            statement_kind="select",
+            index_lookups=executor.metrics.index_lookups,
+            plan_cache_hit=cache_hit,
+            batches=executor.metrics.batches,
+        )
+        lines = plan.explain_lines(node_stats=node_stats)
+        if cache_hit:
+            lines[0] += "  (cached)"
+        lines.append(
+            f"Execution: {len(rows)} rows in {elapsed * 1000.0:.3f} ms "
+            f"(rows_scanned={stats.rows_scanned}, batches={stats.batches}, "
+            f"index_lookups={stats.index_lookups})"
+        )
+        return PlanExplanation(
+            statement_kind="select",
+            lines=lines,
+            root=plan.root,
+            plan_cache_hit=cache_hit,
+            analyzed=True,
+            stats=stats,
+        )
+
+    def _dispatch(
+        self, statement: Statement, prepared=None, text: str | None = None
+    ) -> QueryResult:
         if isinstance(statement, SelectStatement):
-            return self._execute_select(statement)
+            return self._execute_select(statement, prepared, text)
         if isinstance(statement, InsertStatement):
             return self._execute_insert(statement)
         if isinstance(statement, UpdateStatement):
-            return self._execute_update(statement)
+            return self._execute_update(statement, prepared, text)
         if isinstance(statement, DeleteStatement):
-            return self._execute_delete(statement)
+            return self._execute_delete(statement, prepared, text)
         if isinstance(statement, CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, DropTableStatement):
@@ -304,8 +398,10 @@ class Database:
             return self._execute_create_index(statement)
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
-    def _execute_select(self, statement: SelectStatement) -> QueryResult:
-        plan, cache_hit = self._plan_select(statement)
+    def _execute_select(
+        self, statement: SelectStatement, prepared=None, text: str | None = None
+    ) -> QueryResult:
+        plan, cache_hit = self._plan_select(statement, prepared, text)
         executor = Executor(self)
         columns, rows = executor.execute_plan(plan)
         stats = ExecutionStats(
@@ -315,6 +411,7 @@ class Database:
             statement_kind="select",
             index_lookups=executor.metrics.index_lookups,
             plan_cache_hit=cache_hit,
+            batches=executor.metrics.batches,
         )
         return QueryResult(columns=columns, rows=rows, stats=stats, rowcount=len(rows))
 
@@ -375,10 +472,12 @@ class Database:
                 matches.append((row_id, row))
         return matches
 
-    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
+    def _execute_update(
+        self, statement: UpdateStatement, prepared=None, text: str | None = None
+    ) -> QueryResult:
         table = self.table(statement.table)
         executor = Executor(self)
-        plan, statement, cache_hit = self._plan_dml(statement, "update")
+        plan, statement, cache_hit = self._plan_dml(statement, "update", prepared, text)
         count = 0
         for row_id, row in self._find_dml_targets(plan, executor):
             scope = Scope({statement.table: row})
@@ -398,10 +497,12 @@ class Database:
         )
         return QueryResult(stats=stats, rowcount=count)
 
-    def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
+    def _execute_delete(
+        self, statement: DeleteStatement, prepared=None, text: str | None = None
+    ) -> QueryResult:
         table = self.table(statement.table)
         executor = Executor(self)
-        plan, statement, cache_hit = self._plan_dml(statement, "delete")
+        plan, statement, cache_hit = self._plan_dml(statement, "delete", prepared, text)
         doomed = self._find_dml_targets(plan, executor)
         for row_id, _ in doomed:
             table.delete(row_id)

@@ -1,0 +1,61 @@
+"""Execution-engine settings: batch sizing and parallel-scan knobs.
+
+The batched execution model (see :mod:`repro.storage.operators`) moves rows
+through the operator tree in lists of ``batch_size`` binding dicts instead of
+one row per ``next()`` call, and fans large sequential scans across
+``parallel_workers`` threads once a table crosses ``parallel_threshold`` rows.
+These knobs live in their own frozen dataclass so that
+
+* a :class:`~repro.storage.database.Database` can be tuned per instance
+  (the CQMS meta-database and the user DBMS need not agree),
+* the planner can read them when costing a scan without importing the
+  CQMS-level :class:`~repro.core.config.CQMSConfig` (which sits above the
+  storage layer and maps its ``exec_*`` fields onto this class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Rows per batch moved through the operator tree per ``next()`` call.
+DEFAULT_BATCH_SIZE = 256
+
+#: Worker threads a ParallelSeqScan fans partitions across.  Defaults to 1
+#: (parallel scans off): under CPython's GIL the scan's pure-Python row
+#: construction cannot run concurrently, so the fan-out's barrier
+#: materialization costs more than it saves (``bench_exec_engine.py``
+#: quantifies this).  Raise it on free-threaded interpreters or workloads
+#: whose per-row work releases the GIL.
+DEFAULT_PARALLEL_WORKERS = 1
+
+#: Minimum heap row count before the planner considers a parallel scan
+#: (applies once parallel_workers > 1).
+DEFAULT_PARALLEL_THRESHOLD = 4096
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """Tunable parameters of the batched execution engine.
+
+    ``compile_expressions=False`` disables the compiled predicate/projection
+    fast paths, forcing per-row Scope/evaluate dispatch — a diagnostic switch
+    (like the planner's ``use_indexes=False``) that lets benchmarks quantify
+    the batch engine against the historical row-at-a-time evaluation model.
+    """
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    parallel_workers: int = DEFAULT_PARALLEL_WORKERS
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
+    compile_expressions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.parallel_workers < 1:
+            raise ValueError("parallel_workers must be at least 1")
+        if self.parallel_threshold < 0:
+            raise ValueError("parallel_threshold must be non-negative")
+
+
+#: Shared default instance (settings are immutable, so sharing is safe).
+DEFAULT_SETTINGS = ExecutionSettings()

@@ -18,6 +18,15 @@ the SELECT pipeline has three real layers:
 When a query has no ORDER BY — or the planner eliminated the sort because a
 sorted index already delivers the requested order — output rows stream
 straight out of the operator pipeline and LIMIT short-circuits the scan.
+
+Since the batched-execution refactor the executor consumes the operator tree
+batch-at-a-time (``root.batches(ctx)``): projection runs over whole batches,
+simple select lists (columns and ``*``) compile into per-row getter tuples
+that bypass the expression evaluator, and on streaming plans with a LIMIT the
+context's batch size tracks the remaining row budget, so a short-circuited
+scan touches exactly as many heap rows as the row-at-a-time engine did when
+the scan feeds the limit directly (and at most one shrunken batch more when
+a filter sits in between).
 """
 
 from __future__ import annotations
@@ -25,8 +34,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ExecutionError
+from repro.storage.exec_settings import DEFAULT_SETTINGS
 from repro.storage.expression import Scope, evaluate, is_true
-from repro.storage.operators import ExecutionContext
+from repro.storage.operators import (
+    ExecutionContext,
+    Filter,
+    IndexScan,
+    NodeStats,
+    ParallelSeqScan,
+    RangeScan,
+    SeqScan,
+    resolve_binding_column,
+)
 from repro.storage.planner import (
     Planner,
     SelectPlan,
@@ -62,6 +81,8 @@ class ExecutorMetrics:
     rows_joined: int = 0
     rows_output: int = 0
     index_lookups: int = 0
+    #: Batches the executor consumed from the plan root (batched pipeline).
+    batches: int = 0
 
 
 class Executor:
@@ -74,6 +95,7 @@ class Executor:
 
     def __init__(self, table_provider):
         self._provider = table_provider
+        self._settings = getattr(table_provider, "exec_settings", None) or DEFAULT_SETTINGS
         self.metrics = ExecutorMetrics()
 
     # -- public entry points --------------------------------------------------
@@ -86,11 +108,20 @@ class Executor:
         return self._select(statement, outer_scope)
 
     def execute_plan(
-        self, plan: SelectPlan, outer_scope: Scope | None = None
+        self,
+        plan: SelectPlan,
+        outer_scope: Scope | None = None,
+        node_stats: dict[int, NodeStats] | None = None,
     ) -> tuple[list[str], list[tuple]]:
-        """Run an already-planned SELECT (used by the Database's plan cache)."""
+        """Run an already-planned SELECT (used by the Database's plan cache).
+
+        ``node_stats`` — a dict the caller owns — switches on EXPLAIN ANALYZE
+        instrumentation: every operator records its actual rows/batches/time
+        under ``id(operator)``, and the executor stores the statement's output
+        cardinality under the ``"output_rows"`` key.
+        """
         self.metrics = ExecutorMetrics()
-        return self._execute_plan(plan, outer_scope)
+        return self._execute_plan(plan, outer_scope, node_stats)
 
     # -- SELECT pipeline --------------------------------------------------------
 
@@ -101,17 +132,34 @@ class Executor:
         return self._execute_plan(plan, outer_scope)
 
     def _execute_plan(
-        self, plan: SelectPlan, outer_scope: Scope | None
+        self,
+        plan: SelectPlan,
+        outer_scope: Scope | None,
+        node_stats: dict[int, NodeStats] | None = None,
     ) -> tuple[list[str], list[tuple]]:
         statement = plan.statement
         ctx = ExecutionContext(
             metrics=self.metrics,
             outer_scope=outer_scope,
             run_subquery=self._run_subquery,
-            run_select=lambda subplan: self._execute_plan(subplan, outer_scope),
+            run_select=lambda subplan: self._execute_plan(
+                subplan, outer_scope, node_stats
+            ),
+            batch_size=self._settings.batch_size,
+            node_stats=node_stats,
+            compile_expressions=self._settings.compile_expressions,
         )
-        source = plan.root.rows(ctx)
+        project = None
+        if self._settings.compile_expressions:
+            # Memoized on the plan: cached template plans execute thousands of
+            # times, and the compiled getters read only row-dict keys, so
+            # parameter re-binding never stales them.
+            project = getattr(plan, "_compiled_projection", _UNSET)
+            if project is _UNSET:
+                project = _compile_projection(statement, plan.bindings)
+                plan._compiled_projection = project
         if statement.group_by or statement_has_aggregates(statement):
+            source = self._flatten(plan.root.batches(ctx))
             columns, rows = self._aggregate(statement, plan, source, outer_scope)
             if statement.distinct:
                 rows = _distinct(rows)
@@ -119,41 +167,79 @@ class Executor:
         elif statement.order_by and not plan.sort_eliminated:
             columns = plan.output_columns
             pairs = []
-            for row in source:
-                scope = Scope(row, parent=outer_scope)
-                pairs.append(
-                    (row, tuple(self._evaluate_output(statement, plan.bindings, scope)))
-                )
+            for batch in plan.root.batches(ctx):
+                self.metrics.batches += 1
+                for row in batch:
+                    if project is not None:
+                        values = project(row)
+                    else:
+                        scope = Scope(row, parent=outer_scope)
+                        values = tuple(
+                            self._evaluate_output(statement, plan.bindings, scope)
+                        )
+                    pairs.append((row, values))
             rows = self._order_rows(statement, pairs, columns, outer_scope)
             if statement.distinct:
                 rows = _distinct(rows)
             rows = _apply_limit(rows, statement.limit, statement.offset)
         else:
             # Pure streaming path (including index-ordered ORDER BY, where the
-            # scan already yields sorted rows): project row by row, stop once
-            # LIMIT is met.
+            # scan already yields sorted rows): project batch by batch, stop
+            # once LIMIT is met.  On single-table scan/filter pipelines the
+            # batch size tracks the *remaining* LIMIT budget (scans re-read it
+            # after every flush), so a short-circuited scan touches exactly as
+            # many heap rows as the row-at-a-time engine when it feeds the
+            # limit directly, and at most one shrunken batch more behind a
+            # filter.  Join pipelines keep the configured batch size — their
+            # build sides consume whole inputs regardless, and throttling them
+            # to the LIMIT would re-introduce per-row batch overhead.
             columns = plan.output_columns
             needed = (
                 statement.limit + (statement.offset or 0)
                 if statement.limit is not None
                 else None
             )
+            budget = needed if _limit_budget_applies(plan.root) else None
+            base_batch = ctx.batch_size
+            if budget is not None:
+                ctx.batch_size = max(min(budget, base_batch), 1)
             seen: set | None = set() if statement.distinct else None
             rows = []
-            for row in source:
-                scope = Scope(row, parent=outer_scope)
-                values = tuple(self._evaluate_output(statement, plan.bindings, scope))
-                if seen is not None:
-                    key = tuple(_hashable(value) for value in values)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                rows.append(values)
-                if needed is not None and len(rows) >= needed:
+            done = False
+            for batch in plan.root.batches(ctx):
+                self.metrics.batches += 1
+                for row in batch:
+                    if project is not None:
+                        values = project(row)
+                    else:
+                        scope = Scope(row, parent=outer_scope)
+                        values = tuple(
+                            self._evaluate_output(statement, plan.bindings, scope)
+                        )
+                    if seen is not None:
+                        key = tuple(_hashable(value) for value in values)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    rows.append(values)
+                    if needed is not None and len(rows) >= needed:
+                        done = True
+                        break
+                if done:
                     break
+                if budget is not None:
+                    ctx.batch_size = max(min(budget - len(rows), base_batch), 1)
             rows = _apply_limit(rows, statement.limit, statement.offset)
         self.metrics.rows_output = len(rows)
+        if node_stats is not None:
+            node_stats["output_rows"] = len(rows)
         return columns, rows
+
+    def _flatten(self, batches):
+        """Flatten a batch stream to rows, counting consumed batches."""
+        for batch in batches:
+            self.metrics.batches += 1
+            yield from batch
 
     # -- projection ----------------------------------------------------------------
 
@@ -406,6 +492,61 @@ class _Reversed:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
+
+
+#: Sentinel distinguishing "not compiled yet" from "not compilable" (None).
+_UNSET = object()
+
+
+def _limit_budget_applies(op) -> bool:
+    """True when shrinking the batch size to the LIMIT budget is a pure win.
+
+    That is the single-table streaming shape — filters over one sequential or
+    index-ordered scan — where every batch the scan builds feeds the limit
+    directly (filters only drop rows).  Joins, subquery scans, and parallel
+    scans are excluded: they consume entire inputs (build sides, barriers)
+    regardless of the limit, so tiny batches would only re-introduce the
+    per-row overhead batching removes.
+    """
+    while isinstance(op, Filter):
+        op = op.child
+    return isinstance(op, (SeqScan, RangeScan, IndexScan)) and not isinstance(
+        op, ParallelSeqScan
+    )
+
+
+def _compile_projection(statement: SelectStatement, bindings: Bindings):
+    """Compile a simple select list into a ``row -> value tuple`` closure.
+
+    Only column references and ``*`` expansions qualify — they resolve at
+    compile time to direct ``row[binding][column]`` reads, skipping per-row
+    Scope construction and evaluator dispatch.  Any computed item (arithmetic,
+    functions, subqueries, aggregates) returns None and the caller keeps the
+    evaluator path.  Star expansion mirrors ``_star_values``: a column missing
+    from a binding's row projects NULL rather than erroring.
+    """
+    getters = []
+    for item in statement.select_items:
+        expr = item.expression
+        if isinstance(expr, Star):
+            for binding, columns in bindings:
+                if expr.table is None or binding.lower() == expr.table.lower():
+                    for column in columns:
+                        getters.append(
+                            lambda row, _b=binding, _c=column: row.get(_b, _EMPTY_ROW).get(_c)
+                        )
+        elif isinstance(expr, ColumnRef):
+            resolved = resolve_binding_column(bindings, expr)
+            if resolved is None:
+                return None
+            binding, column = resolved
+            getters.append(lambda row, _b=binding, _c=column: row[_b][_c])
+        else:
+            return None
+    return lambda row: tuple(getter(row) for getter in getters)
+
+
+_EMPTY_ROW: dict[str, object] = {}
 
 
 def _hashable(value: object) -> object:

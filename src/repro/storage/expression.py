@@ -334,7 +334,12 @@ def _run_subquery(subquery: SelectStatement, scope: Scope, run_subquery) -> list
     return run_subquery(subquery, scope)
 
 
-def _like(value: str, pattern: str) -> bool:
+def like_regex(pattern: str) -> "re.Pattern[str]":
+    """The compiled regex implementing ``LIKE pattern`` (``%``/``_`` wildcards).
+
+    Shared with the batched operators' compiled-predicate fast path so both
+    evaluation routes apply byte-identical LIKE semantics.
+    """
     regex = ""
     for ch in pattern:
         if ch == "%":
@@ -343,7 +348,11 @@ def _like(value: str, pattern: str) -> bool:
             regex += "."
         else:
             regex += re.escape(ch)
-    return re.fullmatch(regex, value, flags=re.IGNORECASE) is not None
+    return re.compile(regex, flags=re.IGNORECASE)
+
+
+def _like(value: str, pattern: str) -> bool:
+    return like_regex(pattern).fullmatch(value) is not None
 
 
 def _cast(value: object, target: str) -> object:

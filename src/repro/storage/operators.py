@@ -1,14 +1,33 @@
-"""Volcano-style physical operators for the SELECT pipeline.
+"""Batched Volcano-style physical operators for the SELECT pipeline.
 
 Each operator is one node of a physical plan produced by
-:mod:`repro.storage.planner`.  ``rows(ctx)`` lazily yields *binding
-dictionaries* (binding name → row dict) so filters, joins, and projections
-stream instead of materializing intermediate relations; ``explain_lines``
-renders the subtree for ``Database.explain``.
+:mod:`repro.storage.planner`.  The engine moves data **batch-at-a-time**:
+``batches(ctx)`` lazily yields lists of *binding dictionaries* (binding name →
+row dict, ``ctx.batch_size`` rows per list), so one ``next()`` call pushes a
+whole batch through a filter or join instead of paying a generator round-trip
+per row.  ``rows(ctx)`` remains as a thin compatibility shim that flattens the
+batch stream for call sites that still think row-at-a-time.
+
+Two more things fall out of the batch refactor:
+
+* **Compiled predicates** — filters, hash-join key extraction, and index-loop
+  residuals compile simple conjuncts (column/literal comparisons, BETWEEN,
+  IN lists, LIKE, IS NULL) into plain Python closures evaluated over whole
+  batches, bypassing per-row ``Scope``/``evaluate`` dispatch while reproducing
+  its semantics exactly (both routes share :func:`~repro.storage.types.compare_values`
+  and :func:`~repro.storage.expression.like_regex`).  Anything not compilable
+  falls back to the evaluator, predicate order preserved.
+* **Per-node observability** — when :class:`ExecutionContext.node_stats` is a
+  dict (EXPLAIN ANALYZE), every operator transparently records the actual
+  rows, batches, loops, and wall time it produced, and ``explain_lines``
+  renders those actuals next to the optimizer's estimates.
 
 Access paths:
 
 * :class:`SeqScan` — full scan of a heap table,
+* :class:`ParallelSeqScan` — partitioned heap scan fanned across a thread
+  pool, re-assembled in heap order so downstream sorts/limits stay
+  deterministic,
 * :class:`IndexScan` — equality probe of a :class:`~repro.storage.indexes.HashIndex`,
   either against a constant or, inside an :class:`IndexLookupJoin`, against the
   join key of each outer row (an index nested-loop join),
@@ -25,17 +44,84 @@ All operators charge their work to :class:`ExecutionContext.metrics` so
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.errors import SchemaError
-from repro.sql.ast_nodes import ColumnRef, Expression
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    InList,
+    Literal,
+    UnaryOp,
+)
 from repro.sql.formatter import format_expression
-from repro.storage.expression import Scope, evaluate, is_true
+from repro.storage.exec_settings import DEFAULT_BATCH_SIZE
+from repro.storage.expression import Scope, evaluate, is_true, like_regex
+from repro.storage.statistics import partition_spans
 from repro.storage.types import DataType, coerce_value, compare_values, sort_key
+
+#: Lazily created process-wide worker pool shared by every ParallelSeqScan.
+#: Spinning threads up per scan costs more than a mid-size scan itself, so
+#: workers persist across queries; the engine executes one statement at a
+#: time, so scans never compete for the pool.
+_SCAN_POOL: ThreadPoolExecutor | None = None
+_SCAN_POOL_LOCK = threading.Lock()
+
+
+def _scan_pool() -> ThreadPoolExecutor:
+    global _SCAN_POOL
+    if _SCAN_POOL is None:
+        with _SCAN_POOL_LOCK:
+            if _SCAN_POOL is None:
+                _SCAN_POOL = ThreadPoolExecutor(
+                    max_workers=max(4, min(32, (os.cpu_count() or 4))),
+                    thread_name_prefix="repro-scan",
+                )
+    return _SCAN_POOL
+
+#: Sentinel distinguishing "not compiled yet" from "compilation returned None".
+_UNSET = object()
 
 #: One streamed row: binding name → row dict.
 RowDict = dict[str, dict[str, object]]
+
+#: One streamed batch: up to ``ctx.batch_size`` rows.
+RowBatch = list[RowDict]
+
+
+@dataclass
+class NodeStats:
+    """Actual per-operator execution counters (EXPLAIN ANALYZE).
+
+    ``rows``/``batches`` count what the node *produced*; ``loops`` counts how
+    often it was (re)started — 1 for a streamed node, once per outer row for
+    the probe side of an :class:`IndexLookupJoin`.  ``wall_seconds`` is
+    inclusive wall time spent inside the node's generator (children included),
+    measured with :func:`time.perf_counter` regardless of the database's
+    injectable clock.
+    """
+
+    rows: int = 0
+    batches: int = 0
+    loops: int = 0
+    wall_seconds: float = 0.0
+
+    def describe(self) -> str:
+        parts = [f"rows={self.rows}"]
+        if self.batches:
+            parts.append(f"batches={self.batches}")
+        if self.loops > 1:
+            parts.append(f"loops={self.loops}")
+        if self.batches:
+            parts.append(f"time={self.wall_seconds * 1000.0:.3f}ms")
+        return "actual " + " ".join(parts)
 
 
 @dataclass
@@ -45,12 +131,30 @@ class ExecutionContext:
     ``run_subquery`` evaluates expression-level subqueries (IN / EXISTS /
     scalar); ``run_select`` executes a nested :class:`~repro.storage.planner.SelectPlan`
     (derived tables) through the full SELECT pipeline of the owning executor.
+    ``batch_size`` is the target rows-per-batch (the executor caps it at the
+    LIMIT row budget on streaming plans so short-circuited scans stay honest);
+    ``node_stats`` maps ``id(operator)`` → :class:`NodeStats` when the
+    execution is being observed for EXPLAIN ANALYZE, else None.
     """
 
     metrics: object
     outer_scope: Scope | None = None
     run_subquery: Callable | None = None
     run_select: Callable | None = None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    node_stats: dict[int, NodeStats] | None = field(default=None)
+    #: False forces per-row Scope/evaluate dispatch (benchmark diagnostics).
+    compile_expressions: bool = True
+
+    def observe(self, op: "Operator") -> NodeStats | None:
+        """The operator's :class:`NodeStats` slot, or None when not analyzing."""
+        if self.node_stats is None:
+            return None
+        stats = self.node_stats.get(id(op))
+        if stats is None:
+            stats = NodeStats()
+            self.node_stats[id(op)] = stats
+        return stats
 
 
 class Operator:
@@ -64,16 +168,49 @@ class Operator:
     def binding_names(self) -> list[str]:
         return [name for name, _ in self.bindings]
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         raise NotImplementedError
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        """Stream output batches, transparently instrumented under ANALYZE."""
+        if ctx.node_stats is None:
+            return self._batches(ctx)
+        return self._instrumented_batches(ctx)
+
+    def _instrumented_batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        source = self._batches(ctx)
+        stats = ctx.observe(self)
+        stats.loops += 1
+        while True:
+            started = time.perf_counter()
+            try:
+                batch = next(source)
+            except StopIteration:
+                stats.wall_seconds += time.perf_counter() - started
+                return
+            stats.wall_seconds += time.perf_counter() - started
+            stats.batches += 1
+            stats.rows += len(batch)
+            yield batch
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+        """Row-at-a-time compatibility shim over :meth:`batches`."""
+        for batch in self.batches(ctx):
+            yield from batch
 
     def label(self) -> str:
         raise NotImplementedError
 
-    def explain_lines(self, depth: int = 0) -> list[str]:
-        lines = ["  " * depth + self.label()]
+    def explain_lines(
+        self, depth: int = 0, node_stats: dict[int, NodeStats] | None = None
+    ) -> list[str]:
+        text = self.label()
+        if node_stats is not None:
+            stats = node_stats.get(id(self))
+            text += f" ({stats.describe()})" if stats is not None else " (never executed)"
+        lines = ["  " * depth + text]
         for child in self.children:
-            lines.extend(child.explain_lines(depth + 1))
+            lines.extend(child.explain_lines(depth + 1, node_stats))
         return lines
 
 
@@ -84,8 +221,8 @@ class EmptyRow(Operator):
         self.bindings = []
         self.estimate = 1.0
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        yield {}
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        yield [{}]
 
     def label(self) -> str:
         return "Result"
@@ -105,12 +242,73 @@ class SeqScan(Operator):
             ctx.metrics.rows_scanned += 1
             yield row_id, row
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        for _, row in self.pairs(ctx):
-            yield {self.binding: row}
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        yield from _scan_batches(self.table.scan(), self.binding, ctx)
 
     def label(self) -> str:
         return f"SeqScan {_scan_target(self.table, self.binding)} [est={self.estimate:.0f}]"
+
+
+class ParallelSeqScan(SeqScan):
+    """Partitioned parallel heap scan.
+
+    The heap is split into contiguous spans
+    (:func:`~repro.storage.statistics.partition_spans` boundaries, walked via
+    :meth:`~repro.storage.table.Table.scan_span`) and each span is scanned by
+    a worker thread that builds the span's batches; the coordinator then
+    re-assembles the spans **in heap order**, so downstream operators (sorts,
+    limits, DISTINCT) observe exactly the row order a :class:`SeqScan` would
+    produce.  Workers never touch shared counters — rows are charged to
+    ``ctx.metrics`` on the coordinator thread as each span's batches are
+    emitted, keeping the metrics single-writer.  ``pairs`` is inherited from
+    :class:`SeqScan`: DML-style consumers always stream sequentially.
+    """
+
+    def __init__(self, table, binding: str, estimate: float, workers: int):
+        super().__init__(table, binding, estimate)
+        self.workers = max(1, int(workers))
+
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        spans = partition_spans(len(self.table), self.workers)
+        if len(spans) <= 1:
+            yield from _scan_batches(self.table.scan(), self.binding, ctx)
+            return
+        binding = self.binding
+        metrics = ctx.metrics
+        batch_size = max(1, ctx.batch_size)
+        table = self.table
+
+        def scan_span(span: tuple[int, int]) -> list[RowBatch]:
+            # Each worker walks its own heap span — concurrent read-only
+            # iteration of the row dict is safe, and skipping to the span
+            # start happens at C speed, far cheaper than materializing
+            # per-partition pair lists on the coordinator.
+            batches: list[RowBatch] = []
+            batch: RowBatch = []
+            for _, row in table.scan_span(*span):
+                batch.append({binding: row})
+                if len(batch) >= batch_size:
+                    batches.append(batch)
+                    batch = []
+            if batch:
+                batches.append(batch)
+            return batches
+
+        # Wait for every partition before emitting (a barrier, not a pipeline):
+        # interleaving downstream Python work with still-running workers makes
+        # the GIL ping-pong between coordinator and producers, which costs far
+        # more than the materialization saves.  Re-assembly in submission
+        # order == heap order keeps the stream deterministic.
+        for batches in list(_scan_pool().map(scan_span, spans)):
+            for batch in batches:
+                metrics.rows_scanned += len(batch)
+                yield batch
+
+    def label(self) -> str:
+        return (
+            f"ParallelSeqScan {_scan_target(self.table, self.binding)} "
+            f"[workers={self.workers}, est={self.estimate:.0f}]"
+        )
 
 
 class IndexScan(Operator):
@@ -182,9 +380,9 @@ class IndexScan(Operator):
         value = evaluate(self.value_expr, scope, ctx.run_subquery)
         yield from self.lookup_pairs(value, ctx)
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        for _, row in self.pairs(ctx):
-            yield {self.binding: row}
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        binding = self.binding
+        yield from _chunk(({binding: row} for _, row in self.pairs(ctx)), ctx)
 
     def label(self) -> str:
         condition = f"{self.column} = {format_expression(self.value_expr)}"
@@ -310,9 +508,9 @@ class RangeScan(Operator):
             matches = [pair for pair in matches if pair[1].get(self.column) is not None] + nulls
         yield from matches
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        for _, row in self.pairs(ctx):
-            yield {self.binding: row}
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        binding = self.binding
+        yield from _chunk(({binding: row} for _, row in self.pairs(ctx)), ctx)
 
     def label(self) -> str:
         conditions = []
@@ -348,17 +546,31 @@ class SubqueryScan(Operator):
         self.children = (plan.root,)
         self.estimate = estimate
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         columns, tuples = ctx.run_select(self.plan)
-        for values in tuples:
-            yield {self.alias: dict(zip(columns, values))}
+        alias = self.alias
+        yield from _chunk(
+            ({alias: dict(zip(columns, values))} for values in tuples), ctx
+        )
 
     def label(self) -> str:
         return f"SubqueryScan AS {self.alias} [est={self.estimate:.0f}]"
 
 
 class Filter(Operator):
-    """Streaming conjunctive filter over a child operator."""
+    """Batched conjunctive filter over a child operator.
+
+    When every conjunct compiles (see :func:`compile_predicate`) the filter
+    evaluates whole batches with plain closures; otherwise the entire conjunct
+    list runs through the expression evaluator in original order, so
+    evaluation-order-dependent behaviour (short-circuiting before an erroring
+    predicate) is preserved.  Compilation happens once per operator instance
+    (compiled closures read literal values per call, so re-binding a cached
+    plan's parameters never stales the memo).
+    """
+
+    #: Memoized compile_conjuncts result (closures or None); _UNSET = not yet.
+    _compiled: object = None
 
     def __init__(self, child: Operator, predicates: list[Expression], estimate: float):
         self.child = child
@@ -366,15 +578,40 @@ class Filter(Operator):
         self.bindings = child.bindings
         self.children = (child,)
         self.estimate = estimate
+        self._compiled = _UNSET
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        for row in self.child.rows(ctx):
-            scope = Scope(row, parent=ctx.outer_scope)
-            if all(
-                is_true(evaluate(predicate, scope, ctx.run_subquery))
-                for predicate in self.predicates
-            ):
-                yield row
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        checks = None
+        if ctx.compile_expressions:
+            if self._compiled is _UNSET:
+                self._compiled = compile_conjuncts(self.predicates, self.bindings)
+            checks = self._compiled
+        if checks is not None:
+            if len(checks) == 1:
+                check = checks[0]
+                for batch in self.child.batches(ctx):
+                    kept = [row for row in batch if check(row)]
+                    if kept:
+                        yield kept
+            else:
+                for batch in self.child.batches(ctx):
+                    kept = [
+                        row for row in batch if all(check(row) for check in checks)
+                    ]
+                    if kept:
+                        yield kept
+            return
+        outer = ctx.outer_scope
+        run = ctx.run_subquery
+        predicates = self.predicates
+        for batch in self.child.batches(ctx):
+            kept = []
+            for row in batch:
+                scope = Scope(row, parent=outer)
+                if all(is_true(evaluate(p, scope, run)) for p in predicates):
+                    kept.append(row)
+            if kept:
+                yield kept
 
     def label(self) -> str:
         predicates = " AND ".join(format_expression(p) for p in self.predicates)
@@ -383,7 +620,10 @@ class Filter(Operator):
 
 class HashJoin(Operator):
     """Equi-join: the estimated-smaller side is materialized into a hash table
-    and the other side streams through it."""
+    and the other side streams through it batch by batch."""
+
+    #: Memoized (build_key, probe_key) getter pair; _UNSET = not yet compiled.
+    _compiled_keys: object = None
 
     def __init__(
         self,
@@ -400,8 +640,9 @@ class HashJoin(Operator):
         self.bindings = left.bindings + right.bindings
         self.children = (left, right)
         self.estimate = estimate
+        self._compiled_keys = _UNSET
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         left_keys = [left for left, _ in self.pairs]
         right_keys = [right for _, right in self.pairs]
         if self.build_left:
@@ -411,22 +652,51 @@ class HashJoin(Operator):
             build, probe = self.right, self.left
             build_keys, probe_keys = right_keys, left_keys
         table: dict[tuple, list[RowDict]] = {}
-        for row in build.rows(ctx):
-            scope = Scope(row, parent=ctx.outer_scope)
-            key = tuple(scope.resolve(column) for column in build_keys)
-            if any(value is None for value in key):
-                continue
-            table.setdefault(key, []).append(row)
-        for row in probe.rows(ctx):
-            scope = Scope(row, parent=ctx.outer_scope)
-            key = tuple(scope.resolve(column) for column in probe_keys)
-            if any(value is None for value in key):
-                continue
-            for match in table.get(key, ()):
-                combined = dict(row)
-                combined.update(match)
-                ctx.metrics.rows_joined += 1
-                yield combined
+        build_key = probe_key = None
+        if ctx.compile_expressions:
+            if self._compiled_keys is _UNSET:
+                self._compiled_keys = (
+                    compile_key_tuple(build_keys, build.bindings),
+                    compile_key_tuple(probe_keys, probe.bindings),
+                )
+            build_key, probe_key = self._compiled_keys
+        outer = ctx.outer_scope
+        run = ctx.run_subquery
+        for batch in build.batches(ctx):
+            for row in batch:
+                if build_key is not None:
+                    key = build_key(row)
+                else:
+                    scope = Scope(row, parent=outer)
+                    key = tuple(scope.resolve(column) for column in build_keys)
+                if any(value is None for value in key):
+                    continue
+                table.setdefault(key, []).append(row)
+        metrics = ctx.metrics
+        batch_size = max(1, ctx.batch_size)
+        out: RowBatch = []
+        for batch in probe.batches(ctx):
+            for row in batch:
+                if probe_key is not None:
+                    key = probe_key(row)
+                else:
+                    scope = Scope(row, parent=outer)
+                    key = tuple(scope.resolve(column) for column in probe_keys)
+                if any(value is None for value in key):
+                    continue
+                matches = table.get(key)
+                if not matches:
+                    continue
+                metrics.rows_joined += len(matches)
+                for match in matches:
+                    combined = dict(row)
+                    combined.update(match)
+                    out.append(combined)
+                if len(out) >= batch_size:
+                    yield out
+                    out = []
+        if out:
+            yield out
 
     def label(self) -> str:
         condition = " AND ".join(
@@ -455,25 +725,62 @@ class IndexLookupJoin(Operator):
         self.bindings = outer.bindings + scan.bindings
         self.children = (outer, scan)
         self.estimate = estimate
+        #: Memoized (key getter, residual checks); _UNSET = not yet compiled.
+        self._compiled_probe: object = _UNSET
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        for outer_row in self.outer.rows(ctx):
-            scope = Scope(outer_row, parent=ctx.outer_scope)
-            value = evaluate(self.outer_key, scope, ctx.run_subquery)
-            if value is None:
-                continue
-            for inner_row in self.scan.lookup_rows(value, ctx):
-                combined = dict(outer_row)
-                combined[self.scan.binding] = inner_row
-                if self.residual:
-                    inner_scope = Scope(combined, parent=ctx.outer_scope)
-                    if not all(
-                        is_true(evaluate(p, inner_scope, ctx.run_subquery))
-                        for p in self.residual
-                    ):
-                        continue
-                ctx.metrics.rows_joined += 1
-                yield combined
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        key_getter = residual_checks = None
+        if ctx.compile_expressions:
+            if self._compiled_probe is _UNSET:
+                self._compiled_probe = (
+                    compile_column_getter(self.outer.bindings, self.outer_key)
+                    if isinstance(self.outer_key, ColumnRef)
+                    else None,
+                    compile_conjuncts(self.residual, self.bindings),
+                )
+            key_getter, residual_checks = self._compiled_probe
+        outer_scope = ctx.outer_scope
+        run = ctx.run_subquery
+        metrics = ctx.metrics
+        batch_size = max(1, ctx.batch_size)
+        # The probe-side scan never runs through batches(), so record its
+        # ANALYZE actuals (rows fetched, probe loops) here.
+        probe_stats = ctx.observe(self.scan)
+        out: RowBatch = []
+        for batch in self.outer.batches(ctx):
+            for outer_row in batch:
+                if key_getter is not None:
+                    value = key_getter(outer_row)
+                else:
+                    scope = Scope(outer_row, parent=outer_scope)
+                    value = evaluate(self.outer_key, scope, run)
+                if value is None:
+                    continue
+                if probe_stats is not None:
+                    probe_stats.loops += 1
+                for inner_row in self.scan.lookup_rows(value, ctx):
+                    if probe_stats is not None:
+                        probe_stats.rows += 1
+                    combined = dict(outer_row)
+                    combined[self.scan.binding] = inner_row
+                    if self.residual:
+                        if residual_checks is not None:
+                            if not all(check(combined) for check in residual_checks):
+                                continue
+                        else:
+                            inner_scope = Scope(combined, parent=outer_scope)
+                            if not all(
+                                is_true(evaluate(p, inner_scope, run))
+                                for p in self.residual
+                            ):
+                                continue
+                    metrics.rows_joined += 1
+                    out.append(combined)
+                    if len(out) >= batch_size:
+                        yield out
+                        out = []
+        if out:
+            yield out
 
     def label(self) -> str:
         parts = [
@@ -497,14 +804,23 @@ class NestedLoopJoin(Operator):
         self.children = (left, right)
         self.estimate = estimate
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
-        right_rows = list(self.right.rows(ctx))
-        for left_row in self.left.rows(ctx):
-            for right_row in right_rows:
-                combined = dict(left_row)
-                combined.update(right_row)
-                ctx.metrics.rows_joined += 1
-                yield combined
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        right_rows = [row for batch in self.right.batches(ctx) for row in batch]
+        metrics = ctx.metrics
+        batch_size = max(1, ctx.batch_size)
+        out: RowBatch = []
+        for batch in self.left.batches(ctx):
+            for left_row in batch:
+                metrics.rows_joined += len(right_rows)
+                for right_row in right_rows:
+                    combined = dict(left_row)
+                    combined.update(right_row)
+                    out.append(combined)
+                    if len(out) >= batch_size:
+                        yield out
+                        out = []
+        if out:
+            yield out
 
     def label(self) -> str:
         return f"NestedLoopJoin (cross) [est={self.estimate:.0f}]"
@@ -530,7 +846,10 @@ class OuterJoin(Operator):
         self.children = (left, right)
         self.estimate = estimate
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
+    def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        yield from _chunk(self._join_rows(ctx), ctx)
+
+    def _join_rows(self, ctx: ExecutionContext) -> Iterator[RowDict]:
         right_rows = list(self.right.rows(ctx))
         null_right = {
             name: {column: None for column in columns}
@@ -572,6 +891,249 @@ class OuterJoin(Operator):
             format_expression(self.condition) if self.condition is not None else "TRUE"
         )
         return f"{self.join_type.title()}OuterJoin ({condition}) [est={self.estimate:.0f}]"
+
+
+# ---------------------------------------------------------------------------
+# Compiled predicates and getters (the batch fast path)
+# ---------------------------------------------------------------------------
+
+
+def resolve_binding_column(
+    bindings: list[tuple[str, list[str]]], column: ColumnRef
+) -> tuple[str, str] | None:
+    """Resolve a column reference to ``(binding key, row-dict key)``.
+
+    Mirrors :meth:`~repro.storage.expression.Scope.resolve`'s *local* rules
+    against the operator's own bindings; returns None when the reference is
+    not locally and unambiguously resolvable (outer-scope columns, select-list
+    extras, ambiguous names, unknown aliases) — callers must then fall back to
+    per-row Scope evaluation, which reproduces the full resolution (and
+    error-reporting) semantics.
+    """
+    name = column.name.lower()
+    if column.table:
+        target = column.table.lower()
+        for binding, columns in bindings:
+            if binding.lower() == target:
+                for col in columns:
+                    if col.lower() == name:
+                        return binding, col
+                return None
+        return None
+    owner: tuple[str, str] | None = None
+    for binding, columns in bindings:
+        for col in columns:
+            if col.lower() == name:
+                if owner is not None:
+                    return None  # ambiguous across bindings
+                owner = (binding, col)
+                break
+    return owner
+
+
+def compile_column_getter(
+    bindings: list[tuple[str, list[str]]], column: ColumnRef
+) -> Callable[[RowDict], object] | None:
+    """A ``row -> value`` closure for a locally resolvable column, or None."""
+    resolved = resolve_binding_column(bindings, column)
+    if resolved is None:
+        return None
+    binding, key = resolved
+    return lambda row: row[binding][key]
+
+
+def compile_key_tuple(
+    columns: list[ColumnRef], bindings: list[tuple[str, list[str]]]
+) -> Callable[[RowDict], tuple] | None:
+    """A ``row -> key tuple`` closure for hash-join keys; None unless every
+    key column resolves locally."""
+    resolved: list[tuple[str, str]] = []
+    for column in columns:
+        pair = resolve_binding_column(bindings, column)
+        if pair is None:
+            return None
+        resolved.append(pair)
+    if len(resolved) == 1:
+        binding, key = resolved[0]
+        return lambda row: (row[binding][key],)
+    getters = tuple(resolved)
+    return lambda row: tuple(row[binding][key] for binding, key in getters)
+
+
+_COMPARISON_TESTS: dict[str, Callable[[int], bool]] = {
+    "=": lambda ordering: ordering == 0,
+    "<>": lambda ordering: ordering != 0,
+    "<": lambda ordering: ordering < 0,
+    "<=": lambda ordering: ordering <= 0,
+    ">": lambda ordering: ordering > 0,
+    ">=": lambda ordering: ordering >= 0,
+}
+
+_FLIPPED_COMPARISONS = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def compile_predicate(
+    expr: Expression, bindings: list[tuple[str, list[str]]]
+) -> Callable[[RowDict], bool] | None:
+    """Compile a WHERE conjunct into a fast ``row -> passes`` check, or None.
+
+    The compiled check must agree with ``is_true(evaluate(expr, scope))`` on
+    every row the operator can produce, so only expressions whose semantics
+    are fully reproducible without a Scope are compiled: comparisons between
+    locally resolved columns and literals (or two columns), BETWEEN and IN
+    over literals, LIKE with a literal pattern, and IS [NOT] NULL.  Unknown
+    (NULL) outcomes map to False exactly as WHERE treats them.  Literal values
+    are read *per call*, not captured at compile time, so cached plans whose
+    :class:`~repro.sql.canonicalize.ParamLiteral` nodes are re-bound between
+    executions stay correct.
+    """
+    if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_TESTS:
+        op = expr.op
+        left, right = expr.left, expr.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            getter = compile_column_getter(bindings, left)
+            if getter is None:
+                return None
+            test = _COMPARISON_TESTS[op]
+            literal = right
+
+            def check(row, _get=getter, _literal=literal, _test=test):
+                ordering = compare_values(_get(row), _literal.value)
+                return ordering is not None and _test(ordering)
+
+            return check
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            getter = compile_column_getter(bindings, right)
+            if getter is None:
+                return None
+            test = _COMPARISON_TESTS[_FLIPPED_COMPARISONS[op]]
+            literal = left
+
+            def check(row, _get=getter, _literal=literal, _test=test):
+                ordering = compare_values(_get(row), _literal.value)
+                return ordering is not None and _test(ordering)
+
+            return check
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            left_get = compile_column_getter(bindings, left)
+            right_get = compile_column_getter(bindings, right)
+            if left_get is None or right_get is None:
+                return None
+            test = _COMPARISON_TESTS[op]
+
+            def check(row, _left=left_get, _right=right_get, _test=test):
+                ordering = compare_values(_left(row), _right(row))
+                return ordering is not None and _test(ordering)
+
+            return check
+        return None
+    if isinstance(expr, BinaryOp) and expr.op == "LIKE":
+        if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+            getter = compile_column_getter(bindings, expr.left)
+            if getter is None:
+                return None
+            literal = expr.right
+            cache: dict[object, object] = {}
+
+            def check(row, _get=getter, _literal=literal, _cache=cache):
+                value = _get(row)
+                pattern = _literal.value
+                if value is None or pattern is None:
+                    return False
+                regex = _cache.get(pattern)
+                if regex is None:
+                    _cache.clear()  # one live pattern per (re-bindable) literal
+                    regex = like_regex(str(pattern))
+                    _cache[pattern] = regex
+                return regex.fullmatch(str(value)) is not None
+
+            return check
+        return None
+    if isinstance(expr, UnaryOp) and expr.op in ("IS NULL", "IS NOT NULL"):
+        if not isinstance(expr.operand, ColumnRef):
+            return None
+        getter = compile_column_getter(bindings, expr.operand)
+        if getter is None:
+            return None
+        if expr.op == "IS NULL":
+            return lambda row, _get=getter: _get(row) is None
+        return lambda row, _get=getter: _get(row) is not None
+    if isinstance(expr, Between):
+        if (
+            isinstance(expr.expr, ColumnRef)
+            and isinstance(expr.low, Literal)
+            and isinstance(expr.high, Literal)
+        ):
+            getter = compile_column_getter(bindings, expr.expr)
+            if getter is None:
+                return None
+            low, high, negated = expr.low, expr.high, expr.negated
+
+            def check(row, _get=getter, _low=low, _high=high, _negated=negated):
+                value = _get(row)
+                low_cmp = compare_values(value, _low.value)
+                high_cmp = compare_values(value, _high.value)
+                if low_cmp is None or high_cmp is None:
+                    return False  # unknown: WHERE drops the row
+                inside = low_cmp >= 0 and high_cmp <= 0
+                return (not inside) if _negated else inside
+
+            return check
+        return None
+    if isinstance(expr, InList):
+        if isinstance(expr.expr, ColumnRef) and all(
+            isinstance(value, Literal) for value in expr.values
+        ):
+            getter = compile_column_getter(bindings, expr.expr)
+            if getter is None:
+                return None
+            literals, negated = list(expr.values), expr.negated
+
+            def check(row, _get=getter, _literals=literals, _negated=negated):
+                value = _get(row)
+                if value is None:
+                    return False
+                found = False
+                saw_null = False
+                for literal in _literals:
+                    candidate = literal.value
+                    if candidate is None:
+                        saw_null = True
+                        continue
+                    if compare_values(value, candidate) == 0:
+                        found = True
+                        break
+                if not found and saw_null:
+                    return False  # unknown: WHERE drops the row
+                return (not found) if _negated else found
+
+            return check
+        return None
+    return None
+
+
+def compile_conjuncts(
+    predicates: list[Expression], bindings: list[tuple[str, list[str]]]
+) -> list[Callable[[RowDict], bool]] | None:
+    """Compile every conjunct or none.
+
+    All-or-nothing keeps evaluation order identical to the row-at-a-time
+    engine: a partially compiled list would reorder predicates around the
+    evaluator's short-circuiting and could surface (or hide) evaluation
+    errors the original order would not.
+    """
+    checks: list[Callable[[RowDict], bool]] = []
+    for predicate in predicates:
+        check = compile_predicate(predicate, bindings)
+        if check is None:
+            return None
+        checks.append(check)
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Probe-key translation (shared with the planner)
+# ---------------------------------------------------------------------------
 
 
 def equality_probe_keys(value: object, data_type: DataType) -> list | None:
@@ -648,6 +1210,50 @@ def range_probe_key(value: object, data_type: DataType) -> tuple | None:
             return sort_key(value)
         return None
     return None
+
+
+def _chunk(rows: Iterator[RowDict], ctx: ExecutionContext) -> Iterator[RowBatch]:
+    """Group a row iterator into batches of up to ``ctx.batch_size`` rows.
+
+    The size is re-read after every batch: the executor shrinks it to the
+    remaining LIMIT budget on streaming plans, so a short-circuited scan
+    never pulls more source rows than the row-at-a-time engine would have.
+    """
+    batch_size = max(1, ctx.batch_size)
+    batch: RowBatch = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            batch_size = max(1, ctx.batch_size)
+    if batch:
+        yield batch
+
+
+def _scan_batches(
+    pairs: Iterator[tuple[int, dict]], binding: str, ctx: ExecutionContext
+) -> Iterator[RowBatch]:
+    """Build a heap scan's batches, charging ``rows_scanned`` per batch.
+
+    Shared by :class:`SeqScan` and :class:`ParallelSeqScan`'s single-span
+    fallback so the wrap/flush/metrics behaviour cannot diverge; like
+    :func:`_chunk`, the batch size is re-read after every flush to honour the
+    executor's shrinking LIMIT budget.
+    """
+    metrics = ctx.metrics
+    batch_size = max(1, ctx.batch_size)
+    batch: RowBatch = []
+    for _, row in pairs:
+        batch.append({binding: row})
+        if len(batch) >= batch_size:
+            metrics.rows_scanned += len(batch)
+            yield batch
+            batch = []
+            batch_size = max(1, ctx.batch_size)
+    if batch:
+        metrics.rows_scanned += len(batch)
+        yield batch
 
 
 def _scan_target(table, binding: str) -> str:

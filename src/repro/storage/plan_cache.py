@@ -70,6 +70,11 @@ class PlanCacheStats:
     evictions: int = 0
     size: int = 0
     capacity: int = 0
+    #: Statement-cache counters: byte-identical raw-SQL resubmissions that
+    #: skipped the tokenizer/parser entirely (hits) versus cacheable
+    #: statements that had to be parsed and prepared (misses).
+    statement_hits: int = 0
+    statement_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -79,6 +84,19 @@ class PlanCacheStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 with no lookups)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def statement_lookups(self) -> int:
+        return self.statement_hits + self.statement_misses
+
+    @property
+    def statement_hit_rate(self) -> float:
+        """Fraction of cacheable raw-SQL submissions that skipped the parser."""
+        return (
+            self.statement_hits / self.statement_lookups
+            if self.statement_lookups
+            else 0.0
+        )
 
 
 @dataclass
@@ -172,10 +190,48 @@ class PlanCache:
         self.max_drift = max_drift
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
         self._templates: OrderedDict[str, _TemplateKey] = OrderedDict()
+        self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
         self._stats = PlanCacheStats(capacity=capacity)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- statement cache (raw text → prepared statement) --------------------------
+
+    def lookup_statement(self, text: str) -> PreparedStatement | None:
+        """The memoized parse+parameterize result for byte-identical SQL text.
+
+        On a hit, the prepared statement's parameter nodes are re-bound to the
+        text's own constants before returning: the nodes are shared with the
+        plan-cache template, so an execution of a *different* instance of the
+        same template may have left other values in them.
+        """
+        prepared = self._statements.get(text)
+        if prepared is None:
+            return None
+        self._statements.move_to_end(text)
+        for param, value in zip(prepared.params, prepared.values):
+            object.__setattr__(param, "value", value)
+        self._stats.statement_hits += 1
+        return prepared
+
+    def store_statement(self, text: str, prepared: PreparedStatement) -> None:
+        """Remember a freshly prepared statement under its raw SQL text.
+
+        Only plan-cacheable statement kinds are remembered (DDL and INSERT
+        never reach :meth:`prepare`); counts one statement-cache miss, so the
+        hit rate reflects cacheable traffic only.  The memo needs no
+        data-dependent invalidation — it maps text to an AST, and planning
+        re-resolves tables against the live catalog every time.
+        """
+        if not isinstance(
+            prepared.statement, (SelectStatement, UpdateStatement, DeleteStatement)
+        ):
+            return
+        self._stats.statement_misses += 1
+        self._statements[text] = prepared
+        while len(self._statements) > max(4 * self.capacity, 64):
+            self._statements.popitem(last=False)
 
     # -- keying ------------------------------------------------------------------
 
@@ -313,6 +369,7 @@ class PlanCache:
     def clear(self) -> None:
         self._entries.clear()
         self._templates.clear()
+        self._statements.clear()
 
     def stats(self) -> PlanCacheStats:
         self._stats.size = len(self._entries)

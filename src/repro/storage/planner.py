@@ -35,6 +35,7 @@ The result is a :class:`SelectPlan` whose operator tree the executor streams;
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
@@ -61,6 +62,7 @@ from repro.sql.ast_nodes import (
     UpdateStatement,
 )
 from repro.sql.formatter import format_expression
+from repro.storage.exec_settings import DEFAULT_SETTINGS, ExecutionSettings
 from repro.storage.operators import (
     EmptyRow,
     Filter,
@@ -70,12 +72,14 @@ from repro.storage.operators import (
     NestedLoopJoin,
     Operator,
     OuterJoin,
+    ParallelSeqScan,
     RangeScan,
     SeqScan,
     SubqueryScan,
     equality_probe_keys,
     range_probe_key,
 )
+from repro.storage.statistics import join_key_overlap
 from repro.storage.types import compare_values
 
 #: Cardinality guess for derived tables (no statistics available at plan time).
@@ -84,6 +88,34 @@ DEFAULT_SUBQUERY_ESTIMATE = 100.0
 #: Fallback selectivities when neither statistics nor indexes can help.
 DEFAULT_EQ_SELECTIVITY = 0.1
 DEFAULT_SELECTIVITY = 0.33
+
+#: Batched CPU cost model: the engine pays per *batch* dispatched through the
+#: operator tree plus a (much smaller) per-tuple touch cost, not one uniform
+#: per-row charge — which is exactly why large scans amortize and tiny scans
+#: don't care.  Units are arbitrary but shared across the constants below.
+CPU_TUPLE_COST = 0.01
+CPU_BATCH_COST = 1.0
+#: Fixed coordination cost of fanning a scan across a worker pool (pool
+#: dispatch, span slicing, ordered re-assembly).  Deliberately small so the
+#: configured ``parallel_threshold`` — not this constant — is the binding
+#: gate; the cost comparison only vetoes degenerate cases (a handful of rows
+#: over a low threshold) where fan-out provably cannot pay.
+PARALLEL_SETUP_COST = 4.0
+
+
+def scan_cpu_cost(rows: float, settings: ExecutionSettings, workers: int = 1) -> float:
+    """CPU cost of a (possibly parallel) heap scan under the batch model.
+
+    Tuple and batch work divides across workers; a parallel scan additionally
+    pays :data:`PARALLEL_SETUP_COST` once.  The planner compares the 1-worker
+    and N-worker costs to decide when a :class:`ParallelSeqScan` is worth it.
+    """
+    rows = max(rows, 0.0)
+    batches = max(1.0, math.ceil(rows / max(settings.batch_size, 1)))
+    cost = (rows * CPU_TUPLE_COST + batches * CPU_BATCH_COST) / max(workers, 1)
+    if workers > 1:
+        cost += PARALLEL_SETUP_COST
+    return cost
 
 
 @dataclass
@@ -96,6 +128,11 @@ class PlanExplanation:
     #: True when the rendered plan was served from the plan cache (the lines
     #: then show the template form with ``'?'`` parameter placeholders).
     plan_cache_hit: bool = False
+    #: True for EXPLAIN ANALYZE: the statement was executed and the lines
+    #: carry per-node actual rows/batches/wall time plus a summary line.
+    analyzed: bool = False
+    #: The execution's statistics when ``analyzed`` (None otherwise).
+    stats: object | None = None
 
     def text(self) -> str:
         return "\n".join(self.lines)
@@ -123,7 +160,10 @@ class SelectPlan:
     #: executor streams instead of materializing for a sort.
     sort_eliminated: bool = False
 
-    def explain_lines(self) -> list[str]:
+    def explain_lines(self, node_stats: dict | None = None) -> list[str]:
+        """Render the plan tree; ``node_stats`` (EXPLAIN ANALYZE) annotates
+        every operator with its actuals and the Project line with the
+        statement's output cardinality."""
         lines: list[str] = []
         depth = 0
         statement = self.statement
@@ -157,8 +197,11 @@ class SelectPlan:
             if statement.having is not None:
                 detail += f" having ({format_expression(statement.having)})"
             push("Aggregate" + detail)
-        push(f"Project [{', '.join(self.output_columns)}]")
-        lines.extend(self.root.explain_lines(depth))
+        project = f"Project [{', '.join(self.output_columns)}]"
+        if node_stats is not None and "output_rows" in node_stats:
+            project += f" (actual rows={node_stats['output_rows']})"
+        push(project)
+        lines.extend(self.root.explain_lines(depth, node_stats))
         return lines
 
     def text(self) -> str:
@@ -230,6 +273,9 @@ class Planner:
     def __init__(self, table_provider, use_indexes: bool = True):
         self._provider = table_provider
         self._use_indexes = use_indexes
+        self._settings: ExecutionSettings = (
+            getattr(table_provider, "exec_settings", None) or DEFAULT_SETTINGS
+        )
         #: Set when a produced plan folded constants in a way that makes
         #: positional re-binding unsound (e.g. redundant range bounds merged,
         #: dropping a conjunct whose literal no longer appears in the plan).
@@ -376,7 +422,9 @@ class Planner:
                 # index; they are re-checked per candidate row.
                 residual.append(conjunct)
         leaf.predicates = pushable
-        self._build_access_path(leaf)
+        # DML candidate scans stream sequential (row_id, row) pairs and are
+        # materialized before mutation; a parallel scan buys nothing there.
+        self._build_access_path(leaf, allow_parallel=False)
         scan = leaf.operator
         filtered: list[Expression] = []
         while isinstance(scan, Filter):
@@ -456,6 +504,7 @@ class Planner:
     ) -> tuple[Operator, list[Expression]]:
         column_owner = self._column_ownership(leaves)
         leaf_bindings = {leaf.binding.lower() for leaf in leaves}
+        leaf_by_binding = {leaf.binding.lower(): leaf for leaf in leaves}
 
         # Push single-binding conjuncts down to their leaf; conjuncts whose
         # binding set is undecidable (subqueries, ambiguous columns) or not
@@ -500,7 +549,9 @@ class Planner:
                 if best_key is None or key < best_key:
                     best_key, best_index, best_equi = key, index, equi
             leaf = pending.pop(best_index)
-            current, current_est = self._join(current, current_est, leaf, best_equi)
+            current, current_est = self._join(
+                current, current_est, leaf, best_equi, column_owner, leaf_by_binding
+            )
             used = {id(conjunct) for conjunct, _, _ in best_equi}
             unjoined = [c for c in unjoined if id(c) not in used]
             current_bindings.add(leaf.binding.lower())
@@ -524,14 +575,13 @@ class Planner:
         current_est: float,
         leaf: _Leaf,
         equi: list[tuple[Expression, ColumnRef, ColumnRef]],
+        column_owner: dict[str, set[str]] | None = None,
+        leaf_by_binding: dict[str, "_Leaf"] | None = None,
     ) -> tuple[Operator, float]:
         """Attach ``leaf`` to ``current``, choosing the physical join."""
         if equi:
-            joined_est = max(
-                1.0,
-                current_est
-                * max(leaf.estimate, 1.0)
-                / self._distinct_estimate(leaf, equi[0][2].name),
+            joined_est = self._equi_join_estimate(
+                current_est, leaf, equi[0], column_owner, leaf_by_binding
             )
             indexed = self._indexed_join_key(leaf, equi)
             if indexed is not None and current_est < leaf.seq_cost:
@@ -564,6 +614,60 @@ class Planner:
         joined_est = max(current_est, 1.0) * max(leaf.estimate, 1.0)
         return NestedLoopJoin(current, leaf.operator, joined_est), joined_est
 
+    def _equi_join_estimate(
+        self,
+        current_est: float,
+        leaf: _Leaf,
+        equi: tuple[Expression, ColumnRef, ColumnRef],
+        column_owner: dict[str, set[str]] | None,
+        leaf_by_binding: dict[str, "_Leaf"] | None,
+    ) -> float:
+        """Calibrated equi-join fanout: ``|L|·|R| / max(d_L, d_R)`` over the
+        *overlapping* part of the two key domains.
+
+        Distinct counts come from both join columns (classical containment
+        assumption), not just the inner side; when both columns carry cached
+        histograms, each side's cardinality and distinct count are scaled to
+        the fraction of its rows whose key falls inside the intersection of
+        the two value ranges (:func:`~repro.storage.statistics.join_key_overlap`),
+        so joins between partially or non-overlapping key domains stop being
+        costed as if every key matched.
+        """
+        _, outer_column, leaf_column = equi
+        outer_leaf: _Leaf | None = None
+        if column_owner is not None and leaf_by_binding is not None:
+            outer_binding = _resolve_binding(outer_column, column_owner)
+            if outer_binding is not None:
+                outer_leaf = leaf_by_binding.get(outer_binding)
+        inner_distinct = self._distinct_estimate(leaf, leaf_column.name)
+        outer_distinct = (
+            self._distinct_estimate(outer_leaf, outer_column.name)
+            if outer_leaf is not None
+            else 1.0
+        )
+        outer_fraction, inner_fraction = join_key_overlap(
+            self._column_statistics(outer_leaf, outer_column.name),
+            self._column_statistics(leaf, leaf_column.name),
+        )
+        denominator = max(
+            outer_distinct * outer_fraction, inner_distinct * inner_fraction, 1.0
+        )
+        return max(
+            1.0,
+            (current_est * outer_fraction)
+            * (max(leaf.estimate, 1.0) * inner_fraction)
+            / denominator,
+        )
+
+    def _column_statistics(self, leaf: "_Leaf | None", column_name: str):
+        """The cached ColumnStatistics of a leaf column, or None."""
+        if leaf is None or leaf.table is None:
+            return None
+        stats = leaf.table.cached_statistics
+        if stats is None:
+            return None
+        return stats.columns.get(column_name.lower())
+
     def _indexed_join_key(
         self, leaf: _Leaf, equi: list[tuple[Expression, ColumnRef, ColumnRef]]
     ) -> tuple[Expression, ColumnRef, ColumnRef] | None:
@@ -579,7 +683,7 @@ class Planner:
 
     # -- access paths -------------------------------------------------------------
 
-    def _build_access_path(self, leaf: _Leaf) -> None:
+    def _build_access_path(self, leaf: _Leaf, allow_parallel: bool = True) -> None:
         """Choose the leaf's operator and estimates (sets fields in place)."""
         if leaf.table is None:
             leaf.seq_cost = DEFAULT_SUBQUERY_ESTIMATE
@@ -622,13 +726,36 @@ class Planner:
             rest = [p for p in leaf.predicates if id(p) not in used]
         else:
             estimate = row_count
-            op = SeqScan(table, leaf.binding, estimate)
+            op = self._heap_scan(table, leaf.binding, estimate, allow_parallel)
             rest = list(leaf.predicates)
         if rest:
             for predicate in rest:
                 estimate *= self._predicate_selectivity(table, predicate)
             op = Filter(op, rest, estimate=estimate)
         leaf.operator, leaf.estimate = op, estimate
+
+    def _heap_scan(
+        self, table, binding: str, estimate: float, allow_parallel: bool
+    ) -> Operator:
+        """A full heap scan: parallel when the batch cost model says it pays.
+
+        Both gates must pass — the table crosses the configured row threshold
+        *and* :func:`scan_cpu_cost` with the configured worker count beats the
+        single-worker cost (which it stops doing for small heaps, where the
+        fixed fan-out setup dominates).
+        """
+        settings = self._settings
+        workers = settings.parallel_workers
+        row_count = len(table)
+        if (
+            allow_parallel
+            and workers > 1
+            and row_count >= settings.parallel_threshold
+            and scan_cpu_cost(row_count, settings, workers)
+            < scan_cpu_cost(row_count, settings)
+        ):
+            return ParallelSeqScan(table, binding, estimate, workers=workers)
+        return SeqScan(table, binding, estimate)
 
     def _pick_index_conjunct(
         self, table, predicates: list[Expression]

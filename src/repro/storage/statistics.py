@@ -305,6 +305,58 @@ class TableStatistics:
         return min(1.0, max(row_drift, histogram_drift))
 
 
+def partition_spans(total: int, partitions: int) -> list[tuple[int, int]]:
+    """Boundaries of up to ``partitions`` contiguous equal-ish slices of
+    ``total`` items, as half-open ``(start, stop)`` pairs.
+
+    The first ``total % partitions`` slices carry one extra item so the
+    largest and smallest slice differ by at most one row — balanced work for
+    the parallel-scan workers.  Fewer (possibly zero) spans are returned when
+    there are fewer items than partitions; empty spans are never produced.
+    """
+    if total <= 0 or partitions <= 0:
+        return []
+    partitions = min(partitions, total)
+    base, extra = divmod(total, partitions)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(partitions):
+        stop = start + base + (1 if index < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def join_key_overlap(left: ColumnStatistics | None, right: ColumnStatistics | None) -> tuple[float, float]:
+    """Fractions of each side's rows whose join-key value can possibly match.
+
+    Returns ``(left_fraction, right_fraction)``: the histogram-estimated share
+    of each column's rows that fall inside the intersection of the two
+    columns' value ranges.  Disjoint ranges return ``(0, 0)`` (the equi-join
+    is provably near-empty); a missing histogram on either side returns
+    ``(1, 1)`` (no evidence, assume full overlap).  The planner multiplies
+    these into its join fanout estimate so joins between partially
+    overlapping key domains stop being costed as if every key matched.
+    """
+    if left is None or right is None:
+        return 1.0, 1.0
+    left_hist, right_hist = left.histogram, right.histogram
+    if left_hist is None or right_hist is None:
+        return 1.0, 1.0
+    low = max(left_hist.low, right_hist.low)
+    high = min(left_hist.high, right_hist.high)
+    if low > high:
+        return 0.0, 0.0
+
+    def _fraction(histogram: Histogram) -> float:
+        inside = histogram.estimate_selectivity(
+            "<=", high
+        ) - histogram.estimate_selectivity("<", low)
+        return min(1.0, max(inside, 0.0))
+
+    return _fraction(left_hist), _fraction(right_hist)
+
+
 def summarize_output(
     rows: list[tuple],
     columns: list[str],

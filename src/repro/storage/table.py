@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import replace
+from itertools import islice
 
 from repro.errors import IntegrityError, SchemaError
 from repro.storage.indexes import INDEX_KINDS, HashIndex, SortedIndex
 from repro.storage.schema import ColumnSchema, TableSchema
-from repro.storage.statistics import TableStatistics
+from repro.storage.statistics import TableStatistics, partition_spans
 
 
 class Table:
@@ -65,6 +66,31 @@ class Table:
     def scan(self):
         """Iterate over ``(row_id, row)`` pairs."""
         return self._rows.items()
+
+    def scan_span(self, start: int, stop: int):
+        """Iterate the ``(row_id, row)`` pairs of one contiguous heap span.
+
+        This is the partition primitive of a
+        :class:`~repro.storage.operators.ParallelSeqScan`: each worker walks
+        its own span concurrently (read-only iteration of the row dict is
+        safe), and spans in :func:`~repro.storage.statistics.partition_spans`
+        order concatenate back to exactly :meth:`scan`.
+        """
+        return islice(self._rows.items(), start, stop)
+
+    def scan_partitions(self, partitions: int) -> list[list[tuple[int, dict]]]:
+        """Split the heap into up to ``partitions`` contiguous slices.
+
+        Each slice materializes one :meth:`scan_span`; concatenating the
+        slices in order reproduces :meth:`scan` exactly.  Boundaries come
+        from :func:`~repro.storage.statistics.partition_spans`, so empty
+        tables yield no partitions and small tables yield fewer than
+        requested.
+        """
+        return [
+            list(self.scan_span(start, stop))
+            for start, stop in partition_spans(len(self._rows), partitions)
+        ]
 
     def _bump(self, schema: bool = False) -> None:
         """Advance the change counters after a mutation."""

@@ -446,16 +446,24 @@ _DOMAINS = {
 
 
 def build_database(
-    domain: str = "limnology", scale: int = 1, seed: int = 7, clock=None
+    domain: str = "limnology",
+    scale: int = 1,
+    seed: int = 7,
+    clock=None,
+    exec_settings=None,
 ) -> Database:
     """Create a :class:`Database` with the named domain's schema and data.
 
-    ``domain`` is one of ``limnology``, ``sky_survey``, ``web_analytics``.
+    ``domain`` is one of ``limnology``, ``sky_survey``, ``web_analytics``;
+    ``exec_settings`` is an optional
+    :class:`~repro.storage.exec_settings.ExecutionSettings` for the engine's
+    batch-size / parallel-scan knobs (the CQMS's ``exec_*`` config fields only
+    tune its own meta-database, never a user DBMS built here).
     """
     if domain not in _DOMAINS:
         raise ValueError(f"unknown workload domain {domain!r}; choose from {sorted(_DOMAINS)}")
     schema_factory, populate = _DOMAINS[domain]
-    db = Database(name=domain, clock=clock)
+    db = Database(name=domain, clock=clock, exec_settings=exec_settings)
     for table_schema in schema_factory():
         db.create_table(table_schema)
     populate(db, scale=scale, seed=seed)

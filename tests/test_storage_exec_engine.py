@@ -1,0 +1,407 @@
+"""Batched execution engine: batch semantics, parallel scans, EXPLAIN ANALYZE,
+the statement cache, and the calibrated join-fanout estimates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings as hsettings
+from hypothesis import strategies as st
+
+from repro.storage import Database, ExecutionSettings
+from repro.storage.executor import ExecutorMetrics
+from repro.storage.operators import ExecutionContext, ParallelSeqScan, SeqScan
+from repro.storage.statistics import partition_spans
+
+
+def _make_db(exec_settings: ExecutionSettings | None = None, **kwargs) -> Database:
+    db = Database(exec_settings=exec_settings, **kwargs)
+    db.execute("CREATE TABLE lakes (lake_id INTEGER, name TEXT, area FLOAT, state TEXT)")
+    db.execute("CREATE TABLE samples (lake_id INTEGER, depth INTEGER, temp FLOAT)")
+    db.insert_rows(
+        "lakes",
+        [
+            {"lake_id": i, "name": f"lake{i}", "area": float((i * 37) % 101), "state": f"s{i % 7}"}
+            for i in range(200)
+        ],
+    )
+    db.insert_rows(
+        "samples",
+        [
+            {"lake_id": i % 200, "depth": i % 30, "temp": 4.0 + (i % 17)}
+            for i in range(1000)
+        ],
+    )
+    return db
+
+
+#: A mixed bag of statements exercising filters, joins, ordering, grouping,
+#: DISTINCT, LIMIT, LIKE, IN, BETWEEN, and subqueries.
+QUERIES = [
+    "SELECT * FROM lakes",
+    "SELECT name, area FROM lakes WHERE area > 50 AND state = 's3'",
+    "SELECT name FROM lakes WHERE name LIKE 'lake1%' ORDER BY name",
+    "SELECT name FROM lakes WHERE lake_id IN (1, 5, 7, 300)",
+    "SELECT name FROM lakes WHERE area BETWEEN 10 AND 20 ORDER BY area, name",
+    "SELECT l.name, s.depth FROM lakes l, samples s "
+    "WHERE l.lake_id = s.lake_id AND s.depth < 3 ORDER BY l.name, s.depth",
+    "SELECT DISTINCT state FROM lakes ORDER BY state",
+    "SELECT state, COUNT(*), AVG(area) FROM lakes GROUP BY state ORDER BY state",
+    "SELECT name FROM lakes ORDER BY area DESC LIMIT 7",
+    "SELECT name FROM lakes WHERE area > (SELECT AVG(area) FROM lakes) ORDER BY name LIMIT 5",
+    "SELECT l.state, COUNT(*) FROM lakes l LEFT JOIN samples s "
+    "ON l.lake_id = s.lake_id GROUP BY l.state ORDER BY l.state",
+]
+
+
+class TestBatchSemantics:
+    @pytest.mark.parametrize("batch_size", [1, 2, 256])
+    def test_results_identical_across_batch_sizes(self, batch_size):
+        baseline = _make_db(ExecutionSettings(batch_size=256))
+        db = _make_db(ExecutionSettings(batch_size=batch_size))
+        for sql in QUERIES:
+            expected = baseline.execute(sql)
+            got = db.execute(sql)
+            assert got.columns == expected.columns, sql
+            assert got.rows == expected.rows, sql
+
+    def test_compiled_and_evaluated_filters_agree(self):
+        compiled = _make_db(ExecutionSettings(compile_expressions=True))
+        evaluated = _make_db(ExecutionSettings(compile_expressions=False))
+        for sql in QUERIES:
+            assert compiled.execute(sql).rows == evaluated.execute(sql).rows, sql
+
+    def test_limit_short_circuit_still_honest(self):
+        db = _make_db()
+        db.execute("CREATE INDEX lakes_area ON lakes (area) USING SORTED")
+        result = db.execute("SELECT name FROM lakes ORDER BY area DESC LIMIT 3")
+        assert len(result.rows) == 3
+        # Batch size is capped at the LIMIT budget: only 3 heap rows fetched.
+        assert result.stats.rows_scanned == 3
+
+    def test_large_limit_does_not_overscan(self):
+        """The batch size tracks the remaining LIMIT budget, so limits larger
+        than one batch still touch exactly LIMIT heap rows."""
+        db = Database(exec_settings=ExecutionSettings(batch_size=256))
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.insert_rows("t", [{"a": i} for i in range(1000)])
+        result = db.execute("SELECT a FROM t LIMIT 300")
+        assert len(result.rows) == 300
+        assert result.stats.rows_scanned == 300
+
+    def test_compiled_artifacts_memoized_across_executions(self):
+        """A cached plan compiles its filter closures once, and re-binding the
+        plan's parameters stays visible to the memoized closures."""
+        from repro.storage.operators import Filter
+
+        db = _make_db()
+        first = db.execute("SELECT name FROM lakes WHERE state = 's1'")
+        root = db.explain("SELECT name FROM lakes WHERE state = 's1'").root
+        assert isinstance(root, Filter)
+        checks_after_first = root._compiled
+        assert checks_after_first is not None  # the conjunct compiled
+        second = db.execute("SELECT name FROM lakes WHERE state = 's2'")
+        assert second.stats.plan_cache_hit
+        assert root._compiled is checks_after_first  # compiled once, reused
+        expected = [
+            (row["name"],) for row in db.table("lakes").rows() if row["state"] == "s2"
+        ]
+        assert sorted(second.rows) == sorted(expected)
+        assert first.rows != second.rows
+
+    def test_batches_metric_reported(self):
+        db = _make_db(ExecutionSettings(batch_size=64))
+        result = db.execute("SELECT * FROM lakes")
+        assert result.stats.batches == 200 // 64 + 1
+
+    def test_rows_shim_matches_batches(self):
+        db = _make_db()
+        table = db.table("lakes")
+        scan = SeqScan(table, "lakes", float(len(table)))
+        shim = list(scan.rows(ExecutionContext(metrics=ExecutorMetrics())))
+        batched = [
+            row
+            for batch in scan.batches(ExecutionContext(metrics=ExecutorMetrics()))
+            for row in batch
+        ]
+        assert shim == batched
+
+
+class TestPartitioning:
+    def test_partition_spans_cover_everything_once(self):
+        assert partition_spans(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert partition_spans(2, 4) == [(0, 1), (1, 2)]
+        assert partition_spans(0, 4) == []
+        assert partition_spans(5, 1) == [(0, 5)]
+
+    def test_scan_partitions_reassemble_to_scan(self):
+        db = _make_db()
+        table = db.table("lakes")
+        flat = [pair for part in table.scan_partitions(4) for pair in part]
+        assert flat == list(table.scan())
+
+    def test_scan_span_matches_partition_boundaries(self):
+        db = _make_db()
+        table = db.table("lakes")
+        spans = partition_spans(len(table), 3)
+        flat = [pair for span in spans for pair in table.scan_span(*span)]
+        assert flat == list(table.scan())
+
+    def test_limit_budget_skips_join_pipelines(self):
+        """The LIMIT batch cap applies to scan/filter pipelines only — a join
+        keeps full batches (its build side consumes everything anyway)."""
+        from repro.storage.executor import _limit_budget_applies
+        from repro.storage.operators import Filter as FilterOp
+
+        db = _make_db(ExecutionSettings(batch_size=64))
+        join_root = db.explain(
+            "SELECT l.name FROM lakes l, samples s WHERE l.lake_id = s.lake_id LIMIT 1"
+        ).root
+        scan_root = db.explain("SELECT name FROM lakes WHERE area > 5 LIMIT 1").root
+        assert not _limit_budget_applies(join_root)
+        assert isinstance(scan_root, FilterOp) and _limit_budget_applies(scan_root)
+        result = db.execute(
+            "SELECT l.name FROM lakes l, samples s WHERE l.lake_id = s.lake_id LIMIT 1"
+        )
+        assert len(result.rows) == 1
+
+    def test_parallel_scan_preserves_heap_order(self):
+        db = _make_db()
+        table = db.table("samples")
+        seq = SeqScan(table, "s", float(len(table)))
+        par = ParallelSeqScan(table, "s", float(len(table)), workers=4)
+        seq_rows = list(seq.rows(ExecutionContext(metrics=ExecutorMetrics())))
+        par_rows = list(par.rows(ExecutionContext(metrics=ExecutorMetrics())))
+        assert par_rows == seq_rows
+
+    def test_parallel_scan_counts_all_rows(self):
+        db = _make_db()
+        table = db.table("samples")
+        metrics = ExecutorMetrics()
+        par = ParallelSeqScan(table, "s", float(len(table)), workers=3)
+        total = sum(len(b) for b in par.batches(ExecutionContext(metrics=metrics)))
+        assert total == len(table) == metrics.rows_scanned
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_results_identical_across_worker_counts(self, workers):
+        baseline = _make_db(ExecutionSettings(parallel_workers=1))
+        db = _make_db(
+            ExecutionSettings(parallel_workers=workers, parallel_threshold=100)
+        )
+        for sql in QUERIES:
+            assert db.execute(sql).rows == baseline.execute(sql).rows, sql
+
+    @hsettings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.integers(-50, 50), st.none()), min_size=0, max_size=500
+        ),
+        workers=st.integers(1, 4),
+        threshold=st.integers(-40, 40),
+    )
+    def test_parallel_filter_property(self, values, workers, threshold):
+        """Random tables: a filtered parallel scan equals the sequential scan,
+        rows in heap order."""
+        db = Database(
+            exec_settings=ExecutionSettings(parallel_workers=workers, parallel_threshold=1)
+        )
+        db.execute("CREATE TABLE t (v INTEGER)")
+        db.insert_rows("t", [{"v": value} for value in values])
+        plain = Database()
+        plain.execute("CREATE TABLE t (v INTEGER)")
+        plain.insert_rows("t", [{"v": value} for value in values])
+        sql = f"SELECT v FROM t WHERE v >= {threshold}"
+        assert db.execute(sql).rows == plain.execute(sql).rows
+
+    def test_planner_parallelizes_above_threshold_only(self):
+        settings = ExecutionSettings(parallel_workers=4, parallel_threshold=150)
+        db = _make_db(settings)
+        big = db.explain("SELECT * FROM samples").text()     # 1000 rows
+        small = db.explain("SELECT * FROM lakes WHERE state = 'zzz'").text()  # 200 rows
+        assert "ParallelSeqScan samples [workers=4" in big
+        assert "ParallelSeqScan" not in small
+
+    def test_planner_keeps_seq_scan_with_one_worker(self):
+        db = _make_db(ExecutionSettings(parallel_workers=1, parallel_threshold=1))
+        assert "ParallelSeqScan" not in db.explain("SELECT * FROM samples").text()
+
+    def test_dml_never_parallelizes(self):
+        db = _make_db(ExecutionSettings(parallel_workers=4, parallel_threshold=1))
+        plan = db.explain("UPDATE samples SET temp = 0 WHERE depth > 40").text()
+        assert "ParallelSeqScan" not in plan
+        # And the DML path still works end to end with parallel settings on.
+        assert db.execute("DELETE FROM samples WHERE depth = 29").rowcount > 0
+
+
+class TestExplainAnalyze:
+    def test_actual_rows_match_rows_scanned(self):
+        db = _make_db()
+        explanation = db.explain("SELECT * FROM lakes", analyze=True)
+        assert explanation.analyzed
+        assert explanation.stats is not None
+        text = explanation.text()
+        assert f"SeqScan lakes [est=200] (actual rows={explanation.stats.rows_scanned}" in text
+        assert explanation.stats.rows_scanned == 200
+
+    def test_filter_and_join_actuals(self):
+        db = _make_db()
+        explanation = db.explain(
+            "SELECT l.name FROM lakes l, samples s "
+            "WHERE l.lake_id = s.lake_id AND s.depth < 3",
+            analyze=True,
+        )
+        expected = db.execute(
+            "SELECT l.name FROM lakes l, samples s "
+            "WHERE l.lake_id = s.lake_id AND s.depth < 3"
+        )
+        text = explanation.text()
+        # The filter's actual output must equal the count of qualifying rows.
+        matching = sum(1 for row in db.table("samples").rows() if row["depth"] < 3)
+        assert f"(actual rows={matching}" in text
+        assert f"Execution: {len(expected.rows)} rows" in text
+        assert f"(actual rows={len(expected.rows)})" in text  # Project line
+
+    def test_batches_and_time_reported(self):
+        db = _make_db(ExecutionSettings(batch_size=64))
+        text = db.explain("SELECT * FROM samples", analyze=True).text()
+        assert "batches=16" in text
+        assert "time=" in text
+
+    def test_analyze_rejects_dml(self):
+        db = _make_db()
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.explain("DELETE FROM lakes WHERE lake_id = 1", analyze=True)
+
+    def test_analyze_of_cached_plan_is_marked(self):
+        db = _make_db()
+        db.execute("SELECT name FROM lakes WHERE state = 's1'")
+        explanation = db.explain(
+            "SELECT name FROM lakes WHERE state = 's2'", analyze=True
+        )
+        assert "(cached)" in explanation.text()
+        assert explanation.plan_cache_hit
+        # The re-bound constant must drive the actual execution.
+        expected = sum(1 for row in db.table("lakes").rows() if row["state"] == "s2")
+        assert f"Execution: {expected} rows" in explanation.text()
+
+    def test_index_probe_loops_reported(self):
+        db = _make_db()
+        db.execute("CREATE INDEX samples_lake ON samples (lake_id)")
+        text = db.explain(
+            "SELECT l.name FROM lakes l, samples s WHERE l.lake_id = s.lake_id",
+            analyze=True,
+        ).text()
+        assert "IndexLoopJoin" in text
+        assert "loops=" in text
+
+    def test_workbench_renders_analyzed_plan(self):
+        from repro.client.render import render_plan
+
+        db = _make_db()
+        rendered = render_plan(db.explain("SELECT * FROM lakes", analyze=True))
+        assert "(analyzed)" in rendered
+        assert "actual rows=" in rendered
+
+
+class TestStatementCache:
+    def test_identical_text_skips_parser(self):
+        db = _make_db()
+        sql = "SELECT name FROM lakes WHERE state = 's1'"
+        first = db.execute(sql)
+        second = db.execute(sql)
+        assert first.rows == second.rows
+        assert not first.stats.statement_cache_hit
+        assert second.stats.statement_cache_hit
+        stats = db.plan_cache_stats()
+        assert stats.statement_hits == 1
+        assert stats.statement_misses == 1
+        assert stats.statement_hit_rate == 0.5
+
+    def test_different_constants_miss_statement_cache_but_hit_plan_cache(self):
+        db = _make_db()
+        db.execute("SELECT name FROM lakes WHERE state = 's1'")
+        result = db.execute("SELECT name FROM lakes WHERE state = 's2'")
+        assert not result.stats.statement_cache_hit
+        assert result.stats.plan_cache_hit
+        expected = [
+            (row["name"],) for row in db.table("lakes").rows() if row["state"] == "s2"
+        ]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_interleaved_templates_rebind_correctly(self):
+        """A statement-cache hit must re-bind its own constants even after a
+        different instance of the same template executed in between."""
+        db = _make_db()
+        sql_one = "SELECT COUNT(*) FROM lakes WHERE state = 's1'"
+        sql_two = "SELECT COUNT(*) FROM lakes WHERE state = 's5'"
+        count_one = db.execute(sql_one).scalar()
+        count_two = db.execute(sql_two).scalar()
+        assert count_one != count_two
+        assert db.execute(sql_one).scalar() == count_one
+        assert db.execute(sql_two).scalar() == count_two
+        assert db.execute(sql_one).scalar() == count_one
+
+    def test_dml_statement_cache_roundtrip(self):
+        db = _make_db()
+        sql = "UPDATE samples SET temp = 0.0 WHERE depth = 5"
+        first = db.execute(sql)
+        second = db.execute(sql)
+        assert second.stats.statement_cache_hit
+        assert second.rowcount == first.rowcount
+        assert all(
+            row["temp"] == 0.0 for row in db.table("samples").rows() if row["depth"] == 5
+        )
+
+    def test_ddl_not_statement_cached(self):
+        db = _make_db()
+        db.execute("CREATE TABLE extra (x INTEGER)")
+        stats = db.plan_cache_stats()
+        assert stats.statement_lookups == 0
+
+    def test_disabled_plan_cache_disables_statement_cache(self):
+        db = _make_db(plan_cache_size=0)
+        sql = "SELECT COUNT(*) FROM lakes"
+        db.execute(sql)
+        result = db.execute(sql)
+        assert not result.stats.statement_cache_hit
+
+
+class TestJoinFanoutCalibration:
+    def _db_with_ranges(self, left_range, right_range):
+        db = Database()
+        db.execute("CREATE TABLE l (k INTEGER)")
+        db.execute("CREATE TABLE r (k INTEGER)")
+        db.insert_rows("l", [{"k": v} for v in left_range])
+        db.insert_rows("r", [{"k": v} for v in right_range])
+        db.statistics("l", refresh=True)
+        db.statistics("r", refresh=True)
+        return db
+
+    def _join_estimate(self, db) -> float:
+        explanation = db.explain("SELECT * FROM l, r WHERE l.k = r.k")
+        assert explanation.root is not None
+        return explanation.root.estimate
+
+    def test_disjoint_key_ranges_estimate_near_zero(self):
+        db = self._db_with_ranges(range(0, 500), range(1000, 1500))
+        assert self._join_estimate(db) <= 2.0
+        assert len(db.execute("SELECT * FROM l, r WHERE l.k = r.k").rows) == 0
+
+    def test_overlapping_ranges_beat_distinct_only_estimate(self):
+        # Keys overlap on [250, 500): the true join size is 250.
+        db = self._db_with_ranges(range(0, 500), range(250, 750))
+        estimate = self._join_estimate(db)
+        actual = len(db.execute("SELECT * FROM l, r WHERE l.k = r.k").rows)
+        assert actual == 250
+        # The distinct-only formula says |L|*|R|/max(d) = 500; the histogram
+        # overlap scaling must land meaningfully closer to the truth.
+        distinct_only = 500.0 * 500.0 / 500.0
+        assert abs(estimate - actual) < abs(distinct_only - actual)
+
+    def test_identical_ranges_keep_classical_estimate(self):
+        db = self._db_with_ranges(range(0, 300), range(0, 300))
+        estimate = self._join_estimate(db)
+        actual = len(db.execute("SELECT * FROM l, r WHERE l.k = r.k").rows)
+        assert actual == 300
+        assert 150.0 <= estimate <= 600.0
