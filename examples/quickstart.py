@@ -5,12 +5,17 @@ Builds the paper's limnology database, wraps it in a CQMS, submits a few
 queries as two collaborating scientists, and demonstrates each interaction
 mode: traditional (submit + annotate), search & browse (keyword, feature, and
 kNN meta-queries), assisted (completion / correction / recommendation), and
-administrative (mining and maintenance).
+administrative (mining and maintenance) — then shows the durable Query
+Storage: with ``CQMSConfig(data_dir=...)`` the query log is written ahead to
+disk and survives a restart.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import CQMS, SimulatedClock, build_database
+import shutil
+import tempfile
+
+from repro import CQMS, CQMSConfig, SimulatedClock, build_database
 from repro.client import render_assist_panel, render_query_table, render_session_graph
 
 
@@ -67,6 +72,29 @@ def main() -> None:
         f"{maintenance.num_flagged} flagged"
     )
     print("repaired example:", cqms.store.get(maintenance.repaired[0]).describe(90))
+
+    # 8. Durability: with a data_dir the query log survives restarts.  The
+    # Query Storage writes every logged query through a write-ahead log
+    # (group-commit batched by default) and recovers it on reopen.
+    print("\n== Durable Query Storage ==")
+    data_dir = tempfile.mkdtemp(prefix="cqms_quickstart_")
+    try:
+        db2 = build_database("limnology", scale=1)
+        with CQMS(db2, config=CQMSConfig(data_dir=data_dir, wal_sync="batch")) as durable:
+            durable.register_user("nodira", group="uw-db")
+            durable.submit("nodira", "SELECT * FROM WaterTemp T WHERE T.temp < 18")
+            durable.annotate("nodira", 1, "the cold-water baseline query")
+            durable.checkpoint()  # snapshot + truncate the WAL
+            print("  logged 1 query into", data_dir)
+        # ... the process "restarts": reopening the same data_dir recovers it.
+        db3 = build_database("limnology", scale=1)
+        with CQMS(db3, config=CQMSConfig(data_dir=data_dir)) as reopened:
+            reopened.register_user("nodira", group="uw-db")
+            record = reopened.store.get(1)
+            print(f"  recovered q{record.qid}: {record.text}")
+            print(f"  with annotations: {record.annotations}")
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

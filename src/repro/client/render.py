@@ -130,6 +130,29 @@ def render_plan_cache(stats_by_engine: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def render_durability(stats_by_engine: dict[str, object]) -> str:
+    """Render WAL/checkpoint activity per engine (the Workbench durability panel).
+
+    ``stats_by_engine`` maps an engine label to its
+    :class:`~repro.storage.wal.WalStats`, or None for an in-memory engine —
+    the panel makes it obvious which engines would survive a crash.
+    """
+    lines = ["=== Durability ==="]
+    for label, stats in stats_by_engine.items():
+        if stats is None:
+            lines.append(f"{label}: in-memory (no write-ahead log)")
+            continue
+        lines.append(
+            f"{label}: wal sync={stats.sync_policy}, "
+            f"{stats.records} records / {stats.bytes_written} bytes "
+            f"({stats.records_since_checkpoint} since checkpoint), "
+            f"{stats.syncs} fsyncs over {stats.flushes} group commits "
+            f"(avg batch {stats.avg_batch_records:.1f}, max {stats.max_batch_records}), "
+            f"{stats.checkpoints} checkpoints, last lsn {stats.last_lsn}"
+        )
+    return "\n".join(lines)
+
+
 def render_query_table(records: list[LoggedQuery], max_width: int = 70) -> str:
     """Render a list of logged queries as a table (the browse log view)."""
     header = f"{'qid':<6}| {'user':<10}| {'when':<10}| {'card.':<7}| query"

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.client.render import render_assist_panel, render_plan, render_plan_cache
+from repro.client.render import (
+    render_assist_panel,
+    render_durability,
+    render_plan,
+    render_plan_cache,
+)
 from repro.core.cqms import CQMS, AssistResponse
 from repro.core.profiler import ProfiledExecution
 from repro.core.recommender import Recommendation
@@ -110,6 +115,15 @@ class Workbench:
     def plan_cache_panel(self) -> str:
         """Rendered plan-cache hit rates of both engines (DBMS + Query Storage)."""
         return render_plan_cache(self.cqms.plan_cache_stats())
+
+    def durability_panel(self) -> str:
+        """Rendered WAL/checkpoint activity of both engines.
+
+        Shows which engines are durable, their sync policy, group-commit
+        batch sizes, and how much log has accumulated since the last
+        checkpoint — the at-a-glance answer to "what survives a crash?".
+        """
+        return render_durability(self.cqms.durability_stats())
 
     # -- submission ------------------------------------------------------------------
 

@@ -74,6 +74,14 @@ class CQMSConfig:
     # -- plan cache (meta-database hot path) ------------------------------------------
     plan_cache_size: int = 128                # cached meta-query templates (0 = off)
 
+    # -- durability (Query Storage persistence across restarts) -------------------------
+    #: Directory the Query Storage meta-database persists into (WAL +
+    #: snapshots); None keeps the historical in-memory behaviour.  The paper's
+    #: premise is a long-lived shared repository, so real deployments set this.
+    data_dir: str | None = None
+    wal_sync: str = "batch"                   # "off" | "commit" | "batch"
+    checkpoint_interval: int = 0              # auto-checkpoint after N WAL records (0 = manual)
+
     # -- execution engine (batched scans over the feature relations) --------------------
     exec_batch_size: int = 256                # rows per operator batch
     exec_parallel_workers: int = 1            # >1 fans ParallelSeqScan across threads
@@ -100,6 +108,13 @@ class CQMSConfig:
             raise ValueError("knn_default_k must be at least 1")
         if self.plan_cache_size < 0:
             raise ValueError("plan_cache_size must be non-negative")
+        # Imported lazily to keep the module-level import direction core → storage.
+        from repro.storage.wal import SYNC_POLICIES
+
+        if self.wal_sync not in SYNC_POLICIES:
+            raise ValueError(f"invalid wal_sync {self.wal_sync!r}")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
         if self.exec_batch_size < 1:
             raise ValueError("exec_batch_size must be at least 1")
         if self.exec_parallel_workers < 1:

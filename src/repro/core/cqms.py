@@ -72,6 +72,10 @@ class CQMS:
             clock=self.clock,
             plan_cache_size=self.config.plan_cache_size,
             exec_settings=self.config.exec_settings(),
+            data_dir=self.config.data_dir,
+            wal_sync=self.config.wal_sync,
+            checkpoint_interval=self.config.checkpoint_interval,
+            schema_columns=database.schema_columns(),
         )
         self.access_control = AccessControl(
             default_visibility=Visibility.parse(self.config.default_visibility)
@@ -155,6 +159,44 @@ class CQMS:
         return {
             "database": self.database.plan_cache_stats(),
             "query_storage": self.store.plan_cache_stats(),
+        }
+
+    # -- durability ---------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the Query Storage meta-database and truncate its WAL.
+
+        Requires ``config.data_dir`` (a durable Query Storage); raises
+        :class:`~repro.errors.DurabilityError` otherwise.
+        """
+        return self.store.checkpoint()
+
+    def close(self) -> None:
+        """Flush and release the durable Query Storage (idempotent).
+
+        The user DBMS is owned by the caller and is *not* closed here — but
+        ``CQMS`` works as a context manager for the common script shape
+        ``with CQMS(db, config=...) as cqms: ...``.
+        """
+        self.store.close()
+
+    def __enter__(self) -> "CQMS":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def durability_stats(self) -> dict[str, object]:
+        """WAL counters of both engines (None marks an in-memory engine).
+
+        ``"database"`` is the user DBMS, ``"query_storage"`` the meta-database
+        holding the feature relations — the one ``config.data_dir`` makes
+        durable, where logged-query volume makes the group-commit batch sizes
+        interesting.
+        """
+        return {
+            "database": self.database.wal_stats(),
+            "query_storage": self.store.wal_stats(),
         }
 
     def annotate(self, user: str, qid: int, body: str) -> None:

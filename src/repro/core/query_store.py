@@ -19,8 +19,11 @@ cheap object access (miner, recommender, maintenance).
 
 from __future__ import annotations
 
-from repro.core.records import LoggedQuery
-from repro.errors import MetaQueryError
+from repro.core.records import LoggedQuery, OutputSummary, RuntimeStats
+from repro.errors import MetaQueryError, ReproError
+from repro.sql.canonicalize import canonical_text
+from repro.sql.features import extract_features
+from repro.sql.parser import parse
 from repro.storage.database import Database, QueryResult
 from repro.storage.plan_cache import DEFAULT_PLAN_CACHE_SIZE
 from repro.storage.schema import ColumnSchema, TableSchema
@@ -46,6 +49,8 @@ FEATURE_RELATIONS: list[TableSchema] = [
         ("statementKind", DataType.TEXT),
         ("visibility", DataType.TEXT),
         ("valid", DataType.BOOLEAN),
+        ("invalidReason", DataType.TEXT),
+        ("flagCount", DataType.INTEGER),
     ),
     _schema("DataSources", ("qid", DataType.INTEGER), ("relName", DataType.TEXT)),
     _schema(
@@ -114,26 +119,56 @@ FEATURE_RELATIONS: list[TableSchema] = [
         ("edgeType", DataType.TEXT),
         ("diffSummary", DataType.TEXT),
     ),
+    # Engine bookkeeping, not a paper relation: persists counters like the
+    # qid high-water mark so identifiers are never reused across restarts
+    # of a durable store (removals would otherwise lower max(qid)).
+    _schema("StoreMeta", ("key", DataType.TEXT), ("value", DataType.INTEGER)),
 ]
 
 
 class QueryStore:
-    """Query Storage: feature relations + the in-memory record index."""
+    """Query Storage: feature relations + the in-memory record index.
+
+    With ``data_dir`` set the meta-database is durable: every shredded
+    feature row goes through the write-ahead log, and reopening the same
+    directory recovers the relations and rebuilds the in-memory record index
+    from them — the paper's long-lived shared repository survives restarts.
+    """
 
     def __init__(
         self,
         clock=None,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         exec_settings=None,
+        data_dir: str | None = None,
+        wal_sync: str = "batch",
+        checkpoint_interval: int = 0,
+        schema_columns: dict | None = None,
     ):
-        self._meta_db = Database(
-            name="query_storage",
-            clock=clock,
-            plan_cache_size=plan_cache_size,
-            exec_settings=exec_settings,
-        )
+        if data_dir is not None:
+            self._meta_db = Database.open(
+                data_dir,
+                name="query_storage",
+                clock=clock,
+                wal_sync=wal_sync,
+                checkpoint_interval=checkpoint_interval,
+                plan_cache_size=plan_cache_size,
+                exec_settings=exec_settings,
+            )
+        else:
+            self._meta_db = Database(
+                name="query_storage",
+                clock=clock,
+                plan_cache_size=plan_cache_size,
+                exec_settings=exec_settings,
+            )
+        #: Schema map of the *user* database, used to re-extract features
+        #: when rebuilding the record index after recovery.
+        self._schema_columns = dict(schema_columns or {})
         for table_schema in FEATURE_RELATIONS:
-            self._meta_db.create_table(table_schema)
+            # On a recovered data_dir the relations already exist.
+            if not self._meta_db.has_table(table_schema.name):
+                self._meta_db.create_table(table_schema)
         for table, column in (
             ("DataSources", "qid"),
             ("Attributes", "qid"),
@@ -177,6 +212,9 @@ class QueryStore:
         self._qids_by_user: dict[str, set[int]] = {}
         self._qids_by_group: dict[str, set[int]] = {}
         self._next_qid = 1
+        self._next_qid_row_id = self._init_store_meta()
+        if data_dir is not None and len(self._meta_db.table("Queries")):
+            self._rebuild_record_index()
 
     # -- basic access ---------------------------------------------------------
 
@@ -184,6 +222,138 @@ class QueryStore:
     def meta_database(self) -> Database:
         """The relational database holding the feature relations."""
         return self._meta_db
+
+    # -- durability lifecycle ----------------------------------------------------
+
+    @property
+    def is_durable(self) -> bool:
+        return self._meta_db.is_durable
+
+    def checkpoint(self) -> int:
+        """Snapshot the meta-database and truncate its WAL (durable only)."""
+        return self._meta_db.checkpoint()
+
+    def close(self) -> None:
+        """Flush the WAL and release the ``data_dir`` lock (idempotent)."""
+        self._meta_db.close()
+
+    def wal_stats(self):
+        """WAL counters of the meta-database (None when in-memory)."""
+        return self._meta_db.wal_stats()
+
+    def _rebuild_record_index(self) -> None:
+        """Repopulate the in-memory :class:`LoggedQuery` index after recovery.
+
+        The feature relations are the durable source of truth; the record
+        objects are a cache over them.  Text, user/group, timestamps,
+        validity, runtime statistics, annotations, and output samples come
+        straight from the relations; syntactic features and canonical/template
+        texts are re-extracted from the recovered query text (the same code
+        path the profiler used to produce them).  Session membership is
+        matched back from the ``Sessions`` time windows (same user, timestamp
+        inside ``[startTs, endTs]``), so the per-session query counts stay
+        consistent when a recovered query is later removed.  Output-sample
+        cells come back as the TEXT the relation stores.
+        """
+        runtime_by_qid: dict[int, RuntimeStats] = {}
+        for row in self._meta_db.table("RuntimeStats").rows():
+            runtime_by_qid[row["qid"]] = RuntimeStats(
+                elapsed_seconds=row["elapsedSeconds"] or 0.0,
+                result_cardinality=row["cardinality"] or 0,
+                rows_scanned=row["rowsScanned"] or 0,
+                succeeded=bool(row["succeeded"]),
+            )
+        annotations_by_qid: dict[int, list[tuple[float, str]]] = {}
+        for row in self._meta_db.table("Annotations").rows():
+            annotations_by_qid.setdefault(row["qid"], []).append(
+                (row["ts"] or 0.0, row["body"] or "")
+            )
+        samples_by_qid: dict[int, list[dict]] = {}
+        for row in self._meta_db.table("OutputSamples").rows():
+            samples_by_qid.setdefault(row["qid"], []).append(row)
+        sessions_by_user: dict[str, list[tuple[float, float, int]]] = {}
+        for row in self._meta_db.table("Sessions").rows():
+            sessions_by_user.setdefault(row["userName"], []).append(
+                (row["startTs"] or 0.0, row["endTs"] or 0.0, row["sessionId"])
+            )
+
+        queries = sorted(self._meta_db.table("Queries").rows(), key=lambda r: r["qid"])
+        for row in queries:
+            qid = row["qid"]
+            record = LoggedQuery(
+                qid=qid,
+                user=row["userName"] or "",
+                group=row["groupName"] or "",
+                text=row["qText"] or "",
+                timestamp=row["ts"] or 0.0,
+                statement_kind=row["statementKind"] or "unknown",
+                visibility=row["visibility"] or "group",
+                flagged_invalid=not row["valid"],
+                invalid_reason=row["invalidReason"],
+                flag_count=row["flagCount"] or 0,
+                runtime=runtime_by_qid.get(qid, RuntimeStats()),
+            )
+            try:
+                parsed = parse(record.text)
+                record.features = extract_features(parsed, self._schema_columns)
+                record.canonical_text = canonical_text(parsed)
+                record.template_text = canonical_text(parsed, strip_constants=True)
+            except ReproError:
+                record.canonical_text = " ".join(record.text.lower().split())
+                record.template_text = record.canonical_text
+            record.annotations = [
+                body for _, body in sorted(annotations_by_qid.get(qid, []))
+            ]
+            record.output = self._rebuild_output_summary(
+                samples_by_qid.get(qid), record.runtime.result_cardinality
+            )
+            for start, end, session_id in sessions_by_user.get(record.user, ()):
+                if start <= record.timestamp <= end:
+                    record.session_id = session_id
+                    break
+            self._records[qid] = record
+            self._qids_by_user.setdefault(record.user, set()).add(qid)
+            self._qids_by_group.setdefault(record.group, set()).add(qid)
+        if self._records:
+            # The StoreMeta high-water mark normally leads; max(qid)+1 is the
+            # floor for stores created before the counter existed.
+            self._next_qid = max(self._next_qid, max(self._records) + 1)
+
+    @staticmethod
+    def _rebuild_output_summary(
+        sample_rows: list[dict] | None, result_cardinality: int
+    ) -> OutputSummary | None:
+        """Reassemble an :class:`OutputSummary` from its shredded cells.
+
+        ``result_cardinality`` (from ``RuntimeStats``) is the query's true
+        output size, so ``total_rows``/``complete`` mean the same thing they
+        meant when the profiler built the original summary.  Cells are
+        stored in a TEXT column, so numeric/boolean values are coerced back
+        (best effort — a genuinely textual ``"18.5"`` is indistinguishable
+        from the float) to keep query-by-data value matching working across
+        restarts; NULL round-trips exactly.
+        """
+        if not sample_rows:
+            return None
+        columns: list[str] = []
+        cells: dict[int, dict[str, object]] = {}
+        for row in sample_rows:
+            if row["rowIndex"] == 0 and row["columnName"] not in columns:
+                columns.append(row["columnName"])
+            cells.setdefault(row["rowIndex"], {})[row["columnName"]] = _parse_cell(
+                row["cellValue"]
+            )
+        rows = [
+            tuple(cells[index].get(column) for column in columns)
+            for index in sorted(cells)
+        ]
+        total_rows = max(result_cardinality, len(rows))
+        return OutputSummary(
+            columns=columns,
+            rows=rows,
+            total_rows=total_rows,
+            complete=len(rows) >= total_rows,
+        )
 
     def __len__(self) -> int:
         return len(self._records)
@@ -194,7 +364,22 @@ class QueryStore:
     def next_qid(self) -> int:
         qid = self._next_qid
         self._next_qid += 1
+        # Keep the durable high-water mark current: qids must stay unique
+        # for the life of the store, not just of this process (max(qid)
+        # over surviving rows would march backwards after removals).
+        self._meta_db.table("StoreMeta").update(
+            self._next_qid_row_id, {"value": self._next_qid}
+        )
         return qid
+
+    def _init_store_meta(self) -> int:
+        """Load (or create) the persistent ``next_qid`` counter row."""
+        table = self._meta_db.table("StoreMeta")
+        for row_id, row in table.scan():
+            if row["key"] == "next_qid":
+                self._next_qid = max(self._next_qid, row["value"] or 1)
+                return row_id
+        return table.insert({"key": "next_qid", "value": self._next_qid})
 
     def get(self, qid: int) -> LoggedQuery:
         try:
@@ -237,6 +422,8 @@ class QueryStore:
                     "statementKind": record.statement_kind,
                     "visibility": record.visibility,
                     "valid": not record.flagged_invalid,
+                    "invalidReason": record.invalid_reason,
+                    "flagCount": record.flag_count,
                 }
             ],
         )
@@ -369,19 +556,29 @@ class QueryStore:
         record.flagged_invalid = True
         record.invalid_reason = reason
         record.flag_count += 1
-        self._set_validity(qid, False)
+        self._sync_validity(record)
 
     def mark_valid(self, qid: int) -> None:
         record = self.get(qid)
         record.flagged_invalid = False
         record.invalid_reason = None
-        self._set_validity(qid, True)
+        self._sync_validity(record)
 
-    def _set_validity(self, qid: int, valid: bool) -> None:
-        """Flip ``Queries.valid`` through the qid index, bypassing SQL parsing."""
+    def _sync_validity(self, record: LoggedQuery) -> None:
+        """Mirror the record's flag state into ``Queries`` (validity, reason,
+        flag count) through the qid index, bypassing SQL parsing.  Keeping
+        the relation authoritative means the maintenance drop-after-N-flags
+        policy survives restarts of a durable store."""
         table = self._meta_db.table("Queries")
-        for row_id in self._feature_row_ids(table, qid):
-            table.update(row_id, {"valid": valid})
+        for row_id in self._feature_row_ids(table, record.qid):
+            table.update(
+                row_id,
+                {
+                    "valid": not record.flagged_invalid,
+                    "invalidReason": record.invalid_reason,
+                    "flagCount": record.flag_count,
+                },
+            )
 
     def remove(self, qid: int) -> list[dict]:
         """Remove a query and all its shredded features.
@@ -531,3 +728,26 @@ def _constant_text(value: object) -> str | None:
     if isinstance(value, (tuple, list)):
         return "(" + ", ".join(_constant_text(item) or "NULL" for item in value) + ")"
     return str(value)
+
+
+def _parse_cell(text: object) -> object:
+    """Best-effort inverse of :func:`_constant_text` for one output cell.
+
+    Recovers the native types SQL cells can hold (bool, int, float) so that
+    ``OutputSummary.contains``/``contains_value`` — which compare with ``==``
+    against native values — keep matching after a durable store reopens.
+    """
+    if text is None or not isinstance(text, str):
+        return text
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text

@@ -65,6 +65,12 @@ class IntegrityError(StorageError):
     """Raised when a uniqueness or not-null constraint is violated."""
 
 
+class DurabilityError(StorageError):
+    """Raised by the durability subsystem: WAL misuse, lock conflicts on a
+    ``data_dir``, operations on a closed database, or unrecoverable
+    snapshot/log corruption found during crash recovery."""
+
+
 class CQMSError(ReproError):
     """Base class for errors raised by the CQMS engine itself."""
 

@@ -19,6 +19,9 @@ Query Storage feature relations.  It provides:
   (compiled predicate fast paths, partitioned parallel scans),
 * :mod:`repro.storage.executor` — the SQL executor (projection, aggregation,
   ordering over the streamed operator pipeline),
+* :mod:`repro.storage.wal` — the append-only checksummed write-ahead log,
+* :mod:`repro.storage.snapshot` — atomic-rename checkpoint snapshots,
+* :mod:`repro.storage.recovery` — crash recovery (snapshot + WAL-tail replay),
 * :mod:`repro.storage.database` — the user-facing :class:`Database` facade.
 """
 
@@ -30,7 +33,9 @@ from repro.storage.table import Table
 from repro.storage.database import Database, QueryResult, ExecutionStats
 from repro.storage.plan_cache import PlanCache, PlanCacheStats
 from repro.storage.planner import PlanExplanation, Planner, SelectPlan
+from repro.storage.recovery import RecoveryReport
 from repro.storage.statistics import Histogram, ReservoirSample, TableStatistics
+from repro.storage.wal import WalStats, WalWriter
 
 __all__ = [
     "DataType",
@@ -51,4 +56,7 @@ __all__ = [
     "Histogram",
     "ReservoirSample",
     "TableStatistics",
+    "RecoveryReport",
+    "WalStats",
+    "WalWriter",
 ]

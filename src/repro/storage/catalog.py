@@ -106,6 +106,26 @@ class Catalog:
         self._schemas[schema.name.lower()] = schema
         self._record(kind, schema.name, detail=detail, timestamp=timestamp)
 
+    def restore(self, schemas: list[TableSchema], changes: list[dict], version: int) -> None:
+        """Overwrite the catalog with snapshotted state (crash recovery).
+
+        ``changes`` are the snapshot's JSON renderings of the schema-change
+        history — the Query Maintenance component compares query timestamps
+        against these, so they must survive restarts alongside the data.
+        """
+        self._schemas = {schema.name.lower(): schema for schema in schemas}
+        self._changes = [
+            SchemaChange(
+                version=int(change["version"]),
+                timestamp=float(change["timestamp"]),
+                kind=change["kind"],
+                table=change["table"],
+                detail=change.get("detail", ""),
+            )
+            for change in changes
+        ]
+        self._version = version
+
     def _record(self, kind: str, table: str, detail: str = "", timestamp: float = 0.0) -> None:
         self._version += 1
         self._changes.append(

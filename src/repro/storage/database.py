@@ -3,15 +3,37 @@
 It owns the catalog and the tables, parses and executes SQL, and reports
 per-statement execution statistics (elapsed time, cardinality, rows scanned)
 which the Query Profiler stores as runtime query features.
+
+A database is in-memory by default (the historical behaviour); opened with
+:meth:`Database.open` it becomes *durable*: every mutation is logged to a
+write-ahead log (:mod:`repro.storage.wal`), :meth:`Database.checkpoint`
+publishes atomic snapshots (:mod:`repro.storage.snapshot`), and reopening the
+same ``data_dir`` replays the committed state back
+(:mod:`repro.storage.recovery`).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import CatalogError, DurabilityError, ExecutionError, SchemaError
 from repro.storage.catalog import Catalog
+from repro.storage.recovery import (
+    DirectoryLock,
+    RecoveryReport,
+    acquire_lock,
+    recover,
+    release_lock,
+)
+from repro.storage.snapshot import (
+    SNAPSHOT_FILE_NAME,
+    column_to_dict,
+    schema_to_dict,
+    write_snapshot,
+)
+from repro.storage.wal import DEFAULT_GROUP_SIZE, WAL_FILE_NAME, WalStats, WalWriter
 from repro.storage.exec_settings import DEFAULT_SETTINGS, ExecutionSettings
 from repro.storage.executor import Executor
 from repro.storage.expression import Scope, evaluate, is_true
@@ -99,10 +121,12 @@ class QueryResult:
 
 
 class Database:
-    """An in-memory relational database with a SQL interface.
+    """A relational database with a SQL interface (in-memory or durable).
 
     The ``clock`` argument makes time injectable: the CQMS and the workload
     generators use a simulated clock so that experiments are deterministic.
+    ``Database(...)`` is purely in-memory; ``Database.open(data_dir=...)``
+    attaches the durability subsystem (WAL + snapshots + crash recovery).
     """
 
     def __init__(
@@ -122,6 +146,165 @@ class Database:
         self._plan_cache_max_drift = plan_cache_max_drift
         self._plan_cache: PlanCache | None = None
         self.set_plan_cache_size(plan_cache_size)
+        # Durability state; populated by Database.open for durable databases.
+        self._data_dir: str | None = None
+        self._wal: WalWriter | None = None
+        self._lock: DirectoryLock | None = None
+        self._checkpoint_interval = 0
+        self._closed = False
+        #: What crash recovery found when this database was opened (None for
+        #: in-memory databases).
+        self.last_recovery: RecoveryReport | None = None
+
+    # -- durability lifecycle ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str | os.PathLike,
+        name: str = "db",
+        clock=None,
+        wal_sync: str = "batch",
+        checkpoint_interval: int = 0,
+        wal_group_size: int = DEFAULT_GROUP_SIZE,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        plan_cache_max_drift: float = DEFAULT_MAX_DRIFT,
+        exec_settings: ExecutionSettings | None = None,
+    ) -> "Database":
+        """Open (creating if needed) a durable database rooted at ``data_dir``.
+
+        Takes an exclusive ``flock`` on the directory's ``LOCK`` file (a
+        second open of the same ``data_dir`` raises while the first database
+        is alive; the kernel drops the lock automatically when a process is
+        killed, so crashed owners never block reopening), runs crash
+        recovery — latest valid
+        snapshot plus the committed WAL tail — and attaches the write-ahead
+        log so every subsequent mutation is logged under ``wal_sync``
+        (``"off"`` | ``"commit"`` | ``"batch"``).  ``checkpoint_interval``
+        > 0 auto-checkpoints after that many logged records.
+        """
+        if checkpoint_interval < 0:
+            raise DurabilityError("checkpoint_interval must be non-negative")
+        data_dir = os.fspath(data_dir)
+        os.makedirs(data_dir, exist_ok=True)
+        database = cls(
+            name=name,
+            clock=clock,
+            plan_cache_size=plan_cache_size,
+            plan_cache_max_drift=plan_cache_max_drift,
+            exec_settings=exec_settings,
+        )
+        lock = acquire_lock(data_dir)
+        try:
+            report = recover(database, data_dir)
+            wal = WalWriter(
+                os.path.join(data_dir, WAL_FILE_NAME),
+                sync=wal_sync,
+                group_size=wal_group_size,
+                start_lsn=report.last_lsn,
+                valid_length=report.wal_valid_length,
+            )
+        except BaseException:
+            release_lock(lock)
+            raise
+        database._data_dir = data_dir
+        database._lock = lock
+        database._wal = wal
+        database._checkpoint_interval = checkpoint_interval
+        database.last_recovery = report
+        # Records already sitting in the log count against the checkpoint
+        # interval — otherwise a crash-reopen loop that writes fewer than
+        # `interval` records per life would grow the WAL (and recovery time)
+        # without bound.
+        wal.stats.records_since_checkpoint = report.wal_records_scanned
+        database._maybe_checkpoint()
+        for table in database._tables.values():
+            table.wal_emit = database._wal_append
+        return database
+
+    @property
+    def is_durable(self) -> bool:
+        """True when the database writes a WAL (opened via :meth:`open`)."""
+        return self._wal is not None
+
+    @property
+    def data_dir(self) -> str | None:
+        return self._data_dir
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def checkpoint(self) -> int:
+        """Snapshot the full database atomically, then truncate the WAL.
+
+        Returns the snapshot's size in bytes.  The protocol (flush log →
+        write ``snapshot.json.tmp`` → fsync → atomic rename → truncate log)
+        is crash-safe at every step; see :mod:`repro.storage.snapshot`.
+        """
+        self._assert_open()
+        if self._wal is None:
+            raise DurabilityError(
+                "checkpoint() requires a durable database; use Database.open(data_dir=...)"
+            )
+        self._wal.flush()
+        size = write_snapshot(
+            self,
+            os.path.join(self._data_dir, SNAPSHOT_FILE_NAME),
+            lsn=self._wal.last_lsn,
+        )
+        self._wal.truncate_log()
+        return size
+
+    def close(self) -> None:
+        """Flush the WAL, release the ``data_dir`` lock, and mark the
+        database closed.  Idempotent; further operations raise."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+        if self._lock is not None:
+            release_lock(self._lock)
+            self._lock = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def flush_wal(self) -> None:
+        """Force the pending group-commit batch to disk (no-op in-memory)."""
+        if self._wal is not None:
+            self._wal.flush()
+
+    def wal_stats(self) -> WalStats | None:
+        """WAL activity counters, or None for an in-memory database."""
+        if self._wal is None:
+            return None
+        return self._wal.stats
+
+    def _wal_append(self, record: dict) -> None:
+        if self._wal is not None:
+            self._wal.append(record)
+
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise DurabilityError(
+                f"database {self.name!r} is closed; operations after close() "
+                "would not be logged to the write-ahead log"
+            )
+
+    def _maybe_checkpoint(self) -> None:
+        """Auto-checkpoint once enough records accumulated since the last one."""
+        if (
+            self._wal is not None
+            and not self._closed
+            and self._checkpoint_interval > 0
+            and self._wal.stats.records_since_checkpoint >= self._checkpoint_interval
+        ):
+            self.checkpoint()
 
     # -- catalog access ----------------------------------------------------------
 
@@ -147,24 +330,50 @@ class Database:
 
     # -- schema management (programmatic API) --------------------------------------
 
-    def create_table(self, schema: TableSchema) -> Table:
-        """Create a table from a programmatic :class:`TableSchema`."""
-        self._catalog.register(schema, timestamp=self._now())
+    def create_table(self, schema: TableSchema, timestamp: float | None = None) -> Table:
+        """Create a table from a programmatic :class:`TableSchema`.
+
+        ``timestamp`` overrides the clock for the catalog event — crash
+        recovery passes the originally logged time so the schema-change
+        history replays faithfully.
+
+        DDL follows a validate → log → apply order: every fallible check
+        runs before the WAL append, and the apply steps after it cannot
+        fail, so a failed append never leaves memory diverged from the log
+        (the DML paths achieve the same with explicit rollback).
+        """
+        self._assert_open()
+        timestamp = self._now() if timestamp is None else timestamp
+        if self._catalog.has_table(schema.name):
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._wal_append(
+            {"op": "create_table", "schema": schema_to_dict(schema), "ts": timestamp}
+        )
+        self._catalog.register(schema, timestamp=timestamp)
         table = Table(schema)
         self._tables[schema.name.lower()] = table
+        if self._wal is not None:
+            table.wal_emit = self._wal_append
         return table
 
-    def drop_table(self, name: str) -> None:
-        self._catalog.unregister(name, timestamp=self._now())
+    def drop_table(self, name: str, timestamp: float | None = None) -> None:
+        self._assert_open()
+        timestamp = self._now() if timestamp is None else timestamp
+        if not self._catalog.has_table(name):
+            raise CatalogError(f"unknown table {name!r}")
+        self._wal_append({"op": "drop_table", "tbl": name, "ts": timestamp})
+        self._catalog.unregister(name, timestamp=timestamp)
         del self._tables[name.lower()]
 
     def insert_rows(self, table_name: str, rows) -> int:
         """Bulk-insert dictionaries into a table; returns the number inserted."""
+        self._assert_open()
         table = self.table(table_name)
         count = 0
         for row in rows:
             table.insert(row)
             count += 1
+        self._maybe_checkpoint()
         return count
 
     def statistics(self, table_name: str, refresh: bool = False) -> TableStatistics:
@@ -263,6 +472,7 @@ class Database:
         resubmission reuses the memoized parse + parameterize result and skips
         the tokenizer/parser entirely (its plan-cache key included).
         """
+        self._assert_open()
         prepared = None
         text: str | None = None
         if isinstance(sql_or_statement, str):
@@ -278,6 +488,7 @@ class Database:
         result = self._dispatch(statement, prepared, text)
         result.stats.elapsed_seconds = max(0.0, self._clock() - start)
         result.stats.statement_cache_hit = prepared is not None
+        self._maybe_checkpoint()
         return result
 
     def explain(self, sql_or_statement, analyze: bool = False) -> PlanExplanation:
@@ -542,9 +753,92 @@ class Database:
         self.drop_table(statement.table)
         return QueryResult(stats=ExecutionStats(statement_kind="drop_table"))
 
+    def alter_table(
+        self,
+        table_name: str,
+        action: str,
+        column: ColumnSchema | None = None,
+        column_name: str | None = None,
+        new_name: str | None = None,
+        timestamp: float | None = None,
+    ) -> None:
+        """Apply one schema-evolution action (the data-level ALTER TABLE).
+
+        Shared by SQL execution and WAL replay: the log stores exactly these
+        arguments, so recovery re-runs the same code path (with its original
+        ``timestamp``) instead of a parallel implementation.
+
+        Like the other DDL entry points this validates everything fallible
+        *before* appending the WAL record (dry-running the schema change on
+        the immutable :class:`TableSchema`), so the apply steps after the
+        append cannot fail and memory never diverges from the log.
+        """
+        self._assert_open()
+        table = self.table(table_name)
+        timestamp = self._now() if timestamp is None else timestamp
+        if action == "add_column":
+            assert column is not None
+            table.schema.with_column_added(column)  # dry-run: duplicate check
+            if column.not_null and len(table):
+                raise SchemaError(
+                    f"cannot add NOT NULL column {column.name!r} without a default"
+                )
+        elif action == "drop_column":
+            table.schema.with_column_dropped(column_name)
+        elif action == "rename_column":
+            table.schema.with_column_renamed(column_name, new_name)
+        elif action == "rename_table":
+            # Renaming onto another table would silently destroy it (and the
+            # WAL would replay the destruction).  Case-only self-renames are
+            # fine — the old and new keys coincide.
+            if (
+                new_name.lower() != table_name.lower()
+                and self._catalog.has_table(new_name)
+            ):
+                raise CatalogError(
+                    f"cannot rename table {table_name!r} to {new_name!r}: "
+                    "a table with that name already exists"
+                )
+        else:
+            raise ExecutionError(f"unsupported ALTER action {action!r}")
+        self._wal_append(
+            {
+                "op": "alter_table",
+                "tbl": table_name,
+                "action": action,
+                "column": None if column is None else column_to_dict(column),
+                "column_name": column_name,
+                "new_name": new_name,
+                "ts": timestamp,
+            }
+        )
+        if action == "add_column":
+            table.add_column(column)
+            detail = column.name
+        elif action == "drop_column":
+            table.drop_column(column_name)
+            detail = column_name or ""
+        elif action == "rename_column":
+            table.rename_column(column_name, new_name)
+            detail = f"{column_name}->{new_name}"
+        else:  # rename_table
+            table.rename(new_name)
+            # Remove the old key before inserting the new one: a case-only
+            # rename (t -> T) maps both names to the same key, and the
+            # delete-after-insert order would drop the table entirely.
+            del self._tables[table_name.lower()]
+            self._tables[new_name.lower()] = table
+            detail = f"{table_name}->{new_name}"
+        self._catalog.replace_schema(
+            table_name,
+            table.schema,
+            kind=action,
+            detail=detail,
+            timestamp=timestamp,
+        )
+
     def _execute_alter_table(self, statement: AlterTableStatement) -> QueryResult:
-        table = self.table(statement.table)
-        timestamp = self._now()
+        column: ColumnSchema | None = None
         if statement.action == "add_column":
             assert statement.column is not None
             column = ColumnSchema(
@@ -553,46 +847,13 @@ class Database:
                 not_null=statement.column.not_null,
                 unique=statement.column.unique,
             )
-            table.add_column(column)
-            self._catalog.replace_schema(
-                statement.table,
-                table.schema,
-                kind="add_column",
-                detail=column.name,
-                timestamp=timestamp,
-            )
-        elif statement.action == "drop_column":
-            table.drop_column(statement.column_name)
-            self._catalog.replace_schema(
-                statement.table,
-                table.schema,
-                kind="drop_column",
-                detail=statement.column_name or "",
-                timestamp=timestamp,
-            )
-        elif statement.action == "rename_column":
-            table.rename_column(statement.column_name, statement.new_name)
-            self._catalog.replace_schema(
-                statement.table,
-                table.schema,
-                kind="rename_column",
-                detail=f"{statement.column_name}->{statement.new_name}",
-                timestamp=timestamp,
-            )
-        elif statement.action == "rename_table":
-            old_name = statement.table
-            table.rename(statement.new_name)
-            self._tables[statement.new_name.lower()] = table
-            del self._tables[old_name.lower()]
-            self._catalog.replace_schema(
-                old_name,
-                table.schema,
-                kind="rename_table",
-                detail=f"{old_name}->{statement.new_name}",
-                timestamp=timestamp,
-            )
-        else:
-            raise ExecutionError(f"unsupported ALTER action {statement.action!r}")
+        self.alter_table(
+            statement.table,
+            statement.action,
+            column=column,
+            column_name=statement.column_name,
+            new_name=statement.new_name,
+        )
         return QueryResult(stats=ExecutionStats(statement_kind="alter_table"))
 
     def _execute_create_index(self, statement: CreateIndexStatement) -> QueryResult:

@@ -164,6 +164,19 @@ class Executor:
             if statement.distinct:
                 rows = _distinct(rows)
             rows = _apply_limit(rows, statement.limit, statement.offset)
+        elif statement.order_by and not plan.sort_eliminated and plan.sort_prefix:
+            # Partial sort: the scan already streams rows ordered by the
+            # first ORDER BY key (sorted index), so only runs of equal
+            # leading-key values are buffered and sorted by the remaining
+            # keys — and LIMIT short-circuits at the first run boundary past
+            # the budget instead of materializing the whole table.
+            columns = plan.output_columns
+            rows = self._partial_order_rows(
+                statement, plan, ctx, project, outer_scope
+            )
+            if statement.distinct:
+                rows = _distinct(rows)
+            rows = _apply_limit(rows, statement.limit, statement.offset)
         elif statement.order_by and not plan.sort_eliminated:
             columns = plan.output_columns
             pairs = []
@@ -423,13 +436,16 @@ class Executor:
 
     # -- ordering -------------------------------------------------------------------
 
-    def _order_rows(
+    def _make_order_key(
         self,
         statement: SelectStatement,
-        pairs: list[tuple[dict, tuple]],
         columns: list[str],
         outer_scope: Scope | None,
-    ) -> list[tuple]:
+        items,
+    ):
+        """A ``(source_row, output_row) -> sort key tuple`` closure for the
+        given ORDER BY items, resolving select-list aliases before source
+        columns exactly like a full sort does."""
         alias_map = {
             (item.alias or "").lower(): index
             for index, item in enumerate(statement.select_items)
@@ -441,7 +457,7 @@ class Executor:
             source_row, output_row = entry
             scope = Scope(source_row, parent=outer_scope)
             keys = []
-            for order_item in statement.order_by:
+            for order_item in items:
                 expr = order_item.expression
                 value = None
                 resolved = False
@@ -460,8 +476,80 @@ class Executor:
                 )
             return tuple(keys)
 
+        return order_key
+
+    def _order_rows(
+        self,
+        statement: SelectStatement,
+        pairs: list[tuple[dict, tuple]],
+        columns: list[str],
+        outer_scope: Scope | None,
+    ) -> list[tuple]:
+        order_key = self._make_order_key(
+            statement, columns, outer_scope, statement.order_by
+        )
         pairs.sort(key=order_key)
         return [output_row for _, output_row in pairs]
+
+    def _partial_order_rows(
+        self,
+        statement: SelectStatement,
+        plan: SelectPlan,
+        ctx: ExecutionContext,
+        project,
+        outer_scope: Scope | None,
+    ) -> list[tuple]:
+        """Order rows whose leading ORDER BY keys already stream in order.
+
+        The scan (an index-ordered ``RangeScan``) delivers rows sorted by the
+        first ``plan.sort_prefix`` ORDER BY keys; only consecutive runs with
+        equal leading keys are buffered and sorted by the remaining keys.
+        Memory is bounded by the largest run, and with a LIMIT (and no
+        DISTINCT) consumption stops at the first run boundary past the
+        budget, so a top-k query never walks the whole table.
+        """
+        columns = plan.output_columns
+        items = statement.order_by
+        prefix_key = self._make_order_key(
+            statement, columns, outer_scope, items[: plan.sort_prefix]
+        )
+        rest_key = self._make_order_key(
+            statement, columns, outer_scope, items[plan.sort_prefix :]
+        )
+        needed = None
+        if statement.limit is not None and not statement.distinct:
+            needed = statement.limit + (statement.offset or 0)
+        rows: list[tuple] = []
+        run: list[tuple[dict, tuple]] = []
+        run_key = None
+        done = False
+        for batch in plan.root.batches(ctx):
+            self.metrics.batches += 1
+            for row in batch:
+                if project is not None:
+                    values = project(row)
+                else:
+                    scope = Scope(row, parent=outer_scope)
+                    values = tuple(
+                        self._evaluate_output(statement, plan.bindings, scope)
+                    )
+                entry = (row, values)
+                key = prefix_key(entry)
+                if run and key != run_key:
+                    run.sort(key=rest_key)
+                    rows.extend(output for _, output in run)
+                    run = []
+                    if needed is not None and len(rows) >= needed:
+                        done = True
+                        break
+                run_key = key
+                run.append(entry)
+            if done:
+                break
+        if not done and run:
+            run.sort(key=rest_key)
+            rows.extend(output for _, output in run)
+        return rows
 
     # -- subqueries -------------------------------------------------------------------
 

@@ -156,9 +156,15 @@ class SelectPlan:
     root: Operator
     bindings: list[tuple[str, list[str]]]
     output_columns: list[str]
-    #: True when a sorted index already delivers the ORDER BY order, so the
-    #: executor streams instead of materializing for a sort.
+    #: True when a sorted index already delivers the *entire* ORDER BY order,
+    #: so the executor streams instead of materializing for a sort.
     sort_eliminated: bool = False
+    #: Number of leading ORDER BY keys the scan already delivers in order.
+    #: Equal to ``len(order_by)`` when ``sort_eliminated``; with a composite
+    #: ORDER BY whose first key matches a sorted index it is 1 and the
+    #: executor partial-sorts runs of equal leading-key values instead of
+    #: materializing and sorting the whole result.
+    sort_prefix: int = 0
 
     def explain_lines(self, node_stats: dict | None = None) -> list[str]:
         """Render the plan tree; ``node_stats`` (EXPLAIN ANALYZE) annotates
@@ -187,7 +193,14 @@ class SelectPlan:
                 format_expression(item.expression) + ("" if item.ascending else " DESC")
                 for item in statement.order_by
             )
-            push(f"Sort [{keys}]")
+            if self.sort_prefix:
+                prefix = ", ".join(
+                    format_expression(item.expression)
+                    for item in statement.order_by[: self.sort_prefix]
+                )
+                push(f"PartialSort [{keys}] (prefix {prefix} via index order)")
+            else:
+                push(f"Sort [{keys}]")
         if statement.group_by or statement_has_aggregates(statement):
             detail = ""
             if statement.group_by:
@@ -286,7 +299,7 @@ class Planner:
 
     def plan_select(self, statement: SelectStatement) -> SelectPlan:
         conjuncts = _split_conjuncts(statement.where)
-        sort_eliminated = False
+        sort_prefix = 0
         if not statement.from_items:
             root: Operator = EmptyRow()
             if conjuncts:
@@ -322,7 +335,7 @@ class Planner:
                 and not pending_outer
                 and leaves[0].table is not None
             ):
-                sort_eliminated, root = self._try_sort_elimination(
+                sort_prefix, root = self._try_sort_elimination(
                     statement, leaves[0], root
                 )
         return SelectPlan(
@@ -330,51 +343,61 @@ class Planner:
             root=root,
             bindings=bindings,
             output_columns=compute_output_columns(statement, bindings),
-            sort_eliminated=sort_eliminated,
+            sort_eliminated=bool(sort_prefix)
+            and sort_prefix >= len(statement.order_by),
+            sort_prefix=sort_prefix,
         )
 
     def _try_sort_elimination(
         self, statement: SelectStatement, leaf: _Leaf, root: Operator
-    ) -> tuple[bool, Operator]:
-        """Serve a single-column ORDER BY from a sorted index when possible.
+    ) -> tuple[int, Operator]:
+        """Serve the leading ORDER BY key from a sorted index when possible.
 
-        Returns ``(eliminated, root)``; the root is rewritten when a
-        ``SeqScan`` can become an unbounded ordered ``RangeScan``.  An
-        existing ``RangeScan`` on the sort column just flips its direction;
-        an equality ``IndexScan`` on a different column is left alone (sorting
-        its few matches is cheaper than an ordered full walk).
+        Returns ``(prefix, root)``: ``prefix`` is the number of leading ORDER
+        BY keys the (possibly rewritten) scan delivers in order — 0 when the
+        sort must stay.  A single-key ORDER BY is eliminated outright; for a
+        composite ORDER BY (``ORDER BY user, ts``) the scan provides the
+        first key's order and the executor partial-sorts each run of equal
+        leading-key values by the remaining keys, so nothing ever
+        materializes the full result for a sort.
+
+        The root is rewritten when a ``SeqScan`` can become an unbounded
+        ordered ``RangeScan``; an existing ``RangeScan`` on the sort column
+        just flips its direction; an equality ``IndexScan`` on a different
+        column is left alone (sorting its few matches is cheaper than an
+        ordered full walk).
         """
-        if not self._use_indexes or len(statement.order_by) != 1:
-            return False, root
+        if not self._use_indexes or not statement.order_by:
+            return 0, root
         if statement.group_by or statement_has_aggregates(statement):
-            return False, root
+            return 0, root
         order_item = statement.order_by[0]
         expr = order_item.expression
         if not isinstance(expr, ColumnRef):
-            return False, root
+            return 0, root
         if expr.table is not None and expr.table.lower() != leaf.binding.lower():
-            return False, root
+            return 0, root
         if expr.table is None and any(
             (item.alias or "").lower() == expr.name.lower()
             for item in statement.select_items
         ):
             # ORDER BY resolves select-list aliases before source columns.
-            return False, root
+            return 0, root
         table = leaf.table
         if not table.schema.has_column(expr.name):
-            return False, root
+            return 0, root
         canonical = table.schema.column(expr.name).name
         if table.sorted_index_for(canonical) is None:
-            return False, root
+            return 0, root
         parent: Filter | None = None
         node = root
         while isinstance(node, Filter):
             parent, node = node, node.child
         if isinstance(node, RangeScan):
             if node.column.lower() != canonical.lower():
-                return False, root
+                return 0, root
             node.descending = not order_item.ascending
-            return True, root
+            return 1, root
         if isinstance(node, SeqScan):
             ordered = RangeScan(
                 table,
@@ -388,11 +411,11 @@ class Planner:
                 descending=not order_item.ascending,
             )
             if parent is None:
-                return True, ordered
+                return 1, ordered
             parent.child = ordered
             parent.children = (ordered,)
-            return True, root
-        return False, root
+            return 1, root
+        return 0, root
 
     def plan_update(self, statement: UpdateStatement) -> DmlPlan:
         """Plan an UPDATE: choose the access path locating the target rows."""

@@ -1,0 +1,247 @@
+"""Crash recovery: rebuild a database from its snapshot and WAL tail.
+
+Opening a durable database (``Database.open(data_dir=...)``) runs through
+here:
+
+1. **Lock** the ``data_dir`` (an exclusive ``flock`` on its ``LOCK`` file —
+   released by the kernel the moment the owner dies, so a SIGKILLed
+   process never leaves a stale lock and concurrent openers cannot race),
+2. **Load the latest valid snapshot** (:mod:`repro.storage.snapshot`) —
+   catalog history, schemas, index definitions, heap rows, version counters,
+3. **Replay the WAL tail** (:mod:`repro.storage.wal`): records with an LSN
+   at or below the snapshot's are skipped (they are already inside it, which
+   makes a crash between "snapshot renamed" and "log truncated" harmless),
+   the rest are re-applied in order, and the scan stops cleanly at the first
+   torn or corrupt record — exactly the committed prefix survives,
+4. hand the writer the valid log length so the torn tail is truncated before
+   anything new is appended.
+
+Replay applies *logical* records through the same table code paths normal
+execution uses (the tables' WAL hooks are not attached yet, so nothing is
+re-logged), so indexes, statistics invalidation, and constraint bookkeeping
+are rebuilt rather than trusted.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import DurabilityError
+from repro.storage.snapshot import (
+    SNAPSHOT_FILE_NAME,
+    column_from_dict,
+    load_snapshot,
+    schema_from_dict,
+)
+from repro.storage.table import Table
+from repro.storage.wal import WAL_FILE_NAME, WalRecord, read_wal
+
+#: File name of the ownership lock inside a database's ``data_dir``.
+LOCK_FILE_NAME = "LOCK"
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and did."""
+
+    data_dir: str = ""
+    snapshot_loaded: bool = False
+    snapshot_lsn: int = 0
+    #: Records decoded from the log (valid prefix).
+    wal_records_scanned: int = 0
+    #: Records re-applied (LSN above the snapshot's).
+    wal_records_applied: int = 0
+    #: Records skipped because the snapshot already contained them.
+    wal_records_skipped: int = 0
+    #: Byte length of the log's valid prefix (the writer resumes here).
+    wal_valid_length: int = 0
+    torn_tail: bool = False
+    torn_bytes_dropped: int = 0
+    #: Highest LSN seen across snapshot and log (LSNs continue from here).
+    last_lsn: int = 0
+    elapsed_seconds: float = 0.0
+
+
+# -- data_dir locking -----------------------------------------------------------
+
+
+@dataclass
+class DirectoryLock:
+    """An exclusive ``flock`` on a ``data_dir``'s ``LOCK`` file.
+
+    The kernel releases the lock the instant the owning process dies — even
+    on SIGKILL — so there is no stale-lock state and no steal race: of any
+    number of concurrent openers, exactly one ever holds it.  The file
+    itself persists between runs (only the flock matters); its pid content
+    is purely diagnostic, shown in the double-open error.
+    """
+
+    path: str
+    fd: int | None
+
+
+def acquire_lock(data_dir: str | os.PathLike) -> DirectoryLock:
+    """Take exclusive ownership of ``data_dir``.
+
+    Raises :class:`~repro.errors.DurabilityError` when another live database
+    — in this process or any other — holds the directory.  A lock file left
+    behind by a killed process carries no flock, so reopening after a crash
+    just works.
+    """
+    data_dir = os.fspath(data_dir)
+    path = os.path.join(data_dir, LOCK_FILE_NAME)
+    fd = os.open(path, os.O_CREAT | os.O_RDWR)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        holder = _read_lock_pid(fd)
+        os.close(fd)
+        owner = "another database" if holder is None else f"process {holder}"
+        raise DurabilityError(
+            f"data_dir {data_dir!r} is already open by {owner}; "
+            "close that Database first"
+        ) from None
+    os.ftruncate(fd, 0)
+    os.write(fd, str(os.getpid()).encode("ascii"))
+    return DirectoryLock(path=path, fd=fd)
+
+
+def release_lock(lock: DirectoryLock) -> None:
+    """Release a lock taken by :func:`acquire_lock` (idempotent).
+
+    The file stays on disk — unlinking it would race a concurrent opener
+    that already holds an fd to the old inode; closing the fd alone drops
+    the flock atomically.
+    """
+    if lock.fd is None:
+        return
+    try:
+        fcntl.flock(lock.fd, fcntl.LOCK_UN)
+    except OSError:
+        pass
+    os.close(lock.fd)
+    lock.fd = None
+
+
+def _read_lock_pid(fd: int) -> int | None:
+    try:
+        return int(os.pread(fd, 64, 0).decode("ascii").strip())
+    except (OSError, ValueError):
+        return None
+
+
+# -- recovery -----------------------------------------------------------------------
+
+
+def recover(database, data_dir: str | os.PathLike) -> RecoveryReport:
+    """Rebuild ``database`` (a fresh, empty instance) from ``data_dir``.
+
+    Loads the snapshot, replays the WAL tail, and reports what happened.
+    The caller attaches the WAL writer afterwards (resuming at
+    ``report.wal_valid_length`` / ``report.last_lsn``).
+    """
+    start = time.perf_counter()
+    data_dir = os.fspath(data_dir)
+    report = RecoveryReport(data_dir=data_dir)
+
+    snapshot = load_snapshot(os.path.join(data_dir, SNAPSHOT_FILE_NAME))
+    if snapshot is not None:
+        _restore_snapshot(database, snapshot)
+        report.snapshot_loaded = True
+        report.snapshot_lsn = int(snapshot.get("lsn", 0))
+
+    wal = read_wal(os.path.join(data_dir, WAL_FILE_NAME))
+    report.wal_records_scanned = len(wal.records)
+    report.wal_valid_length = wal.valid_length
+    report.torn_tail = wal.torn_tail
+    report.torn_bytes_dropped = wal.bytes_dropped
+    for record in wal.records:
+        if record.lsn <= report.snapshot_lsn:
+            report.wal_records_skipped += 1
+            continue
+        _apply(database, record)
+        report.wal_records_applied += 1
+
+    report.last_lsn = max(report.snapshot_lsn, wal.last_lsn)
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+def _restore_snapshot(database, snapshot: dict) -> None:
+    """Load a verified snapshot payload into a fresh database."""
+    schemas = []
+    for entry in snapshot["tables"]:
+        schema = schema_from_dict(entry["schema"])
+        schemas.append(schema)
+        table = Table(schema)
+        for index in entry["indexes"]:
+            table.create_index(
+                index["name"],
+                index["column"],
+                unique=index["unique"],
+                kind=index["kind"],
+            )
+        for row_id, row in entry["rows"]:
+            table.restore_row(int(row_id), row)
+        table.restore_counters(
+            next_row_id=int(entry["next_row_id"]),
+            version=int(entry["version"]),
+            schema_version=int(entry["schema_version"]),
+        )
+        database._tables[schema.name.lower()] = table
+    catalog = snapshot.get("catalog", {})
+    database.catalog.restore(
+        schemas,
+        changes=catalog.get("changes", []),
+        version=int(catalog.get("version", 0)),
+    )
+
+
+def _apply(database, record: WalRecord) -> None:
+    """Re-apply one logical WAL record; wraps failures with the LSN."""
+    data = record.data
+    try:
+        op = data["op"]
+        if op == "insert":
+            database.table(data["tbl"]).restore_row(int(data["rid"]), data["row"])
+        elif op == "update":
+            database.table(data["tbl"]).update(int(data["rid"]), data["set"])
+        elif op == "delete":
+            database.table(data["tbl"]).delete(int(data["rid"]))
+        elif op == "create_index":
+            database.table(data["tbl"]).create_index(
+                data["name"],
+                data["column"],
+                unique=data["unique"],
+                kind=data["kind"],
+            )
+        elif op == "create_table":
+            database.create_table(
+                schema_from_dict(data["schema"]), timestamp=data.get("ts")
+            )
+        elif op == "drop_table":
+            database.drop_table(data["tbl"], timestamp=data.get("ts"))
+        elif op == "alter_table":
+            column = (
+                None if data.get("column") is None else column_from_dict(data["column"])
+            )
+            database.alter_table(
+                data["tbl"],
+                data["action"],
+                column=column,
+                column_name=data.get("column_name"),
+                new_name=data.get("new_name"),
+                timestamp=data.get("ts"),
+            )
+        else:
+            raise DurabilityError(f"unknown WAL op {op!r}")
+    except DurabilityError:
+        raise
+    except Exception as exc:
+        raise DurabilityError(
+            f"WAL replay failed at lsn {record.lsn} ({data.get('op')!r} on "
+            f"{data.get('tbl', data.get('schema', {}).get('name', '?'))!r}): {exc}"
+        ) from exc

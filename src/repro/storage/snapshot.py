@@ -1,0 +1,202 @@
+"""Checkpoint snapshots: the full database state in one atomic file.
+
+A snapshot bounds recovery time: instead of replaying the write-ahead log
+from the beginning of time, :mod:`repro.storage.recovery` loads the latest
+snapshot and replays only the log tail written after it.  The checkpoint
+protocol is the classic one:
+
+1. flush the WAL (everything the snapshot will contain is on disk first),
+2. serialize the whole database — catalog history, table schemas, index
+   definitions, version counters, heap rows with their row ids — together
+   with the WAL's last LSN,
+3. write it to ``snapshot.json.tmp``, ``fsync``, then **atomically rename**
+   over ``snapshot.json`` (readers only ever see the old or the new complete
+   snapshot, never a half-written one),
+4. truncate the WAL.
+
+A crash between steps 3 and 4 leaves committed records in the log that the
+snapshot already contains; replay skips them by LSN.  A crash before step 3's
+rename leaves a stale ``.tmp`` file that recovery ignores.
+
+The file itself is a one-line header (format version, CRC32 and length of the
+body) followed by a JSON body, so recovery can tell a valid snapshot from a
+damaged one without trusting its contents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+from repro.errors import DurabilityError
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.types import DataType
+from repro.storage.wal import fsync_directory
+
+#: File name of the snapshot inside a database's ``data_dir``.
+SNAPSHOT_FILE_NAME = "snapshot.json"
+#: Suffix of the in-progress file the atomic rename publishes.
+SNAPSHOT_TMP_SUFFIX = ".tmp"
+
+_HEADER_PREFIX = "REPRO-SNAPSHOT"
+_FORMAT_VERSION = 1
+
+
+# -- schema (de)serialization --------------------------------------------------
+#
+# Shared with the WAL's DDL records: a CREATE TABLE logs the same schema dict
+# a snapshot stores, so both replay paths build identical TableSchema objects.
+
+
+def column_to_dict(column: ColumnSchema) -> dict:
+    """A JSON-safe rendering of a :class:`ColumnSchema` (snapshot tables,
+    WAL CREATE TABLE and ALTER TABLE … ADD COLUMN records)."""
+    return {
+        "name": column.name,
+        "type": column.data_type.value,
+        "not_null": column.not_null,
+        "primary_key": column.primary_key,
+        "unique": column.unique,
+    }
+
+
+def column_from_dict(data: dict) -> ColumnSchema:
+    """Rebuild a :class:`ColumnSchema` from :func:`column_to_dict` output."""
+    return ColumnSchema(
+        name=data["name"],
+        data_type=DataType(data["type"]),
+        not_null=data["not_null"],
+        primary_key=data["primary_key"],
+        unique=data["unique"],
+    )
+
+
+def schema_to_dict(schema: TableSchema) -> dict:
+    """A JSON-safe rendering of a :class:`TableSchema`."""
+    return {
+        "name": schema.name,
+        "columns": [column_to_dict(column) for column in schema.columns],
+    }
+
+
+def schema_from_dict(data: dict) -> TableSchema:
+    """Rebuild a :class:`TableSchema` from :func:`schema_to_dict` output."""
+    return TableSchema(
+        name=data["name"],
+        columns=[column_from_dict(column) for column in data["columns"]],
+    )
+
+
+# -- snapshot build / write ------------------------------------------------------
+
+
+def build_snapshot(database, lsn: int) -> dict:
+    """Serialize ``database`` into a JSON-safe snapshot payload.
+
+    ``lsn`` is the last WAL LSN the snapshot covers; replay skips records at
+    or below it.  Row dicts hold only coerced SQL values (int/float/str/bool/
+    NULL), so JSON round-trips them exactly.
+    """
+    catalog = database.catalog
+    tables = []
+    for name in database.table_names():
+        table = database.table(name)
+        tables.append(
+            {
+                "schema": schema_to_dict(table.schema),
+                "next_row_id": table.next_row_id,
+                "version": table.version,
+                "schema_version": table.schema_version,
+                "indexes": [
+                    {
+                        "name": index.name,
+                        "column": index.column,
+                        "unique": index.unique,
+                        "kind": index.kind,
+                    }
+                    for index in table.index_definitions()
+                ],
+                "rows": [[row_id, row] for row_id, row in table.scan()],
+            }
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "name": database.name,
+        "lsn": lsn,
+        "catalog": {
+            "version": catalog.version,
+            "changes": [
+                {
+                    "version": change.version,
+                    "timestamp": change.timestamp,
+                    "kind": change.kind,
+                    "table": change.table,
+                    "detail": change.detail,
+                }
+                for change in catalog.changes()
+            ],
+        },
+        "tables": tables,
+    }
+
+
+def write_snapshot(database, path: str | os.PathLike, lsn: int) -> int:
+    """Write an atomic snapshot of ``database`` to ``path``.
+
+    Returns the number of bytes written.  The write goes to
+    ``<path>.tmp`` first and is published with ``os.replace``; the directory
+    is synced afterwards so the rename itself survives a power cut.
+    """
+    path = os.fspath(path)
+    body = json.dumps(build_snapshot(database, lsn), separators=(",", ":")).encode("utf-8")
+    header = (
+        f"{_HEADER_PREFIX} v{_FORMAT_VERSION} crc={zlib.crc32(body):08x} len={len(body)}\n"
+    ).encode("ascii")
+    tmp_path = path + SNAPSHOT_TMP_SUFFIX
+    with open(tmp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    fsync_directory(os.path.dirname(path))
+    return len(header) + len(body)
+
+
+def load_snapshot(path: str | os.PathLike) -> dict | None:
+    """Load and verify a snapshot; ``None`` when no snapshot exists.
+
+    A stale ``.tmp`` file from a checkpoint that died before its rename is
+    ignored (the atomic-rename protocol guarantees the real file is intact).
+    A *published* snapshot that fails its header or CRC check, however, is
+    unrecoverable — the WAL was truncated when it was written — so that
+    raises :class:`~repro.errors.DurabilityError` instead of silently
+    opening an empty database over lost data.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        return None
+    newline = raw.find(b"\n")
+    if newline < 0 or not raw.startswith(_HEADER_PREFIX.encode("ascii")):
+        raise DurabilityError(f"snapshot {path!r} has a damaged header")
+    try:
+        fields = dict(
+            part.split("=", 1)
+            for part in raw[:newline].decode("ascii").split()
+            if "=" in part
+        )
+        expected_crc = int(fields["crc"], 16)
+        expected_len = int(fields["len"])
+    except (KeyError, ValueError, UnicodeDecodeError) as exc:
+        raise DurabilityError(f"snapshot {path!r} has a damaged header") from exc
+    body = raw[newline + 1 :]
+    if len(body) != expected_len or zlib.crc32(body) != expected_crc:
+        raise DurabilityError(
+            f"snapshot {path!r} failed its integrity check "
+            f"(expected {expected_len} bytes, crc {expected_crc:08x})"
+        )
+    return json.loads(body.decode("utf-8"))

@@ -19,12 +19,20 @@ class Table:
     indexes reference rows stably across deletes.  Each column may carry one
     index per kind (a hash index for equality probes and a sorted index for
     range scans and ordered access).
+
+    When the owning database is durable it sets ``wal_emit`` to the WAL
+    appender: every successful mutation — insert/update/delete plus index
+    builds — then emits one logical log record *after* it has been applied,
+    so crash recovery replays exactly the committed operations.
     """
 
     def __init__(self, schema: TableSchema):
         self._schema = schema
         self._rows: dict[int, dict[str, object]] = {}
         self._next_row_id = 0
+        #: Durability hook: ``callable(record_dict)`` appending to the WAL,
+        #: or None for an in-memory table (and during recovery replay).
+        self.wal_emit = None
         # column (lower-cased) → kind ("hash"/"sorted") → index
         self._indexes: dict[str, dict[str, HashIndex | SortedIndex]] = {}
         self._stats_cache: TableStatistics | None = None
@@ -101,6 +109,11 @@ class Table:
     def get(self, row_id: int) -> dict[str, object] | None:
         return self._rows.get(row_id)
 
+    @property
+    def next_row_id(self) -> int:
+        """The row id the next insert will take (snapshotted for recovery)."""
+        return self._next_row_id
+
     # -- indexes --------------------------------------------------------------
 
     def create_index(
@@ -130,7 +143,31 @@ class Table:
             index.insert(row[canonical], row_id)
         kinds[index_class.kind] = index
         self._bump(schema=True)
+        if self.wal_emit is not None:
+            try:
+                self.wal_emit(
+                    {
+                        "op": "create_index",
+                        "tbl": self.name,
+                        "name": name,
+                        "column": canonical,
+                        "unique": unique,
+                        "kind": index_class.kind,
+                    }
+                )
+            except BaseException:
+                del kinds[index_class.kind]  # un-log-able: drop the build
+                raise
         return index
+
+    def index_definitions(self) -> list:
+        """Every index in deterministic (column, kind) order — snapshotted so
+        recovery rebuilds the exact same access paths."""
+        definitions = []
+        for column in sorted(self._indexes):
+            kinds = self._indexes[column]
+            definitions.extend(kinds[kind] for kind in sorted(kinds))
+        return definitions
 
     def index_for(self, column: str) -> HashIndex | SortedIndex | None:
         """The column's equality-capable index (hash preferred, else sorted)."""
@@ -178,7 +215,45 @@ class Table:
             index.insert(coerced[index.column], row_id)
         self._stats_cache = None
         self.version += 1
+        if self.wal_emit is not None:
+            try:
+                self.wal_emit(
+                    {"op": "insert", "tbl": self.name, "rid": row_id, "row": coerced}
+                )
+            except BaseException:
+                # The mutation could not be logged (full disk, closed WAL):
+                # undo it so live state never diverges from what recovery
+                # will rebuild.  The row id stays consumed — ids are never
+                # reused anyway.
+                del self._rows[row_id]
+                for index in self._iter_indexes():
+                    index.delete(coerced[index.column], row_id)
+                raise
         return row_id
+
+    def restore_row(self, row_id: int, row: dict[str, object]) -> None:
+        """Recovery-path insert at a fixed row id (never WAL-logged).
+
+        Used when loading a snapshot and when replaying logged inserts: the
+        row takes exactly the id it had before the crash (indexes and session
+        references point at row ids, so they must stay stable), and the
+        next-id counter advances past it.
+        """
+        coerced = self._schema.coerce_row(row)
+        self._rows[row_id] = coerced
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+        for index in self._iter_indexes():
+            index.insert(coerced[index.column], row_id)
+        self._stats_cache = None
+        self.version += 1
+
+    def restore_counters(
+        self, next_row_id: int, version: int, schema_version: int
+    ) -> None:
+        """Overwrite the change counters with snapshotted values (recovery)."""
+        self._next_row_id = max(self._next_row_id, next_row_id)
+        self.version = version
+        self.schema_version = schema_version
 
     def insert_many(self, rows) -> list[int]:
         return [self.insert(row) for row in rows]
@@ -191,6 +266,14 @@ class Table:
             index.delete(row[index.column], row_id)
         self._stats_cache = None
         self.version += 1
+        if self.wal_emit is not None:
+            try:
+                self.wal_emit({"op": "delete", "tbl": self.name, "rid": row_id})
+            except BaseException:
+                self._rows[row_id] = row  # un-log-able: restore the row
+                for index in self._iter_indexes():
+                    index.insert(row[index.column], row_id)
+                raise
 
     def delete_where(self, predicate) -> int:
         """Delete rows matching ``predicate(row)``; returns the number removed."""
@@ -233,6 +316,24 @@ class Table:
         self._rows[row_id] = coerced
         self._stats_cache = None
         self.version += 1
+        if self.wal_emit is not None:
+            changed = {
+                self._schema.column(column).name: coerced[self._schema.column(column).name]
+                for column in changes
+            }
+            try:
+                self.wal_emit(
+                    {"op": "update", "tbl": self.name, "rid": row_id, "set": changed}
+                )
+            except BaseException:
+                # Un-log-able update: restore the old row and re-point the
+                # indexes touched above, so memory matches what recovery
+                # will rebuild.
+                self._rows[row_id] = row
+                for index, old_value, new_value in reversed(touched):
+                    index.delete(new_value, row_id)
+                    index.insert(old_value, row_id)
+                raise
 
     # -- schema evolution ------------------------------------------------------
 

@@ -1,0 +1,318 @@
+"""Append-only binary write-ahead log.
+
+The WAL is the first half of the engine's durability story (the second is
+:mod:`repro.storage.snapshot`): every logical mutation — row DML, DDL, index
+builds — is encoded as one JSON payload and appended to ``wal.log`` inside the
+database's ``data_dir`` *after* it has been applied in memory, so that
+:mod:`repro.storage.recovery` can rebuild the exact committed state by
+replaying the log over the latest snapshot.
+
+Record format (little-endian)::
+
+    +---------+----------+---------+------------------+
+    | lsn u64 | len  u32 | crc u32 | payload (len B)  |
+    +---------+----------+---------+------------------+
+
+``crc`` is the CRC32 of the packed ``(lsn, len)`` header fields plus the
+payload, so a flipped bit anywhere in the record — header or body — is
+detected.  LSNs increase monotonically across the database's lifetime and
+*survive checkpoint truncation*: the snapshot records the last LSN it
+contains, and replay skips records at or below it, which makes a crash
+between "snapshot renamed" and "log truncated" harmless.
+
+Sync policies (the classic durability/throughput dial):
+
+* ``"commit"`` — every append is written and ``fsync``\\ ed before it returns;
+  an acknowledged statement survives a kill -9.
+* ``"batch"`` — appends accumulate in a group-commit buffer that is written
+  and synced as **one** write once ``group_size`` records (or
+  ``group_bytes``) pile up, amortizing the sync cost; a crash can lose at
+  most the unsynced tail of acknowledged work.
+* ``"off"`` — records are buffered and written without ever calling
+  ``fsync``; durability is whatever the OS page cache decides.  Useful as a
+  benchmark baseline and for throwaway runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import DurabilityError
+
+#: ``(lsn, length, crc)`` header layout of one record.
+_HEADER = struct.Struct("<QII")
+#: The slice of the header covered by the CRC (everything but the CRC itself).
+_CRC_PREFIX = struct.Struct("<QI")
+
+#: Sanity bound on a single record's payload; anything larger in a header is
+#: treated as tail corruption rather than an attempt to allocate gigabytes.
+MAX_RECORD_BYTES = 1 << 30
+
+#: Valid sync policies, in decreasing durability order.
+SYNC_POLICIES = ("commit", "batch", "off")
+
+#: Default group-commit batch bounds for ``sync="batch"``.
+DEFAULT_GROUP_SIZE = 64
+DEFAULT_GROUP_BYTES = 256 * 1024
+
+#: File name of the log inside a database's ``data_dir``.
+WAL_FILE_NAME = "wal.log"
+
+
+def fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry (not supported everywhere).
+
+    Needed after creating or renaming a file inside it: an ``fsync`` of the
+    file persists its *contents*, but the directory entry pointing at it is
+    separate metadata a power cut can still lose.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def encode_record(lsn: int, data: dict) -> bytes:
+    """Encode one logical record as a framed, checksummed byte string."""
+    payload = json.dumps(data, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+    crc = zlib.crc32(_CRC_PREFIX.pack(lsn, len(payload)) + payload)
+    return _HEADER.pack(lsn, len(payload), crc) + payload
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: its LSN plus the logical payload."""
+
+    lsn: int
+    data: dict
+
+
+@dataclass
+class WalReadResult:
+    """Everything :func:`read_wal` learned about a log file."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    #: Byte length of the valid prefix (where a writer should resume).
+    valid_length: int = 0
+    #: True when trailing bytes after the valid prefix were torn or corrupt.
+    torn_tail: bool = False
+    #: Bytes dropped because of the torn/corrupt tail.
+    bytes_dropped: int = 0
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1].lsn if self.records else 0
+
+
+def read_wal(path: str | os.PathLike) -> WalReadResult:
+    """Decode a WAL file, stopping cleanly at the first torn/corrupt record.
+
+    A missing file reads as an empty log.  The scan never raises on bad
+    bytes: a partial header, an implausible length, a short payload, a CRC
+    mismatch, or undecodable JSON all mark the tail as torn and end the
+    replayable prefix exactly at the last intact record — which is the
+    contract crash recovery needs (a record is either wholly in or wholly
+    out).
+    """
+    result = WalReadResult()
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return result
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            break  # torn header
+        lsn, length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            break  # implausible length: header corruption
+        end = offset + _HEADER.size + length
+        if end > total:
+            break  # torn payload
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(_CRC_PREFIX.pack(lsn, length) + payload) != crc:
+            break  # checksum mismatch
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            break  # CRC collision or writer bug; treat as corruption
+        result.records.append(WalRecord(lsn=lsn, data=decoded))
+        offset = end
+        result.valid_length = end
+    result.torn_tail = result.valid_length < total
+    result.bytes_dropped = total - result.valid_length
+    return result
+
+
+@dataclass
+class WalStats:
+    """Counters describing a WAL's activity since the database opened."""
+
+    sync_policy: str = "batch"
+    #: Logical records appended.
+    records: int = 0
+    #: Bytes appended (headers + payloads).
+    bytes_written: int = 0
+    #: ``fsync`` calls issued (0 under ``sync="off"``).
+    syncs: int = 0
+    #: Group-commit flushes (each writes its whole pending batch at once).
+    flushes: int = 0
+    #: Largest number of records a single group-commit flush covered.
+    max_batch_records: int = 0
+    #: LSN of the most recently appended record.
+    last_lsn: int = 0
+    #: Records appended since the last checkpoint truncated the log.
+    records_since_checkpoint: int = 0
+    #: Checkpoints taken (snapshot written + log truncated).
+    checkpoints: int = 0
+
+    @property
+    def avg_batch_records(self) -> float:
+        """Mean group-commit batch size (records per flush)."""
+        if not self.flushes:
+            return 0.0
+        return self.records / self.flushes
+
+
+class WalWriter:
+    """Appends framed records to a log file under a configurable sync policy.
+
+    The writer owns the file handle from open to close.  When handed the
+    ``valid_length`` of a recovered log it first truncates the torn tail, so
+    new records never append after garbage.  LSN assignment continues from
+    ``start_lsn`` (the recovered maximum of snapshot and log).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        sync: str = "batch",
+        group_size: int = DEFAULT_GROUP_SIZE,
+        group_bytes: int = DEFAULT_GROUP_BYTES,
+        start_lsn: int = 0,
+        valid_length: int | None = None,
+    ):
+        if sync not in SYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown wal sync policy {sync!r}; expected one of {SYNC_POLICIES}"
+            )
+        if group_size < 1:
+            raise DurabilityError("wal group_size must be at least 1")
+        self.path = os.fspath(path)
+        self.sync = sync
+        self.group_size = group_size
+        self.group_bytes = group_bytes
+        self._lsn = start_lsn
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        self._closed = False
+        self.stats = WalStats(sync_policy=sync, last_lsn=start_lsn)
+        # Create the file if missing, then open read-write so a recovered
+        # torn tail can be truncated away before the first append.  A fresh
+        # log's directory entry is synced immediately: under sync="commit"
+        # the very first acknowledged record must not vanish with the whole
+        # file on power loss.
+        if not os.path.exists(self.path):
+            open(self.path, "ab").close()
+            if sync != "off":
+                fsync_directory(os.path.dirname(self.path))
+        self._file = open(self.path, "r+b")
+        if valid_length is not None:
+            self._file.truncate(valid_length)
+        self._file.seek(0, os.SEEK_END)
+
+    # -- appending -----------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self._lsn
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def append(self, data: dict) -> int:
+        """Append one logical record; returns its LSN.
+
+        The record is encoded immediately (so callers may hand over live row
+        dicts) and becomes durable according to the sync policy: right away
+        under ``"commit"``, at the next group-commit boundary under
+        ``"batch"``, never guaranteed under ``"off"``.
+        """
+        if self._closed:
+            raise DurabilityError(f"write-ahead log {self.path!r} is closed")
+        self._lsn += 1
+        encoded = encode_record(self._lsn, data)
+        self._pending.append(encoded)
+        self._pending_bytes += len(encoded)
+        self.stats.records += 1
+        self.stats.bytes_written += len(encoded)
+        self.stats.last_lsn = self._lsn
+        self.stats.records_since_checkpoint += 1
+        if (
+            self.sync == "commit"
+            or len(self._pending) >= self.group_size
+            or self._pending_bytes >= self.group_bytes
+        ):
+            self.flush()
+        return self._lsn
+
+    def flush(self) -> None:
+        """Write the pending group-commit batch as one write (and sync it).
+
+        Under ``sync="off"`` the batch is handed to the OS but never
+        ``fsync``\\ ed.  Flushing an empty buffer is a no-op, so callers may
+        flush defensively at statement or checkpoint boundaries.
+        """
+        if not self._pending:
+            return
+        batch = b"".join(self._pending)
+        batch_records = len(self._pending)
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._file.write(batch)
+        self._file.flush()
+        if self.sync != "off":
+            os.fsync(self._file.fileno())
+            self.stats.syncs += 1
+        self.stats.flushes += 1
+        self.stats.max_batch_records = max(self.stats.max_batch_records, batch_records)
+
+    # -- checkpoint support -----------------------------------------------------
+
+    def truncate_log(self) -> None:
+        """Drop every record (they are covered by a just-written snapshot).
+
+        LSN numbering continues — the snapshot remembers the last LSN it
+        contains, which is what keeps replay idempotent if the process dies
+        between the snapshot rename and this truncation.
+        """
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._file.flush()
+        if self.sync != "off":
+            os.fsync(self._file.fileno())
+        self.stats.records_since_checkpoint = 0
+        self.stats.checkpoints += 1
+
+    def close(self) -> None:
+        """Flush pending records and release the file handle (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._file.close()
+        self._closed = True

@@ -1,0 +1,706 @@
+"""Durability subsystem tests: WAL, snapshots, crash recovery, lifecycle.
+
+The central property: after *any* crash — simulated by truncating the WAL at
+an arbitrary byte boundary, flipping bits, or leaving a half-written
+snapshot — reopening the ``data_dir`` recovers exactly the committed prefix
+of acknowledged operations, never a torn half-statement and never silently
+less than what a sync policy promised.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CQMS, CQMSConfig, build_database
+from repro.errors import DurabilityError
+from repro.storage.database import Database
+from repro.storage.recovery import LOCK_FILE_NAME
+from repro.storage.snapshot import SNAPSHOT_FILE_NAME, SNAPSHOT_TMP_SUFFIX
+from repro.storage.wal import WAL_FILE_NAME, encode_record, read_wal
+
+
+def wal_path(data_dir) -> str:
+    return os.path.join(data_dir, WAL_FILE_NAME)
+
+
+def snapshot_path(data_dir) -> str:
+    return os.path.join(data_dir, SNAPSHOT_FILE_NAME)
+
+
+def table_rows(db: Database, table: str) -> list[tuple]:
+    return sorted(db.execute(f"SELECT * FROM {table}").rows)
+
+
+# ---------------------------------------------------------------------------
+# WAL encoding / decoding
+# ---------------------------------------------------------------------------
+
+
+class TestWalFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "w.log"
+        payloads = [{"op": "insert", "i": i, "txt": "αβγ"} for i in range(5)]
+        with open(path, "wb") as handle:
+            for lsn, payload in enumerate(payloads, start=1):
+                handle.write(encode_record(lsn, payload))
+        result = read_wal(path)
+        assert not result.torn_tail
+        assert [r.data for r in result.records] == payloads
+        assert [r.lsn for r in result.records] == [1, 2, 3, 4, 5]
+        assert result.valid_length == os.path.getsize(path)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        result = read_wal(tmp_path / "absent.log")
+        assert result.records == [] and not result.torn_tail
+
+    def test_truncation_at_every_byte_of_tail_record(self, tmp_path):
+        """Kill-at-any-byte: replay recovers exactly the committed prefix."""
+        path = tmp_path / "w.log"
+        records = [encode_record(i + 1, {"n": i}) for i in range(4)]
+        blob = b"".join(records)
+        prefix_len = len(blob) - len(records[-1])
+        for cut in range(prefix_len, len(blob) + 1):
+            path.write_bytes(blob[:cut])
+            result = read_wal(path)
+            if cut == len(blob):
+                assert [r.data["n"] for r in result.records] == [0, 1, 2, 3]
+                assert not result.torn_tail
+            else:
+                # Any partial tail record yields exactly the first 3 records;
+                # a cut exactly on the record boundary is simply a clean log.
+                assert [r.data["n"] for r in result.records] == [0, 1, 2]
+                assert result.torn_tail == (cut > prefix_len)
+                assert result.valid_length == prefix_len
+                assert result.bytes_dropped == cut - prefix_len
+
+    def test_checksum_mismatch_stops_replay(self, tmp_path):
+        path = tmp_path / "w.log"
+        records = [encode_record(i + 1, {"n": i}) for i in range(3)]
+        blob = bytearray(b"".join(records))
+        # Flip one payload byte inside the *middle* record.
+        offset = len(records[0]) + len(records[1]) - 1
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        result = read_wal(path)
+        # Replay stops cleanly before the corrupt record; later intact
+        # records are unreachable (the log has no trusted resync point).
+        assert [r.data["n"] for r in result.records] == [0]
+        assert result.torn_tail
+
+
+# ---------------------------------------------------------------------------
+# Database round trips
+# ---------------------------------------------------------------------------
+
+
+class TestDatabaseDurability:
+    def test_wal_replay_round_trip(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="commit") as db:
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score FLOAT)")
+            db.execute("CREATE INDEX t_score ON t (score) USING SORTED")
+            db.insert_rows(
+                "t", [{"id": i, "name": f"n{i}", "score": float(i % 5)} for i in range(40)]
+            )
+            db.execute("UPDATE t SET name = 'renamed' WHERE id = 7")
+            db.execute("DELETE FROM t WHERE score = 3.0")
+            db.execute("ALTER TABLE t ADD COLUMN tag TEXT")
+            db.execute("UPDATE t SET tag = 'x' WHERE id = 2")
+            expected = table_rows(db, "t")
+        with Database.open(d) as db:
+            assert db.last_recovery.wal_records_applied > 0
+            assert table_rows(db, "t") == expected
+            # Indexes were rebuilt, not trusted: the planner can use them.
+            assert "RangeScan" in db.explain(
+                "SELECT id FROM t WHERE score > 1 AND score < 3"
+            ).text()
+            assert db.table("t").schema.has_column("tag")
+
+    def test_checkpoint_truncates_wal_and_tail_replays(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d) as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(10)])
+            db.checkpoint()
+            assert os.path.getsize(wal_path(d)) == 0
+            db.execute("INSERT INTO t VALUES (100)")
+        with Database.open(d) as db:
+            assert db.last_recovery.snapshot_loaded
+            assert db.last_recovery.wal_records_applied == 1
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 11
+            # Row ids keep advancing monotonically after recovery.
+            db.execute("INSERT INTO t VALUES (101)")
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 12
+
+    def test_row_ids_stable_across_recovery(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="commit") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(5)])
+            db.execute("DELETE FROM t WHERE id = 4")
+            next_id = db.table("t").next_row_id
+        with Database.open(d) as db:
+            # A new insert must not reuse the deleted row's id.
+            assert db.table("t").next_row_id == next_id
+
+    def test_crash_between_snapshot_and_truncate_is_idempotent(self, tmp_path):
+        """Snapshot written, WAL not yet truncated: replay must skip by LSN."""
+        d = str(tmp_path / "db")
+        db = Database.open(d, wal_sync="commit")
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.insert_rows("t", [{"id": i} for i in range(8)])
+        # Write the snapshot exactly as checkpoint() would, then "crash"
+        # before the truncation step.
+        from repro.storage.snapshot import write_snapshot
+
+        db.flush_wal()
+        write_snapshot(db, snapshot_path(d), lsn=db.wal_stats().last_lsn)
+        db.close()
+        assert os.path.getsize(wal_path(d)) > 0  # log still holds everything
+        with Database.open(d) as db:
+            assert db.last_recovery.snapshot_loaded
+            assert db.last_recovery.wal_records_applied == 0
+            assert db.last_recovery.wal_records_skipped > 0
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 8
+
+    def test_stale_snapshot_tmp_is_ignored(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="commit") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.execute("INSERT INTO t VALUES (1)")
+            db.checkpoint()
+            db.execute("INSERT INTO t VALUES (2)")
+        # A checkpoint that died before its atomic rename leaves a .tmp file.
+        with open(snapshot_path(d) + SNAPSHOT_TMP_SUFFIX, "wb") as handle:
+            handle.write(b"garbage half-written snapshot")
+        with Database.open(d) as db:
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_corrupt_published_snapshot_raises(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d) as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.execute("INSERT INTO t VALUES (1)")
+            db.checkpoint()
+        with open(snapshot_path(d), "r+b") as handle:
+            handle.seek(os.path.getsize(snapshot_path(d)) // 2)
+            handle.write(b"\xff\xff\xff")
+        with pytest.raises(DurabilityError, match="integrity"):
+            Database.open(d)
+        # The flock must not leak when open() fails mid-recovery: a retry
+        # hits the same integrity error, not an "already open" lock error.
+        with pytest.raises(DurabilityError, match="integrity"):
+            Database.open(d)
+
+    def test_sync_off_survives_clean_close(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="off") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(20)])
+            assert db.wal_stats().syncs == 0
+        with Database.open(d) as db:
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 20
+
+    def test_group_commit_batches_under_batch_policy(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="batch", wal_group_size=16) as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(100)])
+            stats = db.wal_stats()
+            assert stats.records == 101  # create_table + 100 inserts
+            assert stats.flushes < stats.records  # grouped, not per-record
+            assert stats.max_batch_records >= 16
+            assert stats.avg_batch_records > 1.0
+        # commit policy syncs once per record instead.
+        d2 = str(tmp_path / "db2")
+        with Database.open(d2, wal_sync="commit") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(10)])
+            stats = db.wal_stats()
+            assert stats.syncs == stats.records == 11
+
+    def test_auto_checkpoint_interval(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="off", checkpoint_interval=50) as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            for i in range(120):
+                db.execute(f"INSERT INTO t VALUES ({i})")
+            stats = db.wal_stats()
+            assert stats.checkpoints >= 2  # every ~50 logged records
+            assert stats.records_since_checkpoint < 50
+            assert os.path.exists(snapshot_path(d))
+        # A bulk insert_rows checks the interval once at the end of the batch.
+        d2 = str(tmp_path / "db2")
+        with Database.open(d2, wal_sync="off", checkpoint_interval=50) as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(120)])
+            assert db.wal_stats().checkpoints == 1
+
+    def test_in_memory_database_has_no_wal(self):
+        db = Database()
+        assert not db.is_durable
+        assert db.wal_stats() is None
+        with pytest.raises(DurabilityError, match="durable"):
+            db.checkpoint()
+
+    def test_case_only_table_rename_survives(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="commit") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.execute("INSERT INTO t VALUES (1)")
+            db.execute("ALTER TABLE t RENAME TO T")
+            assert db.execute("SELECT COUNT(*) FROM T").scalar() == 1
+        with Database.open(d) as db:
+            assert db.execute("SELECT COUNT(*) FROM T").scalar() == 1
+
+    def test_rename_onto_existing_table_raises(self, tmp_path):
+        from repro.errors import CatalogError
+
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="commit") as db:
+            db.execute("CREATE TABLE a (x INTEGER)")
+            db.execute("CREATE TABLE b (y INTEGER)")
+            db.execute("INSERT INTO b VALUES (7)")
+            with pytest.raises(CatalogError, match="already exists"):
+                db.execute("ALTER TABLE a RENAME TO b")
+            # The collision was rejected *before* the WAL append: b intact.
+            assert db.execute("SELECT y FROM b").scalar() == 7
+        with Database.open(d) as db:
+            assert db.execute("SELECT y FROM b").scalar() == 7
+            assert db.has_table("a")
+
+    def test_recovered_log_counts_against_checkpoint_interval(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="off") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            for i in range(80):
+                db.execute(f"INSERT INTO t VALUES ({i})")
+        # Reopen with an interval the *existing* log already exceeds: the
+        # open itself checkpoints, so a crash-reopen loop that writes fewer
+        # than `interval` new records per life cannot grow the WAL forever.
+        with Database.open(d, wal_sync="off", checkpoint_interval=50) as db:
+            assert db.wal_stats().checkpoints >= 1
+            assert os.path.getsize(wal_path(d)) == 0
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 80
+
+    def test_failed_wal_append_rolls_back_the_mutation(self, tmp_path):
+        """A mutation that cannot be logged must not stay visible in memory:
+        recovery would rebuild a state without it, and later logged ops on
+        the phantom row would silently no-op during replay."""
+        d = str(tmp_path / "db")
+        db = Database.open(d, wal_sync="commit")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.insert_rows("t", [{"id": 1, "v": 10}, {"id": 2, "v": 20}])
+        table = db.table("t")
+        # Simulate ENOSPC/EIO at the append layer.
+        def boom(record):
+            raise DurabilityError("disk full")
+        table.wal_emit = boom
+        with pytest.raises(DurabilityError):
+            table.insert({"id": 3, "v": 30})
+        with pytest.raises(DurabilityError):
+            table.update(0, {"v": 11})
+        with pytest.raises(DurabilityError):
+            table.delete(1)
+        with pytest.raises(DurabilityError):
+            table.create_index("t_v_sorted", "v", kind="sorted")
+        table.wal_emit = db._wal_append
+        assert sorted(r["id"] for r in table.rows()) == [1, 2]
+        assert table.get(0)["v"] == 10  # update rolled back
+        assert table.get(1)["v"] == 20  # delete rolled back
+        assert table.sorted_index_for("v") is None  # index build rolled back
+        # The primary-key index still agrees with the heap.
+        assert db.execute("SELECT v FROM t WHERE id = 2").scalar() == 20
+        db.close()
+        with Database.open(d) as recovered:
+            assert sorted(r["id"] for r in recovered.table("t").rows()) == [1, 2]
+
+    def test_failed_wal_append_never_applies_ddl(self, tmp_path):
+        """DDL validates before logging: an append failure must leave neither
+        a phantom column in memory (later inserts would log rows recovery
+        cannot replay) nor a phantom table."""
+        d = str(tmp_path / "db")
+        db = Database.open(d, wal_sync="commit")
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+
+        def boom(record):
+            raise DurabilityError("disk full")
+
+        original_append = db._wal.append
+        db._wal.append = boom
+        with pytest.raises(DurabilityError):
+            db.execute("ALTER TABLE t ADD COLUMN extra TEXT")
+        with pytest.raises(DurabilityError):
+            db.execute("CREATE TABLE u (id INTEGER)")
+        with pytest.raises(DurabilityError):
+            db.execute("DROP TABLE t")
+        db._wal.append = original_append
+        assert not db.table("t").schema.has_column("extra")
+        assert not db.has_table("u")
+        # The surviving state is fully loggable: this insert replays cleanly.
+        db.execute("INSERT INTO t VALUES (2)")
+        db.close()
+        with Database.open(d) as recovered:
+            assert recovered.execute("SELECT COUNT(*) FROM t").scalar() == 2
+            assert not recovered.table("t").schema.has_column("extra")
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle hygiene: locks, idempotent close, closed-database errors
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_double_open_raises(self, tmp_path):
+        d = str(tmp_path / "db")
+        db = Database.open(d)
+        try:
+            with pytest.raises(DurabilityError, match="already open"):
+                Database.open(d)
+        finally:
+            db.close()
+        # After close the directory can be reopened.
+        Database.open(d).close()
+
+    def test_lock_file_from_dead_process_never_blocks(self, tmp_path):
+        d = str(tmp_path / "db")
+        Database.open(d).close()
+        # The LOCK file persists between runs (only the flock matters, and
+        # the kernel drops that the instant its owner dies — even SIGKILL).
+        # A leftover file, whatever it contains, must not block reopening.
+        assert os.path.exists(os.path.join(d, LOCK_FILE_NAME))
+        with open(os.path.join(d, LOCK_FILE_NAME), "w") as handle:
+            handle.write("99999999")
+        with Database.open(d) as db:
+            assert db.is_durable
+
+    def test_concurrent_openers_get_exactly_one_owner(self, tmp_path):
+        import multiprocessing as mp
+
+        def contender(d, barrier, results, i):
+            from repro.errors import DurabilityError
+            from repro.storage.database import Database as Db
+
+            barrier.wait()
+            try:
+                db = Db.open(d)
+                import time
+
+                time.sleep(0.2)
+                db.close()
+                results[i] = "won"
+            except DurabilityError:
+                results[i] = "blocked"
+
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+        d = str(tmp_path / "db")
+        Database.open(d).close()
+        barrier = ctx.Barrier(4)
+        with ctx.Manager() as manager:
+            results = manager.dict()
+            processes = [
+                ctx.Process(target=contender, args=(d, barrier, results, i))
+                for i in range(4)
+            ]
+            for process in processes:
+                process.start()
+            for process in processes:
+                process.join()
+            outcomes = sorted(results.values())
+        assert outcomes.count("won") == 1, outcomes
+
+    def test_close_is_idempotent(self, tmp_path):
+        db = Database.open(str(tmp_path / "db"))
+        db.close()
+        db.close()
+        assert db.closed
+
+    def test_operations_on_closed_database_raise(self, tmp_path):
+        db = Database.open(str(tmp_path / "db"))
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(DurabilityError, match="closed"):
+            db.insert_rows("t", [{"id": 1}])
+        with pytest.raises(DurabilityError, match="closed"):
+            db.checkpoint()
+        with pytest.raises(DurabilityError, match="closed"):
+            db.create_table(db.table("t").schema.renamed("u"))
+
+    def test_closed_in_memory_database_raises_too(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            db.execute("SELECT 1")
+
+
+# ---------------------------------------------------------------------------
+# Crash-at-any-point property: randomized workload, arbitrary truncation
+# ---------------------------------------------------------------------------
+
+
+def _apply_ops(db: Database, ops, lengths, states):
+    """Run single-row statements, recording the WAL length and expected table
+    contents after each one (``wal_sync='commit'`` flushes per record)."""
+    path = wal_path(db.data_dir)
+    shadow: dict[int, tuple] = {}
+    next_key = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            value = op[1]
+            db.execute(f"INSERT INTO t (k, v) VALUES ({next_key}, {value})")
+            shadow[next_key] = (next_key, value)
+            next_key += 1
+        elif kind == "update" and shadow:
+            key = sorted(shadow)[op[1] % len(shadow)]
+            value = op[2]
+            db.execute(f"UPDATE t SET v = {value} WHERE k = {key}")
+            shadow[key] = (key, value)
+        elif kind == "delete" and shadow:
+            key = sorted(shadow)[op[1] % len(shadow)]
+            db.execute(f"DELETE FROM t WHERE k = {key}")
+            del shadow[key]
+        else:
+            continue  # update/delete against an empty table: no statement ran
+        lengths.append(os.path.getsize(path))
+        states.append(sorted(shadow.values()))
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(-100, 100)),
+        st.tuples(st.just("update"), st.integers(0, 50), st.integers(-100, 100)),
+        st.tuples(st.just("delete"), st.integers(0, 50)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestCrashRecoveryProperty:
+    @given(ops=_ops, cut_fraction=st.floats(0.0, 1.0))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_truncated_wal_recovers_exactly_committed_prefix(
+        self, ops, cut_fraction, tmp_path_factory
+    ):
+        d = str(tmp_path_factory.mktemp("crash") / "db")
+        lengths: list[int] = []
+        states: list[list[tuple]] = []
+        db = Database.open(d, wal_sync="commit")
+        db.execute("CREATE TABLE t (k INTEGER, v INTEGER)")
+        base_length = os.path.getsize(wal_path(d))
+        lengths.append(base_length)
+        states.append([])
+        _apply_ops(db, ops, lengths, states)
+        total = os.path.getsize(wal_path(d))
+        db.close()
+
+        # Simulate SIGKILL at an arbitrary moment: cut the log mid-write.
+        cut = base_length + int((total - base_length) * cut_fraction)
+        with open(wal_path(d), "r+b") as handle:
+            handle.truncate(cut)
+
+        # The expected state is the last statement wholly inside the cut.
+        survivors = max(i for i, length in enumerate(lengths) if length <= cut)
+        with Database.open(d) as recovered:
+            assert table_rows(recovered, "t") == states[survivors]
+            # Recovery is stable: the recovered database accepts new writes.
+            recovered.execute("INSERT INTO t (k, v) VALUES (9999, 1)")
+            assert recovered.execute(
+                "SELECT COUNT(*) FROM t WHERE k = 9999"
+            ).scalar() == 1
+
+    def test_every_byte_boundary_of_tail_statement(self, tmp_path):
+        """Exhaustive version of the property for the final record."""
+        d = str(tmp_path / "db")
+        db = Database.open(d, wal_sync="commit")
+        db.execute("CREATE TABLE t (k INTEGER, v INTEGER)")
+        lengths = [os.path.getsize(wal_path(d))]
+        states: list[list[tuple]] = [[]]
+        _apply_ops(
+            db,
+            [("insert", i) for i in range(6)] + [("update", 2, 42), ("delete", 0)],
+            lengths,
+            states,
+        )
+        blob = open(wal_path(d), "rb").read()
+        db.close()
+        for cut in range(lengths[-2], lengths[-1] + 1):
+            with open(wal_path(d), "wb") as handle:
+                handle.write(blob[:cut])
+            expected = states[-1] if cut == lengths[-1] else states[-2]
+            with Database.open(d) as recovered:
+                assert table_rows(recovered, "t") == expected, f"cut at byte {cut}"
+
+
+# ---------------------------------------------------------------------------
+# Durable Query Storage (CQMS integration)
+# ---------------------------------------------------------------------------
+
+
+class TestDurableQueryStore:
+    def test_query_log_survives_restart(self, tmp_path):
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("nodira", group="uw-db")
+            cqms.submit("nodira", "SELECT * FROM WaterTemp T WHERE T.temp < 18")
+            cqms.submit("nodira", "SELECT lake, AVG(temp) FROM WaterTemp GROUP BY lake")
+            cqms.annotate("nodira", 1, "cold lakes")
+            count = len(cqms.store)
+
+        db2 = build_database("limnology", scale=1)
+        with CQMS(db2, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("nodira", group="uw-db")
+            assert len(cqms.store) == count
+            record = cqms.store.get(1)
+            assert record.text == "SELECT * FROM WaterTemp T WHERE T.temp < 18"
+            assert record.annotations == ["cold lakes"]
+            # Features were re-extracted, so meta-search works immediately.
+            assert record.features is not None
+            hits = cqms.search_keyword("nodira", ["watertemp"])
+            assert [r.qid for r in hits] == [1, 2]
+            # New submissions continue the qid sequence.
+            execution = cqms.submit("nodira", "SELECT COUNT(*) FROM WaterTemp")
+            assert execution.record.qid == count + 1
+
+    def test_feature_relations_survive_restart(self, tmp_path):
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d, wal_sync="commit")) as cqms:
+            cqms.register_user("ana", group="g")
+            cqms.submit("ana", "SELECT lake FROM WaterTemp WHERE temp > 20")
+            before = cqms.store.execute_meta_sql(
+                "SELECT qid, relName FROM DataSources"
+            ).rows
+        db2 = build_database("limnology", scale=1)
+        with CQMS(db2, config=CQMSConfig(data_dir=d)) as cqms:
+            after = cqms.store.execute_meta_sql(
+                "SELECT qid, relName FROM DataSources"
+            ).rows
+            assert sorted(after) == sorted(before)
+            stats = cqms.durability_stats()
+            assert stats["database"] is None  # user DBMS stays in-memory
+            assert stats["query_storage"] is not None
+
+    def test_session_membership_restored_from_time_windows(self, tmp_path):
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            for i in range(3):
+                cqms.submit("ana", f"SELECT * FROM WaterTemp WHERE temp < {15 + i}")
+                cqms.clock.advance(30)
+            cqms.run_miner()  # persists Sessions/SessionEdges
+            session_id = cqms.store.get(2).session_id
+            assert session_id is not None
+        db2 = build_database("limnology", scale=1)
+        with CQMS(db2, config=CQMSConfig(data_dir=d)) as cqms:
+            # Membership came back from the Sessions time windows...
+            assert cqms.store.get(2).session_id == session_id
+            # ...so removing a recovered query keeps numQueries consistent.
+            before = cqms.store.execute_meta_sql(
+                f"SELECT numQueries FROM Sessions WHERE sessionId = {session_id}"
+            ).scalar()
+            cqms.store.remove(2)
+            after = cqms.store.execute_meta_sql(
+                f"SELECT numQueries FROM Sessions WHERE sessionId = {session_id}"
+            ).scalar()
+            assert after == before - 1
+
+    def test_qids_never_reused_across_restarts(self, tmp_path):
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            cqms.submit("ana", "SELECT * FROM WaterTemp")
+            cqms.submit("ana", "SELECT * FROM Lakes")
+            cqms.store.remove(2)  # qid 2 retired forever
+        db2 = build_database("limnology", scale=1)
+        with CQMS(db2, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            execution = cqms.submit("ana", "SELECT * FROM WaterSalinity")
+            # max(surviving qid) is 1, but the high-water mark is durable.
+            assert execution.record.qid == 3
+            # Even with every query removed the counter must not restart.
+            cqms.store.remove(1)
+            cqms.store.remove(3)
+        db3 = build_database("limnology", scale=1)
+        with CQMS(db3, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            assert cqms.submit("ana", "SELECT * FROM Lakes").record.qid == 4
+
+    def test_flag_state_survives_restart(self, tmp_path):
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            cqms.submit("ana", "SELECT * FROM WaterTemp")
+            cqms.store.mark_invalid(1, "references a dropped column")
+            cqms.store.mark_invalid(1, "references a dropped column")
+        db2 = build_database("limnology", scale=1)
+        with CQMS(db2, config=CQMSConfig(data_dir=d)) as cqms:
+            record = cqms.store.get(1)
+            # The drop-after-N-flags maintenance policy must not reset on
+            # restart, and the user-facing reason must survive.
+            assert record.flagged_invalid
+            assert record.invalid_reason == "references a dropped column"
+            assert record.flag_count == 2
+
+    def test_output_summary_total_rows_survive_restart(self, tmp_path):
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            cqms.submit("ana", "SELECT * FROM WaterTemp")
+            original = cqms.store.get(1).output
+            assert original is not None
+        db2 = build_database("limnology", scale=1)
+        with CQMS(db2, config=CQMSConfig(data_dir=d)) as cqms:
+            rebuilt = cqms.store.get(1).output
+            assert rebuilt.total_rows == original.total_rows
+            assert rebuilt.complete == original.complete
+            assert len(rebuilt.rows) == len(original.rows)
+            # Numeric cells come back as numbers (not their TEXT rendering),
+            # so query-by-data value matching still works after a restart.
+            numeric = next(
+                value
+                for row in original.rows
+                for value in row
+                if isinstance(value, float)
+            )
+            assert rebuilt.contains_value(numeric)
+
+    def test_checkpoint_through_cqms(self, tmp_path):
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            cqms.submit("ana", "SELECT * FROM WaterTemp")
+            assert cqms.checkpoint() > 0
+            assert os.path.getsize(os.path.join(d, WAL_FILE_NAME)) == 0
+
+    def test_workbench_durability_panel(self, tmp_path):
+        from repro.client.workbench import Workbench
+
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            cqms.submit("ana", "SELECT * FROM WaterTemp")
+            panel = Workbench(cqms=cqms, user="ana").durability_panel()
+            assert "=== Durability ===" in panel
+            assert "database: in-memory (no write-ahead log)" in panel
+            assert "query_storage: wal sync=batch" in panel

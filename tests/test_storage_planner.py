@@ -204,9 +204,53 @@ class TestSortElimination:
         result = sorted_db.execute("SELECT name, id * -1 AS area FROM lakes ORDER BY area")
         assert result.column("name") == ["Chelan", "Michigan", "Union", "Washington"]
 
-    def test_multi_key_order_keeps_sort(self, sorted_db):
+    def test_multi_key_order_partial_sorts_on_index_prefix(self, sorted_db):
+        # The sorted index covers the first ORDER BY key; the remaining keys
+        # are sorted within runs of equal area instead of a full sort.
         plan = sorted_db.explain("SELECT name FROM lakes ORDER BY area, name")
-        assert "Sort [area, name]" in plan.text()
+        assert "PartialSort [area, name] (prefix area via index order)" in plan.text()
+        assert "RangeScan lakes (ORDER BY area)" in plan.text()
+
+    def test_multi_key_order_without_index_on_first_key_keeps_sort(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes ORDER BY name, area")
+        assert "Sort [name, area]" in plan.text()
+        assert "PartialSort" not in plan.text()
+
+    def test_partial_sort_matches_full_sort(self):
+        db = Database()
+        db.execute("CREATE TABLE events (usr TEXT, ts INTEGER, seq INTEGER)")
+        rows = [
+            {"usr": f"u{(i * 7) % 5}", "ts": (i * 13) % 17, "seq": i}
+            for i in range(120)
+        ]
+        db.insert_rows("events", rows)
+        baseline = db.execute("SELECT usr, ts, seq FROM events ORDER BY usr, ts DESC")
+        db.execute("CREATE INDEX events_usr ON events (usr) USING SORTED")
+        plan = db.explain("SELECT usr, ts, seq FROM events ORDER BY usr, ts DESC")
+        assert "PartialSort [usr, ts DESC]" in plan.text(), plan.text()
+        indexed = db.execute("SELECT usr, ts, seq FROM events ORDER BY usr, ts DESC")
+        assert indexed.rows == baseline.rows
+
+    def test_partial_sort_desc_prefix_flips_scan_direction(self, sorted_db):
+        plan = sorted_db.explain("SELECT name FROM lakes ORDER BY area DESC, name")
+        assert "PartialSort" in plan.text()
+        assert "RangeScan lakes (ORDER BY area DESC)" in plan.text()
+        result = sorted_db.execute("SELECT name FROM lakes ORDER BY area DESC, name")
+        assert result.column("name") == ["Michigan", "Chelan", "Washington", "Union"]
+
+    def test_partial_sort_limit_short_circuits(self):
+        db = Database()
+        db.execute("CREATE TABLE events (usr TEXT, ts INTEGER)")
+        db.insert_rows(
+            "events",
+            [{"usr": f"u{i % 4}", "ts": i} for i in range(2000)],
+        )
+        db.execute("CREATE INDEX events_usr ON events (usr) USING SORTED")
+        result = db.execute("SELECT usr, ts FROM events ORDER BY usr, ts LIMIT 5")
+        assert result.rows == [("u0", ts) for ts in (0, 4, 8, 12, 16)]
+        # Consumption stops at the first run boundary past the limit budget;
+        # the full table is never materialized for a sort.
+        assert result.stats.rows_scanned < 2000
 
     def test_join_keeps_sort(self, sorted_db):
         plan = sorted_db.explain(
