@@ -100,10 +100,12 @@ def render_plan(explanation, title: str = "Query plan") -> str:
 
     Shows the operator tree the engine chose — access paths (``IndexScan`` vs
     ``SeqScan`` vs ``ParallelSeqScan``), join order and physical join
-    operators — so users can see why a (meta-)query is fast or slow.  An
-    analyzed explanation (EXPLAIN ANALYZE) is titled accordingly; its lines
-    already carry the per-node actual rows/batches/times and the execution
-    summary.
+    operators, and the aggregation stage (``HashAggregate`` /
+    ``SortedGroupAggregate`` with its estimated group count) — so users can
+    see why a (meta-)query is fast or slow.  An analyzed explanation
+    (EXPLAIN ANALYZE) is titled accordingly; its lines already carry the
+    per-node actual rows/batches/times and the execution summary (including
+    groups emitted and aggregation time for grouped queries).
     """
     if getattr(explanation, "analyzed", False):
         title += " (analyzed)"

@@ -16,7 +16,10 @@ Query Storage feature relations.  It provides:
   version/drift invalidation,
 * :mod:`repro.storage.exec_settings` — batch-size / parallel-scan knobs,
 * :mod:`repro.storage.operators` — batched Volcano-style physical operators
-  (compiled predicate fast paths, partitioned parallel scans),
+  (compiled predicate fast paths, partitioned parallel scans, hash/sorted
+  group aggregation),
+* :mod:`repro.storage.aggregates` — incremental aggregate accumulators
+  (update/merge/finish) behind the vectorized aggregation stage,
 * :mod:`repro.storage.executor` — the SQL executor (projection, aggregation,
   ordering over the streamed operator pipeline),
 * :mod:`repro.storage.wal` — the append-only checksummed write-ahead log,

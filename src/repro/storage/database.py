@@ -37,7 +37,8 @@ from repro.storage.wal import DEFAULT_GROUP_SIZE, WAL_FILE_NAME, WalStats, WalWr
 from repro.storage.exec_settings import DEFAULT_SETTINGS, ExecutionSettings
 from repro.storage.executor import Executor
 from repro.storage.expression import Scope, evaluate, is_true
-from repro.storage.operators import ExecutionContext
+from repro.storage.aggregates import statement_has_aggregates
+from repro.storage.operators import ExecutionContext, shutdown_scan_pool
 from repro.storage.plan_cache import (
     DEFAULT_MAX_DRIFT,
     DEFAULT_PLAN_CACHE_SIZE,
@@ -79,6 +80,10 @@ class ExecutionStats:
     batches: int = 0
     #: True when the raw SQL text skipped the parser via the statement cache.
     statement_cache_hit: bool = False
+    #: Groups formed by the aggregation stage (before HAVING filtering).
+    groups_emitted: int = 0
+    #: Wall time spent inside the aggregation stage (its input scan included).
+    agg_seconds: float = 0.0
 
 
 @dataclass
@@ -267,6 +272,10 @@ class Database:
         if self._lock is not None:
             release_lock(self._lock)
             self._lock = None
+        # The parallel-scan worker pool is process-wide (shared by every
+        # Database), so don't wait on it here — just ask it to wind down;
+        # a later scan lazily re-creates it.
+        shutdown_scan_pool(wait=False)
 
     def __enter__(self) -> "Database":
         return self
@@ -570,15 +579,23 @@ class Database:
             index_lookups=executor.metrics.index_lookups,
             plan_cache_hit=cache_hit,
             batches=executor.metrics.batches,
+            groups_emitted=executor.metrics.groups_emitted,
+            agg_seconds=executor.metrics.agg_seconds,
         )
         lines = plan.explain_lines(node_stats=node_stats)
         if cache_hit:
             lines[0] += "  (cached)"
-        lines.append(
+        summary = (
             f"Execution: {len(rows)} rows in {elapsed * 1000.0:.3f} ms "
             f"(rows_scanned={stats.rows_scanned}, batches={stats.batches}, "
             f"index_lookups={stats.index_lookups})"
         )
+        if statement.group_by or statement_has_aggregates(statement):
+            summary += (
+                f" aggregation: groups={stats.groups_emitted} "
+                f"in {stats.agg_seconds * 1000.0:.3f} ms"
+            )
+        lines.append(summary)
         return PlanExplanation(
             statement_kind="select",
             lines=lines,
@@ -623,6 +640,8 @@ class Database:
             index_lookups=executor.metrics.index_lookups,
             plan_cache_hit=cache_hit,
             batches=executor.metrics.batches,
+            groups_emitted=executor.metrics.groups_emitted,
+            agg_seconds=executor.metrics.agg_seconds,
         )
         return QueryResult(columns=columns, rows=rows, stats=stats, rowcount=len(rows))
 

@@ -41,12 +41,18 @@ class ExecutionSettings:
     fast paths, forcing per-row Scope/evaluate dispatch — a diagnostic switch
     (like the planner's ``use_indexes=False``) that lets benchmarks quantify
     the batch engine against the historical row-at-a-time evaluation model.
+
+    ``vectorized_aggregation=False`` keeps grouped queries on the executor's
+    historical materialize-then-rewalk aggregation instead of planning a
+    ``HashAggregate``/``SortedGroupAggregate`` stage — the baseline the
+    aggregation benchmarks measure speedups against.
     """
 
     batch_size: int = DEFAULT_BATCH_SIZE
     parallel_workers: int = DEFAULT_PARALLEL_WORKERS
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
     compile_expressions: bool = True
+    vectorized_aggregation: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:

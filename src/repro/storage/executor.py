@@ -32,6 +32,7 @@ a filter sits in between).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.errors import ExecutionError
 from repro.storage.exec_settings import DEFAULT_SETTINGS
@@ -83,6 +84,10 @@ class ExecutorMetrics:
     index_lookups: int = 0
     #: Batches the executor consumed from the plan root (batched pipeline).
     batches: int = 0
+    #: Groups formed by the aggregation stage (before HAVING filtering).
+    groups_emitted: int = 0
+    #: Wall time spent inside the aggregation stage (input scan included).
+    agg_seconds: float = 0.0
 
 
 class Executor:
@@ -159,8 +164,15 @@ class Executor:
                 project = _compile_projection(statement, plan.bindings)
                 plan._compiled_projection = project
         if statement.group_by or statement_has_aggregates(statement):
-            source = self._flatten(plan.root.batches(ctx))
-            columns, rows = self._aggregate(statement, plan, source, outer_scope)
+            if plan.aggregate is not None and self._settings.vectorized_aggregation:
+                columns, rows = self._aggregate_streamed(
+                    statement, plan, ctx, outer_scope
+                )
+            else:
+                started = perf_counter()
+                source = self._flatten(plan.root.batches(ctx))
+                columns, rows = self._aggregate(statement, plan, source, outer_scope)
+                self.metrics.agg_seconds += perf_counter() - started
             if statement.distinct:
                 rows = _distinct(rows)
             rows = _apply_limit(rows, statement.limit, statement.offset)
@@ -281,6 +293,113 @@ class Executor:
 
     # -- aggregation ----------------------------------------------------------------
 
+    def _aggregate_streamed(
+        self,
+        statement: SelectStatement,
+        plan: SelectPlan,
+        ctx: ExecutionContext,
+        outer_scope: Scope | None,
+    ) -> tuple[list[str], list[tuple]]:
+        """Finish the plan's vectorized aggregate stage into output rows.
+
+        The operator (:class:`~repro.storage.operators.HashAggregate` /
+        :class:`~repro.storage.operators.SortedGroupAggregate`) streams
+        ``(representative row, finished aggregate values)`` pairs; HAVING,
+        projection, and ORDER BY read the finished slot values instead of
+        re-walking buffered group rows like the historical path below does.
+        """
+        aggregate = plan.aggregate
+        slots = aggregate.collection.slots
+        columns = plan.output_columns
+        ordering = bool(statement.order_by)
+        result_rows: list[tuple] = []
+        keyed_rows: list[tuple[dict, list, tuple]] = []
+        for representative, finished in aggregate.groups(ctx):
+            scope = Scope(representative, parent=outer_scope)
+            if statement.having is not None:
+                having_value = self._finish_expr(
+                    statement.having, finished, slots, scope
+                )
+                if not is_true(having_value):
+                    continue
+            values: list[object] = []
+            for item in statement.select_items:
+                expr = item.expression
+                if isinstance(expr, Star):
+                    values.extend(self._star_values(expr, plan.bindings, scope))
+                else:
+                    values.append(self._finish_expr(expr, finished, slots, scope))
+            row = tuple(values)
+            result_rows.append(row)
+            if ordering:
+                keyed_rows.append((representative, finished, row))
+
+        if ordering:
+            alias_map = {
+                (item.alias or "").lower(): index
+                for index, item in enumerate(statement.select_items)
+                if item.alias
+            }
+            column_map = {name.lower(): index for index, name in enumerate(columns)}
+
+            def order_key(entry):
+                representative, finished, values = entry
+                scope = Scope(representative or {}, parent=outer_scope)
+                keys = []
+                for order_item in statement.order_by:
+                    expr = order_item.expression
+                    value = None
+                    resolved = False
+                    if isinstance(expr, ColumnRef) and expr.table is None:
+                        lowered = expr.name.lower()
+                        if lowered in alias_map:
+                            value = values[alias_map[lowered]]
+                            resolved = True
+                        elif lowered in column_map and not scope.has_column(expr):
+                            value = values[column_map[lowered]]
+                            resolved = True
+                    if not resolved:
+                        value = self._finish_expr(expr, finished, slots, scope)
+                    keys.append(
+                        sort_key(value)
+                        if order_item.ascending
+                        else _Reversed(sort_key(value))
+                    )
+                return tuple(keys)
+
+            keyed_rows.sort(key=order_key)
+            result_rows = [values for _, _, values in keyed_rows]
+        return columns, result_rows
+
+    def _finish_expr(
+        self, expr: Expression, finished: list, slots: dict[int, int], scope: Scope
+    ) -> object:
+        """Evaluate a SELECT/HAVING/ORDER BY expression over finished
+        aggregate states — the streamed twin of ``_evaluate_aggregate_expr``."""
+        if isinstance(expr, FunctionCall) and expr.is_aggregate:
+            return finished[slots[id(expr)]]
+        if isinstance(expr, BinaryOp):
+            left = self._finish_expr(expr.left, finished, slots, scope)
+            right = self._finish_expr(expr.right, finished, slots, scope)
+            return evaluate(
+                BinaryOp(op=expr.op, left=Literal(left), right=Literal(right)),
+                scope,
+                self._run_subquery,
+            )
+        if isinstance(expr, UnaryOp):
+            operand = self._finish_expr(expr.operand, finished, slots, scope)
+            return evaluate(
+                UnaryOp(op=expr.op, operand=Literal(operand)), scope, self._run_subquery
+            )
+        if _has_aggregate(expr):
+            # Unreachable behind collect_aggregate_specs, kept for parity with
+            # the historical path's placement error.
+            raise ExecutionError(
+                "aggregates may only appear at the top level of an expression or "
+                "inside simple arithmetic/boolean combinations"
+            )
+        return evaluate(expr, scope, self._run_subquery)
+
     def _aggregate(
         self,
         statement: SelectStatement,
@@ -303,6 +422,7 @@ class Executor:
         if not statement.group_by and not groups:
             groups[()] = []
             order.append(())
+        self.metrics.groups_emitted += len(order)
 
         columns = plan.output_columns
         result_rows: list[tuple] = []

@@ -44,6 +44,7 @@ All operators charge their work to :class:`ExecutionContext.metrics` so
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 import time
@@ -62,6 +63,7 @@ from repro.sql.ast_nodes import (
     UnaryOp,
 )
 from repro.sql.formatter import format_expression
+from repro.storage.aggregates import AggregateCollection, hashable_value
 from repro.storage.exec_settings import DEFAULT_BATCH_SIZE
 from repro.storage.expression import Scope, evaluate, is_true, like_regex
 from repro.storage.statistics import partition_spans
@@ -85,6 +87,26 @@ def _scan_pool() -> ThreadPoolExecutor:
                     thread_name_prefix="repro-scan",
                 )
     return _SCAN_POOL
+
+
+def shutdown_scan_pool(wait: bool = True) -> None:
+    """Shut down the shared scan pool (it is lazily re-created on next use).
+
+    Called by ``Database.close()`` (``wait=False``) so closing a database in
+    a long-lived process does not leak idle worker threads, and registered
+    with :mod:`atexit` for interpreter shutdown.  Statement execution is
+    synchronous, so no scan can be in flight when a database closes between
+    statements; a concurrently open database simply re-creates the pool on
+    its next parallel scan.
+    """
+    global _SCAN_POOL
+    with _SCAN_POOL_LOCK:
+        pool, _SCAN_POOL = _SCAN_POOL, None
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_scan_pool)
 
 #: Sentinel distinguishing "not compiled yet" from "compilation returned None".
 _UNSET = object()
@@ -894,6 +916,467 @@ class OuterJoin(Operator):
 
 
 # ---------------------------------------------------------------------------
+# Vectorized aggregation
+# ---------------------------------------------------------------------------
+
+
+#: Sentinel for "no run started yet" in the sorted streaming path.
+_NO_RUN = object()
+
+
+class GroupAggregate(Operator):
+    """Shared machinery of :class:`HashAggregate` / :class:`SortedGroupAggregate`.
+
+    Aggregate operators are consumed through :meth:`groups`, which yields
+    ``(representative row dict, finished aggregate values)`` pairs in
+    first-seen group order — the executor's HAVING / projection / ORDER BY
+    read the finished accumulator states instead of re-walking buffered row
+    lists.  ``batches()`` is deliberately unimplemented: the planner places an
+    aggregate only at the top of the pipeline, never under joins.
+
+    Compiled artifacts (group-key and argument getters) are memoized on the
+    operator instance, read only row-dict keys, and accumulators are created
+    fresh per execution — all of which keeps a cached plan's parameter
+    re-binding safe.
+    """
+
+    _name = "GroupAggregate"
+
+    def __init__(
+        self,
+        child: Operator,
+        group_exprs,
+        collection: AggregateCollection,
+        estimate: float,
+        having: Expression | None = None,
+    ):
+        self.child = child
+        self.group_exprs = list(group_exprs)
+        self.collection = collection
+        self.having = having
+        self.bindings = child.bindings
+        self.children = (child,)
+        self.estimate = estimate  # estimated number of output groups
+        self._compiled_group: object = _UNSET
+        self._compiled_args: object = _UNSET
+
+    # -- consumption ---------------------------------------------------------
+
+    def groups(self, ctx: ExecutionContext):
+        """Stream ``(representative, finished values)`` pairs, instrumented.
+
+        Charges ``groups_emitted`` and the (inclusive, child included)
+        aggregation wall time to ``ctx.metrics``; under EXPLAIN ANALYZE the
+        operator's :class:`NodeStats` counts one row per emitted group.
+        """
+        stats = ctx.observe(self)
+        if stats is not None:
+            stats.loops += 1
+            stats.batches += 1  # one logical batch of groups per execution
+        metrics = ctx.metrics
+        source = self._groups(ctx)
+        while True:
+            started = time.perf_counter()
+            try:
+                item = next(source)
+            except StopIteration:
+                elapsed = time.perf_counter() - started
+                metrics.agg_seconds += elapsed
+                if stats is not None:
+                    stats.wall_seconds += elapsed
+                return
+            elapsed = time.perf_counter() - started
+            metrics.agg_seconds += elapsed
+            metrics.groups_emitted += 1
+            if stats is not None:
+                stats.wall_seconds += elapsed
+                stats.rows += 1
+            yield item
+
+    def _groups(self, ctx: ExecutionContext):
+        raise NotImplementedError
+
+    # -- compiled helpers ----------------------------------------------------
+
+    def _group_key_getter(self):
+        """Memoized ``RowDict -> key tuple`` closure, or None (evaluate path)."""
+        if self._compiled_group is _UNSET:
+            if not self.group_exprs:
+                self._compiled_group = lambda row: ()
+            elif all(isinstance(expr, ColumnRef) for expr in self.group_exprs):
+                self._compiled_group = compile_key_tuple(self.group_exprs, self.bindings)
+            else:
+                self._compiled_group = None
+        return self._compiled_group
+
+    def _spec_getters(self):
+        """Memoized per-spec argument getters (None for COUNT(*)/fallback)."""
+        if self._compiled_args is _UNSET:
+            self._compiled_args = [
+                compile_column_getter(self.bindings, spec.argument)
+                if isinstance(spec.argument, ColumnRef)
+                else None
+                for spec in self.collection.specs
+            ]
+        return self._compiled_args
+
+    def _extractors(self, ctx: ExecutionContext):
+        """Per-spec ``row list -> values to accumulate`` callables."""
+        getters = self._spec_getters()
+        use_compiled = ctx.compile_expressions
+        outer = ctx.outer_scope
+        run = ctx.run_subquery
+        extractors = []
+        for spec, getter in zip(self.collection.specs, getters):
+            if spec.argument is None:
+                extractors.append(_rows_identity)  # COUNT(*) counts the rows
+            elif use_compiled and getter is not None:
+                extractors.append(lambda rows, _get=getter: [_get(row) for row in rows])
+            else:
+                extractors.append(
+                    lambda rows, _arg=spec.argument: [
+                        evaluate(_arg, Scope(row, parent=outer), run) for row in rows
+                    ]
+                )
+        return extractors
+
+    def _evaluated_key(self, row: RowDict, ctx: ExecutionContext) -> tuple:
+        scope = Scope(row, parent=ctx.outer_scope)
+        return tuple(
+            hashable_value(evaluate(expr, scope, ctx.run_subquery))
+            for expr in self.group_exprs
+        )
+
+    def _empty_input_group(self):
+        """The single global-aggregate group an empty ungrouped input yields."""
+        return {}, [spec.make().finish() for spec in self.collection.specs]
+
+    def label(self) -> str:
+        parts = [self._name]
+        if self.group_exprs:
+            keys = ", ".join(format_expression(expr) for expr in self.group_exprs)
+            parts.append(f"[group by {keys}]")
+        if self.having is not None:
+            parts.append(f"having ({format_expression(self.having)})")
+        parts.append(f"[est groups={self.estimate:.0f}]")
+        return " ".join(parts)
+
+
+class HashAggregate(GroupAggregate):
+    """Hash-grouped vectorized aggregation.
+
+    Consumes the child batch by batch: each batch is partitioned into
+    per-key buckets with a compiled group-key getter, then every bucket
+    updates its group's accumulators once per aggregate spec — each input row
+    is touched exactly once per spec, never re-walked.
+
+    Two fast paths beyond the generic batch loop:
+
+    * **Fused raw scan** — when the child is just filters over a heap scan
+      and every filter, group key, and aggregate argument compiles against
+      bare heap rows, the operator iterates ``table.scan()`` directly,
+      skipping the per-row ``{binding: row}`` wrapper allocation entirely.
+      Disabled under EXPLAIN ANALYZE so child operators report honest actuals.
+    * **Parallel partial aggregation** — when that heap scan is a
+      :class:`ParallelSeqScan`, each partition span builds private per-group
+      accumulators on a pool worker and the coordinator merges the partial
+      states in span order: only O(groups) accumulator state crosses the
+      barrier, not O(rows) row dicts.
+    """
+
+    _name = "HashAggregate"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._compiled_raw: object = _UNSET
+
+    def _groups(self, ctx: ExecutionContext):
+        fused = self._pushdown_groups(ctx)
+        if fused is not None:
+            yield from fused
+            return
+        specs = self.collection.specs
+        extractors = self._extractors(ctx)
+        key_getter = self._group_key_getter() if ctx.compile_expressions else None
+        group_exprs = self.group_exprs
+        metrics = ctx.metrics
+        states: dict[tuple, tuple[RowDict, list]] = {}
+        order: list[tuple] = []
+        for batch in self.child.batches(ctx):
+            metrics.batches += 1
+            buckets: dict[tuple, list[RowDict]] = {}
+            if key_getter is not None:
+                for row in batch:
+                    key = key_getter(row)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = bucket = []
+                    bucket.append(row)
+            else:
+                for row in batch:
+                    key = self._evaluated_key(row, ctx)
+                    bucket = buckets.get(key)
+                    if bucket is None:
+                        buckets[key] = bucket = []
+                    bucket.append(row)
+            for key, bucket in buckets.items():
+                state = states.get(key)
+                if state is None:
+                    state = states[key] = (bucket[0], [spec.make() for spec in specs])
+                    order.append(key)
+                accumulators = state[1]
+                for accumulator, extract in zip(accumulators, extractors):
+                    accumulator.update_batch(extract(bucket))
+        if not group_exprs and not states:
+            yield self._empty_input_group()
+            return
+        for key in order:
+            representative, accumulators = states[key]
+            yield representative, [acc.finish() for acc in accumulators]
+
+    # -- fused raw-row path ----------------------------------------------------
+
+    def _raw_compiled(self):
+        if self._compiled_raw is _UNSET:
+            self._compiled_raw = self._compile_raw()
+        return self._compiled_raw
+
+    def _compile_raw(self):
+        """``(scan, key getter, arg getters, checks)`` for the fused path, or
+        None when any piece needs Scope/evaluate semantics."""
+        filters: list[Filter] = []
+        node = self.child
+        while isinstance(node, Filter):
+            filters.append(node)
+            node = node.child
+        if not isinstance(node, SeqScan):  # RangeScan/IndexScan keep batches()
+            return None
+        bindings = node.bindings
+        checks: list = []
+        # Innermost filter first: matches the pipeline's evaluation order
+        # (compiled checks are side-effect-free, so this is purely cosmetic).
+        for filter_op in reversed(filters):
+            compiled = compile_conjuncts(
+                filter_op.predicates, bindings, getter_factory=raw_column_getter
+            )
+            if compiled is None:
+                return None
+            checks.extend(compiled)
+        if self.group_exprs:
+            getters = []
+            for expr in self.group_exprs:
+                if not isinstance(expr, ColumnRef):
+                    return None
+                getter = raw_column_getter(bindings, expr)
+                if getter is None:
+                    return None
+                getters.append(getter)
+            if len(getters) == 1:
+                # Scalar keys (internal to this path) beat 1-tuples on the
+                # hot dict lookups.
+                key_getter = getters[0]
+            else:
+                parts = tuple(getters)
+                key_getter = lambda row, _parts=parts: tuple(g(row) for g in _parts)
+        else:
+            key_getter = _constant_key
+        arg_getters: list = []
+        for spec in self.collection.specs:
+            if spec.argument is None:
+                arg_getters.append(None)
+            elif isinstance(spec.argument, ColumnRef):
+                getter = raw_column_getter(bindings, spec.argument)
+                if getter is None:
+                    return None
+                arg_getters.append(getter)
+            else:
+                return None
+        return node, key_getter, arg_getters, checks
+
+    def _pushdown_groups(self, ctx: ExecutionContext):
+        if not ctx.compile_expressions or ctx.node_stats is not None:
+            return None
+        compiled = self._raw_compiled()
+        if compiled is None:
+            return None
+        scan, key_getter, arg_getters, checks = compiled
+        table, binding = scan.table, scan.binding
+        specs = self.collection.specs
+        spans = (
+            partition_spans(len(table), scan.workers)
+            if isinstance(scan, ParallelSeqScan)
+            else []
+        )
+        if len(spans) > 1:
+            partials = list(
+                _scan_pool().map(
+                    lambda span: _raw_partial(
+                        table.scan_span(*span), key_getter, arg_getters, checks, specs
+                    ),
+                    spans,
+                )
+            )
+        else:
+            partials = [
+                _raw_partial(table.scan(), key_getter, arg_getters, checks, specs)
+            ]
+        metrics = ctx.metrics
+        merged: dict = {}
+        order: list = []
+        for span_order, span_states, scanned in partials:
+            metrics.rows_scanned += scanned
+            for key in span_order:
+                entry = span_states[key]
+                state = merged.get(key)
+                if state is None:
+                    merged[key] = entry
+                    order.append(key)
+                else:
+                    for mine, theirs in zip(state[1], entry[1]):
+                        mine.merge(theirs)
+        if not self.group_exprs and not merged:
+            return [self._empty_input_group()]
+        return [
+            ({binding: merged[key][0]}, [acc.finish() for acc in merged[key][1]])
+            for key in order
+        ]
+
+
+class SortedGroupAggregate(GroupAggregate):
+    """Streaming grouped aggregation over an index-ordered scan.
+
+    Chosen by the planner when the child already streams rows ordered by the
+    leading group key (an unbounded/bounded :class:`RangeScan` on that
+    column) — the same run-boundary detection the PartialSort path uses.
+    Because equal leading keys are adjacent, every group is fully contained
+    in one run: the operator buffers only the current run, aggregates it at
+    the run boundary, and emits those groups before reading on.  Memory is
+    bounded by the largest run instead of the whole group table.
+    """
+
+    _name = "SortedGroupAggregate"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._compiled_lead: object = _UNSET
+
+    def _lead_getter(self):
+        if self._compiled_lead is _UNSET:
+            lead = self.group_exprs[0]
+            self._compiled_lead = (
+                compile_column_getter(self.bindings, lead)
+                if isinstance(lead, ColumnRef)
+                else None
+            )
+        return self._compiled_lead
+
+    def _groups(self, ctx: ExecutionContext):
+        specs = self.collection.specs
+        extractors = self._extractors(ctx)
+        key_getter = self._group_key_getter() if ctx.compile_expressions else None
+        lead_getter = self._lead_getter() if ctx.compile_expressions else None
+        group_exprs = self.group_exprs
+        lead_expr = group_exprs[0]
+        outer = ctx.outer_scope
+        run = ctx.run_subquery
+        metrics = ctx.metrics
+        run_states: dict[tuple, list[RowDict]] = {}
+        run_order: list[tuple] = []
+        current = _NO_RUN
+        emitted = False
+        for batch in self.child.batches(ctx):
+            metrics.batches += 1
+            for row in batch:
+                if lead_getter is not None:
+                    lead = lead_getter(row)
+                else:
+                    lead = evaluate(lead_expr, Scope(row, parent=outer), run)
+                marker = sort_key(lead)
+                if marker != current:
+                    if run_order:
+                        emitted = True
+                        yield from self._finish_run(run_order, run_states, extractors, specs)
+                        run_states = {}
+                        run_order = []
+                    current = marker
+                if key_getter is not None:
+                    key = key_getter(row)
+                else:
+                    key = self._evaluated_key(row, ctx)
+                bucket = run_states.get(key)
+                if bucket is None:
+                    run_states[key] = bucket = []
+                    run_order.append(key)
+                bucket.append(row)
+        if run_order:
+            yield from self._finish_run(run_order, run_states, extractors, specs)
+        elif not emitted and not group_exprs:
+            yield self._empty_input_group()
+
+    def _finish_run(self, run_order, run_states, extractors, specs):
+        for key in run_order:
+            bucket = run_states[key]
+            accumulators = [spec.make() for spec in specs]
+            for accumulator, extract in zip(accumulators, extractors):
+                accumulator.update_batch(extract(bucket))
+            yield bucket[0], [acc.finish() for acc in accumulators]
+
+
+def _rows_identity(rows):
+    return rows
+
+
+def _constant_key(row):
+    return ()
+
+
+def _raw_partial(pairs, key_getter, arg_getters, checks, specs):
+    """Aggregate one span of bare heap rows into per-group accumulator states.
+
+    Returns ``(first-seen key order, {key: (first row, accumulators)},
+    rows scanned)``.  Runs on a scan-pool worker for parallel partial
+    aggregation: the span's rows never leave this function, only the
+    accumulator states return to the coordinator for merging.
+    """
+    pending: dict = {}
+    order: list = []
+    scanned = 0
+    if checks:
+        for _, row in pairs:
+            scanned += 1
+            for check in checks:
+                if not check(row):
+                    break
+            else:
+                key = key_getter(row)
+                bucket = pending.get(key)
+                if bucket is None:
+                    pending[key] = bucket = []
+                    order.append(key)
+                bucket.append(row)
+    else:
+        for _, row in pairs:
+            scanned += 1
+            key = key_getter(row)
+            bucket = pending.get(key)
+            if bucket is None:
+                pending[key] = bucket = []
+                order.append(key)
+            bucket.append(row)
+    states = {}
+    for key in order:
+        bucket = pending[key]
+        accumulators = [spec.make() for spec in specs]
+        for accumulator, getter in zip(accumulators, arg_getters):
+            if getter is None:
+                accumulator.update_batch(bucket)
+            else:
+                accumulator.update_batch([getter(row) for row in bucket])
+        states[key] = (bucket[0], accumulators)
+    return order, states, scanned
+
+
+# ---------------------------------------------------------------------------
 # Compiled predicates and getters (the batch fast path)
 # ---------------------------------------------------------------------------
 
@@ -942,6 +1425,22 @@ def compile_column_getter(
     return lambda row: row[binding][key]
 
 
+def raw_column_getter(
+    bindings: list[tuple[str, list[str]]], column: ColumnRef
+) -> Callable[[dict], object] | None:
+    """Like :func:`compile_column_getter` but against *bare* heap rows.
+
+    Used by :class:`HashAggregate`'s fused scan path, which iterates the
+    table's stored row dicts directly instead of wrapping each in a
+    ``{binding: row}`` dict; resolution rules are identical.
+    """
+    resolved = resolve_binding_column(bindings, column)
+    if resolved is None:
+        return None
+    _, key = resolved
+    return lambda row: row[key]
+
+
 def compile_key_tuple(
     columns: list[ColumnRef], bindings: list[tuple[str, list[str]]]
 ) -> Callable[[RowDict], tuple] | None:
@@ -973,7 +1472,9 @@ _FLIPPED_COMPARISONS = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<
 
 
 def compile_predicate(
-    expr: Expression, bindings: list[tuple[str, list[str]]]
+    expr: Expression,
+    bindings: list[tuple[str, list[str]]],
+    getter_factory: Callable = compile_column_getter,
 ) -> Callable[[RowDict], bool] | None:
     """Compile a WHERE conjunct into a fast ``row -> passes`` check, or None.
 
@@ -986,12 +1487,16 @@ def compile_predicate(
     are read *per call*, not captured at compile time, so cached plans whose
     :class:`~repro.sql.canonicalize.ParamLiteral` nodes are re-bound between
     executions stay correct.
+
+    ``getter_factory`` selects the row representation: the default compiles
+    against ``{binding: row}`` batch dicts, :func:`raw_column_getter` against
+    bare heap rows (the aggregation pushdown).
     """
     if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_TESTS:
         op = expr.op
         left, right = expr.left, expr.right
         if isinstance(left, ColumnRef) and isinstance(right, Literal):
-            getter = compile_column_getter(bindings, left)
+            getter = getter_factory(bindings, left)
             if getter is None:
                 return None
             test = _COMPARISON_TESTS[op]
@@ -1003,7 +1508,7 @@ def compile_predicate(
 
             return check
         if isinstance(right, ColumnRef) and isinstance(left, Literal):
-            getter = compile_column_getter(bindings, right)
+            getter = getter_factory(bindings, right)
             if getter is None:
                 return None
             test = _COMPARISON_TESTS[_FLIPPED_COMPARISONS[op]]
@@ -1015,8 +1520,8 @@ def compile_predicate(
 
             return check
         if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
-            left_get = compile_column_getter(bindings, left)
-            right_get = compile_column_getter(bindings, right)
+            left_get = getter_factory(bindings, left)
+            right_get = getter_factory(bindings, right)
             if left_get is None or right_get is None:
                 return None
             test = _COMPARISON_TESTS[op]
@@ -1029,7 +1534,7 @@ def compile_predicate(
         return None
     if isinstance(expr, BinaryOp) and expr.op == "LIKE":
         if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
-            getter = compile_column_getter(bindings, expr.left)
+            getter = getter_factory(bindings, expr.left)
             if getter is None:
                 return None
             literal = expr.right
@@ -1052,7 +1557,7 @@ def compile_predicate(
     if isinstance(expr, UnaryOp) and expr.op in ("IS NULL", "IS NOT NULL"):
         if not isinstance(expr.operand, ColumnRef):
             return None
-        getter = compile_column_getter(bindings, expr.operand)
+        getter = getter_factory(bindings, expr.operand)
         if getter is None:
             return None
         if expr.op == "IS NULL":
@@ -1064,7 +1569,7 @@ def compile_predicate(
             and isinstance(expr.low, Literal)
             and isinstance(expr.high, Literal)
         ):
-            getter = compile_column_getter(bindings, expr.expr)
+            getter = getter_factory(bindings, expr.expr)
             if getter is None:
                 return None
             low, high, negated = expr.low, expr.high, expr.negated
@@ -1084,7 +1589,7 @@ def compile_predicate(
         if isinstance(expr.expr, ColumnRef) and all(
             isinstance(value, Literal) for value in expr.values
         ):
-            getter = compile_column_getter(bindings, expr.expr)
+            getter = getter_factory(bindings, expr.expr)
             if getter is None:
                 return None
             literals, negated = list(expr.values), expr.negated
@@ -1113,7 +1618,9 @@ def compile_predicate(
 
 
 def compile_conjuncts(
-    predicates: list[Expression], bindings: list[tuple[str, list[str]]]
+    predicates: list[Expression],
+    bindings: list[tuple[str, list[str]]],
+    getter_factory: Callable = compile_column_getter,
 ) -> list[Callable[[RowDict], bool]] | None:
     """Compile every conjunct or none.
 
@@ -1124,7 +1631,7 @@ def compile_conjuncts(
     """
     checks: list[Callable[[RowDict], bool]] = []
     for predicate in predicates:
-        check = compile_predicate(predicate, bindings)
+        check = compile_predicate(predicate, bindings, getter_factory)
         if check is None:
             return None
         checks.append(check)

@@ -166,6 +166,12 @@ class CachedPlan:
         The nodes are shared by the plan's operator tree and statement, so
         this one pass re-binds the whole plan.  ``Literal`` is frozen, hence
         the ``object.__setattr__``.
+
+        Aggregate plans re-bind the same way: the plan's aggregate stage keys
+        its spec slots by the template statement's node identities, its
+        memoized compiled getters read only row-dict keys (parameter values
+        are read per call), and accumulators are created fresh per execution —
+        nothing caches a bound constant.
         """
         for param, value in zip(self.params, values):
             object.__setattr__(param, "value", value)

@@ -62,10 +62,16 @@ from repro.sql.ast_nodes import (
     UpdateStatement,
 )
 from repro.sql.formatter import format_expression
+from repro.storage.aggregates import (
+    collect_aggregate_specs,
+    has_aggregate,
+    statement_has_aggregates,
+)
 from repro.storage.exec_settings import DEFAULT_SETTINGS, ExecutionSettings
 from repro.storage.operators import (
     EmptyRow,
     Filter,
+    HashAggregate,
     HashJoin,
     IndexLookupJoin,
     IndexScan,
@@ -75,11 +81,12 @@ from repro.storage.operators import (
     ParallelSeqScan,
     RangeScan,
     SeqScan,
+    SortedGroupAggregate,
     SubqueryScan,
     equality_probe_keys,
     range_probe_key,
 )
-from repro.storage.statistics import join_key_overlap
+from repro.storage.statistics import group_count_estimate, join_key_overlap
 from repro.storage.types import compare_values
 
 #: Cardinality guess for derived tables (no statistics available at plan time).
@@ -165,6 +172,11 @@ class SelectPlan:
     #: executor partial-sorts runs of equal leading-key values instead of
     #: materializing and sorting the whole result.
     sort_prefix: int = 0
+    #: Vectorized aggregation stage (:class:`~repro.storage.operators.HashAggregate`
+    #: or :class:`~repro.storage.operators.SortedGroupAggregate`) whose child is
+    #: ``root``, or None when the statement has no aggregation — or uses a
+    #: shape only the executor's historical fallback reproduces.
+    aggregate: Operator | None = None
 
     def explain_lines(self, node_stats: dict | None = None) -> list[str]:
         """Render the plan tree; ``node_stats`` (EXPLAIN ANALYZE) annotates
@@ -201,7 +213,16 @@ class SelectPlan:
                 push(f"PartialSort [{keys}] (prefix {prefix} via index order)")
             else:
                 push(f"Sort [{keys}]")
-        if statement.group_by or statement_has_aggregates(statement):
+        if self.aggregate is not None:
+            text = self.aggregate.label()
+            if node_stats is not None:
+                stats = node_stats.get(id(self.aggregate))
+                text += (
+                    f" ({stats.describe()})" if stats is not None else " (never executed)"
+                )
+            push(text)
+        elif statement.group_by or statement_has_aggregates(statement):
+            # Fallback shapes aggregate inside the executor, not the plan tree.
             detail = ""
             if statement.group_by:
                 detail = " [group by " + ", ".join(
@@ -300,14 +321,14 @@ class Planner:
     def plan_select(self, statement: SelectStatement) -> SelectPlan:
         conjuncts = _split_conjuncts(statement.where)
         sort_prefix = 0
+        leaves: list[_Leaf] = []
+        pending_outer: list[tuple[str, Operator, Expression | None]] = []
         if not statement.from_items:
             root: Operator = EmptyRow()
             if conjuncts:
                 root = Filter(root, conjuncts, estimate=1.0)
             bindings: list[tuple[str, list[str]]] = []
         else:
-            leaves: list[_Leaf] = []
-            pending_outer: list[tuple[str, Operator, Expression | None]] = []
             for item in statement.from_items:
                 flattened, extra_conjuncts, outer_joins = self._flatten(item)
                 conjuncts.extend(extra_conjuncts)
@@ -338,6 +359,13 @@ class Planner:
                 sort_prefix, root = self._try_sort_elimination(
                     statement, leaves[0], root
                 )
+        aggregate: Operator | None = None
+        if (
+            statement.group_by or statement_has_aggregates(statement)
+        ) and self._settings.vectorized_aggregation:
+            aggregate, root = self._plan_aggregate(
+                statement, root, leaves, pending_outer
+            )
         return SelectPlan(
             statement=statement,
             root=root,
@@ -346,7 +374,165 @@ class Planner:
             sort_eliminated=bool(sort_prefix)
             and sort_prefix >= len(statement.order_by),
             sort_prefix=sort_prefix,
+            aggregate=aggregate,
         )
+
+    def _plan_aggregate(
+        self,
+        statement: SelectStatement,
+        root: Operator,
+        leaves: list[_Leaf],
+        pending_outer: list,
+    ) -> tuple[Operator | None, Operator]:
+        """Place the vectorized aggregate stage above the pipeline.
+
+        Returns ``(aggregate, root)``.  ``aggregate`` is None when the
+        statement's aggregate shapes are beyond the incremental accumulators
+        (the executor then falls back to its historical grouping, which also
+        raises the historical placement/argument errors).  ``root`` may be
+        rewritten to an ordered scan when the streaming
+        :class:`SortedGroupAggregate` is chosen.
+        """
+        collection = collect_aggregate_specs(statement)
+        if collection is None:
+            return None, root
+        estimate = self._estimate_group_count(statement, leaves, root)
+        if (
+            self._use_indexes
+            and statement.group_by
+            and isinstance(statement.group_by[0], ColumnRef)
+            and len(leaves) == 1
+            and not pending_outer
+            and leaves[0].table is not None
+        ):
+            ordered = self._try_group_ordered_scan(statement, leaves[0], root)
+            if ordered is not None:
+                return (
+                    SortedGroupAggregate(
+                        ordered,
+                        statement.group_by,
+                        collection,
+                        estimate,
+                        having=statement.having,
+                    ),
+                    ordered,
+                )
+        return (
+            HashAggregate(
+                root,
+                statement.group_by,
+                collection,
+                estimate,
+                having=statement.having,
+            ),
+            root,
+        )
+
+    def _try_group_ordered_scan(
+        self, statement: SelectStatement, leaf: _Leaf, root: Operator
+    ) -> Operator | None:
+        """An ordered scan delivering the leading GROUP BY key, or None.
+
+        The streaming :class:`SortedGroupAggregate` needs equal leading keys
+        adjacent.  An existing :class:`RangeScan` on that column (a range
+        predicate picked it) already streams in key order — use the root
+        as-is.  A plain :class:`SeqScan` is rewritten into an unbounded
+        ordered walk only when the ORDER BY also starts with the same column:
+        an index-ordered walk pays a per-row ``table.get`` and is slower than
+        a heap scan feeding :class:`HashAggregate`, so order must be worth
+        buying (and a :class:`ParallelSeqScan` is never given up — parallel
+        partial aggregation beats streaming).
+        """
+        expr = statement.group_by[0]
+        if expr.table is not None and expr.table.lower() != leaf.binding.lower():
+            return None
+        table = leaf.table
+        if not table.schema.has_column(expr.name):
+            return None
+        canonical = table.schema.column(expr.name).name
+        if table.sorted_index_for(canonical) is None:
+            return None
+        parent: Filter | None = None
+        node = root
+        while isinstance(node, Filter):
+            parent, node = node, node.child
+        if isinstance(node, RangeScan):
+            if node.column.lower() != canonical.lower():
+                return None
+            return root
+        if type(node) is not SeqScan:
+            return None
+        if not statement.order_by:
+            return None
+        order_item = statement.order_by[0]
+        order_expr = order_item.expression
+        if not isinstance(order_expr, ColumnRef):
+            return None
+        if order_expr.name.lower() != canonical.lower():
+            return None
+        if (
+            order_expr.table is not None
+            and order_expr.table.lower() != leaf.binding.lower()
+        ):
+            return None
+        if order_expr.table is None and any(
+            (item.alias or "").lower() == order_expr.name.lower()
+            for item in statement.select_items
+        ):
+            # ORDER BY resolves select-list aliases before source columns.
+            return None
+        ordered = RangeScan(
+            table,
+            leaf.binding,
+            canonical,
+            low=None,
+            high=None,
+            low_inclusive=True,
+            high_inclusive=True,
+            estimate=node.estimate,
+            descending=not order_item.ascending,
+        )
+        if parent is None:
+            return ordered
+        parent.child = ordered
+        parent.children = (ordered,)
+        return root
+
+    def _estimate_group_count(
+        self, statement: SelectStatement, leaves: list[_Leaf], root: Operator
+    ) -> float:
+        """Estimated output groups: the product of per-key distinct counts
+        (statistics/indexes when available), capped at the input estimate."""
+        if not statement.group_by:
+            return 1.0
+        distincts: list[float] = []
+        for expr in statement.group_by:
+            if isinstance(expr, ColumnRef):
+                leaf = self._group_key_leaf(expr, leaves)
+                if leaf is not None:
+                    distincts.append(self._distinct_estimate(leaf, expr.name))
+                    continue
+            distincts.append(1.0 / DEFAULT_EQ_SELECTIVITY)
+        return group_count_estimate(distincts, max(root.estimate, 1.0))
+
+    @staticmethod
+    def _group_key_leaf(expr: ColumnRef, leaves: list[_Leaf]) -> "_Leaf | None":
+        """The unique leaf providing a GROUP BY column, or None (ambiguous)."""
+        if expr.table is not None:
+            target = expr.table.lower()
+            for leaf in leaves:
+                if leaf.binding.lower() == target:
+                    return leaf
+            return None
+        name = expr.name.lower()
+        owners = [
+            leaf
+            for leaf in leaves
+            if any(column.lower() == name for column in leaf.columns)
+        ]
+        if len(owners) == 1:
+            return owners[0]
+        return None
 
     def _try_sort_elimination(
         self, statement: SelectStatement, leaf: _Leaf, root: Operator
@@ -975,29 +1161,9 @@ def star_columns(star: Star, bindings: list[tuple[str, list[str]]]) -> list[str]
     return names
 
 
-def statement_has_aggregates(statement: SelectStatement) -> bool:
-    expressions = [item.expression for item in statement.select_items]
-    if statement.having is not None:
-        expressions.append(statement.having)
-    expressions.extend(item.expression for item in statement.order_by)
-    return any(has_aggregate(expr) for expr in expressions)
-
-
-def has_aggregate(expr: Expression) -> bool:
-    if isinstance(expr, FunctionCall) and expr.is_aggregate:
-        return True
-    if isinstance(expr, BinaryOp):
-        return has_aggregate(expr.left) or has_aggregate(expr.right)
-    if isinstance(expr, UnaryOp):
-        return has_aggregate(expr.operand)
-    if isinstance(expr, FunctionCall):
-        return any(has_aggregate(arg) for arg in expr.args)
-    if isinstance(expr, CaseExpression):
-        return any(
-            has_aggregate(condition) or has_aggregate(value)
-            for condition, value in expr.whens
-        ) or (expr.default is not None and has_aggregate(expr.default))
-    return False
+# ``has_aggregate`` / ``statement_has_aggregates`` now live in
+# :mod:`repro.storage.aggregates` (imported above and re-exported here for the
+# executor and existing callers).
 
 
 # ---------------------------------------------------------------------------

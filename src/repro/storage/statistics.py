@@ -327,6 +327,19 @@ def partition_spans(total: int, partitions: int) -> list[tuple[int, int]]:
     return spans
 
 
+def group_count_estimate(distinct_counts: list[float], input_rows: float) -> float:
+    """Estimated GROUP BY output cardinality from per-key distinct counts.
+
+    The product of the keys' distinct counts assumes key independence (the
+    textbook estimate), capped at the input row estimate — a group cannot
+    exist without at least one input row — and floored at one group.
+    """
+    product = 1.0
+    for count in distinct_counts:
+        product *= max(count, 1.0)
+    return max(1.0, min(product, max(input_rows, 1.0)))
+
+
 def join_key_overlap(left: ColumnStatistics | None, right: ColumnStatistics | None) -> tuple[float, float]:
     """Fractions of each side's rows whose join-key value can possibly match.
 
