@@ -1,0 +1,92 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Subcommands:
+
+* ``lint [paths...]`` — run the engine hazard lint
+  (:mod:`repro.analysis.hazard_lint`) over python sources
+  (default: ``src/repro``).
+* ``verify-plans`` — regenerate the workload plan corpus and run the
+  plan-invariant verifier (:mod:`repro.analysis.plan_verify`) over every
+  plan (see :mod:`repro.analysis.corpus`).
+* ``lint-sql`` — lint one SQL statement against a workload domain's schema.
+
+Exit status is 1 when any ERROR-severity diagnostic is produced — the CI
+``lint-and-verify`` step is exactly these commands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.framework import DiagnosticReport
+from repro.analysis.hazard_lint import lint_paths
+
+
+def _finish(report: DiagnosticReport, quiet_clean: str) -> int:
+    if len(report):
+        print(report.render())
+    else:
+        print(quiet_clean)
+    return 1 if report.has_errors else 0
+
+
+def _cmd_lint(args) -> int:
+    paths = args.paths or ["src/repro"]
+    report = lint_paths(paths)
+    return _finish(report, f"hazard lint clean over {', '.join(map(str, paths))}")
+
+
+def _cmd_verify_plans(args) -> int:
+    from repro.analysis.corpus import DOMAINS, verify_corpus
+
+    domains = args.domains or list(DOMAINS)
+    result = verify_corpus(domains=domains, sessions=args.sessions, seed=args.seed)
+    print(result.summary())
+    if len(result.report):
+        print(result.report.render())
+    return 1 if result.report.has_errors else 0
+
+
+def _cmd_lint_sql(args) -> int:
+    from repro.analysis.sql_lint import SchemaView, SqlLinter
+    from repro.workloads.schemas import build_database
+
+    database = build_database(args.domain)
+    linter = SqlLinter(SchemaView.from_database(database))
+    report = DiagnosticReport(diagnostics=linter.lint_sql(args.sql))
+    return _finish(report, f"statement is clean against the {args.domain} schema")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over the engine, its plans, and stored SQL.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser("lint", help="engine hazard lint over python sources")
+    lint.add_argument("paths", nargs="*", help="files or directories (default: src/repro)")
+    lint.set_defaults(run=_cmd_lint)
+
+    verify = commands.add_parser(
+        "verify-plans", help="verify every plan of the generated workload corpus"
+    )
+    verify.add_argument("--domains", nargs="*", help="workload domains (default: all)")
+    verify.add_argument("--sessions", type=int, default=60)
+    verify.add_argument("--seed", type=int, default=42)
+    verify.set_defaults(run=_cmd_verify_plans)
+
+    lint_sql = commands.add_parser(
+        "lint-sql", help="lint one SQL statement against a domain schema"
+    )
+    lint_sql.add_argument("sql")
+    lint_sql.add_argument("--domain", default="limnology")
+    lint_sql.set_defaults(run=_cmd_lint_sql)
+
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

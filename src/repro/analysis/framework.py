@@ -1,0 +1,127 @@
+"""Shared diagnostic framework of the static-analysis subsystem.
+
+All three analysis passes — the SQL semantic linter
+(:mod:`repro.analysis.sql_lint`), the plan-invariant verifier
+(:mod:`repro.analysis.plan_verify`), and the engine hazard lint
+(:mod:`repro.analysis.hazard_lint`) — speak the same vocabulary:
+
+* a :class:`Rule` names one class of problem and carries its default
+  :class:`Severity` and a one-line summary,
+* a :class:`Diagnostic` is one concrete finding of a rule at a location
+  (a source file and line, a logged query id, or a plan-operator label),
+* a :class:`DiagnosticReport` collects findings across a whole run and
+  answers the only question CI asks: *are there ERROR-severity findings?*
+
+Severity policy: ``ERROR`` means the subject is wrong — the query cannot
+produce its intended result, the plan violates an executor contract, or the
+engine code breaks an invariant the rest of the system relies on.  CI fails
+on ERROR.  ``WARNING`` marks working-but-hazardous constructs (implicit
+casts, non-sargable predicates, broad exception handlers that still
+re-raise); ``INFO`` is advisory style (``SELECT *`` in a stored query).
+Neither fails the build, and the SQL linter never marks a logged query
+invalid for anything below ERROR.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "ERROR", not "Severity.ERROR"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named class of problem an analysis pass can report.
+
+    ``name`` is the stable kebab-case identifier diagnostics carry (and the
+    handle for suppressing or testing the rule); ``severity`` is the default
+    severity of its findings — an individual :class:`Diagnostic` may override
+    it (e.g. the broad-except rule reports ERROR inside ``storage/`` but only
+    WARNING elsewhere).
+    """
+
+    name: str
+    severity: Severity
+    summary: str
+
+    def at(self, location: str, message: str, severity: Severity | None = None) -> "Diagnostic":
+        """Create a finding of this rule at ``location``."""
+        return Diagnostic(
+            rule=self.name,
+            severity=self.severity if severity is None else severity,
+            location=location,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One concrete finding: a rule fired at a location."""
+
+    rule: str
+    severity: Severity
+    location: str  # "path.py:12", "qid 7", or an operator label
+    message: str
+
+    def format(self) -> str:
+        return f"{self.location}: {self.severity} [{self.rule}] {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics from one analysis run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        """``{"ERROR": n, "WARNING": n, "INFO": n}`` — always all three keys."""
+        tally = {severity.name: 0 for severity in sorted(Severity, reverse=True)}
+        for diagnostic in self.diagnostics:
+            tally[diagnostic.severity.name] += 1
+        return tally
+
+    def render(self) -> str:
+        """Human-readable listing, most severe first, stable within a severity."""
+        ordered = sorted(
+            self.diagnostics, key=lambda d: (-int(d.severity), d.location, d.rule)
+        )
+        lines = [diagnostic.format() for diagnostic in ordered]
+        summary = ", ".join(f"{count} {name}" for name, count in self.counts().items())
+        lines.append(f"-- {len(self.diagnostics)} diagnostics ({summary})")
+        return "\n".join(lines)

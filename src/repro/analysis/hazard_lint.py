@@ -1,0 +1,434 @@
+"""Engine hazard lint: ``ast``-walking rules over the engine's own source.
+
+The engine maintains several invariants that no type checker sees and that
+the ROADMAP's next items (MVCC, replication) would turn from latent bugs
+into data corruption.  This pass walks :mod:`ast` trees of ``src/repro``
+and enforces them:
+
+* ``wal-pairing`` — in any class that owns a ``wal_emit`` hook (the
+  ``Table`` heap), a method that mutates ``self._rows`` must reference
+  ``self.wal_emit`` inside a ``try`` whose ``except BaseException`` handler
+  rolls back and re-raises; otherwise live state can diverge from what
+  recovery replays.  Recovery-path methods (``restore_*``) replay the log
+  itself and are exempt by convention.
+* ``lock-across-yield`` — a ``with <lock>:`` block whose body yields
+  suspends the generator while the lock is held; the consumer decides when
+  (and whether) it is released.
+* ``broad-except`` — ``except Exception``/bare ``except`` in ``storage/``
+  masks the concrete error taxonomy (:class:`~repro.errors.StorageError`
+  and friends) the callers dispatch on: ERROR there, WARNING elsewhere when
+  the handler swallows (no ``raise`` in its body).  ``except BaseException``
+  is only legitimate as the rollback idiom — body must re-raise.
+* ``wall-clock`` — calls to ``time.time``/``time.monotonic`` or
+  ``datetime`` *now* variants outside ``clock.py`` bypass the injectable
+  :class:`~repro.clock.SimulatedClock` and make replays nondeterministic.
+  ``time.perf_counter`` (duration instrumentation) is allowed, as is
+  *referencing* ``time.monotonic`` uncalled (passing it as a clock).
+* ``metrics-single-writer`` — a closure submitted to the shared scan pool
+  must not write executor metrics: ``ExecutorMetrics`` counters are plain
+  ``+=`` fields with a single-writer (coordinator thread) contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.framework import Diagnostic, DiagnosticReport, Rule, Severity
+
+WAL_PAIRING = Rule(
+    "wal-pairing", Severity.ERROR, "heap mutation without a paired wal_emit/rollback"
+)
+LOCK_ACROSS_YIELD = Rule(
+    "lock-across-yield", Severity.ERROR, "lock held across a generator yield"
+)
+BROAD_EXCEPT = Rule(
+    "broad-except", Severity.ERROR, "broad exception handler masks concrete errors"
+)
+WALL_CLOCK = Rule(
+    "wall-clock", Severity.ERROR, "wall-clock call outside clock.py"
+)
+METRICS_SINGLE_WRITER = Rule(
+    "metrics-single-writer",
+    Severity.ERROR,
+    "executor metrics written off the coordinator thread",
+)
+
+RULES: tuple[Rule, ...] = (
+    WAL_PAIRING,
+    LOCK_ACROSS_YIELD,
+    BROAD_EXCEPT,
+    WALL_CLOCK,
+    METRICS_SINGLE_WRITER,
+)
+
+#: Wall-clock callables that bypass the injectable clock entirely.
+_FORBIDDEN_CLOCK_CALLS = {"time", "localtime", "gmtime", "now", "utcnow", "today"}
+#: Tolerated with a warning: monotonic durations are deterministic enough for
+#: fallbacks, but SimulatedClock injection is still the expected path.
+_WARNED_CLOCK_CALLS = {"monotonic"}
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed source file under analysis."""
+
+    path: Path
+    rel: str  # repo-relative posix path used in diagnostics
+    tree: ast.Module
+
+    @property
+    def in_storage(self) -> bool:
+        return "storage" in Path(self.rel).parts
+
+    @property
+    def is_clock_module(self) -> bool:
+        return Path(self.rel).name == "clock.py"
+
+    def where(self, node: ast.AST) -> str:
+        return f"{self.rel}:{getattr(node, 'lineno', 0)}"
+
+
+def iter_source_files(paths: list[str | Path]) -> Iterator[SourceFile]:
+    """Yield parsed python files under ``paths`` (files or directories)."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            files = sorted(root.rglob("*.py"))
+            base = root.parent
+        else:
+            files = [root]
+            base = root.parent
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError):
+                continue  # unreadable or non-parseable: not this pass's problem
+            try:
+                rel = path.relative_to(base).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            yield SourceFile(path=path, rel=rel, tree=tree)
+
+
+def lint_paths(paths: list[str | Path]) -> DiagnosticReport:
+    """Run every hazard rule over the python files under ``paths``."""
+    report = DiagnosticReport()
+    for source in iter_source_files(paths):
+        report.extend(lint_source(source))
+    return report
+
+
+def lint_source(source: SourceFile) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    _check_wal_pairing(source, diagnostics)
+    _check_lock_across_yield(source, diagnostics)
+    _check_broad_except(source, diagnostics)
+    _check_wall_clock(source, diagnostics)
+    _check_metrics_single_writer(source, diagnostics)
+    return diagnostics
+
+
+# -- wal-pairing ----------------------------------------------------------------
+
+
+def _attribute_chain(node: ast.AST) -> str:
+    """Dotted name of an attribute/name chain ("self._rows.pop"), "" otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _mutates_heap(func: ast.FunctionDef) -> ast.AST | None:
+    """First statement mutating ``self._rows`` in-place, or None."""
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    if _attribute_chain(target.value) == "self._rows":
+                        return node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    if _attribute_chain(target.value) == "self._rows":
+                        return node
+        elif isinstance(node, ast.Call):
+            chain = _attribute_chain(node.func)
+            if chain in ("self._rows.pop", "self._rows.clear", "self._rows.update"):
+                return node
+    return None
+
+
+def _has_guarded_wal_emit(func: ast.FunctionDef) -> bool:
+    """True when ``self.wal_emit`` is called inside a try whose
+    ``except BaseException`` handler re-raises (the rollback idiom)."""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        calls_wal = any(
+            isinstance(inner, ast.Call)
+            and _attribute_chain(inner.func) == "self.wal_emit"
+            for body_stmt in node.body
+            for inner in ast.walk(body_stmt)
+        )
+        if not calls_wal:
+            continue
+        for handler in node.handlers:
+            if (
+                isinstance(handler.type, ast.Name)
+                and handler.type.id == "BaseException"
+                and any(isinstance(s, ast.Raise) for s in ast.walk(ast.Module(body=handler.body, type_ignores=[])))
+            ):
+                return True
+    return False
+
+
+def _check_wal_pairing(source: SourceFile, diagnostics: list[Diagnostic]) -> None:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        owns_wal = any(
+            isinstance(inner, ast.Attribute)
+            and inner.attr == "wal_emit"
+            and isinstance(inner.value, ast.Name)
+            and inner.value.id == "self"
+            for inner in ast.walk(node)
+        )
+        if not owns_wal:
+            continue
+        for func in node.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name.startswith("restore"):
+                continue  # recovery path: replays the log, never re-logs
+            mutation = _mutates_heap(func)
+            if mutation is None:
+                continue
+            refs_wal = any(
+                isinstance(inner, ast.Attribute)
+                and inner.attr == "wal_emit"
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == "self"
+                for inner in ast.walk(func)
+            )
+            if not refs_wal:
+                diagnostics.append(
+                    WAL_PAIRING.at(
+                        source.where(mutation),
+                        f"{node.name}.{func.name} mutates the heap without "
+                        f"emitting a WAL record",
+                    )
+                )
+            elif not _has_guarded_wal_emit(func):
+                diagnostics.append(
+                    WAL_PAIRING.at(
+                        source.where(mutation),
+                        f"{node.name}.{func.name} calls wal_emit without the "
+                        f"rollback idiom (try / except BaseException: undo; raise)",
+                    )
+                )
+
+
+# -- lock-across-yield ----------------------------------------------------------
+
+
+def _looks_like_lock(expr: ast.AST) -> bool:
+    chain = _attribute_chain(expr)
+    leaf = chain.rsplit(".", 1)[-1] if chain else ""
+    return "lock" in leaf.lower() or "mutex" in leaf.lower()
+
+
+def _yields_directly(nodes: list[ast.stmt]) -> ast.AST | None:
+    """First yield in ``nodes`` that is not inside a nested function/lambda."""
+
+    class Finder(ast.NodeVisitor):
+        found: ast.AST | None = None
+
+        def visit_FunctionDef(self, node):  # do not descend
+            pass
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+        visit_Lambda = visit_FunctionDef
+
+        def visit_Yield(self, node):
+            if self.found is None:
+                self.found = node
+
+        visit_YieldFrom = visit_Yield
+
+    finder = Finder()
+    for stmt in nodes:
+        finder.visit(stmt)
+    return finder.found
+
+
+def _check_lock_across_yield(source: SourceFile, diagnostics: list[Diagnostic]) -> None:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(_looks_like_lock(item.context_expr) for item in node.items):
+            continue
+        yielding = _yields_directly(node.body)
+        if yielding is not None:
+            diagnostics.append(
+                LOCK_ACROSS_YIELD.at(
+                    source.where(yielding),
+                    "generator yields while holding a lock: the consumer "
+                    "controls when (or whether) it is released",
+                )
+            )
+
+
+# -- broad-except ----------------------------------------------------------------
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise)
+        for stmt in handler.body
+        for node in ast.walk(stmt)
+    )
+
+
+def _check_broad_except(source: SourceFile, diagnostics: list[Diagnostic]) -> None:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        name = node.type.id if isinstance(node.type, ast.Name) else None
+        if node.type is not None and name not in ("Exception", "BaseException"):
+            continue
+        if name == "BaseException":
+            if not _handler_reraises(node):
+                diagnostics.append(
+                    BROAD_EXCEPT.at(
+                        source.where(node),
+                        "except BaseException that does not re-raise: only the "
+                        "rollback idiom may catch it",
+                    )
+                )
+            continue
+        caught = "bare except" if node.type is None else "except Exception"
+        if source.in_storage:
+            diagnostics.append(
+                BROAD_EXCEPT.at(
+                    source.where(node),
+                    f"{caught} in storage/: catch the concrete StorageError "
+                    f"subtypes (plus the specific stdlib errors) instead",
+                )
+            )
+        elif not _handler_reraises(node):
+            diagnostics.append(
+                BROAD_EXCEPT.at(
+                    source.where(node),
+                    f"{caught} swallows errors silently",
+                    severity=Severity.WARNING,
+                )
+            )
+
+
+# -- wall-clock ------------------------------------------------------------------
+
+
+def _clock_call_name(call: ast.Call, imported: dict[str, str]) -> str | None:
+    """The forbidden clock function a call invokes, or None."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = _attribute_chain(func.value)
+        if base in ("time", "datetime", "datetime.datetime", "date", "datetime.date"):
+            return func.attr
+        return None
+    if isinstance(func, ast.Name):
+        return imported.get(func.id)
+    return None
+
+
+def _check_wall_clock(source: SourceFile, diagnostics: list[Diagnostic]) -> None:
+    if source.is_clock_module:
+        return
+    imported: dict[str, str] = {}  # local name -> original function name
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.module in ("time", "datetime"):
+            for alias in node.names:
+                imported[alias.asname or alias.name] = alias.name
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _clock_call_name(node, imported)
+        if name is None:
+            continue
+        if name in _FORBIDDEN_CLOCK_CALLS:
+            diagnostics.append(
+                WALL_CLOCK.at(
+                    source.where(node),
+                    f"wall-clock call {name}() outside clock.py: inject the "
+                    f"engine clock (SimulatedClock in tests) instead",
+                )
+            )
+        elif name in _WARNED_CLOCK_CALLS:
+            diagnostics.append(
+                WALL_CLOCK.at(
+                    source.where(node),
+                    f"{name}() bypasses the injectable clock; acceptable only "
+                    f"as a fallback",
+                    severity=Severity.WARNING,
+                )
+            )
+
+
+# -- metrics-single-writer -------------------------------------------------------
+
+
+def _check_metrics_single_writer(
+    source: SourceFile, diagnostics: list[Diagnostic]
+) -> None:
+    for scope in ast.walk(source.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        local_functions = {
+            inner.name: inner
+            for inner in ast.walk(scope)
+            if isinstance(inner, ast.FunctionDef) and inner is not scope
+        }
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("submit", "map"):
+                continue
+            receiver = ast.dump(node.func.value)
+            if "pool" not in receiver.lower() and "executor" not in receiver.lower():
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Name):
+                continue
+            worker = local_functions.get(node.args[0].id)
+            if worker is None:
+                continue
+            for stmt in ast.walk(worker):
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    chain = _attribute_chain(
+                        target.value if isinstance(target, ast.Subscript) else target
+                    )
+                    if "metrics" in chain.lower():
+                        diagnostics.append(
+                            METRICS_SINGLE_WRITER.at(
+                                source.where(stmt),
+                                f"worker {worker.name!r} submitted to the scan "
+                                f"pool writes {chain}: metrics counters have a "
+                                f"single-writer (coordinator) contract",
+                            )
+                        )

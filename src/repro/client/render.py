@@ -155,6 +155,35 @@ def render_durability(stats_by_engine: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def render_query_health(health: dict[str, dict[str, object]]) -> str:
+    """Render the per-user query-health panel (the SQL linter's summary).
+
+    ``health`` is :meth:`~repro.core.cqms.CQMS.query_health` output: per
+    user, query and invalid-flag counts, lint finding counts by severity,
+    and a few example findings (worst first).
+    """
+    lines = ["=== Query health ==="]
+    if not health:
+        lines.append("(no logged queries)")
+        return "\n".join(lines)
+    header = (
+        f"{'user':<12}| {'queries':<8}| {'invalid':<8}| "
+        f"{'errors':<7}| {'warnings':<9}| info"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for user in sorted(health):
+        entry = health[user]
+        lines.append(
+            f"{user:<12}| {entry['queries']:<8}| {entry['flagged_invalid']:<8}| "
+            f"{entry['errors']:<7}| {entry['warnings']:<9}| {entry['info']}"
+        )
+    for user in sorted(health):
+        for example in health[user]["examples"]:
+            lines.append(f"  {user}: {example}")
+    return "\n".join(lines)
+
+
 def render_query_table(records: list[LoggedQuery], max_width: int = 70) -> str:
     """Render a list of logged queries as a table (the browse log view)."""
     header = f"{'qid':<6}| {'user':<10}| {'when':<10}| {'card.':<7}| query"

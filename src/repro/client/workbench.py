@@ -16,6 +16,7 @@ from repro.client.render import (
     render_durability,
     render_plan,
     render_plan_cache,
+    render_query_health,
 )
 from repro.core.cqms import CQMS, AssistResponse
 from repro.core.profiler import ProfiledExecution
@@ -124,6 +125,16 @@ class Workbench:
         checkpoint — the at-a-glance answer to "what survives a crash?".
         """
         return render_durability(self.cqms.durability_stats())
+
+    def query_health_panel(self) -> str:
+        """Rendered per-user lint summary of the shared query log.
+
+        The SQL semantic linter's view of everyone's stored queries: counts
+        by severity, how many queries are flagged invalid, and example
+        findings — the panel that turns ``Queries.invalidReason`` from a
+        manually-set attribute into something the system maintains.
+        """
+        return render_query_health(self.cqms.query_health())
 
     # -- submission ------------------------------------------------------------------
 

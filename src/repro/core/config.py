@@ -86,6 +86,7 @@ class CQMSConfig:
     exec_batch_size: int = 256                # rows per operator batch
     exec_parallel_workers: int = 1            # >1 fans ParallelSeqScan across threads
     exec_parallel_threshold: int = 4096       # min heap rows before parallelizing
+    exec_verify_plans: bool = False           # verify every plan before execution
 
     # -- access control (Sections 1 / 2.4) --------------------------------------------
     default_visibility: str = "group"          # "private" | "group" | "public"
@@ -132,4 +133,5 @@ class CQMSConfig:
             batch_size=self.exec_batch_size,
             parallel_workers=self.exec_parallel_workers,
             parallel_threshold=self.exec_parallel_threshold,
+            verify_plans=self.exec_verify_plans,
         )

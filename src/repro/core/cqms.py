@@ -199,6 +199,67 @@ class CQMS:
             "query_storage": self.store.wal_stats(),
         }
 
+    # -- static analysis of the query log ---------------------------------------------
+
+    def lint_log(self, mark: bool = True) -> dict[int, list]:
+        """Lint every logged query against the live user-database schema.
+
+        Delegates to :meth:`~repro.core.query_store.QueryStore.lint_log` with
+        the user DBMS's catalog (full types and indexes, so the type-mismatch
+        and non-sargable rules participate).  With ``mark=True``, hard errors
+        auto-populate ``Queries.invalidReason``.
+        """
+        return self.store.lint_log(
+            catalog=self.database.catalog,
+            table_provider=self.database,
+            mark=mark,
+        )
+
+    def query_health(self) -> dict[str, dict[str, object]]:
+        """Per-user lint summary of the query log (the Workbench panel data).
+
+        For each user: their query count, lint finding counts by severity,
+        how many of their queries are currently flagged invalid, and up to
+        three example findings (worst first).  Linting here never marks —
+        the panel observes; :meth:`lint_log` enforces.
+        """
+        from repro.analysis.framework import Severity
+
+        findings = self.lint_log(mark=False)
+        health: dict[str, dict[str, object]] = {}
+        for record in self.store.all_queries():
+            entry = health.setdefault(
+                record.user,
+                {
+                    "queries": 0,
+                    "flagged_invalid": 0,
+                    "errors": 0,
+                    "warnings": 0,
+                    "info": 0,
+                    "examples": [],
+                },
+            )
+            entry["queries"] += 1
+            if record.flagged_invalid:
+                entry["flagged_invalid"] += 1
+            for diagnostic in findings.get(record.qid, ()):
+                if diagnostic.severity is Severity.ERROR:
+                    entry["errors"] += 1
+                elif diagnostic.severity is Severity.WARNING:
+                    entry["warnings"] += 1
+                else:
+                    entry["info"] += 1
+        for entry_user, entry in health.items():
+            examples = [
+                diagnostic
+                for record in self.store.all_queries()
+                if record.user == entry_user
+                for diagnostic in findings.get(record.qid, ())
+            ]
+            examples.sort(key=lambda d: -int(d.severity))
+            entry["examples"] = [d.format() for d in examples[:3]]
+        return health
+
     def annotate(self, user: str, qid: int, body: str) -> None:
         """Attach an annotation to a query the user can see."""
         principal = self.access_control.principal(user)

@@ -552,9 +552,24 @@ class QueryStore:
     # -- maintenance hooks -----------------------------------------------------------------
 
     def mark_invalid(self, qid: int, reason: str) -> None:
+        """Flag a query invalid, composing ``reason`` with existing ones.
+
+        Reasons are ``"; "``-joined and deduplicated, so linter-sourced and
+        user/maintenance-sourced entries append instead of overwriting each
+        other, and re-flagging with a known reason never grows the text.
+        ``flag_count`` still advances on *every* call — it is the
+        drop-after-N-flags counter of the maintenance policy, counting
+        flagging events, not distinct reasons.
+        """
         record = self.get(qid)
+        reasons = [
+            part for part in (record.invalid_reason or "").split("; ") if part
+        ]
+        for part in (piece.strip() for piece in reason.split("; ")):
+            if part and part not in reasons:
+                reasons.append(part)
         record.flagged_invalid = True
-        record.invalid_reason = reason
+        record.invalid_reason = "; ".join(reasons) if reasons else reason
         record.flag_count += 1
         self._sync_validity(record)
 
@@ -563,6 +578,46 @@ class QueryStore:
         record.flagged_invalid = False
         record.invalid_reason = None
         self._sync_validity(record)
+
+    def lint_log(self, catalog=None, table_provider=None, mark: bool = True):
+        """Run the SQL semantic linter over every logged query.
+
+        Lints against ``catalog`` (a live user-database catalog, enabling the
+        type- and index-aware rules; ``table_provider`` adds index lookups)
+        or, absent one, the name-only ``schema_columns`` mapping this store
+        was built with.  Returns ``{qid: [Diagnostic, ...]}`` for every query
+        with findings.  With ``mark=True`` (the default), ERROR-severity
+        findings auto-populate ``Queries.invalidReason`` via
+        :meth:`mark_invalid` — composing with, never overwriting, existing
+        reasons — while queries without errors are left untouched (a clean
+        lint never clears a user-sourced flag).
+        """
+        from repro.analysis.framework import Severity
+        from repro.analysis.sql_lint import SchemaView, SqlLinter
+
+        if catalog is not None:
+            view = SchemaView(catalog=catalog, table_provider=table_provider)
+        elif self._schema_columns:
+            view = SchemaView(schema_columns=self._schema_columns)
+        else:
+            raise MetaQueryError(
+                "lint_log needs a catalog or a schema_columns mapping to lint against"
+            )
+        linter = SqlLinter(view)
+        findings: dict[int, list] = {}
+        for record in self.all_queries():
+            diagnostics = linter.lint_sql(record.text, location=f"qid {record.qid}")
+            if not diagnostics:
+                continue
+            findings[record.qid] = diagnostics
+            if mark:
+                errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+                if errors:
+                    self.mark_invalid(
+                        record.qid,
+                        "; ".join(f"lint: {d.message}" for d in errors),
+                    )
+        return findings
 
     def _sync_validity(self, record: LoggedQuery) -> None:
         """Mirror the record's flag state into ``Queries`` (validity, reason,

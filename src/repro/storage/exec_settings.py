@@ -46,6 +46,11 @@ class ExecutionSettings:
     historical materialize-then-rewalk aggregation instead of planning a
     ``HashAggregate``/``SortedGroupAggregate`` stage — the baseline the
     aggregation benchmarks measure speedups against.
+
+    ``verify_plans=True`` runs the plan-invariant verifier
+    (:mod:`repro.analysis.plan_verify`) over every plan before the executor
+    streams it, raising :class:`~repro.errors.ExecutionError` on any
+    ERROR-severity finding — a debugging/CI guardrail, off by default.
     """
 
     batch_size: int = DEFAULT_BATCH_SIZE
@@ -53,6 +58,7 @@ class ExecutionSettings:
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
     compile_expressions: bool = True
     vectorized_aggregation: bool = True
+    verify_plans: bool = False
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:

@@ -128,6 +128,25 @@ class Executor:
         self.metrics = ExecutorMetrics()
         return self._execute_plan(plan, outer_scope, node_stats)
 
+    def _verify_plan(self, plan: SelectPlan, outer_scope: Scope | None) -> None:
+        """Run the plan-invariant verifier (``ExecutionSettings.verify_plans``).
+
+        Imported lazily: the analysis layer sits above the storage layer and
+        only loads when the guardrail is switched on.  Plans executed with an
+        outer scope are (possibly correlated) subqueries, so locally
+        unresolvable columns are legal there.
+        """
+        from repro.analysis.framework import Severity
+        from repro.analysis.plan_verify import PlanVerifier
+
+        diagnostics = PlanVerifier().verify_select(
+            plan, allow_outer=outer_scope is not None
+        )
+        errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+        if errors:
+            details = "; ".join(d.format() for d in errors)
+            raise ExecutionError(f"plan failed verification: {details}")
+
     # -- SELECT pipeline --------------------------------------------------------
 
     def _select(
@@ -142,6 +161,8 @@ class Executor:
         outer_scope: Scope | None,
         node_stats: dict[int, NodeStats] | None = None,
     ) -> tuple[list[str], list[tuple]]:
+        if self._settings.verify_plans:
+            self._verify_plan(plan, outer_scope)
         statement = plan.statement
         ctx = ExecutionContext(
             metrics=self.metrics,

@@ -177,6 +177,11 @@ class SelectPlan:
     #: ``root``, or None when the statement has no aggregation — or uses a
     #: shape only the executor's historical fallback reproduces.
     aggregate: Operator | None = None
+    #: True when planning folded constants so that positional parameter
+    #: re-binding is unsound (mirrors ``Planner.rebind_unsafe``); the plan
+    #: cache refuses such plans and the plan verifier's parameter-
+    #: reachability check stands down for them.
+    rebind_unsafe: bool = False
 
     def explain_lines(self, node_stats: dict | None = None) -> list[str]:
         """Render the plan tree; ``node_stats`` (EXPLAIN ANALYZE) annotates
@@ -259,6 +264,8 @@ class DmlPlan:
     binding: str
     scan: Operator
     residual: list[Expression] = field(default_factory=list)
+    #: Same contract as :attr:`SelectPlan.rebind_unsafe`.
+    rebind_unsafe: bool = False
 
     @property
     def root(self) -> Operator:
@@ -375,6 +382,7 @@ class Planner:
             and sort_prefix >= len(statement.order_by),
             sort_prefix=sort_prefix,
             aggregate=aggregate,
+            rebind_unsafe=self.rebind_unsafe,
         )
 
     def _plan_aggregate(
@@ -645,6 +653,7 @@ class Planner:
             binding=table_name,
             scan=scan,
             residual=filtered + residual,
+            rebind_unsafe=self.rebind_unsafe,
         )
 
     # -- FROM flattening --------------------------------------------------------

@@ -29,7 +29,7 @@ import os
 import time
 from dataclasses import dataclass
 
-from repro.errors import DurabilityError
+from repro.errors import DurabilityError, StorageError
 from repro.storage.snapshot import (
     SNAPSHOT_FILE_NAME,
     column_from_dict,
@@ -240,7 +240,13 @@ def _apply(database, record: WalRecord) -> None:
             raise DurabilityError(f"unknown WAL op {op!r}")
     except DurabilityError:
         raise
-    except Exception as exc:
+    except (StorageError, KeyError, TypeError, ValueError, OSError) as exc:
+        # The concrete ways a logical record can fail to apply: engine-level
+        # rejection (CatalogError/SchemaError/IntegrityError/ExecutionError),
+        # a malformed record payload (KeyError/TypeError/ValueError from the
+        # dict accesses and coercions above), or the filesystem.  Anything
+        # else — a genuine engine bug — must surface as itself, not be
+        # laundered into a DurabilityError.
         raise DurabilityError(
             f"WAL replay failed at lsn {record.lsn} ({data.get('op')!r} on "
             f"{data.get('tbl', data.get('schema', {}).get('name', '?'))!r}): {exc}"

@@ -1,0 +1,313 @@
+"""Tests for the engine hazard lint (ast-walking rules over engine source).
+
+Each rule gets a firing and a non-firing fixture written to ``tmp_path``
+(under a ``storage/`` directory where the rule's severity depends on it),
+plus one test that the real engine tree is ERROR-free — the invariant the CI
+``lint-and-verify`` step enforces.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import Severity
+from repro.analysis.hazard_lint import lint_paths
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def lint_snippet(tmp_path, code, *, storage=True):
+    directory = tmp_path / ("storage" if storage else "client")
+    directory.mkdir(exist_ok=True)
+    (directory / "fixture.py").write_text(textwrap.dedent(code))
+    return list(lint_paths([tmp_path]))
+
+
+def rules_of(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestWalPairing:
+    def test_unpaired_heap_mutation_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            class Table:
+                def insert(self, row_id, row):
+                    self._rows[row_id] = row
+
+                def delete(self, row_id):
+                    try:
+                        del self._rows[row_id]
+                        self.wal_emit("delete", row_id)
+                    except BaseException:
+                        raise
+            """,
+        )
+        assert "wal-pairing" in rules_of(diagnostics)
+        assert len([d for d in diagnostics if d.rule == "wal-pairing"]) == 1
+
+    def test_guarded_mutation_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            class Table:
+                def insert(self, row_id, row):
+                    try:
+                        self._rows[row_id] = row
+                        self.wal_emit("insert", row_id)
+                    except BaseException:
+                        del self._rows[row_id]
+                        raise
+            """,
+        )
+        assert "wal-pairing" not in rules_of(diagnostics)
+
+    def test_restore_methods_exempt(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            class Table:
+                def wal_hook(self):
+                    self.wal_emit("noop")
+
+                def restore_row(self, row_id, row):
+                    self._rows[row_id] = row
+            """,
+        )
+        assert "wal-pairing" not in rules_of(diagnostics)
+
+    def test_classes_without_wal_are_exempt(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            class Cache:
+                def put(self, key, value):
+                    self._rows[key] = value
+            """,
+        )
+        assert "wal-pairing" not in rules_of(diagnostics)
+
+
+class TestLockAcrossYield:
+    def test_yield_under_lock_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def scan(self):
+                with self._lock:
+                    for row in self._rows.values():
+                        yield row
+            """,
+        )
+        assert "lock-across-yield" in rules_of(diagnostics)
+
+    def test_snapshot_then_yield_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def scan(self):
+                with self._lock:
+                    snapshot = list(self._rows.values())
+                for row in snapshot:
+                    yield row
+            """,
+        )
+        assert "lock-across-yield" not in rules_of(diagnostics)
+
+    def test_nested_generator_not_attributed(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def build(self):
+                with self._lock:
+                    def inner():
+                        yield 1
+                    return inner
+            """,
+        )
+        assert "lock-across-yield" not in rules_of(diagnostics)
+
+
+class TestBroadExcept:
+    def test_storage_broad_except_is_error(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def load(path):
+                try:
+                    return open(path)
+                except Exception:
+                    return None
+            """,
+            storage=True,
+        )
+        found = [d for d in diagnostics if d.rule == "broad-except"]
+        assert found and found[0].severity is Severity.ERROR
+
+    def test_swallowing_outside_storage_is_warning(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def load(path):
+                try:
+                    return open(path)
+                except Exception:
+                    return None
+            """,
+            storage=False,
+        )
+        found = [d for d in diagnostics if d.rule == "broad-except"]
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_narrow_except_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def load(path):
+                try:
+                    return open(path)
+                except (OSError, ValueError):
+                    return None
+            """,
+            storage=True,
+        )
+        assert "broad-except" not in rules_of(diagnostics)
+
+    def test_base_exception_with_reraise_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def apply(self):
+                try:
+                    self.mutate()
+                except BaseException:
+                    self.rollback()
+                    raise
+            """,
+            storage=True,
+        )
+        assert "broad-except" not in rules_of(diagnostics)
+
+    def test_base_exception_swallowed_is_error(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def apply(self):
+                try:
+                    self.mutate()
+                except BaseException:
+                    pass
+            """,
+            storage=False,
+        )
+        found = [d for d in diagnostics if d.rule == "broad-except"]
+        assert found and found[0].severity is Severity.ERROR
+
+
+class TestWallClock:
+    def test_time_time_call_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        found = [d for d in diagnostics if d.rule == "wall-clock"]
+        assert found and found[0].severity is Severity.ERROR
+
+    def test_datetime_now_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+        )
+        assert "wall-clock" in rules_of(diagnostics)
+
+    def test_monotonic_call_is_warning(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """,
+        )
+        found = [d for d in diagnostics if d.rule == "wall-clock"]
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_uncalled_reference_and_perf_counter_are_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def make_clock(clock=None):
+                tick = clock or time.monotonic
+                started = time.perf_counter()
+                return tick, started
+            """,
+        )
+        assert "wall-clock" not in rules_of(diagnostics)
+
+    def test_clock_module_exempt(self, tmp_path):
+        (tmp_path / "clock.py").write_text(
+            "import time\n\ndef now():\n    return time.time()\n"
+        )
+        assert "wall-clock" not in rules_of(lint_paths([tmp_path]))
+
+
+class TestMetricsSingleWriter:
+    def test_metrics_write_in_pool_worker_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def scan(self, pool):
+                def worker(chunk):
+                    self.metrics.rows_scanned += len(chunk)
+                    return chunk
+                return pool.submit(worker, [])
+            """,
+        )
+        assert "metrics-single-writer" in rules_of(diagnostics)
+
+    def test_worker_without_metrics_write_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def scan(self, pool):
+                def worker(chunk):
+                    return [row for row in chunk if row]
+                return pool.submit(worker, [])
+            """,
+        )
+        assert "metrics-single-writer" not in rules_of(diagnostics)
+
+    def test_coordinator_metrics_write_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def scan(self, pool):
+                def worker(chunk):
+                    return len(chunk)
+                counted = pool.submit(worker, [])
+                self.metrics.rows_scanned += counted
+                return counted
+            """,
+        )
+        assert "metrics-single-writer" not in rules_of(diagnostics)
+
+
+class TestEngineTree:
+    def test_engine_source_has_no_errors(self):
+        report = lint_paths([REPO_SRC])
+        assert report.errors == [], "\n" + report.render()

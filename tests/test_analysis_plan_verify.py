@@ -1,0 +1,181 @@
+"""Tests for the plan-invariant verifier.
+
+Broken plans are built by planning real SQL against the limnology schema and
+then corrupting one invariant at a time, so each test pins exactly one rule.
+The property test at the bottom is the positive half: every plan the planner
+actually produces for generated workload queries must verify clean.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.corpus import domain_statements, verify_corpus
+from repro.analysis.plan_verify import PlanVerifier
+from repro.errors import ExecutionError
+from repro.sql.ast_nodes import ColumnRef
+from repro.sql.canonicalize import parameterize_statement
+from repro.sql.parser import parse
+from repro.storage.exec_settings import ExecutionSettings
+from repro.storage.executor import Executor
+from repro.storage.operators import Filter, ParallelSeqScan, SeqScan
+from repro.storage.planner import Planner
+from repro.workloads.schemas import build_database
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_database("limnology")
+
+
+def plan_sql(database, sql):
+    return Planner(database).plan_select(parse(sql))
+
+
+def rules_of(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestBrokenPlans:
+    def test_valid_plan_is_clean(self, database):
+        plan = plan_sql(database, "SELECT name FROM Lakes WHERE state = 'WA'")
+        assert PlanVerifier().verify_select(plan) == []
+
+    def test_unresolvable_filter_column(self, database):
+        plan = plan_sql(database, "SELECT name FROM Lakes WHERE area_km2 > 100")
+        filters = [op for op in _walk(plan.root) if isinstance(op, Filter)]
+        assert filters, "fixture must plan a Filter"
+        filters[0].predicates.append(ColumnRef(table=None, name="wetness"))
+        assert "plan-column-resolution" in rules_of(PlanVerifier().verify_select(plan))
+
+    def test_allow_outer_suppresses_unresolvable(self, database):
+        plan = plan_sql(database, "SELECT name FROM Lakes WHERE area_km2 > 100")
+        filters = [op for op in _walk(plan.root) if isinstance(op, Filter)]
+        filters[0].predicates.append(ColumnRef(table="Outer", name="x"))
+        assert PlanVerifier().verify_select(plan, allow_outer=True) == []
+
+    def test_binding_shape_mismatch(self, database):
+        plan = plan_sql(database, "SELECT name FROM Lakes")
+        scan = next(op for op in _walk(plan.root) if isinstance(op, SeqScan))
+        scan.bindings = [(scan.bindings[0][0], ["name", "bogus"])]
+        assert "plan-binding-shape" in rules_of(PlanVerifier().verify_select(plan))
+
+    def test_false_sort_claim(self, database):
+        plan = plan_sql(database, "SELECT name FROM Lakes ORDER BY name")
+        assert not plan.sort_eliminated  # name has no sorted index
+        plan.sort_eliminated = True
+        plan.sort_prefix = 1
+        assert "plan-sort-claim" in rules_of(PlanVerifier().verify_select(plan))
+
+    def test_honest_sort_claim_is_clean(self):
+        database = build_database("limnology")
+        database.table("WaterTemp").create_index(
+            "wt_reading_sorted", "reading_id", kind="sorted"
+        )
+        plan = plan_sql(
+            database, "SELECT month, temp FROM WaterTemp ORDER BY reading_id"
+        )
+        assert plan.sort_eliminated
+        assert PlanVerifier().verify_select(plan) == []
+
+    def test_aggregate_inside_root_breaks_batch_contract(self, database):
+        plan = plan_sql(
+            database, "SELECT state, COUNT(*) FROM Lakes GROUP BY state"
+        )
+        assert plan.aggregate is not None
+        plan.root = plan.aggregate
+        assert "plan-batch-contract" in rules_of(PlanVerifier().verify_select(plan))
+
+    def test_parallel_scan_must_be_leaf(self, database):
+        plan = plan_sql(database, "SELECT name FROM Lakes")
+        table = database.table("Lakes")
+        scan = ParallelSeqScan(table, "Lakes", estimate=1.0, workers=2)
+        scan.children = (SeqScan(table, "Lakes", estimate=1.0),)
+        plan.root = scan
+        assert "plan-parallel-safety" in rules_of(PlanVerifier().verify_select(plan))
+
+    def test_unreachable_parameter(self, database):
+        statement, parameters = parameterize_statement(
+            parse("SELECT name FROM Lakes WHERE lake_id = 7")
+        )
+        assert parameters
+        plan = Planner(database).plan_select(statement)
+        assert PlanVerifier().verify_select(plan) == []
+        # Swap the access path for a bare scan: the ParamLiteral the plan
+        # cache would re-bind is no longer reachable from the operator tree.
+        plan.root = SeqScan(database.table("Lakes"), "Lakes", estimate=1.0)
+        diagnostics = PlanVerifier().verify_select(plan)
+        assert "plan-param-binding" in rules_of(diagnostics)
+        # ... unless the planner declared positional re-binding unsound.
+        plan.rebind_unsafe = True
+        assert PlanVerifier().verify_select(plan) == []
+
+    def test_parallel_scan_in_dml_plan(self, database):
+        plan = Planner(database).plan_delete(
+            parse("DELETE FROM Lakes WHERE lake_id = 3")
+        )
+        plan.scan = ParallelSeqScan(
+            database.table("Lakes"), "Lakes", estimate=1.0, workers=2
+        )
+        assert "plan-parallel-safety" in rules_of(PlanVerifier().verify_dml(plan))
+
+    def test_valid_dml_plan_is_clean(self, database):
+        plan = Planner(database).plan_update(
+            parse("UPDATE Lakes SET state = 'WA' WHERE lake_id = 3")
+        )
+        assert PlanVerifier().verify_dml(plan) == []
+
+
+class TestExecutorHook:
+    def test_broken_plan_refused_at_execution(self):
+        database = build_database(
+            "limnology", exec_settings=ExecutionSettings(verify_plans=True)
+        )
+        plan = plan_sql(database, "SELECT name FROM Lakes WHERE area_km2 > 100")
+        filters = [op for op in _walk(plan.root) if isinstance(op, Filter)]
+        filters[0].predicates.append(ColumnRef(table=None, name="wetness"))
+        with pytest.raises(ExecutionError, match="plan failed verification"):
+            Executor(database).execute_plan(plan)
+
+    def test_real_queries_execute_with_verification_on(self):
+        database = build_database(
+            "limnology", exec_settings=ExecutionSettings(verify_plans=True)
+        )
+        for sql in (
+            "SELECT name FROM Lakes ORDER BY name",
+            "SELECT state, COUNT(*) FROM Lakes GROUP BY state",
+            "SELECT L.name, S.sensor_id FROM Lakes L, Sensors S "
+            "WHERE L.lake_id = S.lake_id",
+            "SELECT name FROM Lakes WHERE lake_id IN "
+            "(SELECT lake_id FROM Sensors)",
+        ):
+            result = database.execute(sql)
+            assert result.columns
+
+
+class TestGeneratedCorpus:
+    def test_small_corpus_verifies_clean(self):
+        result = verify_corpus(domains=("limnology",), sessions=12, seed=3)
+        assert result.plans_verified > 0
+        assert list(result.report) == []
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_planner_output_always_verifies(self, database, seed):
+        verifier = PlanVerifier()
+        for sql in domain_statements("limnology", sessions=3, seed=seed):
+            statement = parse(sql)
+            for variant in (statement, parameterize_statement(statement)[0]):
+                plan = Planner(database).plan_select(variant)
+                diagnostics = verifier.verify_select(plan)
+                assert diagnostics == [], f"{sql!r} -> {diagnostics}"
+
+
+def _walk(operator):
+    yield operator
+    for child in getattr(operator, "children", ()) or ():
+        yield from _walk(child)
