@@ -27,6 +27,12 @@ and enforces them:
 * ``metrics-single-writer`` — a closure submitted to the shared scan pool
   must not write executor metrics: ``ExecutorMetrics`` counters are plain
   ``+=`` fields with a single-writer (coordinator thread) contract.
+* ``page-pin-protocol`` — pages obtained from a buffer pool
+  (:class:`~repro.storage.buffer_pool.PageStore`) must follow the pin
+  protocol: a page from ``fetch()`` may be mutated but the function must
+  call ``mark_dirty`` (or the write is lost on eviction) and ``unpin``
+  (or the page is pinned forever and the pool can no longer evict); a page
+  from the pinless ``read()`` path must never be mutated at all.
 """
 
 from __future__ import annotations
@@ -55,6 +61,11 @@ METRICS_SINGLE_WRITER = Rule(
     Severity.ERROR,
     "executor metrics written off the coordinator thread",
 )
+PAGE_PIN_PROTOCOL = Rule(
+    "page-pin-protocol",
+    Severity.ERROR,
+    "page mutation bypassing the buffer pool's pin/dirty protocol",
+)
 
 RULES: tuple[Rule, ...] = (
     WAL_PAIRING,
@@ -62,6 +73,7 @@ RULES: tuple[Rule, ...] = (
     BROAD_EXCEPT,
     WALL_CLOCK,
     METRICS_SINGLE_WRITER,
+    PAGE_PIN_PROTOCOL,
 )
 
 #: Wall-clock callables that bypass the injectable clock entirely.
@@ -129,6 +141,7 @@ def lint_source(source: SourceFile) -> list[Diagnostic]:
     _check_broad_except(source, diagnostics)
     _check_wall_clock(source, diagnostics)
     _check_metrics_single_writer(source, diagnostics)
+    _check_page_pin_protocol(source, diagnostics)
     return diagnostics
 
 
@@ -385,6 +398,118 @@ def _check_wall_clock(source: SourceFile, diagnostics: list[Diagnostic]) -> None
 
 
 # -- metrics-single-writer -------------------------------------------------------
+
+
+# -- page-pin-protocol ------------------------------------------------------------
+
+#: Mutating dict/list methods; calling one on a tracked page object counts as
+#: an in-place page mutation (the same set the heap and B+ tree code uses).
+_PAGE_MUTATORS = {
+    "pop",
+    "clear",
+    "update",
+    "setdefault",
+    "insert",
+    "append",
+    "extend",
+    "remove",
+    "popitem",
+}
+
+
+def _is_page_store_call(node: ast.AST, method: str) -> bool:
+    """True for ``<receiver>.<method>(...)`` where the receiver looks like a
+    buffer pool ("store" or "pool" in its dotted name)."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr != method:
+        return False
+    receiver = _attribute_chain(node.func.value).lower()
+    return "store" in receiver or "pool" in receiver
+
+
+def _page_mutation_name(node: ast.AST) -> str | None:
+    """The plain variable name an in-place mutation targets, or None.
+
+    Catches ``page[k] = v`` / ``del page[k]`` / ``page.pop(...)``-style
+    mutator calls.  Deliberately shallow — mutations through sub-objects
+    (``page["keys"].insert``) escape the heuristic, like the wal-pairing
+    rule's, but every protocol violation starts somewhere visible.
+    """
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                return target.value.id
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                return target.value.id
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _PAGE_MUTATORS and isinstance(node.func.value, ast.Name):
+            return node.func.value.id
+    return None
+
+
+def _check_page_pin_protocol(source: SourceFile, diagnostics: list[Diagnostic]) -> None:
+    for func in ast.walk(source.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        pinned: set[str] = set()
+        readonly: set[str] = set()
+        fetches: list[ast.AST] = []
+        has_unpin = False
+        has_mark_dirty = False
+        for node in ast.walk(func):
+            if _is_page_store_call(node, "unpin"):
+                has_unpin = True
+            elif _is_page_store_call(node, "mark_dirty"):
+                has_mark_dirty = True
+            elif _is_page_store_call(node, "fetch"):
+                fetches.append(node)
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                if _is_page_store_call(node.value, "fetch"):
+                    pinned.add(node.targets[0].id)
+                elif _is_page_store_call(node.value, "read"):
+                    readonly.add(node.targets[0].id)
+        if not (pinned or readonly or fetches):
+            continue
+        pinned_mutations: list[ast.AST] = []
+        for node in ast.walk(func):
+            name = _page_mutation_name(node)
+            if name is None:
+                continue
+            if name in readonly:
+                diagnostics.append(
+                    PAGE_PIN_PROTOCOL.at(
+                        source.where(node),
+                        f"{func.name} mutates page {name!r} obtained via the "
+                        f"pinless read() path: mutate only pages pinned with "
+                        f"fetch()",
+                    )
+                )
+            elif name in pinned:
+                pinned_mutations.append(node)
+        if fetches and not has_unpin:
+            diagnostics.append(
+                PAGE_PIN_PROTOCOL.at(
+                    source.where(fetches[0]),
+                    f"{func.name} pins a page with fetch() but never calls "
+                    f"unpin(): the buffer pool can no longer evict it",
+                )
+            )
+        if pinned_mutations and not has_mark_dirty:
+            diagnostics.append(
+                PAGE_PIN_PROTOCOL.at(
+                    source.where(pinned_mutations[0]),
+                    f"{func.name} mutates a pinned page without mark_dirty(): "
+                    f"the write is silently lost when the page is evicted",
+                )
+            )
 
 
 def _check_metrics_single_writer(

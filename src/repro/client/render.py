@@ -133,24 +133,38 @@ def render_plan_cache(stats_by_engine: dict[str, object]) -> str:
 
 
 def render_durability(stats_by_engine: dict[str, object]) -> str:
-    """Render WAL/checkpoint activity per engine (the Workbench durability panel).
+    """Render WAL/checkpoint and buffer-pool activity per engine (the
+    Workbench durability panel).
 
     ``stats_by_engine`` maps an engine label to its
-    :class:`~repro.storage.wal.WalStats`, or None for an in-memory engine —
-    the panel makes it obvious which engines would survive a crash.
+    :class:`~repro.storage.wal.WalStats` (None for an in-memory engine — the
+    panel makes it obvious which engines would survive a crash) or to its
+    :class:`~repro.storage.buffer_pool.BufferPoolStats`, surfacing
+    working-set pressure: a falling hit rate or climbing eviction count
+    means the pool is too small for the hot set.
     """
     lines = ["=== Durability ==="]
     for label, stats in stats_by_engine.items():
         if stats is None:
             lines.append(f"{label}: in-memory (no write-ahead log)")
             continue
+        if hasattr(stats, "sync_policy"):
+            lines.append(
+                f"{label}: wal sync={stats.sync_policy}, "
+                f"{stats.records} records / {stats.bytes_written} bytes "
+                f"({stats.records_since_checkpoint} since checkpoint), "
+                f"{stats.syncs} fsyncs over {stats.flushes} group commits "
+                f"(avg batch {stats.avg_batch_records:.1f}, max {stats.max_batch_records}), "
+                f"{stats.checkpoints} checkpoints, last lsn {stats.last_lsn}"
+            )
+            continue
+        capacity = "unbounded" if stats.capacity is None else str(stats.capacity)
         lines.append(
-            f"{label}: wal sync={stats.sync_policy}, "
-            f"{stats.records} records / {stats.bytes_written} bytes "
-            f"({stats.records_since_checkpoint} since checkpoint), "
-            f"{stats.syncs} fsyncs over {stats.flushes} group commits "
-            f"(avg batch {stats.avg_batch_records:.1f}, max {stats.max_batch_records}), "
-            f"{stats.checkpoints} checkpoints, last lsn {stats.last_lsn}"
+            f"{label}: {stats.resident}/{capacity} pages resident "
+            f"({stats.dirty} dirty, {stats.pins} pinned), "
+            f"hit rate {stats.hit_rate:.1%} ({stats.hits} hits / {stats.misses} misses), "
+            f"{stats.evictions} evictions, {stats.writebacks} writebacks, "
+            f"{stats.pages_allocated} pages ever allocated"
         )
     return "\n".join(lines)
 

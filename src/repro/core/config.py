@@ -81,6 +81,7 @@ class CQMSConfig:
     data_dir: str | None = None
     wal_sync: str = "batch"                   # "off" | "commit" | "batch"
     checkpoint_interval: int = 0              # auto-checkpoint after N WAL records (0 = manual)
+    buffer_pool_pages: int = 1024             # resident page cap of a durable store
 
     # -- execution engine (batched scans over the feature relations) --------------------
     exec_batch_size: int = 256                # rows per operator batch
@@ -116,6 +117,8 @@ class CQMSConfig:
             raise ValueError(f"invalid wal_sync {self.wal_sync!r}")
         if self.checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be non-negative")
+        if self.buffer_pool_pages < 8:
+            raise ValueError("buffer_pool_pages must be at least 8")
         if self.exec_batch_size < 1:
             raise ValueError("exec_batch_size must be at least 1")
         if self.exec_parallel_workers < 1:
@@ -134,4 +137,5 @@ class CQMSConfig:
             parallel_workers=self.exec_parallel_workers,
             parallel_threshold=self.exec_parallel_threshold,
             verify_plans=self.exec_verify_plans,
+            buffer_pool_pages=self.buffer_pool_pages,
         )

@@ -197,6 +197,8 @@ class CQMS:
         return {
             "database": self.database.wal_stats(),
             "query_storage": self.store.wal_stats(),
+            "database buffer pool": self.database.buffer_stats(),
+            "query_storage buffer pool": self.store.buffer_stats(),
         }
 
     # -- static analysis of the query log ---------------------------------------------

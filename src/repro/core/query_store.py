@@ -241,6 +241,15 @@ class QueryStore:
         """WAL counters of the meta-database (None when in-memory)."""
         return self._meta_db.wal_stats()
 
+    def buffer_stats(self):
+        """Buffer-pool counters of the meta-database's page store."""
+        return self._meta_db.buffer_stats()
+
+    def checkpoint_if_due(self):
+        """Checkpoint the meta-database when its interval is due; the
+        off-statement-path entry point for schedulers."""
+        return self._meta_db.checkpoint_if_due()
+
     def _rebuild_record_index(self) -> None:
         """Repopulate the in-memory :class:`LoggedQuery` index after recovery.
 

@@ -1,0 +1,476 @@
+"""A paged B+ tree: the ordered index structure behind ``SortedIndex``.
+
+Nodes are plain dicts paged through a
+:class:`~repro.storage.buffer_pool.PageStore`, so a large index obeys the
+same ``buffer_pool_pages`` residency budget as the heaps it indexes:
+
+* leaf — ``{"leaf": True, "keys": [...], "vals": [[row_id, ...], ...],
+  "next": page_id|None, "prev": page_id|None}``; ``vals[i]`` is the sorted
+  row-id bucket of ``keys[i]`` (one key per distinct value, so non-unique
+  columns don't widen the tree).  Leaves form a doubly linked list, which
+  is what makes ordered scans and ``descending`` ranges sequential.
+* internal — ``{"leaf": False, "keys": [...], "kids": [page_id, ...]}``;
+  ``keys[i]`` separates ``kids[i]`` from ``kids[i+1]`` with the convention
+  *separator = smallest key ever in the right subtree*: descent takes
+  ``kids[bisect_right(keys, key)]``, so keys equal to a separator live in
+  the right child.
+
+Keys are :func:`~repro.storage.types.sort_key` tuples — the engine's total
+order — so an in-order walk of the leaves is exactly the order ORDER BY
+produces.  All structural mutation follows the buffer pool's pin protocol
+(``fetch`` → mutate → ``mark_dirty`` → ``unpin``); traversals use the
+pinless ``read`` path and copy a leaf's content before yielding from it.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left, bisect_right, insort
+
+from repro.storage.buffer_pool import PageStore
+
+#: Maximum keys per node; a node splits when it would exceed this.  32 keys
+#: of a few dozen bytes keeps a serialized node near one 4 KiB pager frame.
+DEFAULT_ORDER = 32
+
+
+class _NodeCodec:
+    """(De)serialize tree nodes; JSON turns key tuples into lists, so the
+    decoder restores them (sort keys are always 2-tuples)."""
+
+    @staticmethod
+    def encode(node: dict) -> bytes:
+        return json.dumps(node, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def decode(payload: bytes) -> dict:
+        node = json.loads(payload.decode("utf-8"))
+        node["keys"] = [tuple(key) for key in node["keys"]]
+        return node
+
+
+NODE_CODEC = _NodeCodec()
+
+
+class BPlusTree:
+    """An order-``order`` B+ tree mapping sort keys to row-id buckets."""
+
+    def __init__(self, store: PageStore | None = None, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise ValueError(f"B+ tree order must be at least 4, got {order}")
+        self._store = store if store is not None else PageStore()
+        self._order = order
+        self._min_keys = order // 2
+        self._root = self._store.allocate(
+            {"leaf": True, "keys": [], "vals": [], "next": None, "prev": None},
+            NODE_CODEC,
+        )
+        self._height = 1
+        self._distinct = 0
+
+    @property
+    def distinct(self) -> int:
+        """Distinct keys currently stored (planner cardinality input)."""
+        return self._distinct
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    # -- point operations ------------------------------------------------------
+
+    def insert(self, key: tuple, row_id: int) -> None:
+        """Add ``row_id`` to ``key``'s bucket, splitting along the way up."""
+        split = self._insert_into(self._root, key, row_id)
+        if split is not None:
+            separator, new_pid = split
+            self._root = self._store.allocate(
+                {"leaf": False, "keys": [separator], "kids": [self._root, new_pid]},
+                NODE_CODEC,
+            )
+            self._height += 1
+
+    def delete(self, key: tuple, row_id: int) -> None:
+        """Remove ``row_id`` from ``key``'s bucket; absent pairs are no-ops."""
+        self._delete_from(self._root, key, row_id)
+        root = self._store.read(self._root, NODE_CODEC)
+        if not root["leaf"] and len(root["kids"]) == 1:
+            collapsed = self._root
+            self._root = root["kids"][0]
+            self._store.free(collapsed)
+            self._height -= 1
+
+    def lookup(self, key: tuple) -> list[int]:
+        """The sorted row-id bucket of ``key`` (empty list when absent)."""
+        pid = self._root
+        while True:
+            node = self._store.read(pid, NODE_CODEC)
+            if node["leaf"]:
+                break
+            pid = node["kids"][bisect_right(node["keys"], key)]
+        position = bisect_left(node["keys"], key)
+        if position < len(node["keys"]) and node["keys"][position] == key:
+            return list(node["vals"][position])
+        return []
+
+    def contains(self, key: tuple) -> bool:
+        return bool(self.lookup(key))
+
+    # -- insertion internals ---------------------------------------------------
+
+    def _insert_into(self, pid: int, key: tuple, row_id: int):
+        """Insert below ``pid``; returns ``(separator, new_pid)`` on split."""
+        node = self._store.fetch(pid, NODE_CODEC)
+        try:
+            if node["leaf"]:
+                keys = node["keys"]
+                position = bisect_left(keys, key)
+                if position < len(keys) and keys[position] == key:
+                    bucket = node["vals"][position]
+                    spot = bisect_left(bucket, row_id)
+                    if spot >= len(bucket) or bucket[spot] != row_id:
+                        bucket.insert(spot, row_id)
+                else:
+                    keys.insert(position, key)
+                    node["vals"].insert(position, [row_id])
+                    self._distinct += 1
+                self._store.mark_dirty(pid)
+                if len(keys) > self._order:
+                    return self._split_leaf(pid, node)
+                return None
+            position = bisect_right(node["keys"], key)
+            split = self._insert_into(node["kids"][position], key, row_id)
+            if split is None:
+                return None
+            separator, new_pid = split
+            node["keys"].insert(position, separator)
+            node["kids"].insert(position + 1, new_pid)
+            self._store.mark_dirty(pid)
+            if len(node["keys"]) > self._order:
+                return self._split_internal(pid, node)
+            return None
+        finally:
+            self._store.unpin(pid)
+
+    def _split_leaf(self, pid: int, node: dict):
+        mid = (len(node["keys"]) + 1) // 2
+        right = {
+            "leaf": True,
+            "keys": node["keys"][mid:],
+            "vals": node["vals"][mid:],
+            "next": node["next"],
+            "prev": pid,
+        }
+        del node["keys"][mid:]
+        del node["vals"][mid:]
+        right_pid = self._store.allocate(right, NODE_CODEC)
+        if right["next"] is not None:
+            self._repoint_prev(right["next"], right_pid)
+        node["next"] = right_pid
+        self._store.mark_dirty(pid)
+        return right["keys"][0], right_pid
+
+    def _split_internal(self, pid: int, node: dict):
+        mid = len(node["keys"]) // 2
+        separator = node["keys"][mid]
+        right = {
+            "leaf": False,
+            "keys": node["keys"][mid + 1 :],
+            "kids": node["kids"][mid + 1 :],
+        }
+        del node["keys"][mid:]
+        del node["kids"][mid + 1 :]
+        right_pid = self._store.allocate(right, NODE_CODEC)
+        self._store.mark_dirty(pid)
+        return separator, right_pid
+
+    def _repoint_prev(self, pid: int, prev_pid: int | None) -> None:
+        node = self._store.fetch(pid, NODE_CODEC)
+        try:
+            node["prev"] = prev_pid
+            self._store.mark_dirty(pid)
+        finally:
+            self._store.unpin(pid)
+
+    # -- deletion internals ----------------------------------------------------
+
+    def _delete_from(self, pid: int, key: tuple, row_id: int) -> bool:
+        """Delete below ``pid``; True when the node underflowed."""
+        node = self._store.fetch(pid, NODE_CODEC)
+        try:
+            if node["leaf"]:
+                keys = node["keys"]
+                position = bisect_left(keys, key)
+                if position >= len(keys) or keys[position] != key:
+                    return False
+                bucket = node["vals"][position]
+                spot = bisect_left(bucket, row_id)
+                if spot >= len(bucket) or bucket[spot] != row_id:
+                    return False
+                bucket.pop(spot)
+                if not bucket:
+                    keys.pop(position)
+                    node["vals"].pop(position)
+                    self._distinct -= 1
+                self._store.mark_dirty(pid)
+                return len(keys) < self._min_keys
+            position = bisect_right(node["keys"], key)
+            if not self._delete_from(node["kids"][position], key, row_id):
+                return False
+            self._rebalance(pid, node, position)
+            self._store.mark_dirty(pid)
+            return len(node["keys"]) < self._min_keys
+        finally:
+            self._store.unpin(pid)
+
+    def _rebalance(self, parent_pid: int, parent: dict, position: int) -> None:
+        """Fix the underflowed child at ``parent["kids"][position]``.
+
+        Borrow a key from a sibling with slack; otherwise merge with one
+        (a merged pair always fits: both nodes are at or below minimum).
+        """
+        child_pid = parent["kids"][position]
+        child = self._store.fetch(child_pid, NODE_CODEC)
+        try:
+            if position > 0 and self._borrow_from_left(parent, position, child):
+                self._store.mark_dirty(child_pid)
+                return
+            if position + 1 < len(parent["kids"]) and self._borrow_from_right(
+                parent, position, child
+            ):
+                self._store.mark_dirty(child_pid)
+                return
+        finally:
+            self._store.unpin(child_pid)
+        if position > 0:
+            self._merge(parent, position - 1)
+        else:
+            self._merge(parent, position)
+
+    def _borrow_from_left(self, parent: dict, position: int, child: dict) -> bool:
+        left_pid = parent["kids"][position - 1]
+        left = self._store.fetch(left_pid, NODE_CODEC)
+        try:
+            if len(left["keys"]) <= self._min_keys:
+                return False
+            if child["leaf"]:
+                child["keys"].insert(0, left["keys"].pop())
+                child["vals"].insert(0, left["vals"].pop())
+                parent["keys"][position - 1] = child["keys"][0]
+            else:
+                child["keys"].insert(0, parent["keys"][position - 1])
+                parent["keys"][position - 1] = left["keys"].pop()
+                child["kids"].insert(0, left["kids"].pop())
+            self._store.mark_dirty(left_pid)
+            return True
+        finally:
+            self._store.unpin(left_pid)
+
+    def _borrow_from_right(self, parent: dict, position: int, child: dict) -> bool:
+        right_pid = parent["kids"][position + 1]
+        right = self._store.fetch(right_pid, NODE_CODEC)
+        try:
+            if len(right["keys"]) <= self._min_keys:
+                return False
+            if child["leaf"]:
+                child["keys"].append(right["keys"].pop(0))
+                child["vals"].append(right["vals"].pop(0))
+                parent["keys"][position] = right["keys"][0]
+            else:
+                child["keys"].append(parent["keys"][position])
+                parent["keys"][position] = right["keys"].pop(0)
+                child["kids"].append(right["kids"].pop(0))
+            self._store.mark_dirty(right_pid)
+            return True
+        finally:
+            self._store.unpin(right_pid)
+
+    def _merge(self, parent: dict, position: int) -> None:
+        """Fold ``kids[position + 1]`` into ``kids[position]`` and free it."""
+        left_pid = parent["kids"][position]
+        right_pid = parent["kids"][position + 1]
+        left = self._store.fetch(left_pid, NODE_CODEC)
+        right = self._store.fetch(right_pid, NODE_CODEC)
+        try:
+            if left["leaf"]:
+                left["keys"].extend(right["keys"])
+                left["vals"].extend(right["vals"])
+                left["next"] = right["next"]
+                if right["next"] is not None:
+                    self._repoint_prev(right["next"], left_pid)
+            else:
+                left["keys"].append(parent["keys"][position])
+                left["keys"].extend(right["keys"])
+                left["kids"].extend(right["kids"])
+            parent["keys"].pop(position)
+            parent["kids"].pop(position + 1)
+            self._store.mark_dirty(left_pid)
+        finally:
+            self._store.unpin(right_pid)
+            self._store.unpin(left_pid)
+        self._store.free(right_pid)
+
+    # -- range scans -----------------------------------------------------------
+
+    def item_range(
+        self,
+        low_key: tuple | None,
+        high_key: tuple | None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        descending: bool = False,
+    ):
+        """Yield ``(key, sorted_row_ids)`` with keys inside the bounds.
+
+        Bounds of None are unbounded.  Each leaf's content is copied before
+        anything from it is yielded, so a consumer that mutates the tree (or
+        lets eviction recycle the node) between yields still sees a
+        consistent snapshot of that leaf.
+        """
+        if descending:
+            yield from self._range_descending(
+                low_key, high_key, low_inclusive, high_inclusive
+            )
+        else:
+            yield from self._range_ascending(
+                low_key, high_key, low_inclusive, high_inclusive
+            )
+
+    def _descend_left(self, low_key: tuple | None) -> int:
+        """The leftmost leaf that can hold keys ≥ ``low_key``."""
+        pid = self._root
+        while True:
+            node = self._store.read(pid, NODE_CODEC)
+            if node["leaf"]:
+                return pid
+            if low_key is None:
+                pid = node["kids"][0]
+            else:
+                pid = node["kids"][bisect_right(node["keys"], low_key)]
+
+    def _descend_right(self, high_key: tuple | None) -> int:
+        """The rightmost leaf that can hold keys ≤ ``high_key``."""
+        pid = self._root
+        while True:
+            node = self._store.read(pid, NODE_CODEC)
+            if node["leaf"]:
+                return pid
+            if high_key is None:
+                pid = node["kids"][-1]
+            else:
+                pid = node["kids"][bisect_right(node["keys"], high_key)]
+
+    def _range_ascending(self, low_key, high_key, low_inclusive, high_inclusive):
+        pid = self._descend_left(low_key)
+        while pid is not None:
+            node = self._store.read(pid, NODE_CODEC)
+            keys = list(node["keys"])
+            buckets = [list(bucket) for bucket in node["vals"]]
+            pid = node["next"]
+            for key, bucket in zip(keys, buckets):
+                if low_key is not None:
+                    if key < low_key or (key == low_key and not low_inclusive):
+                        continue
+                if high_key is not None:
+                    if key > high_key or (key == high_key and not high_inclusive):
+                        return
+                yield key, bucket
+
+    def _range_descending(self, low_key, high_key, low_inclusive, high_inclusive):
+        pid = self._descend_right(high_key)
+        while pid is not None:
+            node = self._store.read(pid, NODE_CODEC)
+            keys = list(node["keys"])
+            buckets = [list(bucket) for bucket in node["vals"]]
+            pid = node["prev"]
+            for key, bucket in zip(reversed(keys), reversed(buckets)):
+                if high_key is not None:
+                    if key > high_key or (key == high_key and not high_inclusive):
+                        continue
+                if low_key is not None:
+                    if key < low_key or (key == low_key and not low_inclusive):
+                        return
+                yield key, bucket
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every key, freeing all pages, and start from an empty leaf."""
+        self._free_subtree(self._root)
+        self._root = self._store.allocate(
+            {"leaf": True, "keys": [], "vals": [], "next": None, "prev": None},
+            NODE_CODEC,
+        )
+        self._height = 1
+        self._distinct = 0
+
+    def drop(self) -> None:
+        """Free every page; the tree is unusable afterwards (index dropped)."""
+        self._free_subtree(self._root)
+        self._root = None
+        self._height = 0
+        self._distinct = 0
+
+    def _free_subtree(self, pid: int) -> None:
+        node = self._store.read(pid, NODE_CODEC)
+        if not node["leaf"]:
+            for kid in node["kids"]:
+                self._free_subtree(kid)
+        self._store.free(pid)
+
+    # -- verification (tests) --------------------------------------------------
+
+    def verify_invariants(self) -> None:
+        """Assert the structural invariants; used by the property tests.
+
+        Checks: keys strictly sorted within nodes and across the leaf chain,
+        every leaf at the same depth (``height``), non-root nodes at or above
+        minimum occupancy, subtree key ranges respecting parent separators,
+        leaf links consistent both ways, and the distinct counter exact.
+        """
+        leaves: list[int] = []
+        self._verify_node(self._root, 1, None, None, leaves, is_root=True)
+        chained: list[int] = []
+        pid = leaves[0] if leaves else self._root
+        prev = None
+        while pid is not None:
+            node = self._store.read(pid, NODE_CODEC)
+            assert node["leaf"], f"leaf chain reached internal node {pid}"
+            assert node["prev"] == prev, f"leaf {pid} has wrong prev pointer"
+            chained.append(pid)
+            prev = pid
+            pid = node["next"]
+        assert chained == leaves, "leaf chain order differs from tree order"
+        all_keys = [
+            key
+            for leaf in leaves
+            for key in self._store.read(leaf, NODE_CODEC)["keys"]
+        ]
+        assert all_keys == sorted(all_keys), "leaf chain keys not sorted"
+        assert len(set(all_keys)) == len(all_keys), "duplicate keys across leaves"
+        assert len(all_keys) == self._distinct, "distinct counter out of sync"
+
+    def _verify_node(self, pid, depth, low, high, leaves, is_root=False) -> None:
+        node = self._store.read(pid, NODE_CODEC)
+        keys = node["keys"]
+        assert keys == sorted(set(keys)), f"node {pid} keys not strictly sorted"
+        for key in keys:
+            assert low is None or key >= low, f"node {pid} key below separator"
+            assert high is None or key < high, f"node {pid} key above separator"
+        if node["leaf"]:
+            assert depth == self._height, f"leaf {pid} at depth {depth}"
+            if not is_root:
+                assert len(keys) >= self._min_keys, f"leaf {pid} underflowed"
+            for bucket in node["vals"]:
+                assert bucket == sorted(set(bucket)), f"leaf {pid} bucket unsorted"
+                assert bucket, f"leaf {pid} holds an empty bucket"
+            leaves.append(pid)
+            return
+        assert len(node["kids"]) == len(keys) + 1, f"node {pid} kids/keys mismatch"
+        minimum = 1 if is_root else self._min_keys
+        assert len(keys) >= minimum, f"internal node {pid} underflowed"
+        bounds = [low, *keys, high]
+        for child, (child_low, child_high) in zip(
+            node["kids"], zip(bounds, bounds[1:])
+        ):
+            self._verify_node(child, depth + 1, child_low, child_high, leaves)

@@ -19,7 +19,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import CatalogError, DurabilityError, ExecutionError, SchemaError
+from repro.storage.buffer_pool import BufferPoolStats, PageStore
 from repro.storage.catalog import Catalog
+from repro.storage.pager import PAGES_FILE_NAME, Pager
 from repro.storage.recovery import (
     DirectoryLock,
     RecoveryReport,
@@ -31,6 +33,7 @@ from repro.storage.snapshot import (
     SNAPSHOT_FILE_NAME,
     column_to_dict,
     schema_to_dict,
+    write_checkpoint,
     write_snapshot,
 )
 from repro.storage.wal import DEFAULT_GROUP_SIZE, WAL_FILE_NAME, WalStats, WalWriter
@@ -151,11 +154,20 @@ class Database:
         self._plan_cache_max_drift = plan_cache_max_drift
         self._plan_cache: PlanCache | None = None
         self.set_plan_cache_size(plan_cache_size)
+        #: The page store every heap page and index node of this database
+        #: lives in.  In-memory databases get an unbounded store (nothing to
+        #: evict to); Database.open swaps in a pager-backed one capped at
+        #: ``exec_settings.buffer_pool_pages`` before recovery runs.
+        self._store = PageStore()
         # Durability state; populated by Database.open for durable databases.
         self._data_dir: str | None = None
         self._wal: WalWriter | None = None
         self._lock: DirectoryLock | None = None
         self._checkpoint_interval = 0
+        #: Replayed WAL records still counted in records_since_checkpoint.
+        #: They press toward a checkpoint, but never a synchronous one on the
+        #: statement path — see _maybe_checkpoint / checkpoint_if_due.
+        self._recovered_backlog = 0
         self._closed = False
         #: What crash recovery found when this database was opened (None for
         #: in-memory databases).
@@ -201,7 +213,14 @@ class Database:
         )
         lock = acquire_lock(data_dir)
         try:
+            database._store = PageStore(
+                pager=Pager(os.path.join(data_dir, PAGES_FILE_NAME)),
+                capacity=database.exec_settings.buffer_pool_pages,
+            )
             report = recover(database, data_dir)
+            # Frames outside the adopted checkpoint chains are leftovers of
+            # the crashed run's unpublished writes; recycle them.
+            database._store.reconcile_free()
             wal = WalWriter(
                 os.path.join(data_dir, WAL_FILE_NAME),
                 sync=wal_sync,
@@ -210,6 +229,7 @@ class Database:
                 valid_length=report.wal_valid_length,
             )
         except BaseException:
+            database._store.close()
             release_lock(lock)
             raise
         database._data_dir = data_dir
@@ -220,9 +240,12 @@ class Database:
         # Records already sitting in the log count against the checkpoint
         # interval — otherwise a crash-reopen loop that writes fewer than
         # `interval` records per life would grow the WAL (and recovery time)
-        # without bound.
+        # without bound.  They are remembered as backlog so they press toward
+        # the open-time checkpoint below (and checkpoint_if_due), never a
+        # synchronous checkpoint inside the first post-recovery statement.
         wal.stats.records_since_checkpoint = report.wal_records_scanned
-        database._maybe_checkpoint()
+        database._recovered_backlog = report.wal_records_scanned
+        database._maybe_checkpoint(include_recovered=True)
         for table in database._tables.values():
             table.wal_emit = database._wal_append
         return database
@@ -241,16 +264,50 @@ class Database:
         return self._closed
 
     def checkpoint(self) -> int:
-        """Snapshot the full database atomically, then truncate the WAL.
+        """Persist a consistent recovery point, then truncate the WAL.
 
-        Returns the snapshot's size in bytes.  The protocol (flush log →
-        write ``snapshot.json.tmp`` → fsync → atomic rename → truncate log)
-        is crash-safe at every step; see :mod:`repro.storage.snapshot`.
+        Incremental: only heap pages dirtied since the last checkpoint are
+        written (shadow-paged to fresh frames, so the previous checkpoint
+        stays intact until the new one publishes), followed by one small
+        metadata file — cost tracks the working set, not the database size.
+        Returns the metadata file's size in bytes.  The protocol (flush log
+        → flush dirty pages → fsync page file → write ``snapshot.json.tmp``
+        → fsync → atomic rename → truncate log) is crash-safe at every
+        step; see :mod:`repro.storage.snapshot`.
         """
         self._assert_open()
         if self._wal is None:
             raise DurabilityError(
                 "checkpoint() requires a durable database; use Database.open(data_dir=...)"
+            )
+        self._wal.flush()
+        heap_pages = [
+            page_id
+            for table in self._tables.values()
+            for page_id in table.heap_page_ids()
+        ]
+        self._store.flush(heap_pages)
+        self._store.sync()
+        size = write_checkpoint(
+            self,
+            os.path.join(self._data_dir, SNAPSHOT_FILE_NAME),
+            lsn=self._wal.last_lsn,
+        )
+        self._store.publish(heap_pages)
+        self._wal.truncate_log()
+        self._recovered_backlog = 0
+        return size
+
+    def export_snapshot(self) -> int:
+        """Write a v1 *full* snapshot (all rows inline) instead of an
+        incremental checkpoint — same atomic file, same recovery entry
+        point, but self-contained without the page file.  Kept for
+        benchmark comparison and portable exports."""
+        self._assert_open()
+        if self._wal is None:
+            raise DurabilityError(
+                "export_snapshot() requires a durable database; use "
+                "Database.open(data_dir=...)"
             )
         self._wal.flush()
         size = write_snapshot(
@@ -259,6 +316,7 @@ class Database:
             lsn=self._wal.last_lsn,
         )
         self._wal.truncate_log()
+        self._recovered_backlog = 0
         return size
 
     def close(self) -> None:
@@ -269,6 +327,7 @@ class Database:
         self._closed = True
         if self._wal is not None:
             self._wal.close()
+        self._store.close()
         if self._lock is not None:
             release_lock(self._lock)
             self._lock = None
@@ -294,6 +353,15 @@ class Database:
             return None
         return self._wal.stats
 
+    def buffer_stats(self) -> BufferPoolStats:
+        """Buffer-pool counters (hit rate, evictions, dirty pages, pins).
+
+        Always available — an in-memory database reports its unbounded
+        store (capacity None, no evictions) so operators can still see
+        working-set size.
+        """
+        return self._store.stats()
+
     def _wal_append(self, record: dict) -> None:
         if self._wal is not None:
             self._wal.append(record)
@@ -305,15 +373,43 @@ class Database:
                 "would not be logged to the write-ahead log"
             )
 
-    def _maybe_checkpoint(self) -> None:
-        """Auto-checkpoint once enough records accumulated since the last one."""
-        if (
+    def _maybe_checkpoint(self, include_recovered: bool = False) -> None:
+        """Auto-checkpoint once enough records accumulated since the last one.
+
+        On the statement path (``include_recovered=False``) only records
+        logged *by this process* count: replayed WAL records press toward a
+        checkpoint too, but they were already paid for once — triggering a
+        synchronous checkpoint inside the first post-recovery statement
+        would bill recovery's backlog to an arbitrary unlucky query.  The
+        backlog is drained by the explicit open-time call
+        (``include_recovered=True``) and by :meth:`checkpoint_if_due`.
+        """
+        if self._wal is None or self._closed or self._checkpoint_interval <= 0:
+            return
+        accumulated = self._wal.stats.records_since_checkpoint
+        if not include_recovered:
+            accumulated -= self._recovered_backlog
+        if accumulated >= self._checkpoint_interval:
+            self.checkpoint()
+
+    @property
+    def checkpoint_due(self) -> bool:
+        """True when the interval has been reached, recovered backlog
+        included — the signal an off-path scheduler polls."""
+        return (
             self._wal is not None
             and not self._closed
             and self._checkpoint_interval > 0
             and self._wal.stats.records_since_checkpoint >= self._checkpoint_interval
-        ):
-            self.checkpoint()
+        )
+
+    def checkpoint_if_due(self) -> int | None:
+        """Checkpoint when :attr:`checkpoint_due`; for explicit scheduling
+        *off* the statement path (idle ticks, background threads).  Returns
+        the metadata size, or None when nothing was due."""
+        if self.checkpoint_due:
+            return self.checkpoint()
+        return None
 
     # -- catalog access ----------------------------------------------------------
 
@@ -359,7 +455,7 @@ class Database:
             {"op": "create_table", "schema": schema_to_dict(schema), "ts": timestamp}
         )
         self._catalog.register(schema, timestamp=timestamp)
-        table = Table(schema)
+        table = Table(schema, store=self._store)
         self._tables[schema.name.lower()] = table
         if self._wal is not None:
             table.wal_emit = self._wal_append
@@ -372,7 +468,7 @@ class Database:
             raise CatalogError(f"unknown table {name!r}")
         self._wal_append({"op": "drop_table", "tbl": name, "ts": timestamp})
         self._catalog.unregister(name, timestamp=timestamp)
-        del self._tables[name.lower()]
+        self._tables.pop(name.lower()).drop_storage()
 
     def insert_rows(self, table_name: str, rows) -> int:
         """Bulk-insert dictionaries into a table; returns the number inserted."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.storage.buffer_pool import DEFAULT_BUFFER_POOL_PAGES
+
 #: Rows per batch moved through the operator tree per ``next()`` call.
 DEFAULT_BATCH_SIZE = 256
 
@@ -51,6 +53,11 @@ class ExecutionSettings:
     (:mod:`repro.analysis.plan_verify`) over every plan before the executor
     streams it, raising :class:`~repro.errors.ExecutionError` on any
     ERROR-severity finding — a debugging/CI guardrail, off by default.
+
+    ``buffer_pool_pages`` caps how many pages (heap pages + B+ tree nodes)
+    a durable database keeps resident; the least recently used spill to the
+    page file.  In-memory databases ignore it — with no pager there is
+    nowhere to evict to.
     """
 
     batch_size: int = DEFAULT_BATCH_SIZE
@@ -59,6 +66,7 @@ class ExecutionSettings:
     compile_expressions: bool = True
     vectorized_aggregation: bool = True
     verify_plans: bool = False
+    buffer_pool_pages: int = DEFAULT_BUFFER_POOL_PAGES
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -67,6 +75,8 @@ class ExecutionSettings:
             raise ValueError("parallel_workers must be at least 1")
         if self.parallel_threshold < 0:
             raise ValueError("parallel_threshold must be non-negative")
+        if self.buffer_pool_pages < 8:
+            raise ValueError("buffer_pool_pages must be at least 8")
 
 
 #: Shared default instance (settings are immutable, so sharing is safe).

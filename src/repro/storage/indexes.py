@@ -5,9 +5,12 @@ The engine supports two index kinds:
 * :class:`HashIndex` — equality lookups, enough for the Query Storage's
   frequent probes by ``qid``, ``relName``, and ``attrName`` during meta-query
   execution;
-* :class:`SortedIndex` — a bisect-backed ordered index whose keys follow the
-  engine's total order (:func:`~repro.storage.types.sort_key`), serving range
+* :class:`SortedIndex` — an ordered index backed by a paged B+ tree
+  (:class:`~repro.storage.bptree.BPlusTree`) whose keys follow the engine's
+  total order (:func:`~repro.storage.types.sort_key`), serving range
   predicates (``ts BETWEEN …``, ``temp < 18``) and ORDER BY without sorting.
+  Tree nodes page through the owning table's buffer pool, so big indexes
+  spill to disk under the same ``buffer_pool_pages`` budget as the heap.
 
 Both kinds share the ``insert`` / ``delete`` / ``lookup`` surface so
 :class:`~repro.storage.table.Table` maintains them uniformly; a column may
@@ -16,10 +19,11 @@ carry one index of each kind.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 
 from repro.errors import IntegrityError
+from repro.storage.bptree import DEFAULT_ORDER, BPlusTree
+from repro.storage.buffer_pool import PageStore
 from repro.storage.types import sort_key
 
 
@@ -67,10 +71,13 @@ class HashIndex:
     def clear(self) -> None:
         self._buckets.clear()
 
+    def drop(self) -> None:
+        """Release the index's storage (it owns no pages; just forget)."""
+        self._buckets.clear()
 
-@dataclass
+
 class SortedIndex:
-    """An ordered index: a sorted key list plus per-key row-id buckets.
+    """An ordered index: a paged B+ tree plus a NULL-row side set.
 
     Keys are :func:`~repro.storage.types.sort_key` values, so the index order
     is exactly the order the executor's ORDER BY produces and the order
@@ -79,14 +86,27 @@ class SortedIndex:
     and do not violate uniqueness).
     """
 
-    name: str
-    column: str
-    unique: bool = False
-    _keys: list = field(default_factory=list, repr=False)
-    _buckets: dict[tuple, set[int]] = field(default_factory=dict, repr=False)
-    _null_rows: set[int] = field(default_factory=set, repr=False)
-
     kind = "sorted"
+
+    def __init__(
+        self,
+        name: str,
+        column: str,
+        unique: bool = False,
+        store: PageStore | None = None,
+        order: int = DEFAULT_ORDER,
+    ):
+        self.name = name
+        self.column = column
+        self.unique = unique
+        self._tree = BPlusTree(store=store, order=order)
+        self._null_rows: set[int] = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"SortedIndex(name={self.name!r}, column={self.column!r}, "
+            f"unique={self.unique!r})"
+        )
 
     def insert(self, value: object, row_id: int) -> None:
         """Register ``row_id`` under ``value``; NULL rows go to the null set."""
@@ -94,37 +114,23 @@ class SortedIndex:
             self._null_rows.add(row_id)
             return
         key = sort_key(value)
-        bucket = self._buckets.get(key)
-        if bucket is None:
-            bisect.insort(self._keys, key)
-            self._buckets[key] = {row_id}
-            return
-        if self.unique and bucket:
+        if self.unique and self._tree.contains(key):
             raise IntegrityError(
                 f"unique index {self.name!r} violated for value {value!r}"
             )
-        bucket.add(row_id)
+        self._tree.insert(key, row_id)
 
     def delete(self, value: object, row_id: int) -> None:
         if value is None:
             self._null_rows.discard(row_id)
             return
-        key = sort_key(value)
-        bucket = self._buckets.get(key)
-        if bucket is None:
-            return
-        bucket.discard(row_id)
-        if not bucket:
-            del self._buckets[key]
-            position = bisect.bisect_left(self._keys, key)
-            if position < len(self._keys) and self._keys[position] == key:
-                del self._keys[position]
+        self._tree.delete(sort_key(value), row_id)
 
     def lookup(self, value: object) -> set[int]:
         """Row ids whose indexed column equals ``value`` (empty set for NULL)."""
         if value is None:
             return set()
-        return set(self._buckets.get(sort_key(value), set()))
+        return set(self._tree.lookup(sort_key(value)))
 
     def range_row_ids(
         self,
@@ -140,23 +146,10 @@ class SortedIndex:
         unbounded).  NULL rows are never part of a range — a comparison
         against NULL is unknown.
         """
-        if low_key is None:
-            start = 0
-        elif low_inclusive:
-            start = bisect.bisect_left(self._keys, low_key)
-        else:
-            start = bisect.bisect_right(self._keys, low_key)
-        if high_key is None:
-            stop = len(self._keys)
-        elif high_inclusive:
-            stop = bisect.bisect_right(self._keys, high_key)
-        else:
-            stop = bisect.bisect_left(self._keys, high_key)
-        selected = self._keys[start:stop]
-        if descending:
-            selected = reversed(selected)
-        for key in selected:
-            yield from sorted(self._buckets[key])
+        for _key, bucket in self._tree.item_range(
+            low_key, high_key, low_inclusive, high_inclusive, descending
+        ):
+            yield from bucket
 
     def ordered_row_ids(self, descending: bool = False):
         """All row ids in index order, NULLs placed as ORDER BY places them.
@@ -172,11 +165,15 @@ class SortedIndex:
             yield from sorted(self._null_rows)
 
     def distinct_values(self) -> int:
-        return len(self._buckets)
+        return self._tree.distinct
 
     def clear(self) -> None:
-        self._keys.clear()
-        self._buckets.clear()
+        self._tree.clear()
+        self._null_rows.clear()
+
+    def drop(self) -> None:
+        """Free every tree page; the index is unusable afterwards."""
+        self._tree.drop()
         self._null_rows.clear()
 
 

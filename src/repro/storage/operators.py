@@ -66,7 +66,6 @@ from repro.sql.formatter import format_expression
 from repro.storage.aggregates import AggregateCollection, hashable_value
 from repro.storage.exec_settings import DEFAULT_BATCH_SIZE
 from repro.storage.expression import Scope, evaluate, is_true, like_regex
-from repro.storage.statistics import partition_spans
 from repro.storage.types import DataType, coerce_value, compare_values, sort_key
 
 #: Lazily created process-wide worker pool shared by every ParallelSeqScan.
@@ -274,9 +273,10 @@ class SeqScan(Operator):
 class ParallelSeqScan(SeqScan):
     """Partitioned parallel heap scan.
 
-    The heap is split into contiguous spans
-    (:func:`~repro.storage.statistics.partition_spans` boundaries, walked via
-    :meth:`~repro.storage.table.Table.scan_span`) and each span is scanned by
+    The heap is split into contiguous spans aligned to heap-page boundaries
+    (:meth:`~repro.storage.table.Table.partition_spans`, walked via
+    :meth:`~repro.storage.table.Table.scan_span`, so no two workers ever
+    fault the same buffer-pool page) and each span is scanned by
     a worker thread that builds the span's batches; the coordinator then
     re-assembles the spans **in heap order**, so downstream operators (sorts,
     limits, DISTINCT) observe exactly the row order a :class:`SeqScan` would
@@ -291,7 +291,7 @@ class ParallelSeqScan(SeqScan):
         self.workers = max(1, int(workers))
 
     def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
-        spans = partition_spans(len(self.table), self.workers)
+        spans = self.table.partition_spans(self.workers)
         if len(spans) <= 1:
             yield from _scan_batches(self.table.scan(), self.binding, ctx)
             return
@@ -1203,7 +1203,7 @@ class HashAggregate(GroupAggregate):
         table, binding = scan.table, scan.binding
         specs = self.collection.specs
         spans = (
-            partition_spans(len(table), scan.workers)
+            table.partition_spans(scan.workers)
             if isinstance(scan, ParallelSeqScan)
             else []
         )

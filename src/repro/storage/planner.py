@@ -108,18 +108,29 @@ CPU_BATCH_COST = 1.0
 #: gate; the cost comparison only vetoes degenerate cases (a handful of rows
 #: over a low threshold) where fan-out provably cannot pay.
 PARALLEL_SETUP_COST = 4.0
+#: Cost of faulting one heap page through the buffer pool (decode on miss,
+#: LRU bookkeeping on hit).  Deliberately small relative to the per-row
+#: constants — a page holds ~128 rows, so page I/O shades scan costs toward
+#: page-frugal paths without flipping row-count-driven decisions.
+PAGE_IO_COST = 0.05
 
 
-def scan_cpu_cost(rows: float, settings: ExecutionSettings, workers: int = 1) -> float:
-    """CPU cost of a (possibly parallel) heap scan under the batch model.
+def scan_cpu_cost(
+    rows: float, settings: ExecutionSettings, workers: int = 1, pages: float = 0.0
+) -> float:
+    """Cost of a (possibly parallel) heap scan under the batch model.
 
-    Tuple and batch work divides across workers; a parallel scan additionally
-    pays :data:`PARALLEL_SETUP_COST` once.  The planner compares the 1-worker
-    and N-worker costs to decide when a :class:`ParallelSeqScan` is worth it.
+    Tuple, batch, and page-fault work divides across workers (page-aligned
+    spans mean each page is faulted by exactly one worker); a parallel scan
+    additionally pays :data:`PARALLEL_SETUP_COST` once.  The planner compares
+    the 1-worker and N-worker costs to decide when a :class:`ParallelSeqScan`
+    is worth it.
     """
     rows = max(rows, 0.0)
     batches = max(1.0, math.ceil(rows / max(settings.batch_size, 1)))
-    cost = (rows * CPU_TUPLE_COST + batches * CPU_BATCH_COST) / max(workers, 1)
+    cost = (
+        rows * CPU_TUPLE_COST + batches * CPU_BATCH_COST + pages * PAGE_IO_COST
+    ) / max(workers, 1)
     if workers > 1:
         cost += PARALLEL_SETUP_COST
     return cost
@@ -914,7 +925,10 @@ class Planner:
             return
         table = leaf.table
         row_count = float(len(table))
-        leaf.seq_cost = max(row_count, 1.0)
+        # A full scan faults every heap page through the buffer pool; index
+        # and range picks below overwrite seq_cost with their (page-frugal)
+        # estimates, so the page term also nudges choices toward indexes.
+        leaf.seq_cost = max(row_count, 1.0) + table.page_count * PAGE_IO_COST
         index_pick = self._pick_index_conjunct(table, leaf.predicates)
         range_pick = self._pick_range_conjuncts(table, leaf.predicates)
         if index_pick is not None and (
@@ -965,12 +979,13 @@ class Planner:
         settings = self._settings
         workers = settings.parallel_workers
         row_count = len(table)
+        pages = table.page_count
         if (
             allow_parallel
             and workers > 1
             and row_count >= settings.parallel_threshold
-            and scan_cpu_cost(row_count, settings, workers)
-            < scan_cpu_cost(row_count, settings)
+            and scan_cpu_cost(row_count, settings, workers, pages=pages)
+            < scan_cpu_cost(row_count, settings, pages=pages)
         ):
             return ParallelSeqScan(table, binding, estimate, workers=workers)
         return SeqScan(table, binding, estimate)

@@ -171,21 +171,44 @@ def recover(database, data_dir: str | os.PathLike) -> RecoveryReport:
 
 
 def _restore_snapshot(database, snapshot: dict) -> None:
-    """Load a verified snapshot payload into a fresh database."""
+    """Load a verified checkpoint payload (either format) into a fresh
+    database."""
+    incremental = int(snapshot.get("format", 1)) >= 2
     schemas = []
     for entry in snapshot["tables"]:
         schema = schema_from_dict(entry["schema"])
         schemas.append(schema)
-        table = Table(schema)
-        for index in entry["indexes"]:
-            table.create_index(
-                index["name"],
-                index["column"],
-                unique=index["unique"],
-                kind=index["kind"],
+        if incremental:
+            table = Table(
+                schema,
+                store=database._store,
+                page_slots=int(entry.get("page_slots", 1)),
             )
-        for row_id, row in entry["rows"]:
-            table.restore_row(int(row_id), row)
+            # Attach the on-disk heap pages first (checksums verified as the
+            # chains are walked), then rebuild the derived structures from
+            # them — indexes are never checkpointed.
+            for ordinal, head_frame, live in entry["pages"]:
+                page_id = database._store.adopt_chain(int(head_frame))
+                table.restore_page(int(ordinal), page_id, int(live))
+            for index in entry["indexes"]:
+                table.create_index(
+                    index["name"],
+                    index["column"],
+                    unique=index["unique"],
+                    kind=index["kind"],
+                )
+            table.rebuild_indexes()
+        else:
+            table = Table(schema, store=database._store)
+            for index in entry["indexes"]:
+                table.create_index(
+                    index["name"],
+                    index["column"],
+                    unique=index["unique"],
+                    kind=index["kind"],
+                )
+            for row_id, row in entry["rows"]:
+                table.restore_row(int(row_id), row)
         table.restore_counters(
             next_row_id=int(entry["next_row_id"]),
             version=int(entry["version"]),

@@ -1,25 +1,41 @@
-"""Checkpoint snapshots: the full database state in one atomic file.
+"""Checkpoint metadata: the recovery starting point in one atomic file.
 
-A snapshot bounds recovery time: instead of replaying the write-ahead log
+A checkpoint bounds recovery time: instead of replaying the write-ahead log
 from the beginning of time, :mod:`repro.storage.recovery` loads the latest
-snapshot and replays only the log tail written after it.  The checkpoint
-protocol is the classic one:
+checkpoint and replays only the log tail written after it.  Two formats
+share the ``snapshot.json`` file and the same atomic-publish protocol:
 
-1. flush the WAL (everything the snapshot will contain is on disk first),
-2. serialize the whole database — catalog history, table schemas, index
-   definitions, version counters, heap rows with their row ids — together
-   with the WAL's last LSN,
-3. write it to ``snapshot.json.tmp``, ``fsync``, then **atomically rename**
-   over ``snapshot.json`` (readers only ever see the old or the new complete
-   snapshot, never a half-written one),
-4. truncate the WAL.
+* **v1 — full snapshot** (:func:`build_snapshot` / :func:`write_snapshot`):
+  the whole database inline, heap rows included.  Cost grows with database
+  size; still used by in-memory exports and loadable by recovery forever.
+* **v2 — incremental checkpoint** (:func:`build_checkpoint` /
+  :func:`write_checkpoint`): only *metadata* — catalog history, schemas,
+  index definitions, version counters, and each table's **page directory**
+  (heap page ordinal → head frame in ``pages.db`` → live row count).  The
+  rows themselves stay in the page file: the checkpoint flushes just the
+  dirty pages (shadow-paged to fresh frames) and fsyncs, so its cost tracks
+  the working set since the last checkpoint, not the database size.
+
+The publish protocol is the classic one either way:
+
+1. flush the WAL (everything the checkpoint covers is on disk first),
+2. v2 only: write dirty heap pages to fresh frames and ``fsync`` the page
+   file — published frames are never overwritten in place, so the previous
+   checkpoint stays intact underneath,
+3. write the metadata to ``snapshot.json.tmp``, ``fsync``, then
+   **atomically rename** over ``snapshot.json`` (readers only ever see the
+   old or the new complete checkpoint, never a half-written one),
+4. truncate the WAL (and, v2, release the frames only the old checkpoint
+   referenced).
 
 A crash between steps 3 and 4 leaves committed records in the log that the
-snapshot already contains; replay skips them by LSN.  A crash before step 3's
-rename leaves a stale ``.tmp`` file that recovery ignores.
+checkpoint already covers; replay skips them by LSN.  A crash before step
+3's rename leaves a stale ``.tmp`` file that recovery ignores — and, v2, a
+page file whose fresh frames are garbage that recovery's free-list
+reconciliation reclaims.
 
 The file itself is a one-line header (format version, CRC32 and length of the
-body) followed by a JSON body, so recovery can tell a valid snapshot from a
+body) followed by a JSON body, so recovery can tell a valid checkpoint from a
 damaged one without trusting its contents.
 """
 
@@ -41,6 +57,8 @@ SNAPSHOT_TMP_SUFFIX = ".tmp"
 
 _HEADER_PREFIX = "REPRO-SNAPSHOT"
 _FORMAT_VERSION = 1
+#: Format of incremental (page-directory) checkpoints.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 # -- schema (de)serialization --------------------------------------------------
@@ -91,67 +109,92 @@ def schema_from_dict(data: dict) -> TableSchema:
 # -- snapshot build / write ------------------------------------------------------
 
 
+def _catalog_to_dict(catalog) -> dict:
+    return {
+        "version": catalog.version,
+        "changes": [
+            {
+                "version": change.version,
+                "timestamp": change.timestamp,
+                "kind": change.kind,
+                "table": change.table,
+                "detail": change.detail,
+            }
+            for change in catalog.changes()
+        ],
+    }
+
+
+def _table_meta(table) -> dict:
+    """The table metadata both checkpoint formats share (no row data)."""
+    return {
+        "schema": schema_to_dict(table.schema),
+        "next_row_id": table.next_row_id,
+        "version": table.version,
+        "schema_version": table.schema_version,
+        "indexes": [
+            {
+                "name": index.name,
+                "column": index.column,
+                "unique": index.unique,
+                "kind": index.kind,
+            }
+            for index in table.index_definitions()
+        ],
+    }
+
+
 def build_snapshot(database, lsn: int) -> dict:
-    """Serialize ``database`` into a JSON-safe snapshot payload.
+    """Serialize ``database`` into a JSON-safe v1 (full) snapshot payload.
 
     ``lsn`` is the last WAL LSN the snapshot covers; replay skips records at
     or below it.  Row dicts hold only coerced SQL values (int/float/str/bool/
     NULL), so JSON round-trips them exactly.
     """
-    catalog = database.catalog
     tables = []
     for name in database.table_names():
         table = database.table(name)
-        tables.append(
-            {
-                "schema": schema_to_dict(table.schema),
-                "next_row_id": table.next_row_id,
-                "version": table.version,
-                "schema_version": table.schema_version,
-                "indexes": [
-                    {
-                        "name": index.name,
-                        "column": index.column,
-                        "unique": index.unique,
-                        "kind": index.kind,
-                    }
-                    for index in table.index_definitions()
-                ],
-                "rows": [[row_id, row] for row_id, row in table.scan()],
-            }
-        )
+        meta = _table_meta(table)
+        meta["rows"] = [[row_id, row] for row_id, row in table.scan()]
+        tables.append(meta)
     return {
         "format": _FORMAT_VERSION,
         "name": database.name,
         "lsn": lsn,
-        "catalog": {
-            "version": catalog.version,
-            "changes": [
-                {
-                    "version": change.version,
-                    "timestamp": change.timestamp,
-                    "kind": change.kind,
-                    "table": change.table,
-                    "detail": change.detail,
-                }
-                for change in catalog.changes()
-            ],
-        },
+        "catalog": _catalog_to_dict(database.catalog),
         "tables": tables,
     }
 
 
-def write_snapshot(database, path: str | os.PathLike, lsn: int) -> int:
-    """Write an atomic snapshot of ``database`` to ``path``.
+def build_checkpoint(database, lsn: int) -> dict:
+    """Serialize ``database`` into a v2 (incremental) checkpoint payload.
 
-    Returns the number of bytes written.  The write goes to
-    ``<path>.tmp`` first and is published with ``os.replace``; the directory
-    is synced afterwards so the rename itself survives a power cut.
+    Holds no rows: each table contributes its page directory —
+    ``[ordinal, head_frame, live_count]`` per heap page — pointing into the
+    already-flushed page file.  The caller must have flushed the tables'
+    heap pages first (:meth:`~repro.storage.buffer_pool.PageStore.flush`),
+    or ``page_directory`` will have nothing to point at.
     """
-    path = os.fspath(path)
-    body = json.dumps(build_snapshot(database, lsn), separators=(",", ":")).encode("utf-8")
+    tables = []
+    for name in database.table_names():
+        table = database.table(name)
+        meta = _table_meta(table)
+        meta["page_slots"] = table.page_slots
+        meta["pages"] = table.page_directory()
+        tables.append(meta)
+    return {
+        "format": CHECKPOINT_FORMAT_VERSION,
+        "name": database.name,
+        "lsn": lsn,
+        "catalog": _catalog_to_dict(database.catalog),
+        "tables": tables,
+    }
+
+
+def _write_payload(payload: dict, path: str, version: int) -> int:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     header = (
-        f"{_HEADER_PREFIX} v{_FORMAT_VERSION} crc={zlib.crc32(body):08x} len={len(body)}\n"
+        f"{_HEADER_PREFIX} v{version} crc={zlib.crc32(body):08x} len={len(body)}\n"
     ).encode("ascii")
     tmp_path = path + SNAPSHOT_TMP_SUFFIX
     with open(tmp_path, "wb") as handle:
@@ -162,6 +205,30 @@ def write_snapshot(database, path: str | os.PathLike, lsn: int) -> int:
     os.replace(tmp_path, path)
     fsync_directory(os.path.dirname(path))
     return len(header) + len(body)
+
+
+def write_snapshot(database, path: str | os.PathLike, lsn: int) -> int:
+    """Write an atomic v1 (full) snapshot of ``database`` to ``path``.
+
+    Returns the number of bytes written.  The write goes to
+    ``<path>.tmp`` first and is published with ``os.replace``; the directory
+    is synced afterwards so the rename itself survives a power cut.
+    """
+    return _write_payload(
+        build_snapshot(database, lsn), os.fspath(path), _FORMAT_VERSION
+    )
+
+
+def write_checkpoint(database, path: str | os.PathLike, lsn: int) -> int:
+    """Write an atomic v2 (incremental) checkpoint of ``database`` to ``path``.
+
+    Same publish protocol as :func:`write_snapshot`; only the payload differs
+    (page directory instead of inline rows), so size — and latency — is
+    proportional to schema + page count, not row count.
+    """
+    return _write_payload(
+        build_checkpoint(database, lsn), os.fspath(path), CHECKPOINT_FORMAT_VERSION
+    )
 
 
 def load_snapshot(path: str | os.PathLike) -> dict | None:

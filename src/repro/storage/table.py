@@ -1,23 +1,69 @@
-"""Heap tables with secondary indexes and cached statistics."""
+"""Paged heap tables with secondary indexes and cached statistics."""
 
 from __future__ import annotations
 
-from dataclasses import replace
-from itertools import islice
+import math
 
 from repro.errors import IntegrityError, SchemaError
+from repro.storage.buffer_pool import PageStore
 from repro.storage.indexes import INDEX_KINDS, HashIndex, SortedIndex
 from repro.storage.schema import ColumnSchema, TableSchema
 from repro.storage.statistics import TableStatistics, partition_spans
 
+#: Row slots per heap page.  A row id maps to ``(page ordinal, slot)`` as
+#: ``divmod(row_id, HEAP_PAGE_SLOTS)`` — row ids are monotonic and never
+#: reused, so the mapping is stable for the lifetime of the table.
+HEAP_PAGE_SLOTS = 128
+
+
+class _HeapPageCodec:
+    """(De)serialize one heap page: a slot → row dict, ascending slot order."""
+
+    @staticmethod
+    def encode(page: dict) -> bytes:
+        import json
+
+        return json.dumps(
+            [[slot, page[slot]] for slot in sorted(page)], separators=(",", ":")
+        ).encode("utf-8")
+
+    @staticmethod
+    def decode(payload: bytes) -> dict:
+        import json
+
+        return {int(slot): row for slot, row in json.loads(payload.decode("utf-8"))}
+
+
+HEAP_PAGE_CODEC = _HeapPageCodec()
+
+
+def _install_slot(page: dict, slot: int, row: dict) -> None:
+    """Place ``row`` at ``slot`` keeping the page's ascending slot order.
+
+    Scans iterate pages in insertion order; normal inserts always append the
+    highest slot so far, so the order is maintained for free.  Restore paths
+    (WAL replay, failed-delete rollback) can re-add a low slot after higher
+    ones — only then is the dict rebuilt sorted.
+    """
+    out_of_order = slot not in page and bool(page) and slot < next(reversed(page))
+    page[slot] = row
+    if out_of_order:
+        ordered = sorted(page.items())
+        page.clear()
+        page.update(ordered)
+
 
 class Table:
-    """A heap table: a dict of row-id → row plus its indexes.
+    """A heap table: slotted pages behind a buffer pool, plus its indexes.
 
-    Rows are stored as dicts keyed by the schema's column names (original
-    case).  Row ids are monotonically increasing and never reused, which lets
-    indexes reference rows stably across deletes.  Each column may carry one
-    index per kind (a hash index for equality probes and a sorted index for
+    Rows are dicts keyed by the schema's column names (original case),
+    stored ``HEAP_PAGE_SLOTS`` to a page; the page objects live in a
+    :class:`~repro.storage.buffer_pool.PageStore` (shared database-wide, so
+    one ``buffer_pool_pages`` budget bounds heap *and* index residency).
+    Row ids are monotonically increasing and never reused, which lets
+    indexes reference rows stably across deletes and pins each row to one
+    ``(page, slot)`` forever.  Each column may carry one index per kind (a
+    hash index for equality probes and a B+-tree-backed sorted index for
     range scans and ordered access).
 
     When the owning database is durable it sets ``wal_emit`` to the WAL
@@ -26,9 +72,18 @@ class Table:
     so crash recovery replays exactly the committed operations.
     """
 
-    def __init__(self, schema: TableSchema):
+    def __init__(
+        self,
+        schema: TableSchema,
+        store: PageStore | None = None,
+        page_slots: int = HEAP_PAGE_SLOTS,
+    ):
         self._schema = schema
-        self._rows: dict[int, dict[str, object]] = {}
+        self._store = store if store is not None else PageStore()
+        self._page_slots = max(1, int(page_slots))
+        self._page_ids: dict[int, int] = {}  # page ordinal -> buffer-pool page id
+        self._page_live: dict[int, int] = {}  # page ordinal -> live row count
+        self._row_count = 0
         self._next_row_id = 0
         #: Durability hook: ``callable(record_dict)`` appending to the WAL,
         #: or None for an in-memory table (and during recovery replay).
@@ -65,26 +120,67 @@ class Table:
         return self._schema.name
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._row_count
+
+    @property
+    def page_slots(self) -> int:
+        return self._page_slots
+
+    @property
+    def page_count(self) -> int:
+        """Heap pages the table occupies (the planner's I/O cost input)."""
+        return len(self._page_ids)
+
+    @property
+    def store(self) -> PageStore:
+        return self._store
 
     def rows(self) -> list[dict[str, object]]:
         """A snapshot list of all rows (copies are not made; do not mutate)."""
-        return list(self._rows.values())
+        return [row for _, row in self.scan()]
 
     def scan(self):
-        """Iterate over ``(row_id, row)`` pairs."""
-        return self._rows.items()
+        """Iterate over ``(row_id, row)`` pairs in row-id order.
+
+        Pages are read through the buffer pool without pinning: eviction
+        only drops the store's reference, so a page dict being iterated
+        stays valid for the iterator holding it, and read-only iteration is
+        safe under the engine's statement-at-a-time mutation model.
+        """
+        for ordinal in sorted(self._page_ids):
+            page = self._store.read(self._page_ids[ordinal], HEAP_PAGE_CODEC)
+            base = ordinal * self._page_slots
+            for slot, row in page.items():
+                yield base + slot, row
 
     def scan_span(self, start: int, stop: int):
         """Iterate the ``(row_id, row)`` pairs of one contiguous heap span.
 
-        This is the partition primitive of a
-        :class:`~repro.storage.operators.ParallelSeqScan`: each worker walks
-        its own span concurrently (read-only iteration of the row dict is
-        safe), and spans in :func:`~repro.storage.statistics.partition_spans`
-        order concatenate back to exactly :meth:`scan`.
+        ``start``/``stop`` are *positions* in :meth:`scan` order, so spans in
+        :func:`~repro.storage.statistics.partition_spans` order concatenate
+        back to exactly :meth:`scan`.  Per-page live counts skip whole pages
+        before the span start without touching their contents, so a worker
+        of a :class:`~repro.storage.operators.ParallelSeqScan` faults in only
+        the pages its span actually covers.
         """
-        return islice(self._rows.items(), start, stop)
+        if start >= stop:
+            return
+        position = 0
+        for ordinal in sorted(self._page_ids):
+            live = self._page_live[ordinal]
+            if position + live <= start:
+                position += live
+                continue
+            if position >= stop:
+                return
+            page = self._store.read(self._page_ids[ordinal], HEAP_PAGE_CODEC)
+            base = ordinal * self._page_slots
+            for slot, row in page.items():
+                if position >= stop:
+                    return
+                if position >= start:
+                    yield base + slot, row
+                position += 1
 
     def scan_partitions(self, partitions: int) -> list[list[tuple[int, dict]]]:
         """Split the heap into up to ``partitions`` contiguous slices.
@@ -97,8 +193,33 @@ class Table:
         """
         return [
             list(self.scan_span(start, stop))
-            for start, stop in partition_spans(len(self._rows), partitions)
+            for start, stop in partition_spans(self._row_count, partitions)
         ]
+
+    def partition_spans(self, partitions: int) -> list[tuple[int, int]]:
+        """Positional spans aligned to heap-page boundaries.
+
+        Parallel scans fan out per *page run*: every span except the bounds
+        of the heap starts and ends on a page edge, so no two workers ever
+        fault the same page and each page is decoded at most once per scan.
+        Spans are contiguous, cover every row exactly once, and concatenate
+        (via :meth:`scan_span`) back to :meth:`scan` order.
+        """
+        total = self._row_count
+        if total <= 0 or partitions <= 0:
+            return []
+        target = math.ceil(total / partitions)
+        spans: list[tuple[int, int]] = []
+        start = 0
+        position = 0
+        for ordinal in sorted(self._page_ids):
+            position += self._page_live[ordinal]
+            if position - start >= target and len(spans) < partitions - 1:
+                spans.append((start, position))
+                start = position
+        if start < total:
+            spans.append((start, total))
+        return spans
 
     def _bump(self, schema: bool = False) -> None:
         """Advance the change counters after a mutation."""
@@ -107,12 +228,106 @@ class Table:
             self.schema_version += 1
 
     def get(self, row_id: int) -> dict[str, object] | None:
-        return self._rows.get(row_id)
+        ordinal, slot = divmod(row_id, self._page_slots)
+        page_id = self._page_ids.get(ordinal)
+        if page_id is None:
+            return None
+        return self._store.read(page_id, HEAP_PAGE_CODEC).get(slot)
 
     @property
     def next_row_id(self) -> int:
         """The row id the next insert will take (snapshotted for recovery)."""
         return self._next_row_id
+
+    # -- slotted-page plumbing -------------------------------------------------
+
+    def _store_slot(self, row_id: int, row: dict) -> None:
+        """Write ``row`` into its page (pin → mutate → mark dirty → unpin)."""
+        ordinal, slot = divmod(row_id, self._page_slots)
+        page_id = self._page_ids.get(ordinal)
+        if page_id is None:
+            page_id = self._store.allocate({}, HEAP_PAGE_CODEC)
+            self._page_ids[ordinal] = page_id
+            self._page_live[ordinal] = 0
+        page = self._store.fetch(page_id, HEAP_PAGE_CODEC)
+        try:
+            fresh = slot not in page
+            _install_slot(page, slot, row)
+            self._store.mark_dirty(page_id)
+        finally:
+            self._store.unpin(page_id)
+        if fresh:
+            self._page_live[ordinal] += 1
+            self._row_count += 1
+
+    def _discard_slot(self, row_id: int) -> dict | None:
+        """Remove and return the row at ``row_id``; frees emptied pages."""
+        ordinal, slot = divmod(row_id, self._page_slots)
+        page_id = self._page_ids.get(ordinal)
+        if page_id is None:
+            return None
+        page = self._store.fetch(page_id, HEAP_PAGE_CODEC)
+        try:
+            row = page.pop(slot, None)
+            if row is not None:
+                self._store.mark_dirty(page_id)
+        finally:
+            self._store.unpin(page_id)
+        if row is None:
+            return None
+        self._page_live[ordinal] -= 1
+        self._row_count -= 1
+        if self._page_live[ordinal] <= 0:
+            del self._page_ids[ordinal]
+            del self._page_live[ordinal]
+            self._store.free(page_id)
+        return row
+
+    def heap_page_ids(self) -> list[int]:
+        """The buffer-pool page ids of every heap page (checkpoint set)."""
+        return [self._page_ids[ordinal] for ordinal in sorted(self._page_ids)]
+
+    def page_directory(self) -> list[list[int]]:
+        """``[ordinal, head_frame, live]`` rows for the checkpoint metadata.
+
+        Valid only after the owning database flushed the heap pages — every
+        page then has an on-disk chain whose head frame recovery can adopt.
+        """
+        return [
+            [ordinal, self._store.chain_head(self._page_ids[ordinal]),
+             self._page_live[ordinal]]
+            for ordinal in sorted(self._page_ids)
+        ]
+
+    def restore_page(self, ordinal: int, page_id: int, live: int) -> None:
+        """Recovery: attach an adopted on-disk page at ``ordinal``."""
+        self._page_ids[ordinal] = page_id
+        self._page_live[ordinal] = live
+        self._row_count += live
+
+    def rebuild_indexes(self) -> None:
+        """Recovery: repopulate every index from one heap scan.
+
+        Index pages are never checkpointed (they are derived data); after
+        the heap pages are attached this rebuilds the exact access paths the
+        planner expects.
+        """
+        for index in self._iter_indexes():
+            index.clear()
+        for row_id, row in self.scan():
+            for index in self._iter_indexes():
+                index.insert(row[index.column], row_id)
+        self._stats_cache = None
+
+    def drop_storage(self) -> None:
+        """Release every buffer-pool page this table owns (DROP TABLE)."""
+        for index in self._iter_indexes():
+            index.drop()
+        for page_id in self._page_ids.values():
+            self._store.free(page_id)
+        self._page_ids.clear()
+        self._page_live.clear()
+        self._row_count = 0
 
     # -- indexes --------------------------------------------------------------
 
@@ -138,8 +353,14 @@ class Table:
                     f"{name!r} with unique={unique}"
                 )
             return existing
-        index = index_class(name=name, column=canonical, unique=unique)
-        for row_id, row in self._rows.items():
+        if index_class.kind == "sorted":
+            # Sorted indexes page their B+ tree nodes through the table's
+            # store, so index residency shares the heap's pool budget.
+            index = index_class(name=name, column=canonical, unique=unique,
+                                store=self._store)
+        else:
+            index = index_class(name=name, column=canonical, unique=unique)
+        for row_id, row in self.scan():
             index.insert(row[canonical], row_id)
         kinds[index_class.kind] = index
         self._bump(schema=True)
@@ -156,7 +377,7 @@ class Table:
                     }
                 )
             except BaseException:
-                del kinds[index_class.kind]  # un-log-able: drop the build
+                kinds.pop(index_class.kind).drop()  # un-log-able: drop the build
                 raise
         return index
 
@@ -192,8 +413,8 @@ class Table:
         index = self.index_for(column)
         canonical = self._schema.column(column).name
         if index is not None:
-            return [self._rows[row_id] for row_id in sorted(index.lookup(value))]
-        return [row for row in self._rows.values() if row[canonical] == value]
+            return [self.get(row_id) for row_id in sorted(index.lookup(value))]
+        return [row for _, row in self.scan() if row[canonical] == value]
 
     # -- mutation -------------------------------------------------------------
 
@@ -209,7 +430,7 @@ class Table:
                         f"duplicate value {coerced[index.column]!r} for unique column "
                         f"{index.column!r} of table {self.name!r}"
                     )
-        self._rows[row_id] = coerced
+        self._store_slot(row_id, coerced)
         self._next_row_id += 1
         for index in self._iter_indexes():
             index.insert(coerced[index.column], row_id)
@@ -225,7 +446,7 @@ class Table:
                 # undo it so live state never diverges from what recovery
                 # will rebuild.  The row id stays consumed — ids are never
                 # reused anyway.
-                del self._rows[row_id]
+                self._discard_slot(row_id)
                 for index in self._iter_indexes():
                     index.delete(coerced[index.column], row_id)
                 raise
@@ -240,7 +461,7 @@ class Table:
         next-id counter advances past it.
         """
         coerced = self._schema.coerce_row(row)
-        self._rows[row_id] = coerced
+        self._store_slot(row_id, coerced)
         self._next_row_id = max(self._next_row_id, row_id + 1)
         for index in self._iter_indexes():
             index.insert(coerced[index.column], row_id)
@@ -259,7 +480,7 @@ class Table:
         return [self.insert(row) for row in rows]
 
     def delete(self, row_id: int) -> None:
-        row = self._rows.pop(row_id, None)
+        row = self._discard_slot(row_id)
         if row is None:
             return
         for index in self._iter_indexes():
@@ -270,20 +491,20 @@ class Table:
             try:
                 self.wal_emit({"op": "delete", "tbl": self.name, "rid": row_id})
             except BaseException:
-                self._rows[row_id] = row  # un-log-able: restore the row
+                self._store_slot(row_id, row)  # un-log-able: restore the row
                 for index in self._iter_indexes():
                     index.insert(row[index.column], row_id)
                 raise
 
     def delete_where(self, predicate) -> int:
         """Delete rows matching ``predicate(row)``; returns the number removed."""
-        doomed = [row_id for row_id, row in self._rows.items() if predicate(row)]
+        doomed = [row_id for row_id, row in self.scan() if predicate(row)]
         for row_id in doomed:
             self.delete(row_id)
         return len(doomed)
 
     def update(self, row_id: int, changes: dict[str, object]) -> None:
-        row = self._rows.get(row_id)
+        row = self.get(row_id)
         if row is None:
             return
         updated = dict(row)
@@ -313,7 +534,7 @@ class Table:
                 index.delete(new_value, row_id)
                 index.insert(old_value, row_id)
             raise
-        self._rows[row_id] = coerced
+        self._store_slot(row_id, coerced)
         self._stats_cache = None
         self.version += 1
         if self.wal_emit is not None:
@@ -329,7 +550,7 @@ class Table:
                 # Un-log-able update: restore the old row and re-point the
                 # indexes touched above, so memory matches what recovery
                 # will rebuild.
-                self._rows[row_id] = row
+                self._store_slot(row_id, row)
                 for index, old_value, new_value in reversed(touched):
                     index.delete(new_value, row_id)
                     index.insert(old_value, row_id)
@@ -337,23 +558,45 @@ class Table:
 
     # -- schema evolution ------------------------------------------------------
 
+    def _rewrite_pages(self, mutate_row) -> None:
+        """Apply ``mutate_row(row)`` to every row, page by page, under pins."""
+        for ordinal in sorted(self._page_ids):
+            page_id = self._page_ids[ordinal]
+            page = self._store.fetch(page_id, HEAP_PAGE_CODEC)
+            try:
+                for row in page.values():
+                    mutate_row(row)
+                self._store.mark_dirty(page_id)
+            finally:
+                self._store.unpin(page_id)
+
     def add_column(self, column: ColumnSchema, default: object = None) -> None:
-        if column.not_null and default is None and len(self._rows):
+        if column.not_null and default is None and self._row_count:
             raise SchemaError(
                 f"cannot add NOT NULL column {column.name!r} without a default"
             )
         self._schema = self._schema.with_column_added(column)
-        for row in self._rows.values():
-            row[column.name] = column.coerce(default) if default is not None else None
+        fill = column.coerce(default) if default is not None else None
+
+        def mutate(row, name=column.name, value=fill):
+            row[name] = value
+
+        self._rewrite_pages(mutate)
         self._stats_cache = None
         self._bump(schema=True)
 
     def drop_column(self, name: str) -> None:
         canonical = self._schema.column(name).name
-        self._indexes.pop(canonical.lower(), None)
+        kinds = self._indexes.pop(canonical.lower(), None)
+        if kinds is not None:
+            for index in kinds.values():
+                index.drop()
         self._schema = self._schema.with_column_dropped(name)
-        for row in self._rows.values():
-            row.pop(canonical, None)
+
+        def mutate(row, name=canonical):
+            row.pop(name, None)
+
+        self._rewrite_pages(mutate)
         self._stats_cache = None
         self._bump(schema=True)
 
@@ -361,8 +604,11 @@ class Table:
         canonical = self._schema.column(old).name
         self._schema = self._schema.with_column_renamed(old, new)
         new_canonical = self._schema.column(new).name
-        for row in self._rows.values():
-            row[new_canonical] = row.pop(canonical)
+
+        def mutate(row, old_name=canonical, new_name=new_canonical):
+            row[new_name] = row.pop(old_name)
+
+        self._rewrite_pages(mutate)
         kinds = self._indexes.pop(canonical.lower(), None)
         if kinds is not None:
             for index in kinds.values():

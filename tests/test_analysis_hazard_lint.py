@@ -307,6 +307,89 @@ class TestMetricsSingleWriter:
         assert "metrics-single-writer" not in rules_of(diagnostics)
 
 
+class TestPagePinProtocol:
+    def test_mutating_read_page_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def corrupt(self, page_id, codec):
+                page = self._store.read(page_id, codec)
+                page[0] = "row"
+            """,
+        )
+        assert "page-pin-protocol" in rules_of(diagnostics)
+
+    def test_pinned_mutation_without_mark_dirty_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def silent_write(self, page_id, codec):
+                page = self._store.fetch(page_id, codec)
+                try:
+                    page.pop(3, None)
+                finally:
+                    self._store.unpin(page_id)
+            """,
+        )
+        fired = [d for d in diagnostics if d.rule == "page-pin-protocol"]
+        assert len(fired) == 1
+        assert "mark_dirty" in fired[0].message
+
+    def test_fetch_without_unpin_fires(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def leak_pin(self, page_id, codec):
+                page = self._store.fetch(page_id, codec)
+                page[0] = "row"
+                self._store.mark_dirty(page_id)
+                return page
+            """,
+        )
+        fired = [d for d in diagnostics if d.rule == "page-pin-protocol"]
+        assert len(fired) == 1
+        assert "unpin" in fired[0].message
+
+    def test_full_protocol_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def store_slot(self, page_id, codec, slot, row):
+                page = self._store.fetch(page_id, codec)
+                try:
+                    page[slot] = row
+                    self._store.mark_dirty(page_id)
+                finally:
+                    self._store.unpin(page_id)
+            """,
+        )
+        assert "page-pin-protocol" not in rules_of(diagnostics)
+
+    def test_readonly_iteration_is_clean(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def scan(self, page_id, codec):
+                page = self._store.read(page_id, codec)
+                return [row for row in page.values()]
+            """,
+        )
+        assert "page-pin-protocol" not in rules_of(diagnostics)
+
+    def test_non_store_receivers_are_ignored(self, tmp_path):
+        diagnostics = lint_snippet(
+            tmp_path,
+            """
+            def load(self, path):
+                data = self._file.read(4096)
+                cache = self._cache.fetch(path)
+                cache["data"] = data
+                return cache
+            """,
+        )
+        assert "page-pin-protocol" not in rules_of(diagnostics)
+
+
 class TestEngineTree:
     def test_engine_source_has_no_errors(self):
         report = lint_paths([REPO_SRC])

@@ -1,0 +1,222 @@
+"""Property and unit tests for the paged B+ tree behind SortedIndex.
+
+The hypothesis properties drive small-order trees (order 4 splits and merges
+constantly) through random insert/delete interleavings and check the full
+structural invariant set after every operation batch:
+``BPlusTree.verify_invariants`` asserts sorted keys, uniform leaf depth,
+minimum occupancy, separator bounds, consistent leaf links, and an exact
+distinct counter.  A plain dict model supplies the expected contents.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IntegrityError
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import PageStore
+from repro.storage.indexes import INDEX_KINDS, SortedIndex
+from repro.storage.pager import Pager
+from repro.storage.types import sort_key
+
+# Insert/delete scripts over a small key universe so deletes hit often and
+# duplicate keys exercise the bucket (non-unique) path.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=40),  # value
+        st.integers(min_value=0, max_value=200),  # row id
+    ),
+    max_size=120,
+)
+
+
+def _model_apply(model: dict, op: str, value: int, row_id: int) -> None:
+    key = sort_key(value)
+    if op == "insert":
+        model.setdefault(key, set()).add(row_id)
+    else:
+        bucket = model.get(key)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del model[key]
+
+
+def _tree_items(tree: BPlusTree) -> list:
+    return [(key, bucket) for key, bucket in tree.item_range(None, None)]
+
+
+class TestBPlusTreeProperties:
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleavings_preserve_invariants_and_contents(self, ops):
+        tree = BPlusTree(order=4)
+        model: dict = {}
+        for op, value, row_id in ops:
+            key = sort_key(value)
+            if op == "insert":
+                tree.insert(key, row_id)
+            else:
+                tree.delete(key, row_id)
+            _model_apply(model, op, value, row_id)
+        tree.verify_invariants()
+        expected = [(key, sorted(model[key])) for key in sorted(model)]
+        assert _tree_items(tree) == expected
+        for key in sorted(model):
+            assert tree.lookup(key) == sorted(model[key])
+        assert tree.lookup(sort_key(999)) == []
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=10_000), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_insert_then_drain_round_trips(self, values):
+        """Splits on the way up, merges/borrows all the way back down."""
+        tree = BPlusTree(order=4)
+        for row_id, value in enumerate(values):
+            tree.insert(sort_key(value), row_id)
+            tree.verify_invariants()
+        assert tree.distinct == len({sort_key(v) for v in values})
+        for row_id, value in enumerate(values):
+            tree.delete(sort_key(value), row_id)
+            tree.verify_invariants()
+        assert tree.distinct == 0
+        assert tree.height == 1
+        assert _tree_items(tree) == []
+
+    @given(
+        values=st.sets(st.integers(min_value=0, max_value=500), max_size=80),
+        low=st.integers(min_value=-10, max_value=510),
+        high=st.integers(min_value=-10, max_value=510),
+        low_inc=st.booleans(),
+        high_inc=st.booleans(),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_range_scans_match_filtered_sort(self, values, low, high, low_inc, high_inc):
+        tree = BPlusTree(order=4)
+        for value in values:
+            tree.insert(sort_key(value), value)
+        low_key, high_key = sort_key(low), sort_key(high)
+
+        def inside(value):
+            key = sort_key(value)
+            if key < low_key or (key == low_key and not low_inc):
+                return False
+            if key > high_key or (key == high_key and not high_inc):
+                return False
+            return True
+
+        expected = sorted(v for v in values if inside(v))
+        ascending = [
+            row
+            for _key, bucket in tree.item_range(low_key, high_key, low_inc, high_inc)
+            for row in bucket
+        ]
+        descending = [
+            row
+            for _key, bucket in tree.item_range(
+                low_key, high_key, low_inc, high_inc, descending=True
+            )
+            for row in bucket
+        ]
+        assert ascending == expected
+        assert descending == list(reversed(expected))
+
+
+class TestBPlusTreeStructure:
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for value in range(256):
+            tree.insert(sort_key(value), value)
+        tree.verify_invariants()
+        # 256 distinct keys at order 4 (≥2 keys per node after splits) must
+        # stay a few levels deep — a broken split would chain toward 128.
+        assert 3 <= tree.height <= 8
+
+    def test_duplicate_row_id_insert_is_idempotent(self):
+        tree = BPlusTree(order=4)
+        tree.insert(sort_key(7), 1)
+        tree.insert(sort_key(7), 1)
+        assert tree.lookup(sort_key(7)) == [1]
+        assert tree.distinct == 1
+
+    def test_delete_of_absent_pair_is_noop(self):
+        tree = BPlusTree(order=4)
+        tree.insert(sort_key(7), 1)
+        tree.delete(sort_key(7), 2)
+        tree.delete(sort_key(8), 1)
+        assert tree.lookup(sort_key(7)) == [1]
+        tree.verify_invariants()
+
+    def test_clear_resets_to_empty_leaf(self):
+        tree = BPlusTree(order=4)
+        for value in range(100):
+            tree.insert(sort_key(value), value)
+        tree.clear()
+        assert tree.height == 1
+        assert tree.distinct == 0
+        assert _tree_items(tree) == []
+        tree.insert(sort_key(1), 1)
+        assert tree.lookup(sort_key(1)) == [1]
+
+    def test_rejects_degenerate_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+
+class TestPagedBPlusTree:
+    def test_survives_tiny_buffer_pool(self, tmp_path):
+        """A tree far larger than the pool pages in and out correctly."""
+        store = PageStore(pager=Pager(str(tmp_path / "pages.db")), capacity=8)
+        tree = BPlusTree(store=store, order=4)
+        for value in range(2_000):
+            tree.insert(sort_key(value), value)
+        stats = store.stats()
+        assert stats.resident <= 8
+        assert stats.evictions > 0
+        for value in (0, 999, 1_999):
+            assert tree.lookup(sort_key(value)) == [value]
+        assert [
+            row for _k, bucket in tree.item_range(None, None) for row in bucket
+        ] == list(range(2_000))
+        tree.verify_invariants()
+        store.close()
+
+    def test_eviction_round_trips_node_contents(self, tmp_path):
+        store = PageStore(pager=Pager(str(tmp_path / "pages.db")), capacity=8)
+        tree = BPlusTree(store=store, order=4)
+        for value in range(500):
+            tree.insert(sort_key(value), value)
+        for value in range(0, 500, 2):
+            tree.delete(sort_key(value), value)
+        tree.verify_invariants()
+        assert [
+            row for _k, bucket in tree.item_range(None, None) for row in bucket
+        ] == list(range(1, 500, 2))
+        store.close()
+
+
+class TestSortedIndexFacade:
+    def test_btree_kind_maps_to_sorted_index(self):
+        assert INDEX_KINDS["btree"] is SortedIndex
+        assert INDEX_KINDS["sorted"] is SortedIndex
+
+    def test_unique_violation_after_tree_backing(self):
+        index = SortedIndex(name="idx", column="v", unique=True)
+        index.insert(5, 1)
+        with pytest.raises(IntegrityError):
+            index.insert(5, 2)
+        # NULLs never violate uniqueness.
+        index.insert(None, 3)
+        index.insert(None, 4)
+
+    def test_ordered_row_ids_places_nulls_like_order_by(self):
+        index = SortedIndex(name="idx", column="v")
+        index.insert(2, 10)
+        index.insert(1, 11)
+        index.insert(None, 12)
+        assert list(index.ordered_row_ids()) == [12, 11, 10]
+        assert list(index.ordered_row_ids(descending=True)) == [10, 11, 12]

@@ -546,6 +546,156 @@ class TestCrashRecoveryProperty:
 
 
 # ---------------------------------------------------------------------------
+# Paged heap storage, buffer pool, and incremental checkpoints
+# ---------------------------------------------------------------------------
+
+
+class TestPagedStorage:
+    def test_larger_than_pool_workload_bounded_residency(self, tmp_path):
+        from repro.storage.exec_settings import ExecutionSettings
+
+        d = str(tmp_path / "db")
+        small_pool = ExecutionSettings(buffer_pool_pages=16)
+        with Database.open(d, wal_sync="off", exec_settings=small_pool) as db:
+            db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+            # 5000 rows at 128 slots/page is ~40 heap pages — far beyond the
+            # 16-frame pool, so the workload must page in and out.
+            db.insert_rows("t", [{"id": i, "v": i % 7} for i in range(5000)])
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 5000
+            assert db.execute("SELECT SUM(v) FROM t").scalar() == sum(
+                i % 7 for i in range(5000)
+            )
+            rows = db.execute("SELECT id FROM t ORDER BY id DESC LIMIT 3").rows
+            assert [row[0] for row in rows] == [4999, 4998, 4997]
+            stats = db.buffer_stats()
+            assert stats.capacity == 16
+            assert stats.resident <= 16
+            assert stats.evictions > 0
+            assert stats.pins == 0  # no statement leaks a pin
+        with Database.open(d, exec_settings=small_pool) as db:
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 5000
+            assert db.buffer_stats().resident <= 16
+
+    def test_incremental_checkpoint_adopts_pages_without_row_replay(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="off") as db:
+            db.execute("CREATE TABLE t (id INTEGER, name TEXT)")
+            db.execute("CREATE INDEX t_id ON t (id) USING SORTED")
+            db.insert_rows("t", [{"id": i, "name": f"n{i}"} for i in range(1000)])
+            db.checkpoint()
+            db.execute("INSERT INTO t VALUES (1000, 'tail')")
+            expected = table_rows(db, "t")
+        with Database.open(d) as db:
+            # The v2 checkpoint restores heaps by adopting page chains; only
+            # the one post-checkpoint statement replays from the log.
+            assert db.last_recovery.snapshot_loaded
+            assert db.last_recovery.wal_records_applied == 1
+            assert table_rows(db, "t") == expected
+            # Indexes are rebuilt from the adopted heap, not persisted.
+            assert "RangeScan" in db.explain(
+                "SELECT name FROM t WHERE id > 10 AND id < 20"
+            ).text()
+
+    def test_checkpoint_cost_tracks_working_set_not_database_size(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="off") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(5000)])
+            db.checkpoint()
+            baseline = db.buffer_stats().writebacks
+            # Touch a single row: the next checkpoint must flush only the one
+            # dirtied heap page, not the ~40-page table.
+            db.execute("UPDATE t SET id = -1 WHERE id = 17")
+            db.checkpoint()
+            assert db.buffer_stats().writebacks - baseline <= 2
+
+    def test_export_snapshot_full_image_recovers_without_page_reuse(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="off") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            db.insert_rows("t", [{"id": i} for i in range(30)])
+            db.checkpoint()  # v2 incremental first
+            db.execute("INSERT INTO t VALUES (777)")
+            assert db.export_snapshot() > 0  # v1 full image over the same file
+            assert os.path.getsize(wal_path(d)) == 0
+        with Database.open(d) as db:
+            assert db.last_recovery.snapshot_loaded
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 31
+            assert db.execute("SELECT MAX(id) FROM t").scalar() == 777
+
+    def test_kill_at_any_byte_after_incremental_checkpoint(self, tmp_path):
+        """Exhaustive cut of the post-checkpoint WAL tail: every prefix must
+        recover the checkpoint image plus exactly the committed records."""
+        d = str(tmp_path / "db")
+        db = Database.open(d, wal_sync="commit")
+        db.execute("CREATE TABLE t (k INTEGER, v INTEGER)")
+        db.insert_rows("t", [{"k": i, "v": i} for i in range(300)])
+        db.checkpoint()
+        assert os.path.getsize(wal_path(d)) == 0
+        shadow = {i: (i, i) for i in range(300)}
+        lengths = [0]
+        states = [sorted(shadow.values())]
+        for statement, mutate in [
+            ("INSERT INTO t VALUES (300, 300)", lambda s: s.update({300: (300, 300)})),
+            ("UPDATE t SET v = -1 WHERE k = 5", lambda s: s.update({5: (5, -1)})),
+            ("DELETE FROM t WHERE k = 7", lambda s: s.pop(7)),
+        ]:
+            db.execute(statement)
+            mutate(shadow)
+            lengths.append(os.path.getsize(wal_path(d)))
+            states.append(sorted(shadow.values()))
+        blob = open(wal_path(d), "rb").read()
+        db.close()
+        for cut in range(lengths[-1] + 1):
+            with open(wal_path(d), "wb") as handle:
+                handle.write(blob[:cut])
+            survivors = max(i for i, length in enumerate(lengths) if length <= cut)
+            with Database.open(d) as recovered:
+                assert (
+                    table_rows(recovered, "t") == states[survivors]
+                ), f"cut at byte {cut}"
+
+    def test_recovered_backlog_defers_checkpoint_off_statement_path(self, tmp_path):
+        d = str(tmp_path / "db")
+        with Database.open(d, wal_sync="off") as db:
+            db.execute("CREATE TABLE t (id INTEGER)")
+            for i in range(8):
+                db.execute(f"INSERT INTO t VALUES ({i})")
+        # 9 recovered records sit just under the interval: no open-time
+        # checkpoint fires.
+        with Database.open(d, wal_sync="off", checkpoint_interval=10) as db:
+            assert db.wal_stats().checkpoints == 0
+            # The 10th record crosses the interval, but 9 of the 10 are
+            # recovery backlog — the statement path must not stall this
+            # insert on a synchronous checkpoint.
+            db.execute("INSERT INTO t VALUES (100)")
+            assert db.wal_stats().checkpoints == 0
+            assert os.path.getsize(wal_path(d)) > 0
+            # The off-path scheduler sees the full accumulation and drains it.
+            assert db.checkpoint_due
+            assert db.checkpoint_if_due() is not None
+            assert db.wal_stats().checkpoints == 1
+            assert os.path.getsize(wal_path(d)) == 0
+            assert not db.checkpoint_due
+            assert db.checkpoint_if_due() is None
+            assert db.execute("SELECT COUNT(*) FROM t").scalar() == 9
+
+    def test_buffer_pool_panel_lines(self, tmp_path):
+        from repro.client.workbench import Workbench
+
+        d = str(tmp_path / "store")
+        db = build_database("limnology", scale=1)
+        with CQMS(db, config=CQMSConfig(data_dir=d)) as cqms:
+            cqms.register_user("ana", group="g")
+            cqms.submit("ana", "SELECT * FROM WaterTemp")
+            panel = Workbench(cqms=cqms, user="ana").durability_panel()
+            assert "database buffer pool:" in panel
+            assert "query_storage buffer pool:" in panel
+            assert "pages resident" in panel
+            assert "hit rate" in panel
+
+
+# ---------------------------------------------------------------------------
 # Durable Query Storage (CQMS integration)
 # ---------------------------------------------------------------------------
 
