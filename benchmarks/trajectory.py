@@ -1,0 +1,176 @@
+"""Benchmark trajectory: merge per-experiment results, gate regressions.
+
+The perf history used to be scattered across the ``BENCH_*.json`` files with
+no gate: a PR could halve a speedup and CI would stay green.  This tool
+fixes both:
+
+* ``python benchmarks/trajectory.py merge`` — collect the dimensionless
+  *ratio* metrics (``*speedup*`` / ``*_vs_*`` keys: machine-comparable,
+  unlike raw latencies) from every ``BENCH_*.json`` / ``BENCH_*.smoke.json``
+  and record them in ``BENCH_trajectory.json`` keyed by the current commit.
+  Re-running on the same commit updates that entry in place, so the
+  committed file holds one row per PR.
+* ``python benchmarks/trajectory.py check`` — compare the smoke-run ratio
+  metrics currently on disk against the newest committed trajectory entry
+  that carries each metric, and exit 1 if any regressed by more than 25%.
+  Only smoke metrics are gated (they are what CI regenerates every run);
+  full-run numbers are history, not a gate.
+
+Hardware-dependent ratios are excluded: a result whose payload reports
+``cpu_count`` < 2 (the process-pool lane measured on a single core times
+fork serialization, not parallelism) or ``process_partials`` == 1 (the lane
+never opened, the ratio is noise around 1.0) never enters the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent
+TRAJECTORY_PATH = RESULTS_DIR / "BENCH_trajectory.json"
+
+#: A smoke ratio may drop to (1 - tolerance) × baseline before CI fails.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _is_ratio_key(key: str) -> bool:
+    return "speedup" in key or "_vs_" in key
+
+
+def _ratio_metrics(payload: dict) -> dict[str, float]:
+    """The payload's machine-comparable ratio metrics (may be empty)."""
+    if payload.get("cpu_count", 2) < 2:
+        return {}
+    if payload.get("process_partials") == 1:
+        return {}
+    return {
+        key: float(value)
+        for key, value in payload.items()
+        if _is_ratio_key(key)
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+def collect() -> dict[str, dict[str, float]]:
+    """Ratio metrics from every result file, keyed by experiment name.
+
+    ``BENCH_columnar.smoke.json`` → ``columnar.smoke``; experiments with no
+    ratio metrics (latency-only payloads) are skipped.
+    """
+    collected: dict[str, dict[str, float]] = {}
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY_PATH.name:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"trajectory: skipping unreadable {path.name}: {error}")
+            continue
+        metrics = _ratio_metrics(payload)
+        if metrics:
+            name = path.name[len("BENCH_") : -len(".json")]
+            collected[name] = metrics
+    return collected
+
+
+def _current_commit() -> str:
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=RESULTS_DIR,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return output or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _load_history() -> list[dict]:
+    if not TRAJECTORY_PATH.exists():
+        return []
+    try:
+        return json.loads(TRAJECTORY_PATH.read_text()).get("history", [])
+    except (OSError, json.JSONDecodeError):
+        return []
+
+
+def merge() -> int:
+    history = _load_history()
+    commit = _current_commit()
+    entry = {"commit": commit, "metrics": collect()}
+    if not entry["metrics"]:
+        print("trajectory: no ratio metrics found; nothing to merge")
+        return 1
+    for existing in history:
+        if existing.get("commit") == commit:
+            existing["metrics"] = entry["metrics"]
+            break
+    else:
+        history.append(entry)
+    TRAJECTORY_PATH.write_text(
+        json.dumps({"history": history}, indent=2, sort_keys=True) + "\n"
+    )
+    experiments = ", ".join(sorted(entry["metrics"]))
+    print(f"trajectory: recorded {commit} ({experiments})")
+    return 0
+
+
+def _baseline_for(history: list[dict], experiment: str) -> dict[str, float]:
+    """The newest recorded metrics for one experiment (empty if never seen)."""
+    for entry in reversed(history):
+        metrics = entry.get("metrics", {}).get(experiment)
+        if metrics:
+            return metrics
+    return {}
+
+
+def check() -> int:
+    history = _load_history()
+    if not history:
+        print("trajectory: no committed baseline; run merge first")
+        return 0
+    current = collect()
+    failures: list[str] = []
+    compared = 0
+    for experiment, metrics in sorted(current.items()):
+        if not experiment.endswith(".smoke"):
+            continue
+        baseline = _baseline_for(history, experiment)
+        for key, value in sorted(metrics.items()):
+            base_value = baseline.get(key)
+            if base_value is None or base_value <= 0:
+                continue
+            compared += 1
+            floor = base_value * (1.0 - REGRESSION_TOLERANCE)
+            status = "ok" if value >= floor else "REGRESSED"
+            print(
+                f"trajectory: {experiment}:{key} = {value:.3f} "
+                f"(baseline {base_value:.3f}, floor {floor:.3f}) {status}"
+            )
+            if value < floor:
+                failures.append(f"{experiment}:{key}")
+    if failures:
+        print(
+            f"trajectory: {len(failures)} smoke metric(s) regressed >"
+            f"{REGRESSION_TOLERANCE:.0%}: {', '.join(failures)}"
+        )
+        return 1
+    print(f"trajectory: {compared} smoke ratio metric(s) within tolerance")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2 or argv[1] not in ("merge", "check"):
+        print("usage: trajectory.py {merge|check}")
+        return 2
+    return merge() if argv[1] == "merge" else check()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

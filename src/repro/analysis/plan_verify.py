@@ -79,6 +79,9 @@ PARALLEL_SAFETY = Rule(
 PARAM_BINDING = Rule(
     "plan-param-binding", Severity.ERROR, "parameter unreachable for plan-cache re-binding"
 )
+COLUMNAR_CONTRACT = Rule(
+    "plan-columnar-contract", Severity.ERROR, "columnar pipeline contract violated"
+)
 
 RULES: tuple[Rule, ...] = (
     BINDING_SHAPE,
@@ -87,6 +90,7 @@ RULES: tuple[Rule, ...] = (
     BATCH_CONTRACT,
     PARALLEL_SAFETY,
     PARAM_BINDING,
+    COLUMNAR_CONTRACT,
 )
 
 
@@ -135,6 +139,7 @@ class PlanVerifier:
             self._check_binding_shape(operator, diagnostics)
             self._check_columns(operator, allow_outer, diagnostics)
             self._check_parallel(operator, diagnostics)
+            self._check_columnar(operator, diagnostics)
             if isinstance(operator, SubqueryScan):
                 diagnostics.extend(
                     self.verify_select(operator.plan, allow_outer=allow_outer)
@@ -260,6 +265,45 @@ class PlanVerifier:
                         f"is not resolvable from this operator's input",
                     )
                 )
+
+    def _check_columnar(self, operator: Operator, diagnostics: list[Diagnostic]) -> None:
+        """The columnar handshake's structural promises.
+
+        A ``columnar_capable()`` operator tells consumers its
+        ``col_batches`` stream is safe to use.  A :class:`ColumnBatch`
+        carries exactly one binding, capability only composes through an
+        unbroken chain (a capable Filter over a row-only child would crash
+        asking it for column batches), and the chain must bottom out at a
+        heap scan — the only operator family that builds batches from bare
+        stored rows.
+        """
+        if not operator.columnar_capable():
+            return
+        if len(operator.bindings) != 1:
+            diagnostics.append(
+                COLUMNAR_CONTRACT.at(
+                    operator.label(),
+                    "columnar-capable operator must expose exactly one binding "
+                    "(a ColumnBatch carries a single relation)",
+                )
+            )
+        if isinstance(operator, Filter):
+            if not operator.child.columnar_capable():
+                diagnostics.append(
+                    COLUMNAR_CONTRACT.at(
+                        operator.label(),
+                        "columnar-capable Filter over a non-columnar child: "
+                        "col_batches would have no upstream to consume",
+                    )
+                )
+        elif not isinstance(operator, SeqScan):
+            diagnostics.append(
+                COLUMNAR_CONTRACT.at(
+                    operator.label(),
+                    "columnar capability is only defined for heap scans and "
+                    "kernel-compiled filters over them",
+                )
+            )
 
     def _check_parallel(self, operator: Operator, diagnostics: list[Diagnostic]) -> None:
         if isinstance(operator, ParallelSeqScan) and operator.children:

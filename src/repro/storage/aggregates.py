@@ -18,6 +18,12 @@ one *accumulator* per group that every input row updates exactly once.
   ``finish()``.  ``merge`` is what makes parallel partial aggregation cheap:
   each scan partition aggregates privately and only O(groups) accumulator
   state — never O(rows) row dicts — crosses the thread barrier.
+* The columnar lane (:mod:`repro.storage.kernels`) adds
+  ``update_column(values, positions)``: the same fold over a full column
+  list plus a selection vector of live positions, so a ColumnBatch group
+  update never gathers a per-group value list first.  Each variant must
+  visit positions in ascending order — it reproduces ``update_batch`` over
+  the gathered values exactly (same left-fold, same first-seen ties).
 
 Numeric care: ``SUM``/``AVG`` fold batches with ``sum(values, start=total)``,
 which reproduces the historical single ``sum(all_values)`` left-fold
@@ -69,6 +75,9 @@ class CountStarAccumulator:
     def update_batch(self, rows) -> None:
         self.count += len(rows)
 
+    def update_column(self, values, positions) -> None:
+        self.count += len(positions)  # COUNT(*) needs no column at all
+
     def merge(self, other: "CountStarAccumulator") -> None:
         self.count += other.count
 
@@ -86,6 +95,9 @@ class CountAccumulator:
 
     def update_batch(self, values) -> None:
         self.count += sum(1 for value in values if value is not None)
+
+    def update_column(self, values, positions) -> None:
+        self.count += sum(1 for i in positions if values[i] is not None)
 
     def merge(self, other: "CountAccumulator") -> None:
         self.count += other.count
@@ -112,6 +124,11 @@ class SumAccumulator:
         if present:
             self.total = sum(present) if self.total is None else sum(present, self.total)
 
+    def update_column(self, values, positions) -> None:
+        present = [value for i in positions if (value := values[i]) is not None]
+        if present:
+            self.total = sum(present) if self.total is None else sum(present, self.total)
+
     def merge(self, other: "SumAccumulator") -> None:
         if other.total is not None:
             self.total = other.total if self.total is None else self.total + other.total
@@ -131,6 +148,12 @@ class AvgAccumulator:
 
     def update_batch(self, values) -> None:
         present = [value for value in values if value is not None]
+        if present:
+            self.total = sum(present) if self.total is None else sum(present, self.total)
+            self.count += len(present)
+
+    def update_column(self, values, positions) -> None:
+        present = [value for i in positions if (value := values[i]) is not None]
         if present:
             self.total = sum(present) if self.total is None else sum(present, self.total)
             self.count += len(present)
@@ -164,6 +187,17 @@ class _ExtremeAccumulator:
 
     def update_batch(self, values) -> None:
         for value in values:
+            if value is None:
+                continue
+            if not self.has_value:
+                self.best = value
+                self.has_value = True
+            else:
+                self._consider(value)
+
+    def update_column(self, values, positions) -> None:
+        for i in positions:
+            value = values[i]
             if value is None:
                 continue
             if not self.has_value:
@@ -212,6 +246,16 @@ class _DistinctAccumulator:
     def update_batch(self, values) -> None:
         seen = self.seen
         for value in values:
+            if value is None:
+                continue
+            key = hashable_value(value)
+            if key not in seen:
+                seen[key] = value
+
+    def update_column(self, values, positions) -> None:
+        seen = self.seen
+        for i in positions:
+            value = values[i]
             if value is None:
                 continue
             key = hashable_value(value)

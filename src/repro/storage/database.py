@@ -87,6 +87,10 @@ class ExecutionStats:
     groups_emitted: int = 0
     #: Wall time spent inside the aggregation stage (its input scan included).
     agg_seconds: float = 0.0
+    #: Columnar batches built by scans (subset of ``batches``).
+    columnar_batches: int = 0
+    #: Wall time spent inside columnar kernels (selection + gathers).
+    kernel_seconds: float = 0.0
 
 
 @dataclass
@@ -677,6 +681,8 @@ class Database:
             batches=executor.metrics.batches,
             groups_emitted=executor.metrics.groups_emitted,
             agg_seconds=executor.metrics.agg_seconds,
+            columnar_batches=executor.metrics.columnar_batches,
+            kernel_seconds=executor.metrics.kernel_seconds,
         )
         lines = plan.explain_lines(node_stats=node_stats)
         if cache_hit:
@@ -686,6 +692,11 @@ class Database:
             f"(rows_scanned={stats.rows_scanned}, batches={stats.batches}, "
             f"index_lookups={stats.index_lookups})"
         )
+        if stats.columnar_batches:
+            summary += (
+                f" columnar: batches={stats.columnar_batches} "
+                f"kernels={stats.kernel_seconds * 1000.0:.3f} ms"
+            )
         if statement.group_by or statement_has_aggregates(statement):
             summary += (
                 f" aggregation: groups={stats.groups_emitted} "
@@ -738,6 +749,8 @@ class Database:
             batches=executor.metrics.batches,
             groups_emitted=executor.metrics.groups_emitted,
             agg_seconds=executor.metrics.agg_seconds,
+            columnar_batches=executor.metrics.columnar_batches,
+            kernel_seconds=executor.metrics.kernel_seconds,
         )
         return QueryResult(columns=columns, rows=rows, stats=stats, rowcount=len(rows))
 

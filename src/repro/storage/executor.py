@@ -37,6 +37,7 @@ from time import perf_counter
 from repro.errors import ExecutionError
 from repro.storage.exec_settings import DEFAULT_SETTINGS
 from repro.storage.expression import Scope, evaluate, is_true
+from repro.storage.kernels import gather_columns
 from repro.storage.operators import (
     ExecutionContext,
     Filter,
@@ -84,10 +85,14 @@ class ExecutorMetrics:
     index_lookups: int = 0
     #: Batches the executor consumed from the plan root (batched pipeline).
     batches: int = 0
+    #: Columnar batches built by scans (subset of the pipeline's batches).
+    columnar_batches: int = 0
     #: Groups formed by the aggregation stage (before HAVING filtering).
     groups_emitted: int = 0
     #: Wall time spent inside the aggregation stage (input scan included).
     agg_seconds: float = 0.0
+    #: Wall time spent inside columnar kernels (filter selection + gathers).
+    kernel_seconds: float = 0.0
 
 
 class Executor:
@@ -174,6 +179,7 @@ class Executor:
             batch_size=self._settings.batch_size,
             node_stats=node_stats,
             compile_expressions=self._settings.compile_expressions,
+            columnar_kernels=self._settings.columnar_kernels,
         )
         project = None
         if self._settings.compile_expressions:
@@ -252,29 +258,67 @@ class Executor:
             seen: set | None = set() if statement.distinct else None
             rows = []
             done = False
-            for batch in plan.root.batches(ctx):
-                self.metrics.batches += 1
-                for row in batch:
-                    if project is not None:
-                        values = project(row)
-                    else:
-                        scope = Scope(row, parent=outer_scope)
-                        values = tuple(
-                            self._evaluate_output(statement, plan.bindings, scope)
-                        )
-                    if seen is not None:
-                        key = tuple(_hashable(value) for value in values)
-                        if key in seen:
-                            continue
-                        seen.add(key)
-                    rows.append(values)
-                    if needed is not None and len(rows) >= needed:
-                        done = True
+            columnar = None
+            if project is not None and plan.root.supports_columnar(ctx):
+                # Memoized like the row projection: the keys are row-dict
+                # lookups only, so parameter re-binding never stales them.
+                columnar = getattr(plan, "_columnar_projection", _UNSET)
+                if columnar is _UNSET:
+                    columnar = _compile_columnar_projection(statement, plan.bindings)
+                    plan._columnar_projection = columnar
+            if columnar is not None:
+                # Columnar streaming: the scan builds ColumnBatches of bare
+                # heap rows, filter kernels narrow them to selection vectors,
+                # and projection is one per-batch column gather — no per-row
+                # binding dicts anywhere on the path.
+                for batch in plan.root.col_batches(ctx):
+                    self.metrics.batches += 1
+                    started = perf_counter()
+                    values_batch = gather_columns(batch, columnar)
+                    self.metrics.kernel_seconds += perf_counter() - started
+                    if seen is None and needed is None:
+                        # No DISTINCT and no LIMIT: the whole gathered batch
+                        # survives, so skip the per-row loop entirely.
+                        rows.extend(values_batch)
+                        continue
+                    for values in values_batch:
+                        if seen is not None:
+                            key = tuple(_hashable(value) for value in values)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                        rows.append(values)
+                        if needed is not None and len(rows) >= needed:
+                            done = True
+                            break
+                    if done:
                         break
-                if done:
-                    break
-                if budget is not None:
-                    ctx.batch_size = max(min(budget - len(rows), base_batch), 1)
+                    if budget is not None:
+                        ctx.batch_size = max(min(budget - len(rows), base_batch), 1)
+            else:
+                for batch in plan.root.batches(ctx):
+                    self.metrics.batches += 1
+                    for row in batch:
+                        if project is not None:
+                            values = project(row)
+                        else:
+                            scope = Scope(row, parent=outer_scope)
+                            values = tuple(
+                                self._evaluate_output(statement, plan.bindings, scope)
+                            )
+                        if seen is not None:
+                            key = tuple(_hashable(value) for value in values)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                        rows.append(values)
+                        if needed is not None and len(rows) >= needed:
+                            done = True
+                            break
+                    if done:
+                        break
+                    if budget is not None:
+                        ctx.batch_size = max(min(budget - len(rows), base_batch), 1)
             rows = _apply_limit(rows, statement.limit, statement.offset)
         self.metrics.rows_output = len(rows)
         if node_stats is not None:
@@ -773,6 +817,37 @@ def _compile_projection(statement: SelectStatement, bindings: Bindings):
         else:
             return None
     return lambda row: tuple(getter(row) for getter in getters)
+
+
+def _compile_columnar_projection(
+    statement: SelectStatement, bindings: Bindings
+) -> list[str] | None:
+    """Row-dict keys projecting a simple select list straight off a ColumnBatch.
+
+    The columnar twin of :func:`_compile_projection`: only column references
+    and ``*`` over the pipeline's single binding qualify — each select item
+    becomes a stored-row key that ``gather_columns`` reads column-at-a-time.
+    Anything else (computed items, a ``*`` qualified with a different table)
+    returns None and the caller keeps the row path.
+    """
+    if len(bindings) != 1:
+        return None
+    binding, columns = bindings[0]
+    keys: list[str] = []
+    for item in statement.select_items:
+        expr = item.expression
+        if isinstance(expr, Star):
+            if expr.table is not None and expr.table.lower() != binding.lower():
+                return None
+            keys.extend(columns)
+        elif isinstance(expr, ColumnRef):
+            resolved = resolve_binding_column(bindings, expr)
+            if resolved is None:
+                return None
+            keys.append(resolved[1])
+        else:
+            return None
+    return keys
 
 
 _EMPTY_ROW: dict[str, object] = {}

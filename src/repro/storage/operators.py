@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import pickle
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -64,8 +65,15 @@ from repro.sql.ast_nodes import (
 )
 from repro.sql.formatter import format_expression
 from repro.storage.aggregates import AggregateCollection, hashable_value
+from repro.storage.colbatch import ColumnBatch
 from repro.storage.exec_settings import DEFAULT_BATCH_SIZE
 from repro.storage.expression import Scope, evaluate, is_true, like_regex
+from repro.storage.kernels import (
+    apply_kernels,
+    compile_columnar_conjuncts,
+    hash_group_keys,
+    resolve_columnar_columns,
+)
 from repro.storage.types import DataType, coerce_value, compare_values, sort_key
 
 #: Lazily created process-wide worker pool shared by every ParallelSeqScan.
@@ -126,21 +134,30 @@ class NodeStats:
     the probe side of an :class:`IndexLookupJoin`.  ``wall_seconds`` is
     inclusive wall time spent inside the node's generator (children included),
     measured with :func:`time.perf_counter` regardless of the database's
-    injectable clock.
+    injectable clock.  ``columnar_batches`` counts the batches the node
+    produced in columnar form and ``kernel_seconds`` the time it spent inside
+    selection-vector kernels — together they make columnar vs fallback
+    execution visible per node in EXPLAIN ANALYZE.
     """
 
     rows: int = 0
     batches: int = 0
     loops: int = 0
     wall_seconds: float = 0.0
+    columnar_batches: int = 0
+    kernel_seconds: float = 0.0
 
     def describe(self) -> str:
         parts = [f"rows={self.rows}"]
         if self.batches:
             parts.append(f"batches={self.batches}")
+        if self.columnar_batches:
+            parts.append(f"columnar={self.columnar_batches}")
         if self.loops > 1:
             parts.append(f"loops={self.loops}")
-        if self.batches:
+        if self.kernel_seconds:
+            parts.append(f"kernel={self.kernel_seconds * 1000.0:.3f}ms")
+        if self.batches or self.columnar_batches:
             parts.append(f"time={self.wall_seconds * 1000.0:.3f}ms")
         return "actual " + " ".join(parts)
 
@@ -166,6 +183,9 @@ class ExecutionContext:
     node_stats: dict[int, NodeStats] | None = field(default=None)
     #: False forces per-row Scope/evaluate dispatch (benchmark diagnostics).
     compile_expressions: bool = True
+    #: False keeps every operator on row batches (ExecutionSettings knob);
+    #: the columnar path additionally requires ``compile_expressions``.
+    columnar_kernels: bool = True
 
     def observe(self, op: "Operator") -> NodeStats | None:
         """The operator's :class:`NodeStats` slot, or None when not analyzing."""
@@ -219,6 +239,51 @@ class Operator:
         for batch in self.batches(ctx):
             yield from batch
 
+    # -- columnar handshake ---------------------------------------------------
+
+    def columnar_capable(self) -> bool:
+        """Whether this operator can stream :class:`~repro.storage.colbatch.ColumnBatch`
+        output at all (structural property, independent of settings).  Only
+        heap scans and fully kernel-compiled filters over them qualify; every
+        other operator needs row dicts and is the columnar→row boundary."""
+        return False
+
+    def supports_columnar(self, ctx: ExecutionContext) -> bool:
+        """The runtime handshake: structural capability *and* the context's
+        columnar/compile switches.  Consumers call :meth:`col_batches` only
+        after this returns True."""
+        return (
+            ctx.columnar_kernels
+            and ctx.compile_expressions
+            and self.columnar_capable()
+        )
+
+    def _col_batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        raise NotImplementedError(f"{type(self).__name__} is not columnar-capable")
+
+    def col_batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        """Stream columnar batches, transparently instrumented under ANALYZE."""
+        if ctx.node_stats is None:
+            return self._col_batches(ctx)
+        return self._instrumented_col_batches(ctx)
+
+    def _instrumented_col_batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        source = self._col_batches(ctx)
+        stats = ctx.observe(self)
+        stats.loops += 1
+        while True:
+            started = time.perf_counter()
+            try:
+                batch = next(source)
+            except StopIteration:
+                stats.wall_seconds += time.perf_counter() - started
+                return
+            stats.wall_seconds += time.perf_counter() - started
+            stats.batches += 1
+            stats.columnar_batches += 1
+            stats.rows += len(batch)
+            yield batch
+
     def label(self) -> str:
         raise NotImplementedError
 
@@ -265,6 +330,12 @@ class SeqScan(Operator):
 
     def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
         yield from _scan_batches(self.table.scan(), self.binding, ctx)
+
+    def columnar_capable(self) -> bool:
+        return True
+
+    def _col_batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        yield from _scan_col_batches(self.table, self.binding, ctx)
 
     def label(self) -> str:
         return f"SeqScan {_scan_target(self.table, self.binding)} [est={self.estimate:.0f}]"
@@ -325,6 +396,39 @@ class ParallelSeqScan(SeqScan):
             for batch in batches:
                 metrics.rows_scanned += len(batch)
                 yield batch
+
+    def _col_batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        spans = self.table.partition_spans(self.workers)
+        if len(spans) <= 1:
+            yield from _scan_col_batches(self.table, self.binding, ctx)
+            return
+        binding = self.binding
+        schema = self.table.schema
+        metrics = ctx.metrics
+        batch_size = max(1, ctx.batch_size)
+        table = self.table
+
+        def scan_span(span: tuple[int, int]) -> list[list[dict]]:
+            # Workers only collect stored-row references per span — column
+            # extraction stays on the coordinator, where the ColumnBatch is
+            # built as each span's chunks are emitted (same barrier +
+            # heap-order re-assembly as the row path).
+            chunks: list[list[dict]] = []
+            chunk: list[dict] = []
+            for _, row in table.scan_span(*span):
+                chunk.append(row)
+                if len(chunk) >= batch_size:
+                    chunks.append(chunk)
+                    chunk = []
+            if chunk:
+                chunks.append(chunk)
+            return chunks
+
+        for chunks in list(_scan_pool().map(scan_span, spans)):
+            for chunk in chunks:
+                metrics.rows_scanned += len(chunk)
+                metrics.columnar_batches += 1
+                yield ColumnBatch(binding, schema, chunk)
 
     def label(self) -> str:
         return (
@@ -601,8 +705,47 @@ class Filter(Operator):
         self.children = (child,)
         self.estimate = estimate
         self._compiled = _UNSET
+        self._compiled_columnar = _UNSET
+
+    def columnar_capable(self) -> bool:
+        """Capable iff the child is and every conjunct compiles to a kernel
+        (all-or-nothing, mirroring the row path's compile_conjuncts rule)."""
+        if not self.child.columnar_capable():
+            return False
+        if self._compiled_columnar is _UNSET:
+            self._compiled_columnar = compile_columnar_conjuncts(
+                self.predicates, self.bindings
+            )
+        return self._compiled_columnar is not None
+
+    def _col_batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        kernels = self._compiled_columnar  # set by supports_columnar/columnar_capable
+        metrics = ctx.metrics
+        stats = ctx.observe(self)
+        for batch in self.child.col_batches(ctx):
+            started = time.perf_counter()
+            selection = apply_kernels(kernels, batch)
+            elapsed = time.perf_counter() - started
+            metrics.kernel_seconds += elapsed
+            if stats is not None:
+                stats.kernel_seconds += elapsed
+            if selection is None:
+                yield batch  # no conjuncts narrowed anything (empty chain)
+            elif selection:
+                yield batch.narrowed(selection)
 
     def _batches(self, ctx: ExecutionContext) -> Iterator[RowBatch]:
+        if self.supports_columnar(ctx):
+            # Columnar fast path with row-batch output: kernels filter the
+            # batch while it is still columnar, and the {binding: row}
+            # wrappers are materialized for the *survivors* only — the
+            # RowBatch boundary the handshake promises row-consuming parents
+            # (joins, sorts, uncompilable projections).
+            for columnar in self._col_batches(ctx):
+                kept = columnar.to_row_batch()
+                if kept:
+                    yield kept
+            return
         checks = None
         if ctx.compile_expressions:
             if self._compiled is _UNSET:
@@ -1082,15 +1225,37 @@ class HashAggregate(GroupAggregate):
       accumulators on a pool worker and the coordinator merges the partial
       states in span order: only O(groups) accumulator state crosses the
       barrier, not O(rows) row dicts.
+    * **Columnar kernels** — the fused single-scan shape additionally runs
+      columnar when the context allows it: the scan streams ColumnBatches,
+      filter kernels produce selection vectors, groups are bucketed by
+      column-value gather, and every accumulator consumes
+      ``update_column(values, positions)`` — no per-row wrapper, bucket
+      list, or gathered argument list is ever built.
+    * **Process-pool partials** — when the planner sets ``process_partials``
+      (big input, few groups, ``process_workers`` configured), the partial
+      aggregation fans across **forked** workers instead of GIL-bound
+      threads: each child re-opens the page file read-only
+      (:meth:`~repro.storage.buffer_pool.PageStore.begin_forked_read`),
+      aggregates its span, and pickles only its O(groups) accumulator
+      states back through a pipe.  Any fork/pickle failure falls back to
+      the in-process path with identical results.
     """
 
     _name = "HashAggregate"
 
+    #: Fork fan-out chosen by the planner (1 = process lane off).
+    process_partials: int = 1
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._compiled_raw: object = _UNSET
+        self._compiled_columnar_agg: object = _UNSET
 
     def _groups(self, ctx: ExecutionContext):
+        columnar = self._columnar_groups(ctx)
+        if columnar is not None:
+            yield from columnar
+            return
         fused = self._pushdown_groups(ctx)
         if fused is not None:
             yield from fused
@@ -1133,6 +1298,129 @@ class HashAggregate(GroupAggregate):
         for key in order:
             representative, accumulators = states[key]
             yield representative, [acc.finish() for acc in accumulators]
+
+    # -- columnar fused path ---------------------------------------------------
+
+    def _columnar_compiled(self):
+        if self._compiled_columnar_agg is _UNSET:
+            self._compiled_columnar_agg = self._compile_columnar_agg()
+        return self._compiled_columnar_agg
+
+    def _compile_columnar_agg(self):
+        """``(scan, kernels, key columns, arg columns)`` for the columnar
+        fused path, or None.
+
+        Requires the same Filter*→SeqScan chain as :meth:`_compile_raw` with
+        every filter kernel-compilable and every group key / aggregate
+        argument a locally resolvable column.  An exact :class:`SeqScan`
+        only: a :class:`ParallelSeqScan` keeps the partial-aggregation lanes
+        (thread or process), which beat single-coordinator columnar work on
+        free-threaded builds.
+        """
+        filters: list[Filter] = []
+        node = self.child
+        while isinstance(node, Filter):
+            filters.append(node)
+            node = node.child
+        if type(node) is not SeqScan:
+            return None
+        bindings = node.bindings
+        kernels: list = []
+        for filter_op in reversed(filters):
+            compiled = compile_columnar_conjuncts(filter_op.predicates, bindings)
+            if compiled is None:
+                return None
+            kernels.extend(compiled)
+        if self.group_exprs:
+            key_columns = resolve_columnar_columns(self.group_exprs, bindings)
+            if key_columns is None:
+                return None
+        else:
+            key_columns = []
+        arg_columns: list = []
+        for spec in self.collection.specs:
+            if spec.argument is None:
+                arg_columns.append(None)  # COUNT(*): positions only
+            elif isinstance(spec.argument, ColumnRef):
+                resolved = resolve_columnar_columns([spec.argument], bindings)
+                if resolved is None:
+                    return None
+                arg_columns.append(resolved[0])
+            else:
+                return None
+        return node, kernels, key_columns, arg_columns
+
+    def _columnar_groups(self, ctx: ExecutionContext):
+        """The fused columnar group stream, or None when the lane is off.
+
+        Disabled under EXPLAIN ANALYZE for the same honesty reason as the
+        raw path (bypassed Filter nodes would report "never executed") and
+        when the planner chose the process lane (forked partials fan wider
+        than one coordinator's kernels).
+        """
+        if (
+            not ctx.columnar_kernels
+            or not ctx.compile_expressions
+            or ctx.node_stats is not None
+            or self.process_partials > 1
+        ):
+            return None
+        compiled = self._columnar_compiled()
+        if compiled is None:
+            return None
+        return self._columnar_group_stream(ctx, compiled)
+
+    def _columnar_group_stream(self, ctx: ExecutionContext, compiled):
+        scan, kernels, key_columns, arg_columns = compiled
+        specs = self.collection.specs
+        metrics = ctx.metrics
+        binding = scan.binding
+        merged: dict = {}
+        order: list = []
+        for batch in scan.col_batches(ctx):
+            metrics.batches += 1
+            started = time.perf_counter()
+            if kernels:
+                selection = apply_kernels(kernels, batch)
+                if selection is not None:
+                    if not selection:
+                        metrics.kernel_seconds += time.perf_counter() - started
+                        continue
+                    batch = batch.narrowed(selection)
+            if key_columns:
+                key_order, buckets = hash_group_keys(batch, key_columns)
+            else:
+                live = batch.selection
+                if live is None:
+                    live = range(len(batch.rows))
+                key_order, buckets = [()], {(): list(live)}
+            rows = batch.rows
+            for key in key_order:
+                positions = buckets[key]
+                state = merged.get(key)
+                if state is None:
+                    state = merged[key] = (
+                        rows[positions[0]],
+                        [spec.make() for spec in specs],
+                    )
+                    order.append(key)
+                accumulators = state[1]
+                for accumulator, arg_column in zip(accumulators, arg_columns):
+                    if arg_column is None:
+                        # COUNT(*): positions stand in for the row list the
+                        # raw path feeds — same length, never None.
+                        accumulator.update_batch(positions)
+                    else:
+                        accumulator.update_column(
+                            batch.column(arg_column).values(), positions
+                        )
+            metrics.kernel_seconds += time.perf_counter() - started
+        if not self.group_exprs and not merged:
+            yield self._empty_input_group()
+            return
+        for key in order:
+            representative, accumulators = merged[key]
+            yield {binding: representative}, [acc.finish() for acc in accumulators]
 
     # -- fused raw-row path ----------------------------------------------------
 
@@ -1202,24 +1490,36 @@ class HashAggregate(GroupAggregate):
         scan, key_getter, arg_getters, checks = compiled
         table, binding = scan.table, scan.binding
         specs = self.collection.specs
-        spans = (
-            table.partition_spans(scan.workers)
-            if isinstance(scan, ParallelSeqScan)
-            else []
-        )
-        if len(spans) > 1:
-            partials = list(
-                _scan_pool().map(
-                    lambda span: _raw_partial(
-                        table.scan_span(*span), key_getter, arg_getters, checks, specs
-                    ),
-                    spans,
+        partials = None
+        if self.process_partials > 1 and hasattr(os, "fork"):
+            fork_spans = table.partition_spans(self.process_partials)
+            if len(fork_spans) > 1:
+                partials = _forked_partials(
+                    table, fork_spans, key_getter, arg_getters, checks, specs
                 )
+        if partials is None:
+            spans = (
+                table.partition_spans(scan.workers)
+                if isinstance(scan, ParallelSeqScan)
+                else []
             )
-        else:
-            partials = [
-                _raw_partial(table.scan(), key_getter, arg_getters, checks, specs)
-            ]
+            if len(spans) > 1:
+                partials = list(
+                    _scan_pool().map(
+                        lambda span: _raw_partial(
+                            table.scan_span(*span),
+                            key_getter,
+                            arg_getters,
+                            checks,
+                            specs,
+                        ),
+                        spans,
+                    )
+                )
+            else:
+                partials = [
+                    _raw_partial(table.scan(), key_getter, arg_getters, checks, specs)
+                ]
         metrics = ctx.metrics
         merged: dict = {}
         order: list = []
@@ -1328,6 +1628,66 @@ def _rows_identity(rows):
 
 def _constant_key(row):
     return ()
+
+
+def _forked_partials(table, spans, key_getter, arg_getters, checks, specs):
+    """Fan :func:`_raw_partial` across forked workers, one per span.
+
+    Unlike the thread lane, forked children genuinely run in parallel under
+    the GIL.  The compiled closures are inherited copy-on-write (they are
+    unpicklable, so no task shipping); only the O(groups) result crosses
+    back, pickled through a pipe.  Each child immediately drops to
+    read-only storage access (:meth:`~repro.storage.buffer_pool.PageStore.begin_forked_read`:
+    private page-file descriptor, eviction write-back disabled) and leaves
+    via ``os._exit`` so no parent-owned resource (WAL, locks, atexit hooks)
+    is ever touched.  Returns the partial list, or None on any fork, child,
+    or unpickling failure — the caller then recomputes in-process, so the
+    lane can only lose time, never correctness.
+    """
+    children: list[tuple[int, int]] = []
+    try:
+        for span in spans:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                # Any exception unwinds into the finally, so the child
+                # always leaves through os._exit — with status 1 unless the
+                # whole span round-tripped; the parent treats a non-zero
+                # status as "recompute in-process".
+                status = 1
+                try:
+                    os.close(read_fd)
+                    table.store.begin_forked_read()
+                    result = _raw_partial(
+                        table.scan_span(*span), key_getter, arg_getters, checks, specs
+                    )
+                    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                    with os.fdopen(write_fd, "wb") as sink:
+                        sink.write(payload)
+                    status = 0
+                finally:
+                    os._exit(status)
+            os.close(write_fd)
+            children.append((pid, read_fd))
+    except OSError:
+        for pid, read_fd in children:
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+        return None
+    partials = []
+    failed = False
+    for pid, read_fd in children:
+        with os.fdopen(read_fd, "rb") as source:
+            payload = source.read()
+        _, status = os.waitpid(pid, 0)
+        if status != 0 or not payload:
+            failed = True
+            continue
+        try:
+            partials.append(pickle.loads(payload))
+        except (pickle.UnpicklingError, EOFError, ValueError):
+            failed = True
+    return None if failed else partials
 
 
 def _raw_partial(pairs, key_getter, arg_getters, checks, specs):
@@ -1761,6 +2121,42 @@ def _scan_batches(
     if batch:
         metrics.rows_scanned += len(batch)
         yield batch
+
+
+def _scan_col_batches(
+    table, binding: str, ctx: ExecutionContext
+) -> Iterator[ColumnBatch]:
+    """Build a heap scan's columnar batches, charging metrics per batch.
+
+    The columnar twin of :func:`_scan_batches`: same shrinking-LIMIT-budget
+    batch sizing, same ``rows_scanned`` charging — but the rows go into a
+    :class:`~repro.storage.colbatch.ColumnBatch` as bare stored dicts, so
+    no ``{binding: row}`` wrapper is ever allocated on this path.  Rows
+    arrive page-at-a-time through
+    :meth:`~repro.storage.table.Table.scan_row_lists` (C-speed list builds
+    and slices) rather than one generator resumption per row — at typical
+    batch sizes the per-row feed is the scan's dominant cost.
+    """
+    metrics = ctx.metrics
+    schema = table.schema
+    batch_size = max(1, ctx.batch_size)
+    buffer: list[dict] = []
+    for page_rows in table.scan_row_lists():
+        buffer.extend(page_rows)
+        while len(buffer) >= batch_size:
+            if len(buffer) == batch_size:
+                chunk, buffer = buffer, []
+            else:
+                chunk = buffer[:batch_size]
+                del buffer[:batch_size]
+            metrics.rows_scanned += len(chunk)
+            metrics.columnar_batches += 1
+            yield ColumnBatch(binding, schema, chunk)
+            batch_size = max(1, ctx.batch_size)
+    if buffer:
+        metrics.rows_scanned += len(buffer)
+        metrics.columnar_batches += 1
+        yield ColumnBatch(binding, schema, buffer)
 
 
 def _scan_target(table, binding: str) -> str:

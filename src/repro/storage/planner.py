@@ -36,6 +36,7 @@ The result is a :class:`SelectPlan` whose operator tree the executor streams;
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError
@@ -101,6 +102,12 @@ DEFAULT_SELECTIVITY = 0.33
 #: per-row charge — which is exactly why large scans amortize and tiny scans
 #: don't care.  Units are arbitrary but shared across the constants below.
 CPU_TUPLE_COST = 0.01
+#: Per-tuple touch cost on the columnar kernel path.  Kernels run
+#: branch-light loops over typed arrays instead of per-row dict wrapping and
+#: predicate dispatch, so a columnar tuple is costed cheaper than a row-batch
+#: tuple — which matters to relative decisions (e.g. whether a parallel
+#: scan's fan-out still pays once the per-tuple work it divides has shrunk).
+KERNEL_TUPLE_COST = 0.004
 CPU_BATCH_COST = 1.0
 #: Fixed coordination cost of fanning a scan across a worker pool (pool
 #: dispatch, span slicing, ordered re-assembly).  Deliberately small so the
@@ -108,6 +115,11 @@ CPU_BATCH_COST = 1.0
 #: gate; the cost comparison only vetoes degenerate cases (a handful of rows
 #: over a low threshold) where fan-out provably cannot pay.
 PARALLEL_SETUP_COST = 4.0
+#: Fixed per-worker cost of the forked partial-aggregation lane: a fork,
+#: its copy-on-write page faults, and pickling the merged accumulator state
+#: back through a pipe.  Much larger than :data:`PARALLEL_SETUP_COST`
+#: because a process is a much heavier lane than a pool thread.
+PROCESS_SETUP_COST = 8.0
 #: Cost of faulting one heap page through the buffer pool (decode on miss,
 #: LRU bookkeeping on hit).  Deliberately small relative to the per-row
 #: constants — a page holds ~128 rows, so page I/O shades scan costs toward
@@ -116,7 +128,11 @@ PAGE_IO_COST = 0.05
 
 
 def scan_cpu_cost(
-    rows: float, settings: ExecutionSettings, workers: int = 1, pages: float = 0.0
+    rows: float,
+    settings: ExecutionSettings,
+    workers: int = 1,
+    pages: float = 0.0,
+    columnar: bool = False,
 ) -> float:
     """Cost of a (possibly parallel) heap scan under the batch model.
 
@@ -124,12 +140,15 @@ def scan_cpu_cost(
     spans mean each page is faulted by exactly one worker); a parallel scan
     additionally pays :data:`PARALLEL_SETUP_COST` once.  The planner compares
     the 1-worker and N-worker costs to decide when a :class:`ParallelSeqScan`
-    is worth it.
+    is worth it.  ``columnar`` charges :data:`KERNEL_TUPLE_COST` per tuple
+    instead of :data:`CPU_TUPLE_COST`: kernel loops do less per row, so the
+    divisible work a fan-out could amortize is smaller.
     """
     rows = max(rows, 0.0)
+    tuple_cost = KERNEL_TUPLE_COST if columnar else CPU_TUPLE_COST
     batches = max(1.0, math.ceil(rows / max(settings.batch_size, 1)))
     cost = (
-        rows * CPU_TUPLE_COST + batches * CPU_BATCH_COST + pages * PAGE_IO_COST
+        rows * tuple_cost + batches * CPU_BATCH_COST + pages * PAGE_IO_COST
     ) / max(workers, 1)
     if workers > 1:
         cost += PARALLEL_SETUP_COST
@@ -436,16 +455,47 @@ class Planner:
                     ),
                     ordered,
                 )
-        return (
-            HashAggregate(
-                root,
-                statement.group_by,
-                collection,
-                estimate,
-                having=statement.having,
-            ),
+        aggregate = HashAggregate(
             root,
+            statement.group_by,
+            collection,
+            estimate,
+            having=statement.having,
         )
+        aggregate.process_partials = self._process_partials(root, estimate)
+        return aggregate, root
+
+    def _process_partials(self, root: Operator, group_estimate: float) -> int:
+        """Forked partial-aggregation workers for this pipeline (1 = off).
+
+        The fork lane pays real setup (fork + COW faults + pickling merged
+        accumulator state back), so it is gated on all of: the knob is on,
+        the platform can fork, the scan is big enough
+        (``process_threshold`` estimated input rows), and the group count is
+        small relative to the input — a high-cardinality GROUP BY would ship
+        back nearly as much state as the rows it read, erasing the win.
+        """
+        settings = self._settings
+        if settings.process_workers <= 1 or not hasattr(os, "fork"):
+            return 1
+        input_rows = max(root.estimate, 0.0)
+        if input_rows < settings.process_threshold:
+            return 1
+        if group_estimate > max(1024.0, input_rows / 8.0):
+            return 1
+        # The in-process alternative the fork lane must beat is the columnar
+        # fused coordinator (kernel-cost tuples); each forked child runs the
+        # row-path partial loop, so its divided work is costed at row-path
+        # tuples plus the heavy per-process setup.
+        workers = settings.process_workers
+        fork_cost = (
+            scan_cpu_cost(input_rows, settings, workers)
+            + PROCESS_SETUP_COST * workers
+        )
+        columnar = settings.columnar_kernels and settings.compile_expressions
+        if fork_cost >= scan_cpu_cost(input_rows, settings, columnar=columnar):
+            return 1
+        return workers
 
     def _try_group_ordered_scan(
         self, statement: SelectStatement, leaf: _Leaf, root: Operator
@@ -980,6 +1030,11 @@ class Planner:
         workers = settings.parallel_workers
         row_count = len(table)
         pages = table.page_count
+        # Deliberately costed with row-path tuples even when columnar kernels
+        # are on: the work a fan-out divides is heap-row *fetching*, which the
+        # columnar representation does not shrink (kernels cheapen the filter
+        # and projection work downstream — see KERNEL_TUPLE_COST's use in the
+        # process-lane gate, where a kernel coordinator is the alternative).
         if (
             allow_parallel
             and workers > 1

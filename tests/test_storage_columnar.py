@@ -1,0 +1,557 @@
+"""Columnar batch kernels: cross-path equivalence, the fused aggregation
+lane, the forked partial-aggregation lane, EXPLAIN ANALYZE counters, the
+plan-verifier columnar contract, and the ``columnar-mutation`` hazard rule."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+from hypothesis import given, settings as hsettings
+from hypothesis import strategies as st
+
+from repro.storage import Database, ExecutionSettings
+from repro.storage.colbatch import KIND_INT, KIND_OBJECT, ColumnBatch
+from repro.storage.exec_settings import auto_parallel_workers
+from repro.storage.kernels import (
+    apply_kernels,
+    compile_columnar_conjuncts,
+    gather_columns,
+    hash_group_keys,
+)
+from repro.storage.schema import ColumnSchema, TableSchema
+from repro.storage.types import DataType
+from repro.sql.parser import parse
+
+
+def _make_db(exec_settings: ExecutionSettings | None = None) -> Database:
+    """A NULL-heavy dataset with string, int, and float columns."""
+    db = Database(exec_settings=exec_settings)
+    db.execute(
+        "CREATE TABLE readings (id INTEGER, station TEXT, value FLOAT, flag INTEGER)"
+    )
+    rows = []
+    for i in range(500):
+        rows.append(
+            {
+                "id": i,
+                "station": None if i % 11 == 0 else f"st{i % 9}",
+                "value": None if i % 7 == 0 else float((i * 13) % 97) / 3.0,
+                "flag": None if i % 5 == 0 else i % 3,
+            }
+        )
+    db.insert_rows("readings", rows)
+    return db
+
+
+#: Queries covering every kernel shape: comparisons both ways, col-vs-col,
+#: LIKE, IS [NOT] NULL, BETWEEN (plain and negated), IN (with and without
+#: NULL semantics in play), conjunctions, projection, grouping, DISTINCT.
+QUERIES = [
+    "SELECT * FROM readings",
+    "SELECT id, station FROM readings WHERE value > 10.0",
+    "SELECT id FROM readings WHERE 10.0 > value",
+    "SELECT id FROM readings WHERE flag = 1 AND value <= 20.5",
+    "SELECT id FROM readings WHERE station LIKE 'st1%'",
+    "SELECT id FROM readings WHERE station LIKE 'st_'",
+    "SELECT id FROM readings WHERE value IS NULL",
+    "SELECT id FROM readings WHERE station IS NOT NULL AND flag IS NULL",
+    "SELECT id FROM readings WHERE id BETWEEN 100 AND 120",
+    "SELECT id FROM readings WHERE id NOT BETWEEN 5 AND 490",
+    "SELECT id FROM readings WHERE station IN ('st1', 'st4')",
+    "SELECT id FROM readings WHERE flag IN (0, 2)",
+    "SELECT id FROM readings WHERE flag <> 1",
+    "SELECT DISTINCT station FROM readings",
+    "SELECT station, COUNT(*) FROM readings GROUP BY station",
+    "SELECT station, COUNT(value), SUM(value), AVG(value), MIN(id), MAX(id) "
+    "FROM readings WHERE id > 50 GROUP BY station",
+    "SELECT COUNT(*) FROM readings WHERE value IS NOT NULL",
+    "SELECT COUNT(DISTINCT station) FROM readings",
+    "SELECT id, station FROM readings WHERE id >= 17 LIMIT 9",
+]
+
+
+def _sorted_rows(result):
+    return sorted(result.rows, key=repr)
+
+
+class TestCrossPathEquivalence:
+    """The satellite equivalence matrix: columnar ≡ row across batch sizes,
+    worker counts, and NULL-heavy string data — exact equality, not
+    approximate."""
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 256])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_columnar_matches_row_path(self, batch_size, workers):
+        columnar = _make_db(
+            ExecutionSettings(
+                batch_size=batch_size,
+                parallel_workers=workers,
+                parallel_threshold=100,
+                columnar_kernels=True,
+            )
+        )
+        row = _make_db(
+            ExecutionSettings(
+                batch_size=batch_size,
+                parallel_workers=workers,
+                parallel_threshold=100,
+                columnar_kernels=False,
+            )
+        )
+        for sql in QUERIES:
+            got = columnar.execute(sql)
+            expected = row.execute(sql)
+            assert got.columns == expected.columns, sql
+            assert got.rows == expected.rows, sql
+
+    def test_columnar_off_reproduces_row_engine(self):
+        """``columnar_kernels=False`` builds zero columnar batches — the
+        seed engine, bit for bit."""
+        db = _make_db(ExecutionSettings(columnar_kernels=False))
+        for sql in QUERIES:
+            result = db.execute(sql)
+            assert result.stats.columnar_batches == 0, sql
+            assert result.stats.kernel_seconds == 0.0, sql
+
+    def test_cached_plan_rebinding_stays_columnar_exact(self):
+        """Parameter re-binding on a cached plan must reach the kernels: the
+        literal is read per execution, never baked into the closure."""
+        columnar = _make_db()
+        row = _make_db(ExecutionSettings(columnar_kernels=False))
+        template = "SELECT id FROM readings WHERE value > {} AND station = '{}'"
+        for threshold, station in [(5.0, "st1"), (20.0, "st4"), (5.0, "st1")]:
+            sql = template.format(threshold, station)
+            got = columnar.execute(sql)
+            assert got.rows == row.execute(sql).rows, sql
+        assert columnar.execute(template.format(20.0, "st4")).stats.plan_cache_hit
+
+    @given(
+        threshold=st.integers(min_value=-5, max_value=105),
+        stations=st.lists(
+            st.sampled_from(["st0", "st1", "st5", "st8", "zzz"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+    )
+    @hsettings(max_examples=30, deadline=None)
+    def test_generated_predicates_agree(self, threshold, stations):
+        columnar = TestCrossPathEquivalence._shared_columnar()
+        row = TestCrossPathEquivalence._shared_row()
+        in_list = ", ".join(f"'{s}'" for s in stations)
+        sql = (
+            f"SELECT id, value FROM readings "
+            f"WHERE value > {threshold}.0 AND station IN ({in_list})"
+        )
+        assert columnar.execute(sql).rows == row.execute(sql).rows
+
+    _columnar_db = None
+    _row_db = None
+
+    @classmethod
+    def _shared_columnar(cls):
+        if cls._columnar_db is None:
+            cls._columnar_db = _make_db()
+        return cls._columnar_db
+
+    @classmethod
+    def _shared_row(cls):
+        if cls._row_db is None:
+            cls._row_db = _make_db(ExecutionSettings(columnar_kernels=False))
+        return cls._row_db
+
+
+class TestColumnBatch:
+    def _schema(self):
+        return TableSchema(
+            "t",
+            [
+                ColumnSchema("a", DataType.INTEGER),
+                ColumnSchema("b", DataType.TEXT),
+                ColumnSchema("c", DataType.FLOAT),
+            ],
+        )
+
+    def test_typed_extraction_and_validity(self):
+        rows = [{"a": 1, "b": "x", "c": 1.5}, {"a": None, "b": None, "c": 2.5}]
+        batch = ColumnBatch("t", self._schema(), rows)
+        a = batch.column("a")
+        assert a.kind == KIND_INT and a.validity is not None
+        assert a.values() == [1, None]
+        b = batch.column("b")
+        assert b.kind == KIND_OBJECT
+        assert b.values() == ["x", None]
+        assert batch.column("c").values() == [1.5, 2.5]
+
+    def test_huge_ints_fall_back_to_object_kind(self):
+        rows = [{"a": 2**70, "b": "x", "c": 0.0}]
+        batch = ColumnBatch("t", self._schema(), rows)
+        column = batch.column("a")
+        assert column.kind == KIND_OBJECT
+        assert column.values() == [2**70]
+
+    def test_narrowed_shares_column_cache(self):
+        rows = [{"a": i, "b": str(i), "c": float(i)} for i in range(4)]
+        batch = ColumnBatch("t", self._schema(), rows)
+        column = batch.column("a")
+        narrowed = batch.narrowed([1, 3])
+        assert narrowed.column("a") is column  # extraction shared, not redone
+        assert len(narrowed) == 2
+        assert narrowed.selected_rows() == [rows[1], rows[3]]
+        assert narrowed.to_row_batch() == [{"t": rows[1]}, {"t": rows[3]}]
+
+    def test_gather_and_group_kernels(self):
+        rows = [{"a": i % 2, "b": f"s{i}", "c": float(i)} for i in range(6)]
+        batch = ColumnBatch("t", self._schema(), rows).narrowed([0, 2, 3, 5])
+        assert gather_columns(batch, ["a", "b"]) == [
+            (0, "s0"),
+            (0, "s2"),
+            (1, "s3"),
+            (1, "s5"),
+        ]
+        order, buckets = hash_group_keys(batch, ["a"])
+        assert order == [0, 1]
+        assert buckets == {0: [0, 2], 1: [3, 5]}
+
+
+class TestKernelCompilation:
+    def _batch(self):
+        schema = TableSchema(
+            "t", [ColumnSchema("a", "INTEGER"), ColumnSchema("b", "TEXT")]
+        )
+        rows = [
+            {"a": 1, "b": "x"},
+            {"a": None, "b": "y"},
+            {"a": 3, "b": None},
+            {"a": 4, "b": "x"},
+        ]
+        return ColumnBatch("t", schema, rows)
+
+    def _kernels(self, where):
+        from repro.storage.planner import _split_conjuncts
+
+        statement = parse(f"SELECT a FROM t WHERE {where}")
+        bindings = [("t", ["a", "b"])]
+        return compile_columnar_conjuncts(_split_conjuncts(statement.where), bindings)
+
+    def _select(self, where):
+        kernels = self._kernels(where)
+        assert kernels is not None, where
+        selection = apply_kernels(kernels, self._batch())
+        if selection is None:
+            return [0, 1, 2, 3]
+        return selection
+
+    def test_comparison_null_semantics(self):
+        assert self._select("a > 1") == [2, 3]
+        assert self._select("2 > a") == [0]  # flipped literal-vs-column
+
+    def test_like_null_value_never_matches(self):
+        assert self._select("b LIKE 'x%'") == [0, 3]
+
+    def test_in_list_with_null_member_drops_nulls(self):
+        assert self._select("a IN (1, 3, NULL)") == [0, 2]
+        assert self._select("b NOT IN ('y')") == [0, 3]  # NULL b drops
+
+    def test_between_drops_null(self):
+        assert self._select("a BETWEEN 1 AND 3") == [0, 2]
+        assert self._select("a NOT BETWEEN 1 AND 3") == [3]
+
+    def test_uncompilable_conjunct_rejects_whole_set(self):
+        from repro.storage.planner import _split_conjuncts
+
+        statement = parse("SELECT a FROM t WHERE a > 1 AND a + 1 > 2")
+        bindings = [("t", ["a", "b"])]
+        assert (
+            compile_columnar_conjuncts(_split_conjuncts(statement.where), bindings)
+            is None
+        )
+
+
+class TestAnalyzeCounters:
+    def test_columnar_counters_in_stats_and_summary(self):
+        db = _make_db()
+        explanation = db.explain("SELECT id FROM readings WHERE value > 5.0", analyze=True)
+        assert explanation.stats.columnar_batches > 0
+        text = explanation.text()
+        assert "columnar: batches=" in text
+        assert "kernels=" in text
+
+    def test_node_stats_report_columnar_batches(self):
+        db = _make_db(ExecutionSettings(batch_size=64))
+        text = db.explain("SELECT id FROM readings WHERE value > 5.0", analyze=True).text()
+        assert "columnar=" in text
+
+    def test_row_engine_summary_unchanged(self):
+        db = _make_db(ExecutionSettings(columnar_kernels=False))
+        text = db.explain("SELECT id FROM readings WHERE value > 5.0", analyze=True).text()
+        assert "columnar:" not in text
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+class TestProcessPartialAggregation:
+    # The fork lane pays PROCESS_SETUP_COST per worker, so the cost gate only
+    # opens it for scans big enough to amortize the forks (~21k rows at the
+    # default constants with 2 workers).
+    ROWS = 24_000
+
+    def _forked_db(self, tmp_path=None):
+        settings = ExecutionSettings(
+            process_workers=2, process_threshold=100, buffer_pool_pages=64
+        )
+        if tmp_path is not None:
+            db = Database.open(tmp_path, exec_settings=settings)
+        else:
+            db = Database(exec_settings=settings)
+        db.execute("CREATE TABLE m (k TEXT, v INTEGER)")
+        db.insert_rows(
+            "m",
+            [
+                {"k": f"g{i % 5}", "v": None if i % 9 == 0 else i}
+                for i in range(self.ROWS)
+            ],
+        )
+        # The gate needs cached statistics: without them the group estimate
+        # defaults to the input row count and the fork lane stays off.
+        db.table("m").statistics(refresh=True)
+        return db
+
+    SQL = "SELECT k, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) FROM m GROUP BY k ORDER BY k"
+
+    def _expected(self):
+        groups: dict = {}
+        for i in range(self.ROWS):
+            k = f"g{i % 5}"
+            v = None if i % 9 == 0 else i
+            g = groups.setdefault(k, [0, 0, 0, None, None])
+            g[0] += 1
+            if v is not None:
+                g[1] += 1
+                g[2] += v
+                g[3] = v if g[3] is None else min(g[3], v)
+                g[4] = v if g[4] is None else max(g[4], v)
+        return [
+            (k, g[0], g[1], g[2], g[3], g[4]) for k, g in sorted(groups.items())
+        ]
+
+    def test_planner_gates_the_fork_lane_on(self):
+        from repro.storage.planner import Planner
+
+        db = self._forked_db()
+        plan = Planner(db).plan_select(parse(self.SQL))
+        assert plan.aggregate is not None
+        assert plan.aggregate.process_partials == 2
+        # A small scan keeps the lane off: the forks would cost more than
+        # the in-process columnar coordinator.
+        small = Database(
+            exec_settings=ExecutionSettings(
+                process_workers=2, process_threshold=100
+            )
+        )
+        small.execute("CREATE TABLE m (k TEXT, v INTEGER)")
+        small.insert_rows(
+            "m", [{"k": f"g{i % 5}", "v": i} for i in range(2000)]
+        )
+        small.table("m").statistics(refresh=True)
+        small_plan = Planner(small).plan_select(parse(self.SQL))
+        assert small_plan.aggregate.process_partials == 1
+
+    def test_forked_matches_sequential_exactly(self, monkeypatch):
+        import repro.storage.operators as operators_module
+
+        db = self._forked_db()
+        calls = {}
+        original = operators_module._forked_partials
+
+        def spy(*args, **kwargs):
+            result = original(*args, **kwargs)
+            calls["outcome"] = "ok" if result is not None else "fallback"
+            return result
+
+        monkeypatch.setattr(operators_module, "_forked_partials", spy)
+        forked = db.execute(self.SQL)
+        assert calls.get("outcome") == "ok"
+        assert [tuple(row) for row in forked.rows] == self._expected()
+
+    def test_forked_matches_on_durable_database(self, tmp_path, monkeypatch):
+        import repro.storage.operators as operators_module
+
+        db = self._forked_db(tmp_path)
+        db.checkpoint()
+        calls = {}
+        original = operators_module._forked_partials
+
+        def spy(*args, **kwargs):
+            result = original(*args, **kwargs)
+            calls["outcome"] = "ok" if result is not None else "fallback"
+            return result
+
+        monkeypatch.setattr(operators_module, "_forked_partials", spy)
+        forked = db.execute(self.SQL)
+        assert calls.get("outcome") == "ok"
+        # The parent's storage stack survives the forks: writes, checkpoint,
+        # and reopen all still work.
+        db.execute("INSERT INTO m VALUES ('late', 7)")
+        db.checkpoint()
+        db.close()
+        settings = ExecutionSettings(
+            process_workers=2, process_threshold=100, buffer_pool_pages=64
+        )
+        reopened = Database.open(tmp_path, exec_settings=settings)
+        count = reopened.execute("SELECT COUNT(*) FROM m").rows[0][0]
+        assert count == self.ROWS + 1
+        reopened.close()
+        assert len(forked.rows) == 5
+
+    def test_fork_failure_falls_back_in_process(self, monkeypatch):
+        import repro.storage.operators as operators_module
+
+        db = self._forked_db()
+        monkeypatch.setattr(
+            operators_module, "_forked_partials", lambda *a, **k: None
+        )
+        result = db.execute(self.SQL)
+        assert [tuple(row) for row in result.rows] == self._expected()
+
+
+class TestAutoParallelWorkers:
+    def test_gil_build_defaults_to_one_worker(self):
+        assert auto_parallel_workers(gil_enabled=True, cpu_count=16) == 1
+
+    def test_free_threaded_build_unlocks_the_thread_lane(self):
+        assert auto_parallel_workers(gil_enabled=False, cpu_count=16) == 4
+        assert auto_parallel_workers(gil_enabled=False, cpu_count=2) == 2
+        assert auto_parallel_workers(gil_enabled=False, cpu_count=1) == 1
+
+    def test_settings_validate_new_knobs(self):
+        with pytest.raises(ValueError):
+            ExecutionSettings(process_workers=0)
+        with pytest.raises(ValueError):
+            ExecutionSettings(process_threshold=-1)
+
+    def test_config_maps_columnar_knobs(self):
+        from repro.core.config import CQMSConfig
+
+        config = CQMSConfig(
+            exec_columnar_kernels=False,
+            exec_process_workers=3,
+            exec_process_threshold=123,
+        )
+        config.validate()
+        settings = config.exec_settings()
+        assert settings.columnar_kernels is False
+        assert settings.process_workers == 3
+        assert settings.process_threshold == 123
+        with pytest.raises(ValueError):
+            CQMSConfig(exec_process_workers=0).validate()
+
+
+class TestPlanVerifierColumnarContract:
+    def test_real_plans_satisfy_the_contract(self):
+        db = _make_db(ExecutionSettings(verify_plans=True))
+        for sql in QUERIES:
+            db.execute(sql)  # verifier raises on any ERROR diagnostic
+
+    def test_capable_operator_outside_scan_family_fires(self):
+        from repro.analysis.plan_verify import PlanVerifier
+
+        class FakeCapable:
+            bindings = [("t", ["a"]), ("u", ["b"])]
+            children = ()
+
+            def columnar_capable(self):
+                return True
+
+            def label(self):
+                return "FakeCapable"
+
+        diagnostics: list = []
+        PlanVerifier()._check_columnar(FakeCapable(), diagnostics)
+        rules = {d.rule for d in diagnostics}
+        assert "plan-columnar-contract" in rules
+        # Both promises break: two bindings, and not a heap-scan/filter.
+        assert len(diagnostics) == 2
+
+    def test_capable_filter_over_row_child_fires(self):
+        from repro.analysis.plan_verify import PlanVerifier
+        from repro.storage.operators import Filter
+
+        db = _make_db()
+        root = db.explain("SELECT id FROM readings WHERE value > 5.0").root
+        assert isinstance(root, Filter) and root.columnar_capable()
+        # Break the chain: the child loses its capability but the Filter's
+        # claim goes stale — the exact inconsistency the rule exists to catch
+        # (Filter.columnar_capable() normally recomputes through the child).
+        root.columnar_capable = lambda: True
+        root.child.columnar_capable = lambda: False
+        diagnostics: list = []
+        PlanVerifier()._check_columnar(root, diagnostics)
+        assert any(d.rule == "plan-columnar-contract" for d in diagnostics)
+
+
+class TestColumnarMutationLint:
+    def _lint(self, tmp_path, code):
+        from repro.analysis.hazard_lint import lint_paths
+
+        directory = tmp_path / "storage"
+        directory.mkdir(exist_ok=True)
+        (directory / "fixture.py").write_text(textwrap.dedent(code))
+        return list(lint_paths([tmp_path]))
+
+    def test_mutating_a_foreign_batch_fires(self, tmp_path):
+        diagnostics = self._lint(
+            tmp_path,
+            """
+            def bad_kernel(batch):
+                batch.selection = [0]
+                batch.rows.append({})
+                return batch
+            """,
+        )
+        fired = [d for d in diagnostics if d.rule == "columnar-mutation"]
+        assert len(fired) == 2
+
+    def test_stream_consumer_mutation_fires(self, tmp_path):
+        diagnostics = self._lint(
+            tmp_path,
+            """
+            def consume(scan, ctx):
+                for chunk in scan.col_batches(ctx):
+                    chunk.rows[0] = {}
+            """,
+        )
+        assert any(d.rule == "columnar-mutation" for d in diagnostics)
+
+    def test_locally_allocated_batch_is_exempt(self, tmp_path):
+        diagnostics = self._lint(
+            tmp_path,
+            """
+            def build(binding, schema, rows):
+                batch = ColumnBatch(binding, schema, [])
+                batch.rows.extend(rows)
+                return batch
+            """,
+        )
+        assert not any(d.rule == "columnar-mutation" for d in diagnostics)
+
+    def test_selection_vector_output_is_clean(self, tmp_path):
+        diagnostics = self._lint(
+            tmp_path,
+            """
+            def kernel(batch, limit):
+                values = batch.column("a").values()
+                return [i for i, v in enumerate(values) if v is not None and v < limit]
+            """,
+        )
+        assert not any(d.rule == "columnar-mutation" for d in diagnostics)
+
+    def test_engine_source_is_clean(self):
+        from pathlib import Path
+
+        from repro.analysis.hazard_lint import lint_paths
+
+        src = Path(__file__).resolve().parent.parent / "src" / "repro" / "storage"
+        report = lint_paths([src])
+        assert not any(d.rule == "columnar-mutation" for d in report)
