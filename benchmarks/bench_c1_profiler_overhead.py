@@ -11,20 +11,32 @@ cost per query:
 The paper's claim holds if the text mode is close to the baseline and even the
 full feature mode stays within a small constant factor (the heavy work —
 mining, clustering — is in the background components, not on this path).
+
+Since the telemetry PR the profiler reports its own logging overhead into the
+metrics registry (``profiler_overhead_seconds{mode=}``), so "should not
+hinder" is pinned to a *per-query tail* number: the p99 of the per-statement
+logging overhead — not just a whole-workload mean that can hide a bimodal
+tail — must stay within a small multiple of the mean plain execution time.
 """
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
-from bench_common import build_env, print_table
+from bench_common import build_env, print_table, write_bench_json
 from repro import CQMS, CQMSConfig, SimulatedClock, build_database
 from repro.workloads import QueryLogGenerator, WorkloadConfig
 
 _WORKLOAD = None
 _RESULTS: dict[str, float] = {}
+#: Per-mode ``profiler_overhead_seconds`` deciles from the registry of the
+#: most recent ``_run_mode`` invocation (p50/p90/p99/count/mean, seconds).
+_OVERHEAD: dict[str, dict[str, float]] = {}
+#: p99 logging overhead may cost at most this many mean plain executions.
+#: Text logging is nearly free; feature shredding walks the whole AST and
+#: summarizes output, so its tail is budgeted wider but still bounded — a
+#: quadratic regression in the shredder blows well past 30x.
+P99_OVERHEAD_BUDGET_FACTORS = {"text": 10.0, "features": 30.0}
 
 
 def _workload():
@@ -41,6 +53,8 @@ def _run_mode(mode: str) -> int:
     db = build_database("limnology", scale=1, clock=clock)
     cqms = CQMS(db, CQMSConfig(profiling_mode=mode), clock=clock)
     count = cqms.replay_workload(_workload())
+    histogram = cqms.metrics.find_histogram("profiler_overhead_seconds", mode=mode)
+    _OVERHEAD[mode] = histogram.summary() if histogram is not None else {}
     return count
 
 
@@ -52,24 +66,60 @@ class TestProfilerOverhead:
         _RESULTS[mode] = benchmark.stats.stats.mean
         if len(_RESULTS) == 3:
             baseline = _RESULTS["off"]
+            mean_exec = baseline / count
             rows = [
                 (
                     mode_name,
                     f"{_RESULTS[mode_name] * 1000:.1f} ms",
                     f"{_RESULTS[mode_name] * 1000 / count:.3f} ms",
+                    f"{_OVERHEAD[mode_name].get('p50', 0.0) * 1000:.3f} ms",
+                    f"{_OVERHEAD[mode_name].get('p99', 0.0) * 1000:.3f} ms",
                     f"{_RESULTS[mode_name] / baseline:.2f}x",
                 )
                 for mode_name in ("off", "text", "features")
             ]
             print_table(
                 f"C1: profiling overhead over {count} queries (whole-workload mean)",
-                ["profiling mode", "total", "per query", "vs no profiling"],
+                [
+                    "profiling mode",
+                    "total",
+                    "per query",
+                    "log p50",
+                    "log p99",
+                    "vs no profiling",
+                ],
                 rows,
+            )
+            write_bench_json(
+                "c1_profiler_overhead",
+                {
+                    "queries": count,
+                    "mean_exec_ms": mean_exec * 1000.0,
+                    **{
+                        f"overhead_{m}_{decile}_ms": _OVERHEAD[m].get(decile, 0.0) * 1000.0
+                        for m in ("off", "text", "features")
+                        for decile in ("p50", "p90", "p99")
+                    },
+                    **{
+                        f"total_{m}_ms": _RESULTS[m] * 1000.0
+                        for m in ("off", "text", "features")
+                    },
+                },
             )
             # Shape check: text-mode overhead is small; full feature shredding
             # stays within a small constant factor of raw execution.
             assert _RESULTS["text"] <= baseline * 2.0
             assert _RESULTS["features"] <= baseline * 5.0
+            # Tail check ("should not hinder"): every mode's p99 per-statement
+            # logging overhead fits the per-query budget.  The deciles come
+            # from the registry histograms the profiler itself populates.
+            for mode_name, factor in P99_OVERHEAD_BUDGET_FACTORS.items():
+                p99 = _OVERHEAD[mode_name].get("p99", 0.0)
+                assert _OVERHEAD[mode_name].get("count"), mode_name
+                assert p99 <= mean_exec * factor, (
+                    f"{mode_name} p99 logging overhead {p99 * 1000:.3f} ms exceeds "
+                    f"{factor}x the mean execution {mean_exec * 1000:.3f} ms"
+                )
 
     def test_single_query_profile_latency(self, benchmark):
         """Per-query online cost of the full feature profiler."""

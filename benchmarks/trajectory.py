@@ -4,22 +4,27 @@ The perf history used to be scattered across the ``BENCH_*.json`` files with
 no gate: a PR could halve a speedup and CI would stay green.  This tool
 fixes both:
 
-* ``python benchmarks/trajectory.py merge`` — collect the dimensionless
-  *ratio* metrics (``*speedup*`` / ``*_vs_*`` keys: machine-comparable,
-  unlike raw latencies) from every ``BENCH_*.json`` / ``BENCH_*.smoke.json``
-  and record them in ``BENCH_trajectory.json`` keyed by the current commit.
-  Re-running on the same commit updates that entry in place, so the
-  committed file holds one row per PR.
-* ``python benchmarks/trajectory.py check`` — compare the smoke-run ratio
-  metrics currently on disk against the newest committed trajectory entry
+* ``python benchmarks/trajectory.py merge`` — collect every numeric scalar
+  metric from every ``BENCH_*.json`` / ``BENCH_*.smoke.json`` (sorted, so
+  the merge is deterministic) and record them in ``BENCH_trajectory.json``
+  keyed by the current commit ("unknown" when git metadata is unavailable,
+  e.g. a tarball checkout).  Re-running on the same commit updates that
+  entry in place, so the committed file holds one row per PR.
+* ``python benchmarks/trajectory.py check`` — compare the smoke-run *ratio*
+  metrics (``*speedup*`` / ``*_vs_*`` keys: dimensionless and
+  machine-comparable, unlike the raw latencies that are recorded as history
+  only) currently on disk against the newest committed trajectory entry
   that carries each metric, and exit 1 if any regressed by more than 25%.
   Only smoke metrics are gated (they are what CI regenerates every run);
   full-run numbers are history, not a gate.
 
-Hardware-dependent ratios are excluded: a result whose payload reports
-``cpu_count`` < 2 (the process-pool lane measured on a single core times
-fork serialization, not parallelism) or ``process_partials`` == 1 (the lane
-never opened, the ratio is noise around 1.0) never enters the trajectory.
+Hardware-dependent speedups are excluded per key, not per payload: a result
+whose payload reports ``cpu_count`` < 2 (the process-pool lane measured on
+a single core times fork serialization, not parallelism) or
+``process_partials`` == 1 (the lane never opened, the ratio is noise around
+1.0) contributes its other metrics but never its ``*speedup*`` keys.  The
+old per-payload exclusion silently produced an empty trajectory on 1-core
+CI runners even though bench files existed on disk.
 """
 
 from __future__ import annotations
@@ -40,26 +45,37 @@ def _is_ratio_key(key: str) -> bool:
     return "speedup" in key or "_vs_" in key
 
 
-def _ratio_metrics(payload: dict) -> dict[str, float]:
-    """The payload's machine-comparable ratio metrics (may be empty)."""
+def _hardware_excluded(payload: dict) -> bool:
+    """Whether this payload's parallel-lane speedups are untrustworthy."""
     if payload.get("cpu_count", 2) < 2:
-        return {}
-    if payload.get("process_partials") == 1:
-        return {}
+        return True
+    return payload.get("process_partials") == 1
+
+
+def _payload_metrics(payload: dict) -> dict[str, float]:
+    """Every numeric scalar metric of one payload (may be empty).
+
+    Hardware exclusion drops only the ``*speedup*`` keys (parallel-vs-serial
+    comparisons that a 1-core runner cannot measure); everything else —
+    latencies, throughputs, non-hardware ratios like ``ingest_vs_target`` —
+    is always recorded.
+    """
+    excluded = _hardware_excluded(payload)
     return {
         key: float(value)
-        for key, value in payload.items()
-        if _is_ratio_key(key)
-        and isinstance(value, (int, float))
+        for key, value in sorted(payload.items())
+        if isinstance(value, (int, float))
         and not isinstance(value, bool)
+        and not (excluded and "speedup" in key)
     }
 
 
 def collect() -> dict[str, dict[str, float]]:
-    """Ratio metrics from every result file, keyed by experiment name.
+    """Metrics from every result file, keyed by experiment name.
 
-    ``BENCH_columnar.smoke.json`` → ``columnar.smoke``; experiments with no
-    ratio metrics (latency-only payloads) are skipped.
+    ``BENCH_columnar.smoke.json`` → ``columnar.smoke``.  Every result file
+    with at least one numeric metric contributes an experiment, so the merge
+    never records an empty trajectory while bench files exist on disk.
     """
     collected: dict[str, dict[str, float]] = {}
     for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
@@ -70,7 +86,10 @@ def collect() -> dict[str, dict[str, float]]:
         except (OSError, json.JSONDecodeError) as error:
             print(f"trajectory: skipping unreadable {path.name}: {error}")
             continue
-        metrics = _ratio_metrics(payload)
+        if not isinstance(payload, dict):
+            print(f"trajectory: skipping non-object payload {path.name}")
+            continue
+        metrics = _payload_metrics(payload)
         if metrics:
             name = path.name[len("BENCH_") : -len(".json")]
             collected[name] = metrics
@@ -95,9 +114,13 @@ def _load_history() -> list[dict]:
     if not TRAJECTORY_PATH.exists():
         return []
     try:
-        return json.loads(TRAJECTORY_PATH.read_text()).get("history", [])
-    except (OSError, json.JSONDecodeError):
+        history = json.loads(TRAJECTORY_PATH.read_text()).get("history", [])
+    except (OSError, json.JSONDecodeError, AttributeError):
         return []
+    if not isinstance(history, list):
+        return []
+    # Tolerate hand-edited or pre-fix entries with missing metadata.
+    return [entry for entry in history if isinstance(entry, dict)]
 
 
 def merge() -> int:
@@ -143,6 +166,8 @@ def check() -> int:
             continue
         baseline = _baseline_for(history, experiment)
         for key, value in sorted(metrics.items()):
+            if not _is_ratio_key(key):
+                continue  # raw latencies/throughputs are history, not a gate
             base_value = baseline.get(key)
             if base_value is None or base_value <= 0:
                 continue

@@ -16,7 +16,12 @@ import shutil
 import tempfile
 
 from repro import CQMS, CQMSConfig, SimulatedClock, build_database
-from repro.client import render_assist_panel, render_query_table, render_session_graph
+from repro.client import (
+    Workbench,
+    render_assist_panel,
+    render_query_table,
+    render_session_graph,
+)
 
 
 def main() -> None:
@@ -73,7 +78,19 @@ def main() -> None:
     )
     print("repaired example:", cqms.store.get(maintenance.repaired[0]).describe(90))
 
-    # 8. Durability: with a data_dir the query log survives restarts.  The
+    # 8. Observability: every statement above was traced and histogrammed.
+    # The Workbench metrics panel renders the registry's latency deciles,
+    # counters, and the slow-query ring; CQMS.metrics_text() is the same
+    # registry in Prometheus text format for a real scraper, and
+    # set_user_limits(user, QueryLimits(rate_limit_qps=..,
+    # statement_timeout_seconds=..)) adds per-principal admission control.
+    print("\n== Observability ==")
+    bench = Workbench(cqms, user="nodira")
+    panel = bench.metrics_panel().splitlines()
+    print("\n".join(panel[:12]))
+    print(f"... ({len(panel)} panel lines; see also cqms.metrics_text())")
+
+    # 9. Durability: with a data_dir the query log survives restarts.  The
     # Query Storage writes every logged query through a write-ahead log
     # (group-commit batched by default) and recovers it on reopen.
     # (Execution knobs ride the same config: scan/filter/project pipelines

@@ -42,6 +42,14 @@ from repro.core import (
     TutorialGenerator,
 )
 from repro.core.meta_query import DataCondition
+from repro.obs import (
+    AdmissionController,
+    EngineTelemetry,
+    MetricsRegistry,
+    QueryLimits,
+    SlowQueryLog,
+    Trace,
+)
 from repro.sql import (
     canonical_text,
     diff_queries,
@@ -88,6 +96,12 @@ __all__ = [
     "Database",
     "ExecutionSettings",
     "PlanExplanation",
+    "AdmissionController",
+    "EngineTelemetry",
+    "MetricsRegistry",
+    "QueryLimits",
+    "SlowQueryLog",
+    "Trace",
     "parse",
     "format_statement",
     "extract_features",

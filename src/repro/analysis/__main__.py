@@ -9,6 +9,11 @@ Subcommands:
   plan-invariant verifier (:mod:`repro.analysis.plan_verify`) over every
   plan (see :mod:`repro.analysis.corpus`).
 * ``lint-sql`` — lint one SQL statement against a workload domain's schema.
+* ``lint-metrics`` — build a small populated CQMS, render its metrics in the
+  Prometheus text exposition format, and lint the document
+  (:mod:`repro.analysis.exposition_lint`): malformed lines, duplicate or
+  unlabelled series, naming-scheme violations, and a minimum-series floor
+  asserting the telemetry surface actually exists.
 
 Exit status is 1 when any ERROR-severity diagnostic is produced — the CI
 ``lint-and-verify`` step is exactly these commands.
@@ -58,6 +63,14 @@ def _cmd_lint_sql(args) -> int:
     return _finish(report, f"statement is clean against the {args.domain} schema")
 
 
+def _cmd_lint_metrics(args) -> int:
+    from repro.analysis.exposition_lint import lint_live_engine
+
+    report, series = lint_live_engine(min_series=args.min_series)
+    print(f"exposition: {series} distinct series rendered (floor {args.min_series})")
+    return _finish(report, "exposition format clean")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -83,6 +96,17 @@ def main(argv: list[str] | None = None) -> int:
     lint_sql.add_argument("sql")
     lint_sql.add_argument("--domain", default="limnology")
     lint_sql.set_defaults(run=_cmd_lint_sql)
+
+    lint_metrics = commands.add_parser(
+        "lint-metrics", help="lint the live engine's Prometheus exposition output"
+    )
+    lint_metrics.add_argument(
+        "--min-series",
+        type=int,
+        default=25,
+        help="minimum distinct series the engine must expose (default: 25)",
+    )
+    lint_metrics.set_defaults(run=_cmd_lint_metrics)
 
     args = parser.parse_args(argv)
     return args.run(args)

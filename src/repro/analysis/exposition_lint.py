@@ -1,0 +1,319 @@
+"""Exposition-format lint: validate Prometheus text output series-by-series.
+
+The metrics endpoint (:meth:`~repro.core.cqms.CQMS.metrics_text`) is an
+interface contract with external scrapers, and text formats rot silently —
+a malformed label escape or a duplicated series does not crash anything
+here, it corrupts someone else's dashboard weeks later.  This pass parses
+an exposition document the way a scraper would and reports:
+
+* ``exposition-format`` — a line that is neither a valid sample, a
+  ``# HELP``/``# TYPE`` comment, nor blank; an unparsable sample value; a
+  ``TYPE`` naming an unknown kind.
+* ``missing-metadata`` — a sample whose family was never declared with
+  ``# TYPE`` (scrapers then guess the kind) or ``# HELP``.
+* ``duplicate-series`` — the same metric name + label set emitted twice;
+  the second value silently wins in most scrapers.
+* ``unlabelled-series`` — a sample carrying no labels at all.  Engine
+  series must carry at least the ``engine=`` dimension (two databases run
+  in one process here), so a bare series is almost always a bug.
+* ``metric-naming`` — a family outside the ``repro_`` namespace, or a
+  ``counter`` family missing the ``_total`` suffix.
+* ``histogram-consistency`` — ``le`` bucket counts that decrease as bounds
+  grow, or a ``+Inf`` bucket disagreeing with ``_count``.
+* ``min-series`` — fewer distinct series than the caller's floor (used by
+  CI to assert the engine actually exposes its telemetry surface).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.analysis.framework import Diagnostic, DiagnosticReport, Rule, Severity
+
+EXPOSITION_FORMAT = Rule(
+    "exposition-format", Severity.ERROR, "line is not valid exposition text"
+)
+MISSING_METADATA = Rule(
+    "missing-metadata", Severity.ERROR, "sample without # HELP/# TYPE metadata"
+)
+DUPLICATE_SERIES = Rule(
+    "duplicate-series", Severity.ERROR, "metric name + label set emitted twice"
+)
+UNLABELLED_SERIES = Rule(
+    "unlabelled-series", Severity.ERROR, "sample carries no labels"
+)
+METRIC_NAMING = Rule(
+    "metric-naming", Severity.ERROR, "series violates the naming scheme"
+)
+HISTOGRAM_CONSISTENCY = Rule(
+    "histogram-consistency", Severity.ERROR, "histogram buckets are inconsistent"
+)
+MIN_SERIES = Rule(
+    "min-series", Severity.ERROR, "fewer distinct series than required"
+)
+
+RULES: tuple[Rule, ...] = (
+    EXPOSITION_FORMAT,
+    MISSING_METADATA,
+    DUPLICATE_SERIES,
+    UNLABELLED_SERIES,
+    METRIC_NAMING,
+    HISTOGRAM_CONSISTENCY,
+    MIN_SERIES,
+)
+
+_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_METRIC_RE = re.compile(
+    rf"^(?P<name>{_NAME})(?:\{{(?P<labels>.*)\}})?\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(rf'({_NAME})="((?:[^"\\]|\\.)*)"')
+_HELP_RE = re.compile(rf"^# HELP (?P<name>{_NAME}) (?P<text>.*)$")
+_TYPE_RE = re.compile(rf"^# TYPE (?P<name>{_NAME}) (?P<kind>\S+)\s*$")
+
+#: ``X_bucket``/``X_sum``/``X_count`` samples belong to histogram family X.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(raw: str) -> float | None:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _parse_labels(raw: str | None) -> dict[str, str] | None:
+    """The label dict of a sample, or None when the block is malformed."""
+    if raw is None:
+        return {}
+    matched = _LABEL_RE.findall(raw)
+    # Re-render what we matched and compare the consumed length: leftovers
+    # mean a bad escape or a missing quote the regex silently skipped.
+    consumed = ",".join(f'{name}="{value}"' for name, value in matched)
+    normalized = raw.rstrip(",")
+    if consumed.replace(" ", "") != normalized.replace(" ", ""):
+        return None
+    return dict(matched)
+
+
+def _family_of(sample_name: str, typed: dict[str, str]) -> str:
+    """The declared family a sample belongs to (histogram suffix aware)."""
+    if sample_name in typed:
+        return sample_name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if typed.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def lint_exposition(
+    text: str,
+    namespace: str = "repro",
+    min_series: int | None = None,
+) -> DiagnosticReport:
+    """Lint one exposition document; locations are ``metrics:<line>``."""
+    report = DiagnosticReport()
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    seen_series: dict[tuple[str, tuple[tuple[str, str], ...]], int] = {}
+    # family -> labels-without-le -> [(bound, cumulative count, line)]
+    buckets: dict[str, dict[tuple[tuple[str, str], ...], list[tuple[float, float, int]]]] = {}
+    counts: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        where = f"metrics:{line_no}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            if help_match:
+                helped.add(help_match.group("name"))
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                kind = type_match.group("kind")
+                if kind not in _KINDS:
+                    report.add(
+                        EXPOSITION_FORMAT.at(
+                            where, f"unknown metric kind {kind!r} in # TYPE"
+                        )
+                    )
+                typed[type_match.group("name")] = kind
+                continue
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                report.add(EXPOSITION_FORMAT.at(where, f"malformed comment {line!r}"))
+            continue  # other comments are legal and ignored
+        sample = _METRIC_RE.match(line)
+        if sample is None:
+            report.add(EXPOSITION_FORMAT.at(where, f"unparsable sample line {line!r}"))
+            continue
+        name = sample.group("name")
+        value = _parse_value(sample.group("value"))
+        if value is None:
+            report.add(
+                EXPOSITION_FORMAT.at(
+                    where, f"unparsable sample value {sample.group('value')!r}"
+                )
+            )
+            continue
+        labels = _parse_labels(sample.group("labels"))
+        if labels is None:
+            report.add(
+                EXPOSITION_FORMAT.at(
+                    where, f"malformed label block in {line!r}"
+                )
+            )
+            continue
+        family = _family_of(name, typed)
+        if family not in typed:
+            report.add(
+                MISSING_METADATA.at(where, f"sample {name!r} has no # TYPE declaration")
+            )
+        elif family not in helped:
+            report.add(
+                MISSING_METADATA.at(where, f"family {family!r} has no # HELP text")
+            )
+        if not labels:
+            report.add(
+                UNLABELLED_SERIES.at(
+                    where,
+                    f"series {name!r} carries no labels (engine series need at "
+                    f"least the engine= dimension)",
+                )
+            )
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_series:
+            report.add(
+                DUPLICATE_SERIES.at(
+                    where,
+                    f"series {name}{dict(labels)!r} already emitted at "
+                    f"line {seen_series[key]}",
+                )
+            )
+        else:
+            seen_series[key] = line_no
+        if not name.startswith(namespace + "_"):
+            report.add(
+                METRIC_NAMING.at(
+                    where, f"series {name!r} outside the {namespace}_ namespace"
+                )
+            )
+        if typed.get(family) == "counter" and not family.endswith("_total"):
+            report.add(
+                METRIC_NAMING.at(
+                    where, f"counter family {family!r} missing the _total suffix"
+                )
+            )
+        if typed.get(family) == "histogram":
+            base_labels = tuple(
+                sorted(item for item in labels.items() if item[0] != "le")
+            )
+            if name == family + "_bucket":
+                bound = _parse_value(labels.get("le", ""))
+                if bound is None:
+                    report.add(
+                        EXPOSITION_FORMAT.at(
+                            where, f"histogram bucket with unparsable le={labels.get('le')!r}"
+                        )
+                    )
+                else:
+                    buckets.setdefault(family, {}).setdefault(base_labels, []).append(
+                        (bound, value, line_no)
+                    )
+            elif name == family + "_count":
+                counts.setdefault(family, {})[base_labels] = value
+
+    for family, children in buckets.items():
+        for base_labels, series in children.items():
+            ordered = sorted(series)
+            last = -math.inf
+            for bound, cumulative, line_no in ordered:
+                if cumulative < last:
+                    report.add(
+                        HISTOGRAM_CONSISTENCY.at(
+                            f"metrics:{line_no}",
+                            f"{family} bucket le={bound:g} count {cumulative:g} "
+                            f"below the previous bucket's {last:g}",
+                        )
+                    )
+                last = cumulative
+            inf_buckets = [item for item in ordered if item[0] == math.inf]
+            total = counts.get(family, {}).get(base_labels)
+            if not inf_buckets:
+                report.add(
+                    HISTOGRAM_CONSISTENCY.at(
+                        f"metrics:{ordered[-1][2]}",
+                        f"{family}{dict(base_labels)!r} has no le=\"+Inf\" bucket",
+                    )
+                )
+            elif total is not None and inf_buckets[-1][1] != total:
+                report.add(
+                    HISTOGRAM_CONSISTENCY.at(
+                        f"metrics:{inf_buckets[-1][2]}",
+                        f"{family} +Inf bucket {inf_buckets[-1][1]:g} != _count {total:g}",
+                    )
+                )
+
+    if min_series is not None and len(seen_series) < min_series:
+        report.add(
+            MIN_SERIES.at(
+                "metrics:0",
+                f"document exposes {len(seen_series)} distinct series, "
+                f"required at least {min_series}",
+            )
+        )
+    return report
+
+
+def lint_live_engine(min_series: int = 25) -> tuple[DiagnosticReport, int]:
+    """Build a small populated CQMS and lint its live exposition output.
+
+    This is the CI entry point behind ``python -m repro.analysis
+    lint-metrics``: it exercises the real registry (both engines, admission
+    control, the profiler) rather than a fixture string, so a regression in
+    any instrumented layer surfaces as a lint failure.  Returns the report
+    plus the number of distinct series rendered.
+    """
+    from repro.clock import SimulatedClock
+    from repro.core.config import CQMSConfig
+    from repro.core.cqms import CQMS
+    from repro.errors import RateLimitedError, ReproError
+    from repro.obs import QueryLimits
+    from repro.workloads import build_database
+
+    clock = SimulatedClock()
+    database = build_database("limnology", scale=1)
+    config = CQMSConfig(slow_query_threshold_seconds=0.0)
+    cqms = CQMS(database, config=config, clock=clock)
+    cqms.register_user("ana", "limno")
+    cqms.register_user("ben", "limno")
+    cqms.set_user_limits("ben", QueryLimits(rate_limit_qps=1.0, rate_limit_burst=1.0))
+    statements = (
+        "SELECT * FROM WaterTemp T WHERE T.temp < 18",
+        "SELECT lake, count(*) FROM WaterTemp GROUP BY lake",
+        "SELECT * FROM NoSuchTable",
+    )
+    for sql in statements:
+        clock.advance(1.0)
+        cqms.submit("ana", sql)
+    cqms.submit("ben", statements[0])
+    try:
+        cqms.submit("ben", statements[1])  # second in the same tick: shed
+    except RateLimitedError:
+        pass
+    try:
+        cqms.database.execute(statements[0], timeout_seconds=-1.0)
+    except ReproError:
+        pass
+    cqms.search_keyword("ana", ["watertemp"])
+    text = cqms.metrics_text()
+    report = lint_exposition(text, min_series=min_series)
+    return report, cqms.metrics.series_count()

@@ -20,8 +20,11 @@ and enforces them:
   the handler swallows (no ``raise`` in its body).  ``except BaseException``
   is only legitimate as the rollback idiom — body must re-raise.
 * ``wall-clock`` — calls to ``time.time``/``time.monotonic`` or
-  ``datetime`` *now* variants outside ``clock.py`` bypass the injectable
-  :class:`~repro.clock.SimulatedClock` and make replays nondeterministic.
+  ``datetime`` *now* variants outside the sanctioned time-source modules
+  (``clock.py``, which owns the injectable
+  :class:`~repro.clock.SimulatedClock`, and ``obs/metrics.py``, which owns
+  the :data:`~repro.obs.metrics.engine_timer` duration helper every
+  instrumented site shares) make replays nondeterministic.
   ``time.perf_counter`` (duration instrumentation) is allowed, as is
   *referencing* ``time.monotonic`` uncalled (passing it as a clock).
 * ``metrics-single-writer`` — a closure submitted to the shared scan pool
@@ -110,7 +113,13 @@ class SourceFile:
 
     @property
     def is_clock_module(self) -> bool:
-        return Path(self.rel).name == "clock.py"
+        """True for the sanctioned time-source modules the rule exempts:
+        ``clock.py`` (the injectable SimulatedClock) and ``obs/metrics.py``
+        (the ``engine_timer`` duration helper)."""
+        path = Path(self.rel)
+        if path.name == "clock.py":
+            return True
+        return path.name == "metrics.py" and "obs" in path.parts
 
     def where(self, node: ast.AST) -> str:
         return f"{self.rel}:{getattr(node, 'lineno', 0)}"
@@ -396,8 +405,9 @@ def _check_wall_clock(source: SourceFile, diagnostics: list[Diagnostic]) -> None
             diagnostics.append(
                 WALL_CLOCK.at(
                     source.where(node),
-                    f"wall-clock call {name}() outside clock.py: inject the "
-                    f"engine clock (SimulatedClock in tests) instead",
+                    f"wall-clock call {name}() outside the sanctioned time "
+                    f"modules (clock.py, obs/metrics.py): inject the engine "
+                    f"clock (SimulatedClock in tests) or use engine_timer",
                 )
             )
         elif name in _WARNED_CLOCK_CALLS:

@@ -198,6 +198,49 @@ def render_query_health(health: dict[str, dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def render_metrics(registry, slow_queries=(), max_slow: int = 5) -> str:
+    """Render the Workbench metrics panel from a
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    Latency histograms show their p50/p90/p99 deciles, counters and gauges
+    their current value; the tail lists the slowest recent statements from
+    the slow-query log (newest last).  This is the human view of the same
+    data :meth:`~repro.core.cqms.CQMS.metrics_text` exposes for scraping.
+    """
+    from repro.obs.metrics import Histogram
+
+    lines = ["=== Metrics ==="]
+    histogram_lines: list[str] = []
+    scalar_lines: list[str] = []
+    for name, labels, instance in registry.series():
+        label_text = ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+        if isinstance(instance, Histogram):
+            summary = instance.summary()
+            histogram_lines.append(
+                f"{name}{{{label_text}}}: "
+                f"p50={summary['p50'] * 1000.0:.3f}ms "
+                f"p90={summary['p90'] * 1000.0:.3f}ms "
+                f"p99={summary['p99'] * 1000.0:.3f}ms "
+                f"(n={int(summary['count'])})"
+            )
+        else:
+            value = instance.value
+            rendered = f"{value:g}" if value == int(value) else f"{value:.6g}"
+            scalar_lines.append(f"{name}{{{label_text}}}: {rendered}")
+    if histogram_lines:
+        lines.append("-- latency --")
+        lines.extend(histogram_lines)
+    if scalar_lines:
+        lines.append("-- counters & gauges --")
+        lines.extend(scalar_lines)
+    slow = list(slow_queries)
+    if slow:
+        lines.append(f"-- slow queries (last {min(len(slow), max_slow)}) --")
+        for trace in slow[-max_slow:]:
+            lines.append(f"{trace.total_seconds * 1000.0:.3f}ms  {trace.sql}")
+    return "\n".join(lines)
+
+
 def render_query_table(records: list[LoggedQuery], max_width: int = 70) -> str:
     """Render a list of logged queries as a table (the browse log view)."""
     header = f"{'qid':<6}| {'user':<10}| {'when':<10}| {'card.':<7}| query"

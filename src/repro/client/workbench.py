@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.client.render import (
     render_assist_panel,
     render_durability,
+    render_metrics,
     render_plan,
     render_plan_cache,
     render_query_health,
@@ -125,6 +126,20 @@ class Workbench:
         checkpoint — the at-a-glance answer to "what survives a crash?".
         """
         return render_durability(self.cqms.durability_stats())
+
+    def metrics_panel(self) -> str:
+        """Rendered engine telemetry: latency deciles, counters, slow queries.
+
+        Requires ``config.telemetry_enabled`` (the default).  Mirrors
+        (plan cache, WAL, buffer pool) are refreshed via
+        :meth:`~repro.core.cqms.CQMS.metrics_text` semantics first so the
+        panel shows a consistent snapshot.
+        """
+        if self.cqms.metrics is None:
+            return "=== Metrics ===\n(telemetry disabled)"
+        self.cqms.telemetry.sync_engine(self.cqms.database)
+        self.cqms.store_telemetry.sync_engine(self.cqms.store.meta_database)
+        return render_metrics(self.cqms.metrics, self.cqms.slow_queries())
 
     def query_health_panel(self) -> str:
         """Rendered per-user lint summary of the shared query log.

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.records import LoggedQuery
 from repro.errors import AccessControlError
+from repro.obs.admission import QueryLimits
 
 
 class Visibility(enum.Enum):
@@ -53,6 +54,7 @@ class AccessControl:
     default_visibility: Visibility = Visibility.GROUP
     _principals: dict[str, Principal] = field(default_factory=dict)
     _grants: dict[int, set[str]] = field(default_factory=dict)
+    _limits: dict[str, QueryLimits] = field(default_factory=dict)
 
     # -- principals -------------------------------------------------------------
 
@@ -73,6 +75,25 @@ class AccessControl:
 
     def principals(self) -> list[Principal]:
         return sorted(self._principals.values(), key=lambda principal: principal.name)
+
+    # -- per-principal resource limits ----------------------------------------------
+
+    def set_limits(self, name: str, limits: QueryLimits | None) -> None:
+        """Attach admission-control limits to a principal (None clears them).
+
+        Limits compose with the config-wide defaults through
+        :meth:`~repro.obs.admission.QueryLimits.merged_over`: unset fields
+        inherit, set fields override per principal.
+        """
+        self.principal(name)  # raises for unknown principals
+        if limits is None:
+            self._limits.pop(name, None)
+        else:
+            self._limits[name] = limits
+
+    def limits_for(self, name: str) -> QueryLimits | None:
+        """The per-principal limits override, or None when unconfigured."""
+        return self._limits.get(name)
 
     # -- per-query grants -----------------------------------------------------------
 

@@ -95,6 +95,20 @@ class CQMSConfig:
     # -- access control (Sections 1 / 2.4) --------------------------------------------
     default_visibility: str = "group"          # "private" | "group" | "public"
 
+    # -- observability (metrics registry, tracing, slow-query log) ----------------------
+    telemetry_enabled: bool = True             # metrics + traces for both engines
+    slow_query_threshold_seconds: float = 1.0  # traces slower than this are retained
+    slow_query_log_size: int = 128             # slow-query ring-buffer capacity
+    trace_operators: bool = False              # per-operator spans + histograms (costly)
+
+    # -- admission control (per-principal budgets) ----------------------------------------
+    #: Cooperative per-statement timeout; a statement past it is cancelled at
+    #: the next batch boundary.  None disables (per-principal QueryLimits can
+    #: still impose one).
+    statement_timeout_seconds: float | None = None
+    rate_limit_qps: float | None = None        # default submissions/second per principal
+    rate_limit_burst: float | None = None      # bucket depth (None = max(qps, 1))
+
     def validate(self) -> None:
         """Raise ``ValueError`` for out-of-range parameters."""
         if self.profiling_mode not in ("off", "text", "features"):
@@ -132,6 +146,16 @@ class CQMSConfig:
             raise ValueError("exec_process_workers must be at least 1")
         if self.exec_process_threshold < 0:
             raise ValueError("exec_process_threshold must be non-negative")
+        if self.slow_query_threshold_seconds < 0:
+            raise ValueError("slow_query_threshold_seconds must be non-negative")
+        if self.slow_query_log_size < 1:
+            raise ValueError("slow_query_log_size must be at least 1")
+        if self.statement_timeout_seconds is not None and self.statement_timeout_seconds <= 0:
+            raise ValueError("statement_timeout_seconds must be positive when set")
+        if self.rate_limit_qps is not None and self.rate_limit_qps <= 0:
+            raise ValueError("rate_limit_qps must be positive when set")
+        if self.rate_limit_burst is not None and self.rate_limit_burst < 1:
+            raise ValueError("rate_limit_burst must be at least 1 when set")
 
     def exec_settings(self):
         """The storage-layer :class:`~repro.storage.exec_settings.ExecutionSettings`

@@ -36,6 +36,7 @@ from repro.core.recommender import QueryRecommender, Recommendation
 from repro.core.records import LoggedQuery
 from repro.core.tutorial import TutorialGenerator, TutorialSection
 from repro.errors import ReproError
+from repro.obs import AdmissionController, EngineTelemetry, MetricsRegistry, QueryLimits
 from repro.sql.parse_tree import TreePattern
 from repro.storage.database import Database
 
@@ -80,9 +81,48 @@ class CQMS:
         self.access_control = AccessControl(
             default_visibility=Visibility.parse(self.config.default_visibility)
         )
+        # -- observability + admission control ------------------------------
+        # One shared registry; the two engines are told apart by the
+        # ``engine`` label.  The admission controller's token buckets refill
+        # from the simulated clock, so rate-limit tests are deterministic.
+        self.metrics: MetricsRegistry | None = None
+        self.telemetry: EngineTelemetry | None = None
+        self.store_telemetry: EngineTelemetry | None = None
+        self.admission: AdmissionController | None = None
+        if self.config.telemetry_enabled:
+            self.metrics = MetricsRegistry(clock=self.clock)
+            self.telemetry = EngineTelemetry(
+                registry=self.metrics,
+                engine="database",
+                clock=self.clock,
+                slow_query_threshold_seconds=self.config.slow_query_threshold_seconds,
+                slow_query_log_size=self.config.slow_query_log_size,
+                trace_operators=self.config.trace_operators,
+            )
+            self.store_telemetry = EngineTelemetry(
+                registry=self.metrics,
+                engine="query_storage",
+                clock=self.clock,
+                slow_query_threshold_seconds=self.config.slow_query_threshold_seconds,
+                slow_query_log_size=self.config.slow_query_log_size,
+                trace_operators=self.config.trace_operators,
+            )
+            database.attach_telemetry(self.telemetry)
+            self.store.attach_telemetry(self.store_telemetry)
+            self.admission = AdmissionController(
+                self.metrics,
+                clock=self.clock,
+                defaults=QueryLimits(
+                    rate_limit_qps=self.config.rate_limit_qps,
+                    rate_limit_burst=self.config.rate_limit_burst,
+                    statement_timeout_seconds=self.config.statement_timeout_seconds,
+                ),
+            )
         ranking = RankingFunction(RankingWeights.from_config(self.config.ranking))
         self.ranking = ranking
-        self.profiler = QueryProfiler(database, self.store, self.config, clock=self.clock)
+        self.profiler = QueryProfiler(
+            database, self.store, self.config, clock=self.clock, registry=self.metrics
+        )
         self.meta_query = MetaQueryExecutor(
             self.store, self.access_control, self.config, ranking=ranking, clock=self.clock
         )
@@ -123,14 +163,28 @@ class CQMS:
         visibility: str | None = None,
         timestamp: float | None = None,
     ) -> ProfiledExecution:
-        """Submit a standard SQL query; it is executed and logged."""
+        """Submit a standard SQL query; it is executed and logged.
+
+        Submission first passes admission control: a rate-limited principal
+        gets a typed :class:`~repro.errors.RateLimitedError` *before* any
+        parsing, execution, or logging, and the admitted statement carries
+        its effective timeout budget (config default overridden by the
+        principal's :class:`~repro.obs.admission.QueryLimits`).
+        """
         principal = self.access_control.principal(user)
+        timeout_seconds = None
+        if self.admission is not None:
+            budget = self.admission.admit(
+                principal.name, self.access_control.limits_for(principal.name)
+            )
+            timeout_seconds = budget.timeout_seconds
         return self.profiler.profile(
             user=principal.name,
             group=principal.group,
             sql=sql,
             visibility=visibility,
             timestamp=timestamp,
+            timeout_seconds=timeout_seconds,
         )
 
     def explain(self, user: str, sql: str, analyze: bool = False):
@@ -148,6 +202,37 @@ class CQMS:
         Storage feature relations."""
         self.access_control.principal(user)
         return self.meta_query.explain_meta_sql(meta_sql, analyze=analyze)
+
+    # -- observability ----------------------------------------------------------
+
+    def set_user_limits(self, user: str, limits: QueryLimits | None) -> None:
+        """Set (or clear) a principal's admission limits.
+
+        Unset fields inherit the config-wide defaults
+        (``rate_limit_qps`` / ``rate_limit_burst`` /
+        ``statement_timeout_seconds``).
+        """
+        self.access_control.set_limits(user, limits)
+
+    def metrics_text(self) -> str:
+        """Both engines' metrics in Prometheus text exposition format.
+
+        Scrape-time mirrors (plan cache, WAL, buffer pool) are refreshed
+        first, so the rendering is a consistent point-in-time view.
+        """
+        if self.metrics is None:
+            raise ReproError("telemetry is disabled (config.telemetry_enabled)")
+        self.telemetry.sync_engine(self.database)
+        self.store_telemetry.sync_engine(self.store.meta_database)
+        return self.metrics.render()
+
+    def slow_queries(self) -> list:
+        """Slow-query traces of both engines, newest last per engine."""
+        entries: list = []
+        for telemetry in (self.telemetry, self.store_telemetry):
+            if telemetry is not None:
+                entries.extend(telemetry.slow_queries.entries())
+        return entries
 
     def plan_cache_stats(self) -> dict[str, object]:
         """Plan-cache counters of both engines the CQMS runs on.

@@ -22,6 +22,7 @@ from repro.core.config import CQMSConfig
 from repro.core.query_store import QueryStore
 from repro.core.records import LoggedQuery, OutputSummary, RuntimeStats
 from repro.errors import ReproError
+from repro.obs.metrics import engine_timer
 from repro.sql.canonicalize import canonical_text
 from repro.sql.features import extract_features
 from repro.sql.parser import parse
@@ -68,12 +69,17 @@ class QueryProfiler:
         store: QueryStore,
         config: CQMSConfig | None = None,
         clock=None,
+        registry=None,
     ):
         self._db = database
         self._store = store
         self._config = config or CQMSConfig()
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._mode = ProfilingMode.parse(self._config.profiling_mode)
+        #: Metrics registry recording the per-mode logging overhead the C1
+        #: experiment ("should not hinder ordinary data processing") measures.
+        self._registry = registry
+        self._timer = registry.timer if registry is not None else engine_timer
 
     # -- mode management -------------------------------------------------------
 
@@ -93,22 +99,28 @@ class QueryProfiler:
         sql: str,
         visibility: str | None = None,
         timestamp: float | None = None,
+        timeout_seconds: float | None = None,
     ) -> ProfiledExecution:
         """Execute ``sql`` on the DBMS and (depending on mode) log it.
 
         Execution errors do not raise: the failed attempt is still logged
         (failed queries are exactly what the correction features learn from)
         and the error is reported in the returned :class:`ProfiledExecution`.
+        A statement cancelled by ``timeout_seconds`` is logged the same way —
+        the cancellation happened at a batch boundary, so the store and the
+        DBMS are both consistent.
         """
         timestamp = self._now() if timestamp is None else timestamp
         result: QueryResult | None = None
         error: str | None = None
         try:
-            result = self._db.execute(sql)
+            result = self._db.execute(sql, timeout_seconds=timeout_seconds)
         except ReproError as exc:
             error = str(exc)
 
+        overhead_start = self._timer()
         if self._mode is ProfilingMode.OFF:
+            self._observe_overhead(overhead_start)
             return ProfiledExecution(result=result, record=None, error=error)
 
         record = self._build_record(
@@ -122,12 +134,23 @@ class QueryProfiler:
         )
         self._store.add(record)
         annotation_requested = self._should_request_annotation(record)
+        self._observe_overhead(overhead_start)
         return ProfiledExecution(
             result=result,
             record=record,
             error=error,
             annotation_requested=annotation_requested,
         )
+
+    def _observe_overhead(self, started: float) -> None:
+        """Record logging overhead (everything but the DBMS execution)."""
+        if self._registry is None:
+            return
+        self._registry.histogram(
+            "profiler_overhead_seconds",
+            "profiler logging overhead per submitted query, by mode",
+            mode=self._mode.value,
+        ).observe(max(0.0, self._timer() - started))
 
     # -- record construction --------------------------------------------------------
 

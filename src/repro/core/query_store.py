@@ -211,6 +211,7 @@ class QueryStore:
         # recommendation) do not scan the whole log.
         self._qids_by_user: dict[str, set[int]] = {}
         self._qids_by_group: dict[str, set[int]] = {}
+        self._telemetry = None
         self._next_qid = 1
         self._next_qid_row_id = self._init_store_meta()
         if data_dir is not None and len(self._meta_db.table("Queries")):
@@ -222,6 +223,16 @@ class QueryStore:
     def meta_database(self) -> Database:
         """The relational database holding the feature relations."""
         return self._meta_db
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach an :class:`~repro.obs.telemetry.EngineTelemetry` bundle.
+
+        The bundle instruments the meta-database (statement latency, operator
+        counters) and receives the per-user / per-group workload series
+        :meth:`add` maintains for the Workbench metrics panel.
+        """
+        self._telemetry = telemetry
+        self._meta_db.attach_telemetry(telemetry)
 
     # -- durability lifecycle ----------------------------------------------------
 
@@ -419,6 +430,30 @@ class QueryStore:
         self._records[record.qid] = record
         self._qids_by_user.setdefault(record.user, set()).add(record.qid)
         self._qids_by_group.setdefault(record.group, set()).add(record.qid)
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            registry.counter(
+                "user_queries",
+                "queries logged into the Query Storage, per user",
+                user=record.user,
+            ).inc()
+            elapsed = record.runtime.elapsed_seconds if record.runtime else 0.0
+            registry.histogram(
+                "user_query_seconds",
+                "logged-query latency as observed per user",
+                user=record.user,
+            ).observe(elapsed)
+            registry.histogram(
+                "group_query_seconds",
+                "logged-query latency as observed per collaboration group",
+                group=record.group,
+            ).observe(elapsed)
+            if not (record.runtime and record.runtime.succeeded):
+                registry.counter(
+                    "user_queries_failed",
+                    "logged queries that failed, per user",
+                    user=record.user,
+                ).inc()
         self._meta_db.insert_rows(
             "Queries",
             [

@@ -65,6 +65,16 @@ class IntegrityError(StorageError):
     """Raised when a uniqueness or not-null constraint is violated."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """Raised when a statement exceeds its admission-control time budget.
+
+    The executor checks the budget cooperatively at batch boundaries, so a
+    cancelled statement never leaves a half-applied mutation behind: DML
+    target scans are materialized (and therefore cancelled) before the
+    first write.
+    """
+
+
 class DurabilityError(StorageError):
     """Raised by the durability subsystem: WAL misuse, lock conflicts on a
     ``data_dir``, operations on a closed database, or unrecoverable
@@ -89,6 +99,14 @@ class ProfilerError(CQMSError):
 
 class MaintenanceError(CQMSError):
     """Raised for failures in the query-maintenance component."""
+
+
+class RateLimitedError(CQMSError):
+    """Raised when admission control rejects a statement before execution.
+
+    A typed, pre-execution rejection: nothing was parsed, executed, or
+    logged, so the client can back off and resubmit unchanged.
+    """
 
 
 class WorkloadError(ReproError):

@@ -1,0 +1,44 @@
+"""Engine observability: metrics registry, tracing, admission control.
+
+This package is the telemetry substrate for the whole engine.  It sits
+*below* ``repro.storage`` in the import order (stdlib + ``repro.errors``
+only), so the storage layer can report into it without a cycle; ``core``
+wires one shared :class:`~repro.obs.metrics.MetricsRegistry` across both
+engines (the user database and the Query Storage) and puts the
+:class:`~repro.obs.admission.AdmissionController` in front of
+``CQMS.submit``.
+"""
+
+from repro.obs.admission import (
+    AdmissionController,
+    QueryLimits,
+    StatementBudget,
+    TokenBucket,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    engine_timer,
+)
+from repro.obs.telemetry import EngineTelemetry
+from repro.obs.tracing import SlowQueryLog, Span, Trace
+
+__all__ = [
+    "AdmissionController",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EngineTelemetry",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryLimits",
+    "SlowQueryLog",
+    "Span",
+    "StatementBudget",
+    "TokenBucket",
+    "Trace",
+    "engine_timer",
+]

@@ -1,0 +1,252 @@
+"""The per-engine telemetry bundle the storage layer reports into.
+
+:class:`EngineTelemetry` owns nothing exotic — it is a
+:class:`~repro.obs.metrics.MetricsRegistry` (usually shared between the
+user database and the Query Storage, distinguished by the ``engine``
+label), a :class:`~repro.obs.tracing.SlowQueryLog`, and the handful of
+observation methods ``Database.execute`` calls per statement.  Keeping the
+methods here — rather than scattering ``registry.counter(...)`` calls
+through the storage layer — pins the metric naming scheme in one place:
+
+* every series carries the ``engine`` label (``database`` /
+  ``query_storage``),
+* counters end in ``_total`` and only go up; engine-internal running
+  totals (ExecutorMetrics, PlanCacheStats, WalStats, BufferPoolStats) are
+  mirrored with ``set_total``/``set`` at scrape time,
+* latencies are histograms over the shared
+  :data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS` ladder with
+  p50/p90/p99 readout.
+
+The module is duck-typed against the engine's stats dataclasses on purpose:
+``obs`` sits *below* ``storage`` in the import order so the storage layer
+may depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import SlowQueryLog, Trace
+
+
+class EngineTelemetry:
+    """Metrics + tracing attachment point for one database engine."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        engine: str = "database",
+        clock: Callable[[], float] | None = None,
+        timer: Callable[[], float] | None = None,
+        slow_query_threshold_seconds: float = 1.0,
+        slow_query_log_size: int = 128,
+        trace_operators: bool = False,
+    ):
+        self.registry = registry or MetricsRegistry(clock=clock, timer=timer)
+        self.engine = engine
+        self.slow_queries = SlowQueryLog(
+            capacity=slow_query_log_size,
+            threshold_seconds=slow_query_threshold_seconds,
+        )
+        #: When True, regular execution collects per-operator NodeStats and
+        #: reports them as trace spans + per-operator latency histograms
+        #: (the EXPLAIN ANALYZE machinery, always on — costs a few percent).
+        self.trace_operators = trace_operators
+        self._clock = clock
+        self.last_trace: Trace | None = None
+
+    # -- time sources ---------------------------------------------------------
+
+    @property
+    def timer(self) -> Callable[[], float]:
+        """The duration source every instrumented site shares."""
+        return self.registry.timer
+
+    def timestamp(self) -> float:
+        """An injectable-clock timestamp (0.0 when no clock was provided)."""
+        if self._clock is not None:
+            return float(self._clock())
+        return 0.0
+
+    # -- per-statement observation --------------------------------------------
+
+    def statement_histogram(self) -> Histogram:
+        return self.registry.histogram(
+            "statement_seconds",
+            "wall latency of executed statements",
+            engine=self.engine,
+        )
+
+    def begin_trace(self, sql: str) -> Trace:
+        return Trace(sql=sql, timestamp=self.timestamp(), timer=self.timer)
+
+    def observe_statement(
+        self,
+        kind: str,
+        wall_seconds: float,
+        stats: object | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        """Record one completed statement (called by ``Database.execute``)."""
+        self.registry.counter(
+            "statements",
+            "statements executed, by statement kind",
+            engine=self.engine,
+            kind=kind,
+        ).inc()
+        self.statement_histogram().observe(wall_seconds)
+        if stats is not None:
+            self._mirror_execution_stats(stats)
+        if trace is not None:
+            trace.total_seconds = wall_seconds
+            self.last_trace = trace
+            self.slow_queries.offer(trace)
+
+    def statement_failed(self, error: str) -> None:
+        self.registry.counter(
+            "statements_failed",
+            "statements that raised, by error class",
+            engine=self.engine,
+            error=error,
+        ).inc()
+
+    def statement_timed_out(self) -> None:
+        self.registry.counter(
+            "queries_timed_out",
+            "statements cancelled at a batch boundary by their timeout budget",
+            engine=self.engine,
+        ).inc()
+
+    def _mirror_execution_stats(self, stats: object) -> None:
+        """Accumulate one statement's ExecutionStats counters."""
+        for field_name, metric, help_text in (
+            ("rows_scanned", "rows_scanned", "rows fetched by access paths"),
+            ("rows_joined", "rows_joined", "rows produced by join operators"),
+            ("result_cardinality", "rows_output", "rows returned to clients"),
+            ("index_lookups", "index_lookups", "index probes performed"),
+            ("batches", "exec_batches", "operator batches consumed"),
+            ("columnar_batches", "columnar_batches", "columnar batches built"),
+            ("groups_emitted", "groups_emitted", "aggregation groups formed"),
+        ):
+            amount = getattr(stats, field_name, 0) or 0
+            if amount:
+                self.registry.counter(metric, help_text, engine=self.engine).inc(amount)
+        for field_name, metric, help_text in (
+            ("agg_seconds", "agg_seconds", "seconds inside the aggregation stage"),
+            ("kernel_seconds", "kernel_seconds", "seconds inside columnar kernels"),
+        ):
+            amount = getattr(stats, field_name, 0.0) or 0.0
+            if amount:
+                self.registry.counter(metric, help_text, engine=self.engine).inc(amount)
+
+    # -- per-operator observation ---------------------------------------------
+
+    def observe_operators(self, labeled_stats: list[tuple[str, object]]) -> None:
+        """Record per-operator actuals (``(operator name, NodeStats)``)."""
+        for op_name, stats in labeled_stats:
+            wall = getattr(stats, "wall_seconds", 0.0)
+            rows = getattr(stats, "rows", 0)
+            self.registry.histogram(
+                "operator_seconds",
+                "inclusive wall time per plan operator execution",
+                engine=self.engine,
+                op=op_name,
+            ).observe(wall)
+            if rows:
+                self.registry.counter(
+                    "operator_rows",
+                    "rows produced per plan operator",
+                    engine=self.engine,
+                    op=op_name,
+                ).inc(rows)
+
+    # -- cache / durability mirrors (scrape-time sync) --------------------------
+
+    def sync_plan_cache(self, stats: object) -> None:
+        engine = self.engine
+        registry = self.registry
+        for field_name, metric, help_text in (
+            ("hits", "plan_cache_hits", "plan-cache template hits"),
+            ("misses", "plan_cache_misses", "plan-cache template misses"),
+            ("statement_hits", "statement_cache_hits", "statement-cache hits"),
+            ("statement_misses", "statement_cache_misses", "statement-cache misses"),
+            ("invalidated_ddl", "plan_cache_invalidated_ddl", "plans invalidated by DDL"),
+            (
+                "invalidated_drift",
+                "plan_cache_invalidated_drift",
+                "plans invalidated by statistics drift",
+            ),
+            ("evictions", "plan_cache_evictions", "plans evicted by capacity"),
+        ):
+            registry.counter(metric, help_text, engine=engine).set_total(
+                getattr(stats, field_name, 0) or 0
+            )
+        registry.gauge(
+            "plan_cache_size", "cached plan templates resident", engine=engine
+        ).set(getattr(stats, "size", 0) or 0)
+        registry.gauge(
+            "plan_cache_capacity", "plan cache capacity", engine=engine
+        ).set(getattr(stats, "capacity", 0) or 0)
+
+    def sync_wal(self, stats: object | None) -> None:
+        if stats is None:
+            return
+        engine = self.engine
+        registry = self.registry
+        for field_name, metric, help_text in (
+            ("records", "wal_records", "WAL records appended"),
+            ("bytes_written", "wal_bytes_written", "WAL bytes appended"),
+            ("syncs", "wal_syncs", "WAL fsync calls"),
+            ("flushes", "wal_flushes", "WAL group-commit flushes"),
+            ("checkpoints", "wal_checkpoints", "checkpoints taken"),
+        ):
+            registry.counter(metric, help_text, engine=engine).set_total(
+                getattr(stats, field_name, 0) or 0
+            )
+        for field_name, metric, help_text in (
+            ("last_lsn", "wal_last_lsn", "newest assigned log sequence number"),
+            (
+                "records_since_checkpoint",
+                "wal_records_since_checkpoint",
+                "records pressing toward the next checkpoint",
+            ),
+            ("max_batch_records", "wal_max_batch_records", "largest group-commit batch"),
+        ):
+            registry.gauge(metric, help_text, engine=engine).set(
+                getattr(stats, field_name, 0) or 0
+            )
+
+    def sync_buffer_pool(self, stats: object) -> None:
+        engine = self.engine
+        registry = self.registry
+        for field_name, metric, help_text in (
+            ("hits", "buffer_pool_hits", "page requests served from the pool"),
+            ("misses", "buffer_pool_misses", "page requests that went to disk"),
+            ("evictions", "buffer_pool_evictions", "pages evicted"),
+            ("writebacks", "buffer_pool_writebacks", "dirty pages written back"),
+            ("pages_allocated", "buffer_pool_pages_allocated", "pages ever allocated"),
+        ):
+            registry.counter(metric, help_text, engine=engine).set_total(
+                getattr(stats, field_name, 0) or 0
+            )
+        for field_name, metric, help_text in (
+            ("resident", "buffer_pool_resident", "pages resident in the pool"),
+            ("dirty", "buffer_pool_dirty", "dirty pages resident"),
+            ("pins", "buffer_pool_pins", "currently pinned pages"),
+        ):
+            registry.gauge(metric, help_text, engine=engine).set(
+                getattr(stats, field_name, 0) or 0
+            )
+        capacity = getattr(stats, "capacity", None)
+        registry.gauge(
+            "buffer_pool_capacity",
+            "pool page capacity (0 = unbounded in-memory store)",
+            engine=engine,
+        ).set(capacity if capacity is not None else 0)
+
+    def sync_engine(self, database: object) -> None:
+        """Mirror a Database's cache/durability stats (one scrape's worth)."""
+        self.sync_plan_cache(database.plan_cache_stats())
+        self.sync_wal(database.wal_stats())
+        self.sync_buffer_pool(database.buffer_stats())

@@ -1,0 +1,145 @@
+"""Per-query tracing: structured spans and the slow-query ring buffer.
+
+A :class:`Trace` records one statement's pipeline as spans — parse → plan
+(with its cache-lookup verdict) → execute, plus one span per plan operator
+when the engine runs with ``trace_operators`` (the spans then carry the
+``NodeStats`` actuals EXPLAIN ANALYZE already measures).  Traces are cheap
+enough to build always-on: a handful of tuples per statement, no string
+formatting until :meth:`Trace.render` is asked for.
+
+The :class:`SlowQueryLog` keeps the last N traces whose total latency
+crossed a configurable threshold — the first place an operator looks when
+the p99 histogram moves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs.metrics import engine_timer
+
+
+@dataclass
+class Span:
+    """One timed step of a statement's execution."""
+
+    name: str
+    started: float
+    duration_seconds: float = 0.0
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        extra = ""
+        if self.meta:
+            pairs = " ".join(f"{key}={value}" for key, value in sorted(self.meta.items()))
+            extra = f" ({pairs})"
+        return f"{self.name}: {self.duration_seconds * 1000.0:.3f}ms{extra}"
+
+
+class Trace:
+    """The span tree (flat, pipeline-ordered) of one executed statement."""
+
+    __slots__ = ("sql", "timestamp", "spans", "total_seconds", "_timer")
+
+    def __init__(
+        self,
+        sql: str,
+        timestamp: float = 0.0,
+        timer: Callable[[], float] | None = None,
+    ):
+        self.sql = sql
+        self.timestamp = timestamp
+        self.spans: list[Span] = []
+        self.total_seconds = 0.0
+        self._timer = timer if timer is not None else engine_timer
+
+    def span(self, name: str, **meta: object) -> "_SpanTimer":
+        """``with trace.span("parse"):`` — appends a timed span on exit."""
+        return _SpanTimer(self, name, meta)
+
+    def add_span(
+        self, name: str, duration_seconds: float, **meta: object
+    ) -> Span:
+        """Append a span whose duration was measured elsewhere
+        (per-operator ``NodeStats`` actuals)."""
+        span = Span(
+            name=name,
+            started=self._timer(),
+            duration_seconds=duration_seconds,
+            meta=meta,
+        )
+        self.spans.append(span)
+        return span
+
+    def render(self) -> str:
+        lines = [f"trace [{self.total_seconds * 1000.0:.3f}ms] {self.sql}"]
+        lines.extend(f"  {span.describe()}" for span in self.spans)
+        return "\n".join(lines)
+
+
+class _SpanTimer:
+    __slots__ = ("_trace", "_name", "_meta", "_started")
+
+    def __init__(self, trace: Trace, name: str, meta: dict[str, object]):
+        self._trace = trace
+        self._name = name
+        self._meta = meta
+        self._started = 0.0
+
+    def __enter__(self) -> "_SpanTimer":
+        self._started = self._trace._timer()
+        return self
+
+    def __setitem__(self, key: str, value: object) -> None:
+        """Attach metadata discovered inside the block (cache verdicts)."""
+        self._meta[key] = value
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = max(0.0, self._trace._timer() - self._started)
+        if exc_type is not None:
+            self._meta.setdefault("error", exc_type.__name__)
+        self._trace.spans.append(
+            Span(
+                name=self._name,
+                started=self._started,
+                duration_seconds=duration,
+                meta=self._meta,
+            )
+        )
+
+
+class SlowQueryLog:
+    """Ring buffer of the slowest recent statements.
+
+    ``threshold_seconds`` keys admission: a trace whose total latency is
+    below it is dropped on the floor (the log is for outliers, not a second
+    query log).  Capacity-bounded, oldest evicted first.
+    """
+
+    def __init__(self, capacity: int = 128, threshold_seconds: float = 1.0):
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be at least 1")
+        if threshold_seconds < 0:
+            raise ValueError("slow-query threshold must be non-negative")
+        self.threshold_seconds = threshold_seconds
+        self._entries: deque[Trace] = deque(maxlen=capacity)
+        self.admitted = 0
+        self.observed = 0
+
+    def offer(self, trace: Trace) -> bool:
+        """Record the trace if it crossed the threshold; True when kept."""
+        self.observed += 1
+        if trace.total_seconds < self.threshold_seconds:
+            return False
+        self.admitted += 1
+        self._entries.append(trace)
+        return True
+
+    def entries(self) -> list[Trace]:
+        """Newest-last traces currently retained."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

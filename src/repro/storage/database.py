@@ -18,7 +18,15 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import CatalogError, DurabilityError, ExecutionError, SchemaError
+from repro.errors import (
+    CatalogError,
+    DurabilityError,
+    ExecutionError,
+    QueryTimeoutError,
+    ReproError,
+    SchemaError,
+)
+from repro.obs.metrics import engine_timer
 from repro.storage.buffer_pool import BufferPoolStats, PageStore
 from repro.storage.catalog import Catalog
 from repro.storage.pager import PAGES_FILE_NAME, Pager
@@ -176,6 +184,13 @@ class Database:
         #: What crash recovery found when this database was opened (None for
         #: in-memory databases).
         self.last_recovery: RecoveryReport | None = None
+        #: Optional telemetry attachment (see :meth:`attach_telemetry`).
+        self._telemetry = None
+        #: The one duration source for executor seconds and timeout deadlines
+        #: — the telemetry registry's timer once telemetry is attached.
+        self.statement_timer = engine_timer
+        #: The trace of the statement currently executing (set by execute()).
+        self._active_trace = None
 
     # -- durability lifecycle ------------------------------------------------------
 
@@ -365,6 +380,24 @@ class Database:
         working-set size.
         """
         return self._store.stats()
+
+    # -- telemetry ---------------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.obs.telemetry.EngineTelemetry`, or None."""
+        return self._telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach an :class:`~repro.obs.telemetry.EngineTelemetry` bundle.
+
+        From then on every executed statement is counted and its latency
+        observed into the bundle's registry, traces are recorded (slow ones
+        into the ring buffer), and the registry's timer becomes the one
+        duration source for executor instrumentation and timeout deadlines.
+        """
+        self._telemetry = telemetry
+        self.statement_timer = telemetry.timer if telemetry is not None else engine_timer
 
     def _wal_append(self, record: dict) -> None:
         if self._wal is not None:
@@ -574,29 +607,73 @@ class Database:
 
     # -- execution ------------------------------------------------------------------
 
-    def execute(self, sql_or_statement, parameters: None = None) -> QueryResult:
+    def execute(
+        self,
+        sql_or_statement,
+        parameters: None = None,
+        timeout_seconds: float | None = None,
+    ) -> QueryResult:
         """Parse (if needed) and execute one statement.
 
         Raw SQL first consults the statement cache: a byte-identical
         resubmission reuses the memoized parse + parameterize result and skips
         the tokenizer/parser entirely (its plan-cache key included).
+
+        ``timeout_seconds`` sets a cooperative budget: past it the executor
+        raises :class:`~repro.errors.QueryTimeoutError` at the next batch
+        boundary.  DML target scans are materialized before the first write,
+        so a timed-out statement never leaves a half-applied mutation.
         """
         self._assert_open()
+        telemetry = self._telemetry
+        timer = self.statement_timer
+        wall_start = timer()
+        trace = None
         prepared = None
         text: str | None = None
         if isinstance(sql_or_statement, str):
             text = sql_or_statement
-            if self._plan_cache is not None:
-                prepared = self._plan_cache.lookup_statement(text)
-            statement: Statement = (
-                prepared.statement if prepared is not None else parse(text)
-            )
+            if telemetry is not None:
+                trace = telemetry.begin_trace(text)
+                with trace.span("parse") as span:
+                    if self._plan_cache is not None:
+                        prepared = self._plan_cache.lookup_statement(text)
+                    statement: Statement = (
+                        prepared.statement if prepared is not None else parse(text)
+                    )
+                    span["statement_cache_hit"] = prepared is not None
+            else:
+                if self._plan_cache is not None:
+                    prepared = self._plan_cache.lookup_statement(text)
+                statement = prepared.statement if prepared is not None else parse(text)
         else:
             statement = sql_or_statement
+            if telemetry is not None:
+                trace = telemetry.begin_trace(type(statement).__name__)
+        deadline = timer() + timeout_seconds if timeout_seconds is not None else None
         start = self._clock()
-        result = self._dispatch(statement, prepared, text)
+        self._active_trace = trace
+        try:
+            result = self._dispatch(statement, prepared, text, deadline=deadline)
+        except QueryTimeoutError:
+            if telemetry is not None:
+                telemetry.statement_timed_out()
+            raise
+        except ReproError as error:
+            if telemetry is not None:
+                telemetry.statement_failed(type(error).__name__)
+            raise
+        finally:
+            self._active_trace = None
         result.stats.elapsed_seconds = max(0.0, self._clock() - start)
         result.stats.statement_cache_hit = prepared is not None
+        if telemetry is not None:
+            telemetry.observe_statement(
+                result.stats.statement_kind,
+                max(0.0, timer() - wall_start),
+                stats=result.stats,
+                trace=trace,
+            )
         self._maybe_checkpoint()
         return result
 
@@ -713,16 +790,20 @@ class Database:
         )
 
     def _dispatch(
-        self, statement: Statement, prepared=None, text: str | None = None
+        self,
+        statement: Statement,
+        prepared=None,
+        text: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResult:
         if isinstance(statement, SelectStatement):
-            return self._execute_select(statement, prepared, text)
+            return self._execute_select(statement, prepared, text, deadline=deadline)
         if isinstance(statement, InsertStatement):
-            return self._execute_insert(statement)
+            return self._execute_insert(statement, deadline=deadline)
         if isinstance(statement, UpdateStatement):
-            return self._execute_update(statement, prepared, text)
+            return self._execute_update(statement, prepared, text, deadline=deadline)
         if isinstance(statement, DeleteStatement):
-            return self._execute_delete(statement, prepared, text)
+            return self._execute_delete(statement, prepared, text, deadline=deadline)
         if isinstance(statement, CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, DropTableStatement):
@@ -734,11 +815,31 @@ class Database:
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
     def _execute_select(
-        self, statement: SelectStatement, prepared=None, text: str | None = None
+        self,
+        statement: SelectStatement,
+        prepared=None,
+        text: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResult:
-        plan, cache_hit = self._plan_select(statement, prepared, text)
-        executor = Executor(self)
-        columns, rows = executor.execute_plan(plan)
+        telemetry = self._telemetry
+        trace = self._active_trace
+        if trace is not None:
+            with trace.span("plan") as span:
+                plan, cache_hit = self._plan_select(statement, prepared, text)
+                span["plan_cache_hit"] = cache_hit
+        else:
+            plan, cache_hit = self._plan_select(statement, prepared, text)
+        executor = Executor(self, deadline=deadline)
+        node_stats: dict | None = None
+        if telemetry is not None and telemetry.trace_operators:
+            node_stats = {}
+        if trace is not None:
+            with trace.span("execute"):
+                columns, rows = executor.execute_plan(plan, node_stats=node_stats)
+        else:
+            columns, rows = executor.execute_plan(plan, node_stats=node_stats)
+        if node_stats:
+            self._report_operator_stats(plan, node_stats, trace)
         stats = ExecutionStats(
             rows_scanned=executor.metrics.rows_scanned,
             rows_joined=executor.metrics.rows_joined,
@@ -754,13 +855,44 @@ class Database:
         )
         return QueryResult(columns=columns, rows=rows, stats=stats, rowcount=len(rows))
 
-    def _execute_insert(self, statement: InsertStatement) -> QueryResult:
+    def _report_operator_stats(self, plan, node_stats: dict, trace) -> None:
+        """Turn collected NodeStats into trace spans + per-operator series.
+
+        Walks the plan tree in execution order so the span list reads like
+        EXPLAIN ANALYZE output; keyed by operator class name because that is
+        the stable, low-cardinality label the registry can afford.
+        """
+        labeled: list[tuple[str, object]] = []
+        stack = [plan.root]
+        while stack:
+            op = stack.pop()
+            stats = node_stats.get(id(op))
+            if stats is not None:
+                labeled.append((type(op).__name__, stats))
+            stack.extend(reversed(op.children))
+        if trace is not None:
+            for op_name, stats in labeled:
+                trace.add_span(
+                    f"op:{op_name}",
+                    stats.wall_seconds,
+                    rows=stats.rows,
+                    batches=stats.batches,
+                )
+        if self._telemetry is not None and labeled:
+            self._telemetry.observe_operators(labeled)
+
+    def _execute_insert(
+        self, statement: InsertStatement, deadline: float | None = None
+    ) -> QueryResult:
         table = self.table(statement.table)
         count = 0
         stats = ExecutionStats(statement_kind="insert")
         target_columns = list(statement.columns) or table.schema.column_names
         if statement.select is not None:
-            select_result = self._execute_select(statement.select)
+            # The readable half of INSERT ... SELECT honors the timeout
+            # budget; once writes begin the statement runs to completion so a
+            # cancellation never leaves a half-applied mutation.
+            select_result = self._execute_select(statement.select, deadline=deadline)
             # Reading the source is the work an INSERT ... SELECT does.
             stats.rows_scanned = select_result.stats.rows_scanned
             stats.rows_joined = select_result.stats.rows_joined
@@ -789,20 +921,27 @@ class Database:
         return QueryResult(stats=stats, rowcount=count)
 
     def _find_dml_targets(
-        self, plan: DmlPlan, executor: Executor
+        self, plan: DmlPlan, executor: Executor, deadline: float | None = None
     ) -> list[tuple[int, dict]]:
         """Candidate ``(row_id, row)`` pairs of a planned UPDATE/DELETE.
 
         The plan's access path (index/range scan when the WHERE allows it)
         produces candidates; residual conjuncts are re-checked per row.  The
         list is materialized before any mutation so the scan never observes
-        its own writes.
+        its own writes — which is also why the timeout budget is only checked
+        here, during the read phase: a cancelled DML statement has written
+        nothing.
         """
         ctx = ExecutionContext(
-            metrics=executor.metrics, run_subquery=executor._run_subquery
+            metrics=executor.metrics,
+            run_subquery=executor._run_subquery,
+            deadline=deadline,
+            timer=self.statement_timer,
         )
         matches = []
-        for row_id, row in plan.scan.pairs(ctx):
+        for position, (row_id, row) in enumerate(plan.scan.pairs(ctx)):
+            if position % 128 == 0:
+                ctx.tick()
             scope = Scope({plan.binding: row})
             if all(
                 is_true(evaluate(predicate, scope, executor._run_subquery))
@@ -812,13 +951,17 @@ class Database:
         return matches
 
     def _execute_update(
-        self, statement: UpdateStatement, prepared=None, text: str | None = None
+        self,
+        statement: UpdateStatement,
+        prepared=None,
+        text: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResult:
         table = self.table(statement.table)
-        executor = Executor(self)
+        executor = Executor(self, deadline=deadline)
         plan, statement, cache_hit = self._plan_dml(statement, "update", prepared, text)
         count = 0
-        for row_id, row in self._find_dml_targets(plan, executor):
+        for row_id, row in self._find_dml_targets(plan, executor, deadline):
             scope = Scope({statement.table: row})
             changes = {
                 column: evaluate(value, scope, executor._run_subquery)
@@ -837,12 +980,16 @@ class Database:
         return QueryResult(stats=stats, rowcount=count)
 
     def _execute_delete(
-        self, statement: DeleteStatement, prepared=None, text: str | None = None
+        self,
+        statement: DeleteStatement,
+        prepared=None,
+        text: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResult:
         table = self.table(statement.table)
-        executor = Executor(self)
+        executor = Executor(self, deadline=deadline)
         plan, statement, cache_hit = self._plan_dml(statement, "delete", prepared, text)
-        doomed = self._find_dml_targets(plan, executor)
+        doomed = self._find_dml_targets(plan, executor, deadline)
         for row_id, _ in doomed:
             table.delete(row_id)
         stats = ExecutionStats(

@@ -32,9 +32,9 @@ a filter sits in between).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import engine_timer
 from repro.storage.exec_settings import DEFAULT_SETTINGS
 from repro.storage.expression import Scope, evaluate, is_true
 from repro.storage.kernels import gather_columns
@@ -103,9 +103,15 @@ class Executor:
     Database facade, not the executor).
     """
 
-    def __init__(self, table_provider):
+    def __init__(self, table_provider, deadline: float | None = None):
         self._provider = table_provider
         self._settings = getattr(table_provider, "exec_settings", None) or DEFAULT_SETTINGS
+        #: The one duration source for ExecutorMetrics seconds, operator
+        #: instrumentation, and timeout deadlines: the provider's telemetry
+        #: timer when one is attached, else the sanctioned engine timer.
+        self._timer = getattr(table_provider, "statement_timer", None) or engine_timer
+        #: Absolute ``_timer`` deadline of the statement's timeout budget.
+        self._deadline = deadline
         self.metrics = ExecutorMetrics()
 
     # -- public entry points --------------------------------------------------
@@ -180,6 +186,8 @@ class Executor:
             node_stats=node_stats,
             compile_expressions=self._settings.compile_expressions,
             columnar_kernels=self._settings.columnar_kernels,
+            deadline=self._deadline,
+            timer=self._timer,
         )
         project = None
         if self._settings.compile_expressions:
@@ -196,10 +204,10 @@ class Executor:
                     statement, plan, ctx, outer_scope
                 )
             else:
-                started = perf_counter()
+                started = self._timer()
                 source = self._flatten(plan.root.batches(ctx))
                 columns, rows = self._aggregate(statement, plan, source, outer_scope)
-                self.metrics.agg_seconds += perf_counter() - started
+                self.metrics.agg_seconds += self._timer() - started
             if statement.distinct:
                 rows = _distinct(rows)
             rows = _apply_limit(rows, statement.limit, statement.offset)
@@ -273,9 +281,9 @@ class Executor:
                 # binding dicts anywhere on the path.
                 for batch in plan.root.col_batches(ctx):
                     self.metrics.batches += 1
-                    started = perf_counter()
+                    started = self._timer()
                     values_batch = gather_columns(batch, columnar)
-                    self.metrics.kernel_seconds += perf_counter() - started
+                    self.metrics.kernel_seconds += self._timer() - started
                     if seen is None and needed is None:
                         # No DISTINCT and no LIMIT: the whole gathered batch
                         # survives, so skip the per-row loop entirely.
@@ -739,7 +747,9 @@ class Executor:
     # -- subqueries -------------------------------------------------------------------
 
     def _run_subquery(self, subquery: SelectStatement, scope: Scope) -> list[tuple]:
-        nested = Executor(self._provider)
+        # Subqueries inherit the statement's timeout budget: a runaway
+        # correlated subquery cancels at its own batch boundaries.
+        nested = Executor(self._provider, deadline=self._deadline)
         _, rows = nested._select(subquery, scope)
         self.metrics.rows_scanned += nested.metrics.rows_scanned
         self.metrics.rows_joined += nested.metrics.rows_joined

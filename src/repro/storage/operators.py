@@ -53,7 +53,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.errors import SchemaError
+from repro.errors import QueryTimeoutError, SchemaError
+from repro.obs.metrics import engine_timer
 from repro.sql.ast_nodes import (
     Between,
     BinaryOp,
@@ -133,7 +134,7 @@ class NodeStats:
     often it was (re)started — 1 for a streamed node, once per outer row for
     the probe side of an :class:`IndexLookupJoin`.  ``wall_seconds`` is
     inclusive wall time spent inside the node's generator (children included),
-    measured with :func:`time.perf_counter` regardless of the database's
+    measured with :data:`~repro.obs.metrics.engine_timer` regardless of the database's
     injectable clock.  ``columnar_batches`` counts the batches the node
     produced in columnar form and ``kernel_seconds`` the time it spent inside
     selection-vector kernels — together they make columnar vs fallback
@@ -186,6 +187,28 @@ class ExecutionContext:
     #: False keeps every operator on row batches (ExecutionSettings knob);
     #: the columnar path additionally requires ``compile_expressions``.
     columnar_kernels: bool = True
+    #: Absolute ``timer`` deadline of the statement's timeout budget, or None
+    #: (no budget).  Scans call :meth:`tick` at every batch flush, so a
+    #: runaway statement cancels at the next batch boundary — cooperative,
+    #: never mid-mutation.
+    deadline: float | None = None
+    #: Duration source shared with the executor's instrumentation (the
+    #: telemetry registry's timer when one is attached).
+    timer: Callable[[], float] = engine_timer
+
+    def tick(self) -> None:
+        """Raise :class:`~repro.errors.QueryTimeoutError` past the deadline.
+
+        Called at batch boundaries (scan flushes, coordinator re-assembly,
+        executor consume loops): one ``None`` check when no budget is set,
+        one timer read per batch when one is.
+        """
+        deadline = self.deadline
+        if deadline is not None and self.timer() >= deadline:
+            raise QueryTimeoutError(
+                "statement exceeded its timeout budget and was cancelled "
+                "at a batch boundary"
+            )
 
     def observe(self, op: "Operator") -> NodeStats | None:
         """The operator's :class:`NodeStats` slot, or None when not analyzing."""
@@ -223,13 +246,13 @@ class Operator:
         stats = ctx.observe(self)
         stats.loops += 1
         while True:
-            started = time.perf_counter()
+            started = engine_timer()
             try:
                 batch = next(source)
             except StopIteration:
-                stats.wall_seconds += time.perf_counter() - started
+                stats.wall_seconds += engine_timer() - started
                 return
-            stats.wall_seconds += time.perf_counter() - started
+            stats.wall_seconds += engine_timer() - started
             stats.batches += 1
             stats.rows += len(batch)
             yield batch
@@ -272,13 +295,13 @@ class Operator:
         stats = ctx.observe(self)
         stats.loops += 1
         while True:
-            started = time.perf_counter()
+            started = engine_timer()
             try:
                 batch = next(source)
             except StopIteration:
-                stats.wall_seconds += time.perf_counter() - started
+                stats.wall_seconds += engine_timer() - started
                 return
-            stats.wall_seconds += time.perf_counter() - started
+            stats.wall_seconds += engine_timer() - started
             stats.batches += 1
             stats.columnar_batches += 1
             stats.rows += len(batch)
@@ -394,6 +417,7 @@ class ParallelSeqScan(SeqScan):
         # order == heap order keeps the stream deterministic.
         for batches in list(_scan_pool().map(scan_span, spans)):
             for batch in batches:
+                ctx.tick()
                 metrics.rows_scanned += len(batch)
                 yield batch
 
@@ -426,6 +450,7 @@ class ParallelSeqScan(SeqScan):
 
         for chunks in list(_scan_pool().map(scan_span, spans)):
             for chunk in chunks:
+                ctx.tick()
                 metrics.rows_scanned += len(chunk)
                 metrics.columnar_batches += 1
                 yield ColumnBatch(binding, schema, chunk)
@@ -723,9 +748,9 @@ class Filter(Operator):
         metrics = ctx.metrics
         stats = ctx.observe(self)
         for batch in self.child.col_batches(ctx):
-            started = time.perf_counter()
+            started = engine_timer()
             selection = apply_kernels(kernels, batch)
-            elapsed = time.perf_counter() - started
+            elapsed = engine_timer() - started
             metrics.kernel_seconds += elapsed
             if stats is not None:
                 stats.kernel_seconds += elapsed
@@ -1119,16 +1144,16 @@ class GroupAggregate(Operator):
         metrics = ctx.metrics
         source = self._groups(ctx)
         while True:
-            started = time.perf_counter()
+            started = engine_timer()
             try:
                 item = next(source)
             except StopIteration:
-                elapsed = time.perf_counter() - started
+                elapsed = engine_timer() - started
                 metrics.agg_seconds += elapsed
                 if stats is not None:
                     stats.wall_seconds += elapsed
                 return
-            elapsed = time.perf_counter() - started
+            elapsed = engine_timer() - started
             metrics.agg_seconds += elapsed
             metrics.groups_emitted += 1
             if stats is not None:
@@ -1379,12 +1404,12 @@ class HashAggregate(GroupAggregate):
         order: list = []
         for batch in scan.col_batches(ctx):
             metrics.batches += 1
-            started = time.perf_counter()
+            started = engine_timer()
             if kernels:
                 selection = apply_kernels(kernels, batch)
                 if selection is not None:
                     if not selection:
-                        metrics.kernel_seconds += time.perf_counter() - started
+                        metrics.kernel_seconds += engine_timer() - started
                         continue
                     batch = batch.narrowed(selection)
             if key_columns:
@@ -1414,7 +1439,7 @@ class HashAggregate(GroupAggregate):
                         accumulator.update_column(
                             batch.column(arg_column).values(), positions
                         )
-            metrics.kernel_seconds += time.perf_counter() - started
+            metrics.kernel_seconds += engine_timer() - started
         if not self.group_exprs and not merged:
             yield self._empty_input_group()
             return
@@ -1524,6 +1549,10 @@ class HashAggregate(GroupAggregate):
         merged: dict = {}
         order: list = []
         for span_order, span_states, scanned in partials:
+            # The fused scan ran to completion inside the partial helpers, so
+            # a timeout budget cancels at the span-merge boundary — the
+            # coarsest batch boundary this lane has.
+            ctx.tick()
             metrics.rows_scanned += scanned
             for key in span_order:
                 entry = span_states[key]
@@ -2091,10 +2120,12 @@ def _chunk(rows: Iterator[RowDict], ctx: ExecutionContext) -> Iterator[RowBatch]
     for row in rows:
         batch.append(row)
         if len(batch) >= batch_size:
+            ctx.tick()
             yield batch
             batch = []
             batch_size = max(1, ctx.batch_size)
     if batch:
+        ctx.tick()
         yield batch
 
 
@@ -2114,11 +2145,13 @@ def _scan_batches(
     for _, row in pairs:
         batch.append({binding: row})
         if len(batch) >= batch_size:
+            ctx.tick()
             metrics.rows_scanned += len(batch)
             yield batch
             batch = []
             batch_size = max(1, ctx.batch_size)
     if batch:
+        ctx.tick()
         metrics.rows_scanned += len(batch)
         yield batch
 
@@ -2149,11 +2182,13 @@ def _scan_col_batches(
             else:
                 chunk = buffer[:batch_size]
                 del buffer[:batch_size]
+            ctx.tick()
             metrics.rows_scanned += len(chunk)
             metrics.columnar_batches += 1
             yield ColumnBatch(binding, schema, chunk)
             batch_size = max(1, ctx.batch_size)
     if buffer:
+        ctx.tick()
         metrics.rows_scanned += len(buffer)
         metrics.columnar_batches += 1
         yield ColumnBatch(binding, schema, buffer)

@@ -26,10 +26,10 @@ from __future__ import annotations
 
 import fcntl
 import os
-import time
 from dataclasses import dataclass
 
 from repro.errors import DurabilityError, StorageError
+from repro.obs.metrics import engine_timer
 from repro.storage.snapshot import (
     SNAPSHOT_FILE_NAME,
     column_from_dict,
@@ -143,7 +143,7 @@ def recover(database, data_dir: str | os.PathLike) -> RecoveryReport:
     The caller attaches the WAL writer afterwards (resuming at
     ``report.wal_valid_length`` / ``report.last_lsn``).
     """
-    start = time.perf_counter()
+    start = engine_timer()
     data_dir = os.fspath(data_dir)
     report = RecoveryReport(data_dir=data_dir)
 
@@ -166,7 +166,7 @@ def recover(database, data_dir: str | os.PathLike) -> RecoveryReport:
         report.wal_records_applied += 1
 
     report.last_lsn = max(report.snapshot_lsn, wal.last_lsn)
-    report.elapsed_seconds = time.perf_counter() - start
+    report.elapsed_seconds = engine_timer() - start
     return report
 
 

@@ -1,0 +1,132 @@
+"""Tests for the Prometheus exposition-format lint (analysis/exposition_lint)."""
+
+import pytest
+
+from repro.analysis.exposition_lint import lint_exposition, lint_live_engine
+from repro.obs import MetricsRegistry
+
+VALID = """\
+# HELP repro_statements_total executed statements
+# TYPE repro_statements_total counter
+repro_statements_total{engine="database",kind="select"} 3
+repro_statements_total{engine="query_storage",kind="select"} 1
+# HELP repro_statement_seconds latency
+# TYPE repro_statement_seconds histogram
+repro_statement_seconds_bucket{engine="database",le="0.1"} 2
+repro_statement_seconds_bucket{engine="database",le="+Inf"} 3
+repro_statement_seconds_sum{engine="database"} 0.4
+repro_statement_seconds_count{engine="database"} 3
+"""
+
+
+def _rules(report):
+    return sorted({d.rule for d in report.diagnostics})
+
+
+class TestLintExposition:
+    def test_valid_document_is_clean(self):
+        report = lint_exposition(VALID)
+        assert not len(report), report.render()
+
+    def test_registry_render_is_clean(self):
+        registry = MetricsRegistry()
+        registry.counter("statements", "n", engine="database", kind="select").inc()
+        registry.gauge("plan_cache_size", "entries", engine="database").set(7)
+        registry.histogram("statement_seconds", "s", engine="database").observe(0.01)
+        report = lint_exposition(registry.render())
+        assert not len(report), report.render()
+
+    def test_malformed_lines(self):
+        report = lint_exposition(
+            'garbage line here {\nrepro_x_total{engine="db"} notanumber\n'
+            '# TYPE repro_y_total weirdkind\n'
+        )
+        assert _rules(report) == ["exposition-format"]
+        assert len(report) == 3  # bad line, bad value, unknown kind
+
+    def test_malformed_label_block(self):
+        report = lint_exposition('repro_x_total{engine="db} 1\n')
+        assert "exposition-format" in _rules(report)
+
+    def test_missing_metadata(self):
+        report = lint_exposition('repro_x_total{engine="db"} 1\n')
+        assert "missing-metadata" in _rules(report)
+        no_help = (
+            "# TYPE repro_x_total counter\n"
+            'repro_x_total{engine="db"} 1\n'
+        )
+        assert "missing-metadata" in _rules(lint_exposition(no_help))
+
+    def test_duplicate_series(self):
+        text = VALID + 'repro_statements_total{kind="select",engine="database"} 9\n'
+        report = lint_exposition(text)
+        assert "duplicate-series" in _rules(report)  # label order normalized
+
+    def test_unlabelled_series(self):
+        text = (
+            "# HELP repro_x_total x\n# TYPE repro_x_total counter\n"
+            "repro_x_total 1\n"
+        )
+        assert "unlabelled-series" in _rules(lint_exposition(text))
+
+    def test_naming_scheme(self):
+        foreign = (
+            "# HELP other_x_total x\n# TYPE other_x_total counter\n"
+            'other_x_total{engine="db"} 1\n'
+        )
+        assert "metric-naming" in _rules(lint_exposition(foreign))
+        missing_total = (
+            "# HELP repro_x x\n# TYPE repro_x counter\n"
+            'repro_x{engine="db"} 1\n'
+        )
+        assert "metric-naming" in _rules(lint_exposition(missing_total))
+
+    def test_histogram_consistency(self):
+        shrinking = (
+            "# HELP repro_h h\n# TYPE repro_h histogram\n"
+            'repro_h_bucket{engine="db",le="0.1"} 5\n'
+            'repro_h_bucket{engine="db",le="1"} 3\n'
+            'repro_h_bucket{engine="db",le="+Inf"} 3\n'
+            'repro_h_count{engine="db"} 3\n'
+        )
+        assert "histogram-consistency" in _rules(lint_exposition(shrinking))
+        inf_mismatch = (
+            "# HELP repro_h h\n# TYPE repro_h histogram\n"
+            'repro_h_bucket{engine="db",le="+Inf"} 2\n'
+            'repro_h_count{engine="db"} 3\n'
+        )
+        assert "histogram-consistency" in _rules(lint_exposition(inf_mismatch))
+        no_inf = (
+            "# HELP repro_h h\n# TYPE repro_h histogram\n"
+            'repro_h_bucket{engine="db",le="1"} 2\n'
+            'repro_h_count{engine="db"} 2\n'
+        )
+        assert "histogram-consistency" in _rules(lint_exposition(no_inf))
+
+    def test_min_series_floor(self):
+        assert "min-series" in _rules(lint_exposition(VALID, min_series=10))
+        assert "min-series" not in _rules(lint_exposition(VALID, min_series=3))
+
+    def test_every_error_is_error_severity(self):
+        report = lint_exposition("garbage {\n", min_series=1)
+        assert report.has_errors
+
+
+class TestLiveEngine:
+    def test_live_engine_exposition_is_clean_and_wide(self):
+        report, series = lint_live_engine(min_series=25)
+        assert not report.has_errors, report.render()
+        assert series >= 25
+
+    def test_cli_lint_metrics(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["lint-metrics", "--min-series", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct series" in out
+
+    def test_cli_lint_metrics_unreachable_floor_fails(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["lint-metrics", "--min-series", "100000"]) == 1
+        assert "min-series" in capsys.readouterr().out
